@@ -1,0 +1,81 @@
+//! Crossbar-budget comparison — the Table III crossbar-number column.
+//!
+//! §IV-C2: the number of crossbars a scheme needs is roughly proportional
+//! to the number of devices representing one weight, with two-crossbar
+//! architectures already reflected in their per-weight device counts
+//! (DVA: 8 SLCs one-crossbar; PM/DVA+PM: 10 2-bit MLCs across the
+//! positive/negative pair; this work: 4 2-bit MLCs, one crossbar).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a scheme stores a weight matrix in one crossbar (shift-based)
+/// or a positive/negative pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrossbarArchitecture {
+    /// Single crossbar with a digital weight shift (ISAAC-style).
+    OneCrossbar,
+    /// Separate positive- and negative-weight crossbars (PRIME-style).
+    TwoCrossbar,
+}
+
+/// Device budget of one fault-tolerance scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarBudget {
+    /// Total devices used to represent one weight (summed over both
+    /// crossbars for a two-crossbar scheme).
+    pub cells_per_weight: usize,
+    /// The crossbar architecture.
+    pub architecture: CrossbarArchitecture,
+}
+
+impl CrossbarBudget {
+    /// This work: 4 2-bit MLCs, one-crossbar.
+    pub fn this_work() -> Self {
+        CrossbarBudget { cells_per_weight: 4, architecture: CrossbarArchitecture::OneCrossbar }
+    }
+
+    /// DVA: 8 SLCs, one-crossbar.
+    pub fn dva() -> Self {
+        CrossbarBudget { cells_per_weight: 8, architecture: CrossbarArchitecture::OneCrossbar }
+    }
+
+    /// PM (and DVA+PM): 10 2-bit MLCs over a two-crossbar pair.
+    pub fn pm() -> Self {
+        CrossbarBudget { cells_per_weight: 10, architecture: CrossbarArchitecture::TwoCrossbar }
+    }
+
+    /// Normalized crossbar number relative to `baseline` (the paper uses
+    /// this work as the baseline, so [`CrossbarBudget::this_work`] maps to
+    /// 1.0).
+    pub fn normalized_crossbars(&self, baseline: &CrossbarBudget) -> f64 {
+        self.cells_per_weight as f64 / baseline.cells_per_weight as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_crossbar_numbers() {
+        let ours = CrossbarBudget::this_work();
+        assert_eq!(CrossbarBudget::this_work().normalized_crossbars(&ours), 1.0);
+        assert_eq!(CrossbarBudget::dva().normalized_crossbars(&ours), 2.0);
+        assert_eq!(CrossbarBudget::pm().normalized_crossbars(&ours), 2.5);
+    }
+
+    #[test]
+    fn at_least_fifty_percent_fewer_crossbars() {
+        // the abstract's headline claim
+        let ours = CrossbarBudget::this_work();
+        for other in [CrossbarBudget::dva(), CrossbarBudget::pm()] {
+            assert!(other.normalized_crossbars(&ours) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn architectures_are_distinguished() {
+        assert_eq!(CrossbarBudget::this_work().architecture, CrossbarArchitecture::OneCrossbar);
+        assert_eq!(CrossbarBudget::pm().architecture, CrossbarArchitecture::TwoCrossbar);
+    }
+}

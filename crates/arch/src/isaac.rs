@@ -1,0 +1,99 @@
+//! ISAAC tile constants (§III-E / §IV-B of the paper).
+//!
+//! The paper compares its offset-augmented design against a baseline
+//! ISAAC tile of 0.372 mm² and 330 mW. The tile composition (12 IMAs × 8
+//! crossbars of 128×128 2-bit MLCs, 100 ns cycle) follows Shafiee et al.,
+//! ISCA 2016.
+
+use serde::{Deserialize, Serialize};
+
+/// Baseline ISAAC tile parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsaacTile {
+    /// Tile area in mm² (Table II baseline: 0.372).
+    pub area_mm2: f64,
+    /// Tile power in mW (Table II baseline: 330).
+    pub power_mw: f64,
+    /// Clock period in ns (ISAAC: 100).
+    pub clock_ns: f64,
+    /// Crossbars per tile (12 IMAs × 8 arrays).
+    pub crossbars: usize,
+    /// Rows per crossbar (`S` in Eq. 9).
+    pub rows: usize,
+    /// Weight columns stored per crossbar (`l` in Eq. 9 — 32 for 8-bit
+    /// weights in 2-bit MLCs across 128 bitlines).
+    pub weight_cols: usize,
+    /// Device read-power budget per tile in mW, the base against which
+    /// Table I's relative savings are applied.
+    pub read_power_mw: f64,
+}
+
+impl Default for IsaacTile {
+    fn default() -> Self {
+        IsaacTile {
+            area_mm2: 0.372,
+            power_mw: 330.0,
+            clock_ns: 100.0,
+            crossbars: 96,
+            rows: 128,
+            weight_cols: 32,
+            read_power_mw: 30.0,
+        }
+    }
+}
+
+impl IsaacTile {
+    /// The paper's baseline tile.
+    pub fn paper() -> Self {
+        IsaacTile::default()
+    }
+
+    /// Offset registers per crossbar for sharing granularity `m`
+    /// (Eq. 9: `H = S·l/m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn offset_registers_per_crossbar(&self, m: usize) -> usize {
+        assert!(m > 0, "sharing granularity must be positive");
+        self.rows * self.weight_cols / m
+    }
+
+    /// Offset registers in the whole tile.
+    pub fn offset_registers_per_tile(&self, m: usize) -> usize {
+        self.offset_registers_per_crossbar(m) * self.crossbars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq9_register_counts_match_paper() {
+        // §IV-B2: "each crossbar needs 256 and 32 offset registers for
+        // m = 16 and 128, respectively"
+        let tile = IsaacTile::paper();
+        assert_eq!(tile.offset_registers_per_crossbar(16), 256);
+        assert_eq!(tile.offset_registers_per_crossbar(128), 32);
+    }
+
+    #[test]
+    fn tile_constants_match_table_ii_baseline() {
+        let tile = IsaacTile::paper();
+        assert_eq!(tile.area_mm2, 0.372);
+        assert_eq!(tile.power_mw, 330.0);
+    }
+
+    #[test]
+    fn per_tile_registers_scale_with_crossbars() {
+        let tile = IsaacTile::paper();
+        assert_eq!(tile.offset_registers_per_tile(16), 256 * 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_granularity_panics() {
+        IsaacTile::paper().offset_registers_per_crossbar(0);
+    }
+}

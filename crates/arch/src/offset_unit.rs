@@ -1,0 +1,196 @@
+//! Gate-level cost model of the digital-offset datapath.
+//!
+//! §III-E / §IV-B2: the offset support adds, per crossbar, one `m`-input
+//! 1-bit adder per stored weight column (computing `Σxᵢ` over the active
+//! wordlines), one time-multiplexed 8×8 Wallace-tree multiplier
+//! (computing `b·Σxᵢ`), and `H = S·l/m` 8-bit SRAM offset registers.
+//!
+//! The paper synthesizes the adder and multiplier with Design Compiler on
+//! the Nangate 45 nm library and scales to 32 nm; without that flow, this
+//! module uses analytical per-cell constants *calibrated so the Table II
+//! area figures are reproduced* (see `DESIGN.md` §2). The constants are in
+//! the plausible range for 32 nm standard cells and are exposed as fields
+//! so alternative calibrations can be swapped in.
+
+use serde::{Deserialize, Serialize};
+
+/// Unit-cost constants of the 32 nm datapath cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitCosts {
+    /// Area of one full-adder/compressor cell, µm².
+    pub fa_area_um2: f64,
+    /// Dynamic + leakage power of one full-adder cell at the ISAAC clock,
+    /// mW.
+    pub fa_power_mw: f64,
+    /// Propagation delay of one full-adder cell, ns.
+    pub fa_delay_ns: f64,
+    /// Area of one 8×8 Wallace-tree multiplier, µm².
+    pub mult_area_um2: f64,
+    /// Power of one multiplier at the ISAAC clock, mW.
+    pub mult_power_mw: f64,
+    /// Multiplier delay, ns.
+    pub mult_delay_ns: f64,
+    /// Area of one SRAM bit, µm².
+    pub sram_bit_area_um2: f64,
+    /// Power of one SRAM bit (leakage + read), mW.
+    pub sram_bit_power_mw: f64,
+    /// Offset register width, bits.
+    pub register_bits: u32,
+}
+
+impl Default for UnitCosts {
+    fn default() -> Self {
+        UnitCosts {
+            fa_area_um2: 0.12,
+            fa_power_mw: 35.0e-6,
+            fa_delay_ns: 0.05,
+            mult_area_um2: 153.8,
+            mult_power_mw: 0.1792,
+            mult_delay_ns: 0.9,
+            sram_bit_area_um2: 0.146,
+            sram_bit_power_mw: 10.0e-6,
+            register_bits: 8,
+        }
+    }
+}
+
+impl UnitCosts {
+    /// The calibrated 32 nm constants (see module docs).
+    pub fn calibrated_32nm() -> Self {
+        UnitCosts::default()
+    }
+}
+
+/// Cost of one `m`-input 1-bit population-count adder.
+///
+/// A popcount over `m` bits needs `m − 1` full-adder-equivalent cells
+/// arranged in a tree of depth `⌈log₂ m⌉`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdderCost {
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Critical-path delay in ns.
+    pub delay_ns: f64,
+}
+
+/// Computes the cost of one `m`-input 1-bit adder.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn adder_cost(m: usize, costs: &UnitCosts) -> AdderCost {
+    assert!(m > 0, "adder needs at least one input");
+    let cells = (m - 1) as f64;
+    let depth = (m as f64).log2().ceil().max(1.0);
+    AdderCost {
+        area_um2: cells * costs.fa_area_um2,
+        power_mw: cells * costs.fa_power_mw,
+        delay_ns: depth * costs.fa_delay_ns,
+    }
+}
+
+/// Cost of the whole per-crossbar offset datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffsetDatapathCost {
+    /// Total adder area per crossbar, µm² (one adder per weight column).
+    pub adders_area_um2: f64,
+    /// Total adder power per crossbar, mW.
+    pub adders_power_mw: f64,
+    /// Multiplier area per crossbar (shared, time-multiplexed), µm².
+    pub mult_area_um2: f64,
+    /// Multiplier power per crossbar, mW.
+    pub mult_power_mw: f64,
+    /// Offset-register SRAM area per crossbar, µm².
+    pub regs_area_um2: f64,
+    /// Offset-register SRAM power per crossbar, mW.
+    pub regs_power_mw: f64,
+    /// Critical Sum+Multi path delay, ns.
+    pub sum_multi_delay_ns: f64,
+}
+
+impl OffsetDatapathCost {
+    /// Total added area per crossbar, µm².
+    pub fn area_um2(&self) -> f64 {
+        self.adders_area_um2 + self.mult_area_um2 + self.regs_area_um2
+    }
+
+    /// Total added power per crossbar, mW.
+    pub fn power_mw(&self) -> f64 {
+        self.adders_power_mw + self.mult_power_mw + self.regs_power_mw
+    }
+}
+
+/// Computes the per-crossbar offset datapath cost for sharing
+/// granularity `m`, `weight_cols` stored columns and `registers` offset
+/// registers (Eq. 9).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn datapath_cost(
+    m: usize,
+    weight_cols: usize,
+    registers: usize,
+    costs: &UnitCosts,
+) -> OffsetDatapathCost {
+    let adder = adder_cost(m, costs);
+    OffsetDatapathCost {
+        adders_area_um2: adder.area_um2 * weight_cols as f64,
+        adders_power_mw: adder.power_mw * weight_cols as f64,
+        mult_area_um2: costs.mult_area_um2,
+        mult_power_mw: costs.mult_power_mw,
+        regs_area_um2: registers as f64 * costs.register_bits as f64 * costs.sram_bit_area_um2,
+        regs_power_mw: registers as f64 * costs.register_bits as f64 * costs.sram_bit_power_mw,
+        sum_multi_delay_ns: adder.delay_ns + costs.mult_delay_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_cost_grows_with_inputs() {
+        let c = UnitCosts::default();
+        let small = adder_cost(16, &c);
+        let big = adder_cost(128, &c);
+        assert!(big.area_um2 > 5.0 * small.area_um2);
+        assert!(big.power_mw > small.power_mw);
+        assert!(big.delay_ns > small.delay_ns);
+    }
+
+    #[test]
+    fn adder_depth_is_logarithmic() {
+        let c = UnitCosts::default();
+        assert!((adder_cost(16, &c).delay_ns - 4.0 * c.fa_delay_ns).abs() < 1e-12);
+        assert!((adder_cost(128, &c).delay_ns - 7.0 * c.fa_delay_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn datapath_components_sum() {
+        let c = UnitCosts::default();
+        let d = datapath_cost(16, 32, 256, &c);
+        assert!(
+            (d.area_um2() - (d.adders_area_um2 + d.mult_area_um2 + d.regs_area_um2)).abs()
+                < 1e-9
+        );
+        assert!(d.regs_area_um2 > 0.0 && d.adders_area_um2 > 0.0);
+    }
+
+    #[test]
+    fn coarser_granularity_trades_registers_for_adders() {
+        let c = UnitCosts::default();
+        let fine = datapath_cost(16, 32, 256, &c);
+        let coarse = datapath_cost(128, 32, 32, &c);
+        assert!(coarse.adders_area_um2 > fine.adders_area_um2);
+        assert!(coarse.regs_area_um2 < fine.regs_area_um2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_input_adder_panics() {
+        adder_cost(0, &UnitCosts::default());
+    }
+}

@@ -1,0 +1,95 @@
+//! Device reading-power accounting — the Table I computation.
+//!
+//! Reading a cell dissipates power proportional to its conductance, so a
+//! mapping that stores smaller values (more cells near HRS) reads more
+//! cheaply. Table I reports the total device reading power of VAWO\*'s
+//! CTWs relative to the plain scheme's.
+
+use rdo_rram::{Result, WeightCodec};
+
+/// Total relative read power of a distribution of stored weight values,
+/// given as a histogram `hist[v] = count of devices-worth-of-weights at
+/// value v`.
+///
+/// # Errors
+///
+/// Returns a range error if the histogram is longer than the codec's
+/// level count.
+pub fn read_power_of_histogram(hist: &[u64], codec: &WeightCodec) -> Result<f64> {
+    let mut total = 0.0f64;
+    for (v, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        total += count as f64 * codec.read_power(v as u32)?;
+    }
+    Ok(total)
+}
+
+/// Builds the value histogram of a slice of integer weight levels.
+///
+/// # Panics
+///
+/// Panics if any value is negative or ≥ `levels`.
+pub fn weight_histogram(values: &[f32], levels: u32) -> Vec<u64> {
+    let mut hist = vec![0u64; levels as usize];
+    for &v in values {
+        let q = v.round();
+        assert!(
+            q >= 0.0 && (q as u32) < levels,
+            "weight {v} outside 0..{levels}"
+        );
+        hist[q as usize] += 1;
+    }
+    hist
+}
+
+/// Relative reading power: `scheme / plain`, the Table I ratio.
+///
+/// # Panics
+///
+/// Panics if `plain_power` is not positive.
+pub fn relative_read_power(scheme_power: f64, plain_power: f64) -> f64 {
+    assert!(plain_power > 0.0, "plain power must be positive");
+    scheme_power / plain_power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_rram::{CellKind, CellTechnology};
+
+    fn codec() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2))
+    }
+
+    #[test]
+    fn histogram_counts_values() {
+        let h = weight_histogram(&[0.0, 1.0, 1.0, 255.0], 256);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[255], 1);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn smaller_values_read_cheaper() {
+        let c = codec();
+        let low = read_power_of_histogram(&weight_histogram(&[10.0; 100], 256), &c).unwrap();
+        let high = read_power_of_histogram(&weight_histogram(&[250.0; 100], 256), &c).unwrap();
+        assert!(low < high);
+        assert!(relative_read_power(low, high) < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_power() {
+        let c = codec();
+        assert_eq!(read_power_of_histogram(&[0; 256], &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_weight_panics() {
+        weight_histogram(&[300.0], 256);
+    }
+}

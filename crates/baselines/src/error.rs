@@ -1,0 +1,55 @@
+//! Error type for the baseline implementations.
+
+use std::fmt;
+
+/// Error produced by baseline training or deployment.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// An underlying NN operation failed.
+    Nn(rdo_nn::NnError),
+    /// An underlying mapping/evaluation operation failed.
+    Core(rdo_core::CoreError),
+    /// A baseline configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Nn(e) => write!(f, "network error: {e}"),
+            BaselineError::Core(e) => write!(f, "mapping error: {e}"),
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Nn(e) => Some(e),
+            BaselineError::Core(e) => Some(e),
+            BaselineError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<rdo_nn::NnError> for BaselineError {
+    fn from(e: rdo_nn::NnError) -> Self {
+        BaselineError::Nn(e)
+    }
+}
+
+impl From<rdo_core::CoreError> for BaselineError {
+    fn from(e: rdo_core::CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<rdo_rram::RramError> for BaselineError {
+    fn from(e: rdo_rram::RramError) -> Self {
+        BaselineError::Core(rdo_core::CoreError::Rram(e))
+    }
+}
+
+/// Convenient result alias used across the baselines crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,34 @@
+//! # rdo-baselines
+//!
+//! Executable reimplementations of the fault-tolerance baselines the
+//! paper compares against in Table III:
+//!
+//! * **DVA** ([`train_dva`], [`evaluate_dva`]) — variation-aware training
+//!   (noise injection) deployed on a one-crossbar 8-SLC architecture.
+//! * **PM** ([`pm_effective_network`], [`evaluate_pm_cycles`]) — unary
+//!   synapse coding over a two-crossbar pair of 10 2-bit MLCs.
+//! * **DVA+PM** — compose the two: DVA-train, then deploy with PM.
+//!
+//! The plain scheme (CTW = NTW, no offsets) is
+//! [`rdo_core::Method::Plain`] and needs no code here.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdo_baselines::PmConfig;
+//!
+//! let pm = PmConfig::paper(0.8);
+//! assert_eq!(pm.cells_per_weight, 10);
+//! assert_eq!(pm.unary_levels(), 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dva;
+mod error;
+mod pm;
+
+pub use dva::{evaluate_dva, train_dva, DvaConfig};
+pub use error::{BaselineError, Result};
+pub use pm::{evaluate_pm_cycles, pm_effective_network, PmConfig};

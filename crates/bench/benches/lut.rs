@@ -1,0 +1,32 @@
+//! Device-LUT construction: closed-form versus the paper's K×J
+//! statistical-testing procedure (DESIGN.md ablation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_rram::{CellKind, CellTechnology, DeviceLut, VariationModel, WeightCodec};
+use rdo_tensor::rng::seeded_rng;
+
+fn bench_lut(c: &mut Criterion) {
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+    let model = VariationModel::per_weight(0.5);
+
+    let mut group = c.benchmark_group("device_lut");
+    group.bench_function("analytic", |b| {
+        b.iter(|| DeviceLut::analytic(&model, &codec).expect("valid codec"));
+    });
+    for &(k, j) in &[(5usize, 10usize), (20, 20)] {
+        group.bench_with_input(
+            BenchmarkId::new("measured", format!("k{k}_j{j}")),
+            &(k, j),
+            |b, &(k, j)| {
+                b.iter(|| {
+                    let mut rng = seeded_rng(0);
+                    DeviceLut::measure(&model, &codec, k, j, &mut rng).expect("valid sampling")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! PWT kernel: cost of one post-writing tuning epoch on a small MLP,
+//! for both the Eq. 8 SGD rule and the Adam variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_core::{tune, MappedNetwork, Method, OffsetConfig, PwtConfig, PwtOptimizer};
+use rdo_nn::{Linear, Relu, Sequential};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::{randn, seeded_rng};
+
+fn bench_pwt(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let mut net = Sequential::new();
+    net.push(Linear::new(32, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(64, 10, &mut rng));
+    let x = randn(&[128, 32], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..128).map(|i| i % 10).collect();
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).expect("valid config");
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+
+    let mut group = c.benchmark_group("pwt_epoch");
+    group.sample_size(10);
+    for (name, opt) in [
+        ("sgd", PwtOptimizer::Sgd { lr: 1000.0 }),
+        ("adam", PwtOptimizer::Adam { lr: 1.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut mapped =
+                    MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).expect("map");
+                mapped.program(&mut seeded_rng(1)).expect("program");
+                tune(
+                    &mut mapped,
+                    &x,
+                    &labels,
+                    &PwtConfig { epochs: 1, optimizer: opt, ..Default::default() },
+                )
+                .expect("tune")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pwt);
+criterion_main!(benches);

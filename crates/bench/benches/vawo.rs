@@ -1,0 +1,36 @@
+//! VAWO optimization kernel: runtime per mapped matrix, across sharing
+//! granularities and with/without the weight complement — supports the
+//! paper's §III-B claim that VAWO's one-time cost is small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_core::{optimize_matrix, GroupLayout, OffsetConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::Tensor;
+
+fn bench_vawo(c: &mut Criterion) {
+    let sigma = 0.5;
+    let (rows, cols) = (128usize, 64usize);
+    let ntw = Tensor::from_fn(&[rows, cols], |i| ((i * 37) % 256) as f32);
+    let g2 = Tensor::from_fn(&[rows, cols], |i| 1e-4 * (1.0 + (i % 7) as f32));
+
+    let mut group = c.benchmark_group("vawo_128x64");
+    for &m in &[16usize, 64, 128] {
+        for complement in [false, true] {
+            let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).expect("valid m");
+            let lut =
+                DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+            let layout = GroupLayout::new(rows, cols, &cfg).expect("layout");
+            let label = format!("m{m}{}", if complement { "_star" } else { "" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &m, |b, _| {
+                b.iter(|| {
+                    optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, complement)
+                        .expect("consistent shapes")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vawo);
+criterion_main!(benches);

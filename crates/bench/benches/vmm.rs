@@ -1,0 +1,62 @@
+//! Kernel benchmark: crossbar programming and VMM evaluation, fast path
+//! versus cell-level bit-serial path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_rram::{
+    program_matrix, Adc, BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec,
+    VariationModel, WeightCodec,
+};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::{matmul, Tensor};
+
+fn bench_program(c: &mut Criterion) {
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+    let model = VariationModel::per_weight(0.5);
+    let mut group = c.benchmark_group("program_matrix");
+    for &n in &[32usize, 128, 512] {
+        let ctw = Tensor::from_fn(&[n, n], |i| (i % 256) as f32);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = seeded_rng(0);
+            b.iter(|| program_matrix(&ctw, &codec, &model, &mut rng).expect("valid CTWs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_vmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effective_weight_vmm");
+    for &n in &[128usize, 512] {
+        let w = Tensor::from_fn(&[n, n], |i| (i % 17) as f32 * 0.1);
+        let x = Tensor::from_fn(&[1, n], |i| (i % 11) as f32 * 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| matmul(&x, &w).expect("conformable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_serial(c: &mut Criterion) {
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+    let model = VariationModel::per_weight(0.5);
+    let ctw = Tensor::from_fn(&[128, 16], |i| (i % 256) as f32);
+    let xbar = Crossbar::program(
+        CrossbarSpec::default(),
+        codec,
+        &ctw,
+        &model,
+        &mut seeded_rng(1),
+    )
+    .expect("fits the array");
+    let x: Vec<u32> = (0..128).map(|i| (i * 7 % 256) as u32).collect();
+    let mut group = c.benchmark_group("bit_serial_vmm");
+    for &m in &[16usize, 128] {
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| eval.evaluate(&xbar, &x).expect("valid inputs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_program, bench_fast_vmm, bench_bit_serial);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: why cycle-to-cycle variation is the hard problem.
+//!
+//! Compensation tuned once (PWT on the first programming cycle) is
+//! deployed on later cycles *without retuning*. Under pure DDV the
+//! devices repeat, so stale compensation keeps working; under pure CCV
+//! every cycle is fresh and the stale offsets lose their value — exactly
+//! the paper's §I argument that test-once/map-once methods "inherently do
+//! not take CCV into consideration". Per-cycle PWT (the paper's protocol)
+//! is shown alongside as the fix.
+
+use rdo_bench::{map_only, pct, prepare_lenet, Result, Scale};
+use rdo_core::{tune, Method, PwtConfig};
+use rdo_nn::evaluate;
+use rdo_rram::CellKind;
+use rdo_tensor::rng::seeded_rng;
+
+fn main() -> Result<()> {
+    let model = prepare_lenet(Scale::from_env())?;
+    let sigma = 0.5;
+    let m = 16;
+    let pwt = PwtConfig { epochs: 4, ..Default::default() };
+    let later_cycles = 3usize;
+
+    println!();
+    println!("Ablation — stale vs per-cycle compensation (LeNet, SLC, sigma = {sigma})");
+    println!(
+        "{:<22} {:>12} {:>18} {:>18}",
+        "variation split", "tuned cycle", "later (stale)", "later (retuned)"
+    );
+
+    for (name, ddv_fraction) in [("pure DDV", 1.0f64), ("50/50", 0.5), ("pure CCV", 0.0)] {
+        let mut mapped = map_only(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m)?;
+        mapped.split_ddv(ddv_fraction, &mut seeded_rng(900))?;
+        mapped.program(&mut seeded_rng(0))?;
+        tune(&mut mapped, model.train.images(), model.train.labels(), &pwt)?;
+        let mut eff = mapped.effective_network()?;
+        let tuned_acc = evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+
+        // deploy the SAME offsets on freshly programmed devices
+        let mut stale_acc = 0.0f32;
+        for c in 0..later_cycles {
+            mapped.reprogram_devices(&mut seeded_rng(1 + c as u64))?;
+            let mut eff = mapped.effective_network()?;
+            stale_acc += evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+        }
+        stale_acc /= later_cycles as f32;
+
+        // the paper's protocol: re-run PWT after every programming
+        let mut retuned_acc = 0.0f32;
+        for c in 0..later_cycles {
+            mapped.program(&mut seeded_rng(1 + c as u64))?;
+            tune(&mut mapped, model.train.images(), model.train.labels(), &pwt)?;
+            let mut eff = mapped.effective_network()?;
+            retuned_acc += evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+        }
+        retuned_acc /= later_cycles as f32;
+
+        println!(
+            "{:<22} {:>12} {:>18} {:>18}",
+            name,
+            pct(tuned_acc),
+            pct(stale_acc),
+            pct(retuned_acc)
+        );
+    }
+    println!("\nstale compensation survives DDV but not CCV; per-cycle PWT survives both.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! The paper's stated future work (§V): combining the digital-offset
+//! method with training-based robustness (DVA). A DVA-noise-trained
+//! network is mapped with VAWO\*+PWT and compared against each technique
+//! alone.
+
+use rdo_baselines::{train_dva, DvaConfig};
+use rdo_bench::{
+    default_eval_cfg, map_only, pct, prepare_lenet, run_method, seed_from_env, Result, Scale,
+};
+use rdo_core::{evaluate_cycles, mean_core_gradients, MappedNetwork, Method, OffsetConfig};
+use rdo_nn::TrainConfig;
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+
+fn main() -> Result<()> {
+    let model = prepare_lenet(Scale::from_env())?;
+    let sigma = 0.5;
+    let m = 16;
+    let eval = default_eval_cfg();
+
+    println!();
+    println!("Future-work ablation — DVA ⊕ digital offsets (LeNet, SLC, sigma = {sigma})");
+    println!("ideal accuracy: {}", pct(model.ideal_accuracy));
+
+    // DVA alone: noise-trained, plain one-crossbar deployment. Fine-tune
+    // gently from the trained network so the clean accuracy survives.
+    let mut dva_net = model.net.clone();
+    train_dva(
+        &mut dva_net,
+        model.train.images(),
+        model.train.labels(),
+        &DvaConfig {
+            train: TrainConfig {
+                epochs: 8,
+                lr: 0.01,
+                lr_decay: 0.8,
+                weight_decay: 0.0,
+                seed: seed_from_env(),
+                ..Default::default()
+            },
+            sigma,
+        },
+    )?;
+    let dva_ideal = rdo_nn::evaluate(
+        &mut dva_net.clone(),
+        model.test.images(),
+        model.test.labels(),
+        64,
+    )?;
+    println!("DVA-trained ideal accuracy: {}", pct(dva_ideal));
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let mut dva_plain = MappedNetwork::map(&dva_net, Method::Plain, &cfg, &lut, None)?;
+    let dva_alone = evaluate_cycles(
+        &mut dva_plain,
+        None,
+        model.test.images(),
+        model.test.labels(),
+        &eval,
+    )?;
+
+    // offsets alone (VAWO*+PWT on the vanilla network)
+    let offsets_alone =
+        run_method(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m, &eval)?;
+
+    // combined: DVA-trained network, VAWO*+PWT mapping
+    let mut dva_for_grads = dva_net.clone();
+    let grads = mean_core_gradients(
+        &mut dva_for_grads,
+        model.train.images(),
+        model.train.labels(),
+        64,
+    )?;
+    let mut combined_map =
+        MappedNetwork::map(&dva_net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+    let combined = evaluate_cycles(
+        &mut combined_map,
+        Some((model.train.images(), model.train.labels())),
+        model.test.images(),
+        model.test.labels(),
+        &eval,
+    )?;
+
+    println!("{:<28} {}", "DVA alone (plain deploy)", pct(dva_alone.mean));
+    println!("{:<28} {}", "offsets alone (VAWO*+PWT)", pct(offsets_alone.mean));
+    println!("{:<28} {}", "DVA + VAWO*+PWT", pct(combined.mean));
+    println!("\nthe techniques are orthogonal: the combination should be at least as");
+    println!("good as the better of the two (§V of the paper).");
+
+    let plain_only = map_only(&model, Method::Plain, CellKind::Slc, sigma, m)?;
+    drop(plain_only);
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Ablations over the modeling choices DESIGN.md §6 calls out:
+//!
+//! 1. per-weight versus per-cell lognormal variation (ablation 1/3's
+//!    granularity question — Fig. 3 of the paper shows bit-level
+//!    injection, §IV states the per-weight form);
+//! 2. the VAWO objective with and without the discretization-bias term
+//!    (ablation 4);
+//! 3. the analytic device LUT versus the paper's K×J statistical-testing
+//!    LUT (ablation 3).
+
+use rdo_bench::{default_eval_cfg, pct, prepare_lenet, Result, Scale};
+use rdo_core::{evaluate_cycles, MappedNetwork, Method, OffsetConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::seeded_rng;
+
+fn main() -> Result<()> {
+    let model = prepare_lenet(Scale::from_env())?;
+    let sigma = 0.5;
+    let m = 16;
+    let eval = default_eval_cfg();
+    let tune = (model.train.images(), model.train.labels());
+
+    println!();
+    println!("Ablations — LeNet, SLC, sigma = {sigma}, m = {m}, VAWO*+PWT");
+    println!("ideal accuracy: {}", pct(model.ideal_accuracy));
+
+    // 1. variation granularity
+    for (name, variation) in [
+        ("per-weight noise (§IV)", VariationModel::per_weight(sigma)),
+        ("per-cell noise (Fig. 3)", VariationModel::per_cell(sigma)),
+    ] {
+        let mut cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
+        cfg.variation = variation;
+        let lut = DeviceLut::analytic(&variation, &cfg.codec)?;
+        let mut mapped =
+            MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, &lut, Some(&model.grads))?;
+        let acc = evaluate_cycles(
+            &mut mapped,
+            Some(tune),
+            model.test.images(),
+            model.test.labels(),
+            &eval,
+        )?;
+        println!("{name:<28} {}", pct(acc.mean));
+    }
+
+    // 2. VAWO objective with/without the bias term (VAWO* alone so the
+    //    CTW choice is what's measured, not PWT's repair)
+    for (name, bias_term) in [("objective var+bias² (ours)", true), ("objective var only (Eq. 5)", false)]
+    {
+        let mut cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
+        cfg.vawo_bias_term = bias_term;
+        let lut = DeviceLut::analytic(&cfg.variation, &cfg.codec)?;
+        let mut mapped =
+            MappedNetwork::map(&model.net, Method::VawoStar, &cfg, &lut, Some(&model.grads))?;
+        let acc = evaluate_cycles(
+            &mut mapped,
+            Some(tune),
+            model.test.images(),
+            model.test.labels(),
+            &eval,
+        )?;
+        println!("{name:<28} {}", pct(acc.mean));
+    }
+
+    // 3. analytic vs statistical-testing LUT (VAWO* + PWT)
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
+    for (name, lut) in [
+        ("analytic LUT", DeviceLut::analytic(&cfg.variation, &cfg.codec)?),
+        (
+            "measured LUT (K=20, J=20)",
+            DeviceLut::measure(&cfg.variation, &cfg.codec, 20, 20, &mut seeded_rng(5))?,
+        ),
+    ] {
+        let mut mapped =
+            MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, &lut, Some(&model.grads))?;
+        let acc = evaluate_cycles(
+            &mut mapped,
+            Some(tune),
+            model.test.images(),
+            model.test.labels(),
+            &eval,
+        )?;
+        println!("{name:<28} {}", pct(acc.mean));
+    }
+    Ok(())
+}

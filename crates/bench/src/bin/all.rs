@@ -1,0 +1,24 @@
+//! Runs every table and figure binary in sequence (same process), so one
+//! command regenerates the paper's whole evaluation section.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = 0;
+    for bin in ["fig5a", "fig5b", "fig5c", "table1", "table2", "table3"] {
+        println!("\n════════ {bin} ════════");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Diagnostic: per-layer weight statistics, NRW error and accuracy of
+//! each method on LeNet, to understand where accuracy is lost.
+
+use rdo_bench::{default_eval_cfg, map_only, pct, prepare_lenet, run_method, Result, Scale};
+use rdo_core::{tune, Method, PwtConfig, PwtOptimizer};
+use rdo_nn::evaluate;
+use rdo_rram::CellKind;
+use rdo_tensor::rng::seeded_rng;
+
+fn main() -> Result<()> {
+    let model = prepare_lenet(Scale::from_env())?;
+    let sigma = 0.5;
+    let m = 16;
+
+    // per-layer quantized-weight statistics
+    let plain = map_only(&model, Method::Plain, CellKind::Slc, sigma, m)?;
+    println!("\nper-layer NTW statistics (integer domain):");
+    for (i, layer) in plain.layers().iter().enumerate() {
+        let d = layer.ntw_q.data();
+        let mean = d.iter().sum::<f32>() / d.len() as f32;
+        let std =
+            (d.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d.len() as f32).sqrt();
+        // mean within-group (16 consecutive rows, same column) spread
+        let (fan_in, fan_out) = (layer.ntw_q.dims()[0], layer.ntw_q.dims()[1]);
+        let mut spread = 0.0f32;
+        let mut groups = 0;
+        for c in 0..fan_out {
+            let mut r = 0;
+            while r < fan_in {
+                let e = (r + m).min(fan_in);
+                let vals: Vec<f32> = (r..e).map(|rr| d[rr * fan_out + c]).collect();
+                let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                spread += hi - lo;
+                groups += 1;
+                r = e;
+            }
+        }
+        println!(
+            "  layer {i}: {fan_in}x{fan_out}, shift {}, delta {:.5}, std {std:.1}, mean group spread {:.1}",
+            layer.quant.shift,
+            layer.quant.delta,
+            spread / groups as f32
+        );
+        let _ = mean;
+    }
+
+    // NRW RMS error (integer units) for each method, averaged over cycles
+    for method in [Method::Plain, Method::Vawo, Method::VawoStar] {
+        let mut mapped = map_only(&model, method, CellKind::Slc, sigma, m)?;
+        let n: usize = mapped.layers().iter().map(|l| l.ntw_q.len()).sum();
+        let (mut rms, mut acc) = (0.0, 0.0);
+        let cycles = 3;
+        for cyc in 0..cycles {
+            mapped.program(&mut seeded_rng(cyc))?;
+            rms += (mapped.nrw_error()? / n as f64).sqrt();
+            let mut eff = mapped.effective_network()?;
+            acc += evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+        }
+        println!(
+            "{method}: NRW RMS error {:.2} integer units, accuracy {}",
+            rms / cycles as f64,
+            pct(acc / cycles as f32)
+        );
+    }
+
+    // PWT convergence with different settings
+    for (name, epochs, decay, opt) in [
+        ("adam lr2 e3 d0.7", 3, 0.7, PwtOptimizer::Adam { lr: 2.0 }),
+        ("adam lr2 e6 d0.7", 6, 0.7, PwtOptimizer::Adam { lr: 2.0 }),
+        ("adam lr2 e10 d0.8", 10, 0.8, PwtOptimizer::Adam { lr: 2.0 }),
+        ("adam lr3 e8 d0.6", 8, 0.6, PwtOptimizer::Adam { lr: 3.0 }),
+        ("sgd lr500 e6 d0.7", 6, 0.7, PwtOptimizer::Sgd { lr: 500.0 }),
+    ] {
+        let mut mapped = map_only(&model, Method::Pwt, CellKind::Slc, sigma, m)?;
+        mapped.program(&mut seeded_rng(1))?;
+        let report = tune(
+            &mut mapped,
+            model.train.images(),
+            model.train.labels(),
+            &PwtConfig { epochs, lr_decay: decay, optimizer: opt, ..Default::default() },
+        )?;
+        let mut eff = mapped.effective_network()?;
+        let acc = evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+        println!(
+            "PWT {name}: losses {:?} → accuracy {}",
+            report
+                .epoch_losses
+                .iter()
+                .map(|l| format!("{l:.3}"))
+                .collect::<Vec<_>>(),
+            pct(acc)
+        );
+    }
+
+    // combined at several sigmas
+    let eval = default_eval_cfg();
+    for s in [0.2, 0.5] {
+        let e = run_method(&model, Method::VawoStarPwt, CellKind::Slc, s, m, &eval)?;
+        println!("VAWO*+PWT sigma {s}: {}", pct(e.mean));
+    }
+    Ok(())
+}

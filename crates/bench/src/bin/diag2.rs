@@ -1,0 +1,42 @@
+//! Diagnostic: why does VAWO*+PWT trail PWT-alone on ResNet at m=16?
+//! Compares NRW error, offset saturation and PWT losses of both inits.
+
+use rdo_bench::{map_only, pct, prepare_resnet, Result, Scale};
+use rdo_core::{tune, Method, PwtConfig};
+use rdo_nn::evaluate;
+use rdo_rram::CellKind;
+use rdo_tensor::rng::seeded_rng;
+
+fn main() -> Result<()> {
+    let model = prepare_resnet(Scale::from_env())?;
+    let sigma = 0.5;
+    let m = 16;
+
+    for method in [Method::Pwt, Method::VawoStarPwt] {
+        for lr in [0.3f32, 0.5, 1.0, 2.0] {
+            let mut mapped = map_only(&model, method, CellKind::Slc, sigma, m)?;
+            mapped.program(&mut seeded_rng(1))?;
+            let report = tune(
+                &mut mapped,
+                model.train.images(),
+                model.train.labels(),
+                &PwtConfig {
+                    epochs: 5,
+                    lr_decay: 0.75,
+                    optimizer: rdo_core::PwtOptimizer::Adam { lr },
+                    ..Default::default()
+                },
+            )?;
+            let mut eff = mapped.effective_network()?;
+            let acc = evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
+            println!(
+                "{method} lr {lr}: init {:.3}, best {:.3}, losses {:?}, acc {}",
+                report.initial_loss,
+                report.best_loss,
+                report.epoch_losses.iter().map(|l| format!("{l:.2}")).collect::<Vec<_>>(),
+                pct(acc)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Fig. 5(b): ResNet-18 accuracies of plain / VAWO / VAWO\* / PWT /
+//! VAWO\*+PWT for sharing granularities m ∈ {16, 64, 128}, SLC cells,
+//! σ = 0.5.
+
+use rdo_bench::{default_eval_cfg, pct, prepare_resnet, run_method, write_results, Result, Scale};
+use rdo_core::Method;
+use rdo_rram::CellKind;
+
+fn main() -> Result<()> {
+    let model = prepare_resnet(Scale::from_env())?;
+    let eval = default_eval_cfg();
+    let sigma = 0.5;
+    let ms = [16usize, 64, 128];
+
+    println!();
+    println!(
+        "Fig. 5(b) — ResNet-18, SLC, sigma = {sigma} ({} cycles averaged)",
+        eval.cycles
+    );
+    println!("ideal accuracy: {}", pct(model.ideal_accuracy));
+    println!("{:<12} {:>10} {:>10} {:>10}", "method", "m=16", "m=64", "m=128");
+
+    let mut rows = serde_json::Map::new();
+    rows.insert("ideal".into(), serde_json::json!(model.ideal_accuracy));
+
+    for method in Method::all() {
+        let mut cells = Vec::new();
+        for &m in &ms {
+            let e = run_method(&model, method, CellKind::Slc, sigma, m, &eval)?;
+            cells.push(e.mean);
+        }
+        println!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            method.to_string(),
+            pct(cells[0]),
+            pct(cells[1]),
+            pct(cells[2])
+        );
+        rows.insert(
+            method.to_string(),
+            serde_json::json!({ "m16": cells[0], "m64": cells[1], "m128": cells[2] }),
+        );
+    }
+
+    write_results("fig5b", &serde_json::Value::Object(rows))?;
+    Ok(())
+}

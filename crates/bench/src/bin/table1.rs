@@ -1,0 +1,44 @@
+//! Table I: total device reading power of VAWO\* relative to the plain
+//! scheme, for LeNet and ResNet at m ∈ {16, 128} (2-bit MLC, σ = 0.5,
+//! matching §IV-B's cost setting).
+
+use rdo_bench::{map_only, prepare_lenet, prepare_resnet, write_results, Result, Scale, TrainedModel};
+use rdo_core::Method;
+use rdo_rram::CellKind;
+
+fn relative_power(model: &TrainedModel, m: usize, sigma: f64) -> Result<f64> {
+    let plain = map_only(model, Method::Plain, CellKind::Mlc2, sigma, m)?;
+    let star = map_only(model, Method::VawoStar, CellKind::Mlc2, sigma, m)?;
+    Ok(star.read_power()? / plain.read_power()?)
+}
+
+fn main() -> Result<()> {
+    let scale = Scale::from_env();
+    let sigma = 0.5;
+    let lenet = prepare_lenet(scale)?;
+    let resnet = prepare_resnet(scale)?;
+
+    println!();
+    println!("Table I — relative reading power, VAWO* / plain (2-bit MLC, sigma = {sigma})");
+    println!("{:<22} {:>10} {:>10}", "workload", "m=16", "m=128");
+
+    let mut rows = serde_json::Map::new();
+    for model in [&lenet, &resnet] {
+        let r16 = relative_power(model, 16, sigma)?;
+        let r128 = relative_power(model, 128, sigma)?;
+        println!(
+            "{:<22} {:>9.2}% {:>9.2}%",
+            model.name,
+            100.0 * r16,
+            100.0 * r128
+        );
+        rows.insert(
+            model.name.clone(),
+            serde_json::json!({ "m16": r16, "m128": r128 }),
+        );
+    }
+    println!("(paper: LeNet 68.87% / 79.95%; ResNet 57.61% / 72.24%)");
+
+    write_results("table1", &serde_json::Value::Object(rows))?;
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Table III: comparison with the state-of-the-art fault-tolerant
+//! methods on VGG-16 at σ = 0.8 — accuracy loss versus normalized
+//! crossbar number.
+//!
+//! All four rows are *regenerated from running code* (the paper quotes
+//! DVA/PM numbers from their original publications): DVA is noise-injection
+//! training deployed on 8-SLC one-crossbar plain mapping, PM is unary-coded
+//! two-crossbar deployment, DVA+PM composes them, and "this work" is
+//! VAWO\*+PWT on 4 2-bit MLCs with m = 16. Every method — baselines
+//! included — gets post-writing batch-norm recalibration, the digital
+//! step without which nothing survives on a deep VGG (DESIGN.md §5b.3).
+
+use rdo_arch::CrossbarBudget;
+use rdo_baselines::{evaluate_dva, evaluate_pm_cycles, train_dva, DvaConfig, PmConfig};
+use rdo_bench::{
+    cycles_from_env, default_eval_cfg, prepare_vgg, run_method, seed_from_env, write_results,
+    Result, Scale,
+};
+use rdo_core::Method;
+use rdo_nn::TrainConfig;
+use rdo_rram::CellKind;
+
+fn main() -> Result<()> {
+    let model = prepare_vgg(Scale::from_env())?;
+    let sigma = 0.8;
+    let cycles = cycles_from_env();
+    let eval = default_eval_cfg();
+    let ideal = model.ideal_accuracy;
+    let ours_budget = CrossbarBudget::this_work();
+
+    // DVA training: fine-tune a copy of the trained VGG with injected
+    // noise. Training at the full deployment σ = 0.8 does not converge on
+    // the scaled VGG within any reasonable budget, so DVA trains at σ/2 —
+    // the strongest variant that keeps a usable clean network (reported
+    // below so the accuracy-loss row can be judged fairly).
+    eprintln!("[Table III] DVA fine-tuning…");
+    let mut dva_net = model.net.clone();
+    train_dva(
+        &mut dva_net,
+        model.train.images(),
+        model.train.labels(),
+        &DvaConfig {
+            train: TrainConfig {
+                epochs: 6,
+                lr: 0.01,
+                lr_decay: 0.8,
+                weight_decay: 0.0,
+                seed: seed_from_env(),
+                ..Default::default()
+            },
+            sigma: sigma / 2.0,
+        },
+    )?;
+    // noise training skews the batch-norm running statistics; restore
+    // them against the clean weights before measuring clean accuracy
+    rdo_nn::train::recalibrate_batchnorm(&mut dva_net, model.train.images(), 64)?;
+    let dva_ideal = rdo_nn::evaluate(
+        &mut dva_net.clone(),
+        model.test.images(),
+        model.test.labels(),
+        64,
+    )?;
+    println!("DVA-trained clean accuracy: {:.2}%", 100.0 * dva_ideal);
+
+    // Row 1: DVA (one-crossbar, 8 SLC, plain deployment)
+    let dva_eval = evaluate_dva(
+        &dva_net,
+        model.test.images(),
+        model.test.labels(),
+        sigma,
+        &eval,
+        Some(model.train.images()),
+    )?;
+    // Row 2: PM (two-crossbar, 10 2-bit MLC unary)
+    let pm_acc = evaluate_pm_cycles(
+        &model.net,
+        model.test.images(),
+        model.test.labels(),
+        &PmConfig::paper(sigma),
+        cycles,
+        seed_from_env(),
+        Some(model.train.images()),
+    )?;
+    // Row 3: DVA + PM
+    let dva_pm_acc = evaluate_pm_cycles(
+        &dva_net,
+        model.test.images(),
+        model.test.labels(),
+        &PmConfig::paper(sigma),
+        cycles,
+        seed_from_env() + 17,
+        Some(model.train.images()),
+    )?;
+    // Row 4: this work (VAWO*+PWT, 2-bit MLC, m = 16)
+    let ours = run_method(&model, Method::VawoStarPwt, CellKind::Mlc2, sigma, 16, &eval)?;
+
+    println!();
+    println!("Table III — VGG-16, sigma = {sigma} (ideal {:.2}%)", 100.0 * ideal);
+    println!(
+        "{:<12} {:>14} {:>18}",
+        "method", "accuracy loss", "crossbar number"
+    );
+    // each method's loss is measured against ITS OWN clean network's
+    // accuracy, as the quoted papers do (DVA rows use the DVA-trained
+    // network's clean accuracy)
+    let rows = [
+        ("DVA", dva_ideal - dva_eval.mean, CrossbarBudget::dva()),
+        ("PM", ideal - pm_acc, CrossbarBudget::pm()),
+        ("DVA+PM", dva_ideal - dva_pm_acc, CrossbarBudget::pm()),
+        ("This work", ideal - ours.mean, ours_budget),
+    ];
+    let mut json = serde_json::Map::new();
+    json.insert("ideal".into(), serde_json::json!(ideal));
+    for (name, loss, budget) in rows {
+        println!(
+            "{:<12} {:>13.2}% {:>18.1}",
+            name,
+            100.0 * loss,
+            budget.normalized_crossbars(&ours_budget)
+        );
+        json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "accuracy_loss": loss,
+                "crossbars": budget.normalized_crossbars(&ours_budget),
+            }),
+        );
+    }
+    println!("(paper: DVA 13% @2.0; PM 12.02% @2.5; DVA+PM 5.48% @2.5; this work 4.94% @1.0)");
+
+    write_results("table3", &serde_json::Value::Object(json))?;
+    Ok(())
+}

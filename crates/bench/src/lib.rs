@@ -1,0 +1,373 @@
+//! # rdo-bench
+//!
+//! Benchmark harness regenerating every table and figure of the DATE 2021
+//! digital-offset paper. One binary per experiment:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `fig5a` | Fig. 5(a): LeNet accuracies, SLC, σ=0.5 |
+//! | `fig5b` | Fig. 5(b): ResNet-18 accuracies, SLC, σ=0.5 |
+//! | `fig5c` | Fig. 5(c): ResNet-18, 2-bit MLC, σ sweep |
+//! | `table1` | Table I: relative reading power |
+//! | `table2` | Table II: tile area/power overhead |
+//! | `table3` | Table III: comparison with DVA / PM / DVA+PM |
+//! | `all` | everything above, sequentially |
+//!
+//! Scale is controlled by `RDO_SCALE` (`fast`, the default single-core
+//! preset, or `paper` for larger runs), `RDO_CYCLES` (programming cycles
+//! averaged, default 5), and `RDO_SEED`. Trained checkpoints are cached
+//! under `target/rdo-cache/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rdo_core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, CycleEvaluation, MappedNetwork,
+    Method, OffsetConfig, PwtConfig,
+};
+use rdo_datasets::{generate_digits, generate_textures, Dataset, DigitsConfig, TexturesConfig};
+use rdo_nn::{evaluate, fit, Layer, LeNetConfig, ResNetConfig, Sequential, TrainConfig, VggConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+/// Boxed error alias for the harness.
+pub type BenchError = Box<dyn std::error::Error>;
+/// Result alias for the harness.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Single-core-friendly sizes (default).
+    Fast,
+    /// Larger networks/datasets, closer to the paper's setting.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `RDO_SCALE` (`fast` / `paper`), defaulting to [`Scale::Fast`].
+    pub fn from_env() -> Self {
+        match std::env::var("RDO_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Fast,
+        }
+    }
+}
+
+/// Reads `RDO_CYCLES`, defaulting to the paper's 5 programming cycles.
+pub fn cycles_from_env() -> usize {
+    std::env::var("RDO_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(5)
+}
+
+/// Reads `RDO_SEED`, defaulting to 0.
+pub fn seed_from_env() -> u64 {
+    std::env::var("RDO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// A trained model bundled with its data and the artifacts the
+/// experiments need.
+pub struct TrainedModel {
+    /// Human-readable name ("LeNet", "ResNet-18", "VGG-16").
+    pub name: String,
+    /// The trained float network.
+    pub net: Sequential,
+    /// Training split (also the PWT tuning set).
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// Ideal (float, no variation) test accuracy.
+    pub ideal_accuracy: f32,
+    /// Mean training-set gradients of every core weight (VAWO input).
+    pub grads: Vec<Tensor>,
+    /// Wall-clock training time (for the §III-B runtime comparison);
+    /// zero when loaded from a checkpoint.
+    pub train_time: Duration,
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("rdo-cache");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Saves every state tensor of a network as JSON.
+fn save_checkpoint(net: &mut Sequential, path: &PathBuf) -> Result<()> {
+    let state: Vec<Vec<f32>> = net.state().into_iter().map(|t| t.data().to_vec()).collect();
+    fs::write(path, serde_json::to_vec(&state)?)?;
+    Ok(())
+}
+
+/// Loads a checkpoint if present and shape-compatible.
+fn load_checkpoint(net: &mut Sequential, path: &PathBuf) -> bool {
+    let Ok(bytes) = fs::read(path) else { return false };
+    let Ok(state) = serde_json::from_slice::<Vec<Vec<f32>>>(&bytes) else { return false };
+    let mut targets = net.state();
+    if targets.len() != state.len()
+        || targets.iter().zip(&state).any(|(t, s)| t.len() != s.len())
+    {
+        return false;
+    }
+    for (t, s) in targets.iter_mut().zip(&state) {
+        t.data_mut().copy_from_slice(s);
+    }
+    true
+}
+
+fn train_or_load(
+    name: &str,
+    cache_key: &str,
+    mut net: Sequential,
+    train: Dataset,
+    test: Dataset,
+    tc: &TrainConfig,
+) -> Result<TrainedModel> {
+    let path = cache_dir().join(format!("{cache_key}.json"));
+    let start = Instant::now();
+    let mut train_time = Duration::ZERO;
+    if load_checkpoint(&mut net, &path) {
+        eprintln!("[{name}] loaded checkpoint {}", path.display());
+    } else {
+        eprintln!("[{name}] training ({} samples, {} epochs)…", train.len(), tc.epochs);
+        fit(&mut net, train.images(), train.labels(), tc)?;
+        train_time = start.elapsed();
+        save_checkpoint(&mut net, &path)?;
+    }
+    let ideal_accuracy = evaluate(&mut net, test.images(), test.labels(), 64)?;
+    eprintln!("[{name}] ideal accuracy {:.2}%", 100.0 * ideal_accuracy);
+    let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64)?;
+    Ok(TrainedModel {
+        name: name.to_string(),
+        net,
+        train,
+        test,
+        ideal_accuracy,
+        grads,
+        train_time,
+    })
+}
+
+/// Prepares the LeNet + digits workload (the paper's LeNet + MNIST).
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn prepare_lenet(scale: Scale) -> Result<TrainedModel> {
+    let seed = seed_from_env();
+    let (per_class, epochs) = match scale {
+        Scale::Fast => (120, 12),
+        Scale::Paper => (300, 20),
+    };
+    let ds = generate_digits(&DigitsConfig { per_class, seed, ..Default::default() })?;
+    let (train, test) = ds.split(2.0 / 3.0)?;
+    let net = LeNetConfig::classic().build(&mut seeded_rng(seed.wrapping_add(1)))?;
+    let tc = TrainConfig { epochs, lr: 0.08, weight_decay: 0.0, seed, ..Default::default() };
+    train_or_load(
+        "LeNet",
+        &format!("lenet_{per_class}_{epochs}_{seed}"),
+        net,
+        train,
+        test,
+        &tc,
+    )
+}
+
+/// Prepares the ResNet-18 + textures workload (the paper's ResNet-18 +
+/// CIFAR-10).
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn prepare_resnet(scale: Scale) -> Result<TrainedModel> {
+    let seed = seed_from_env();
+    let (per_class, hw, width, epochs) = match scale {
+        Scale::Fast => (120, 16, 8, 6),
+        Scale::Paper => (300, 32, 16, 10),
+    };
+    let ds = generate_textures(&TexturesConfig { per_class, hw, seed, ..Default::default() })?;
+    let (train, test) = ds.split(2.0 / 3.0)?;
+    let net =
+        ResNetConfig::resnet18_scaled(width).build(&mut seeded_rng(seed.wrapping_add(2)))?;
+    let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
+    train_or_load(
+        "ResNet-18",
+        &format!("resnet_{per_class}_{hw}_{width}_{epochs}_{seed}"),
+        net,
+        train,
+        test,
+        &tc,
+    )
+}
+
+/// Prepares the VGG-16 + textures workload (the paper's Table III
+/// VGG-16 + CIFAR-10).
+///
+/// # Errors
+///
+/// Propagates dataset/training errors.
+pub fn prepare_vgg(scale: Scale) -> Result<TrainedModel> {
+    let seed = seed_from_env();
+    let (per_class, hw, divisor, epochs) = match scale {
+        Scale::Fast => (120, 16, 8, 6),
+        Scale::Paper => (300, 32, 4, 10),
+    };
+    let ds = generate_textures(&TexturesConfig {
+        per_class,
+        hw,
+        seed: seed.wrapping_add(7),
+        ..Default::default()
+    })?;
+    let (train, test) = ds.split(2.0 / 3.0)?;
+    let net =
+        VggConfig::vgg16_scaled(divisor, hw).build(&mut seeded_rng(seed.wrapping_add(3)))?;
+    let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
+    train_or_load(
+        "VGG-16",
+        &format!("vgg_{per_class}_{hw}_{divisor}_{epochs}_{seed}"),
+        net,
+        train,
+        test,
+        &tc,
+    )
+}
+
+/// Maps and evaluates one (method, cell, σ, m) point over programming
+/// cycles — one bar of Fig. 5.
+///
+/// # Errors
+///
+/// Propagates mapping/evaluation errors.
+pub fn run_method(
+    model: &TrainedModel,
+    method: Method,
+    cell: CellKind,
+    sigma: f64,
+    m: usize,
+    eval_cfg: &CycleEvalConfig,
+) -> Result<CycleEvaluation> {
+    let mut mapped = map_only(model, method, cell, sigma, m)?;
+    let tune = (model.train.images(), model.train.labels());
+    Ok(evaluate_cycles(
+        &mut mapped,
+        Some(tune),
+        model.test.images(),
+        model.test.labels(),
+        eval_cfg,
+    )?)
+}
+
+/// Builds a mapped (unprogrammed) network for read-power and similar
+/// static studies.
+///
+/// # Errors
+///
+/// Propagates mapping errors.
+pub fn map_only(
+    model: &TrainedModel,
+    method: Method,
+    cell: CellKind,
+    sigma: f64,
+    m: usize,
+) -> Result<MappedNetwork> {
+    let cfg = OffsetConfig::paper(cell, sigma, m)?;
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let grads = if method.uses_vawo() { Some(model.grads.as_slice()) } else { None };
+    Ok(MappedNetwork::map(&model.net, method, &cfg, &lut, grads)?)
+}
+
+/// Reads `RDO_PWT_EPOCHS`, defaulting to 4 tuning epochs.
+pub fn pwt_epochs_from_env() -> usize {
+    std::env::var("RDO_PWT_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&e| e > 0)
+        .unwrap_or(5)
+}
+
+/// The default multi-cycle evaluation configuration from the environment.
+pub fn default_eval_cfg() -> CycleEvalConfig {
+    CycleEvalConfig {
+        cycles: cycles_from_env(),
+        seed: seed_from_env(),
+        pwt: PwtConfig {
+            epochs: pwt_epochs_from_env(),
+            lr_decay: 0.75,
+            ..Default::default()
+        },
+        batch_size: 64,
+    }
+}
+
+/// Writes an experiment's JSON record under `results/`.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_results(name: &str, value: &serde_json::Value) -> Result<()> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_vec_pretty(value)?)?;
+    eprintln!("[{name}] wrote {}", path.display());
+    Ok(())
+}
+
+/// Formats an accuracy as the paper prints them.
+pub fn pct(a: f32) -> String {
+    format!("{:.2}%", 100.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_fast() {
+        assert_eq!(Scale::from_env(), Scale::Fast);
+        assert!(cycles_from_env() >= 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9137), "91.37%");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        use rdo_nn::Linear;
+        let mut rng = seeded_rng(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 3, &mut rng));
+        let path = cache_dir().join("test_ckpt.json");
+        save_checkpoint(&mut net, &path).unwrap();
+        let mut net2 = Sequential::new();
+        net2.push(Linear::new(3, 3, &mut seeded_rng(99)));
+        assert!(load_checkpoint(&mut net2, &path));
+        let w1 = net.state().into_iter().next().unwrap().clone();
+        let w2 = net2.state().into_iter().next().unwrap().clone();
+        assert_eq!(w1, w2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn incompatible_checkpoint_rejected() {
+        use rdo_nn::Linear;
+        let mut rng = seeded_rng(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 3, &mut rng));
+        let path = cache_dir().join("test_ckpt_bad.json");
+        save_checkpoint(&mut net, &path).unwrap();
+        let mut other = Sequential::new();
+        other.push(Linear::new(4, 4, &mut rng));
+        assert!(!load_checkpoint(&mut other, &path));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,183 @@
+//! Configuration of the digital-offset architecture.
+
+use rdo_rram::{CellKind, CellTechnology, CrossbarSpec, VariationModel, WeightCodec};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// Which mapping/compensation method to apply — the five curves of the
+/// paper's Fig. 5(a)/(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// CTW = NTW, no offsets (the paper's "plain scheme").
+    Plain,
+    /// Variation-aware weight optimization without the complement trick.
+    Vawo,
+    /// VAWO with the weight-complement enhancement ("VAWO\*").
+    VawoStar,
+    /// Plain CTWs, offsets trained post-writing.
+    Pwt,
+    /// VAWO\* target weights followed by PWT fine-tuning — the paper's
+    /// full method.
+    VawoStarPwt,
+}
+
+impl Method {
+    /// All five methods in presentation order.
+    pub fn all() -> [Method; 5] {
+        [Method::Plain, Method::Vawo, Method::VawoStar, Method::Pwt, Method::VawoStarPwt]
+    }
+
+    /// Whether this method runs the VAWO pre-writing optimization.
+    pub fn uses_vawo(&self) -> bool {
+        matches!(self, Method::Vawo | Method::VawoStar | Method::VawoStarPwt)
+    }
+
+    /// Whether this method enables the weight-complement enhancement.
+    pub fn uses_complement(&self) -> bool {
+        matches!(self, Method::VawoStar | Method::VawoStarPwt)
+    }
+
+    /// Whether this method runs post-writing tuning.
+    pub fn uses_pwt(&self) -> bool {
+        matches!(self, Method::Pwt | Method::VawoStarPwt)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::Plain => "plain",
+            Method::Vawo => "VAWO",
+            Method::VawoStar => "VAWO*",
+            Method::Pwt => "PWT",
+            Method::VawoStarPwt => "VAWO*+PWT",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Full configuration of the digital-offset crossbar architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffsetConfig {
+    /// Sharing granularity `m`: weights per offset (16, 64 or 128 in the
+    /// paper). Must divide the crossbar row count.
+    pub sharing_granularity: usize,
+    /// Offset register width in bits (the paper uses 8).
+    pub offset_bits: u32,
+    /// Physical crossbar dimensions.
+    pub crossbar: CrossbarSpec,
+    /// Weight bit-slicing over the cell technology.
+    pub codec: WeightCodec,
+    /// The device variation model.
+    pub variation: VariationModel,
+    /// Include the discretization-bias term `gᵢ²·biasᵢ²` in the VAWO
+    /// objective (DESIGN.md ablation 4). The paper's Eq. 5 assumes the
+    /// unbiasedness constraint (Eq. 6) holds exactly; integer CTWs make
+    /// that impossible, so the extended objective is the default.
+    pub vawo_bias_term: bool,
+}
+
+impl OffsetConfig {
+    /// The paper's configuration: 128×128 crossbar, 8-bit weights and
+    /// offsets, per-weight lognormal variation of the given σ over the
+    /// given cell kind, sharing granularity `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `m` does not divide the
+    /// crossbar rows.
+    pub fn paper(cell: CellKind, sigma: f64, m: usize) -> Result<Self> {
+        let cfg = OffsetConfig {
+            sharing_granularity: m,
+            offset_bits: 8,
+            crossbar: CrossbarSpec::default(),
+            codec: WeightCodec::paper(CellTechnology::paper(cell)),
+            variation: VariationModel::per_weight(sigma),
+            vawo_bias_term: true,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `m` is zero, does not
+    /// divide the crossbar rows, or the offset width is unsupported.
+    pub fn validate(&self) -> Result<()> {
+        if self.sharing_granularity == 0 {
+            return Err(CoreError::InvalidConfig(
+                "sharing granularity must be positive".to_string(),
+            ));
+        }
+        if self.crossbar.rows % self.sharing_granularity != 0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "sharing granularity {} does not divide the {} crossbar rows",
+                self.sharing_granularity, self.crossbar.rows
+            )));
+        }
+        if self.offset_bits == 0 || self.offset_bits > 16 {
+            return Err(CoreError::InvalidConfig(format!(
+                "unsupported offset width {}",
+                self.offset_bits
+            )));
+        }
+        Ok(())
+    }
+
+    /// Smallest representable (signed) offset, `−2^(bits−1)`.
+    pub fn offset_min(&self) -> i32 {
+        -(1i32 << (self.offset_bits - 1))
+    }
+
+    /// Largest representable (signed) offset, `2^(bits−1) − 1`.
+    pub fn offset_max(&self) -> i32 {
+        (1i32 << (self.offset_bits - 1)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_validates() {
+        for m in [16, 64, 128] {
+            let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, m).unwrap();
+            assert_eq!(cfg.sharing_granularity, m);
+            assert_eq!(cfg.offset_bits, 8);
+        }
+    }
+
+    #[test]
+    fn non_dividing_granularity_rejected() {
+        assert!(OffsetConfig::paper(CellKind::Slc, 0.5, 100).is_err());
+        assert!(OffsetConfig::paper(CellKind::Slc, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn offset_range_is_signed_8_bit() {
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        assert_eq!(cfg.offset_min(), -128);
+        assert_eq!(cfg.offset_max(), 127);
+    }
+
+    #[test]
+    fn method_flags() {
+        assert!(!Method::Plain.uses_vawo());
+        assert!(Method::Vawo.uses_vawo() && !Method::Vawo.uses_complement());
+        assert!(Method::VawoStar.uses_complement() && !Method::VawoStar.uses_pwt());
+        assert!(Method::Pwt.uses_pwt() && !Method::Pwt.uses_vawo());
+        let full = Method::VawoStarPwt;
+        assert!(full.uses_vawo() && full.uses_complement() && full.uses_pwt());
+        assert_eq!(Method::all().len(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Method::VawoStarPwt.to_string(), "VAWO*+PWT");
+        assert_eq!(Method::Plain.to_string(), "plain");
+    }
+}

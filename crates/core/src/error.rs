@@ -1,0 +1,69 @@
+//! Error type for the digital-offset pipeline.
+
+use std::fmt;
+
+/// Error produced by mapping, VAWO or PWT.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An underlying tensor operation failed.
+    Tensor(rdo_tensor::TensorError),
+    /// An underlying NN operation failed.
+    Nn(rdo_nn::NnError),
+    /// An underlying RRAM operation failed.
+    Rram(rdo_rram::RramError),
+    /// A configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// Supplied gradients do not match the network's core weights.
+    GradientMismatch {
+        /// Number of core weights in the network.
+        expected: usize,
+        /// Number of gradient tensors supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Rram(e) => write!(f, "rram error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::GradientMismatch { expected, actual } => {
+                write!(f, "expected {expected} gradient tensors, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Rram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rdo_tensor::TensorError> for CoreError {
+    fn from(e: rdo_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<rdo_nn::NnError> for CoreError {
+    fn from(e: rdo_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<rdo_rram::RramError> for CoreError {
+    fn from(e: rdo_rram::RramError) -> Self {
+        CoreError::Rram(e)
+    }
+}
+
+/// Convenient result alias used across the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,197 @@
+//! The paper's evaluation harness: repeat each experiment over several
+//! programming cycles (cycle-to-cycle variation gives fresh CRWs each
+//! time) and report the average accuracy (§IV: "each experiment is
+//! repeated 5 times with different CRWs each time and the average result
+//! is reported").
+
+use rdo_nn::evaluate;
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+use crate::error::Result;
+use crate::mapping::MappedNetwork;
+use crate::pwt::{tune, PwtConfig};
+
+/// Configuration of a multi-cycle evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEvalConfig {
+    /// Number of programming cycles to average over (the paper uses 5).
+    pub cycles: usize,
+    /// Base RNG seed; cycle `c` uses `seed + c`.
+    pub seed: u64,
+    /// PWT hyper-parameters, applied after each programming when the
+    /// mapped network's method uses PWT.
+    pub pwt: PwtConfig,
+    /// Evaluation batch size.
+    pub batch_size: usize,
+}
+
+impl Default for CycleEvalConfig {
+    fn default() -> Self {
+        CycleEvalConfig {
+            cycles: 5,
+            seed: 0,
+            pwt: PwtConfig::default(),
+            batch_size: 64,
+        }
+    }
+}
+
+/// Accuracies across programming cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleEvaluation {
+    /// Test accuracy of each cycle.
+    pub per_cycle: Vec<f32>,
+    /// Mean accuracy (the number the paper plots).
+    pub mean: f32,
+    /// Sample standard deviation across cycles.
+    pub std: f32,
+}
+
+impl CycleEvaluation {
+    fn from_cycles(per_cycle: Vec<f32>) -> Self {
+        let n = per_cycle.len().max(1) as f32;
+        let mean = per_cycle.iter().sum::<f32>() / n;
+        let var = if per_cycle.len() > 1 {
+            per_cycle.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        CycleEvaluation { per_cycle, mean, std: var.sqrt() }
+    }
+}
+
+/// Runs the full §IV protocol on a mapped network: per cycle, program the
+/// devices, optionally run PWT on the tuning set, and measure test
+/// accuracy.
+///
+/// `tune_data` is the training set used for PWT (and ignored for methods
+/// without PWT).
+///
+/// # Errors
+///
+/// Propagates programming, tuning and evaluation errors; returns an
+/// invalid-config error when the method needs PWT but `tune_data` is
+/// `None`.
+pub fn evaluate_cycles(
+    mapped: &mut MappedNetwork,
+    tune_data: Option<(&Tensor, &[usize])>,
+    test_images: &Tensor,
+    test_labels: &[usize],
+    cfg: &CycleEvalConfig,
+) -> Result<CycleEvaluation> {
+    if mapped.method().uses_pwt() && tune_data.is_none() {
+        return Err(crate::error::CoreError::InvalidConfig(format!(
+            "method {} requires tuning data for PWT",
+            mapped.method()
+        )));
+    }
+    let mut per_cycle = Vec::with_capacity(cfg.cycles);
+    for c in 0..cfg.cycles {
+        let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
+        mapped.program(&mut rng)?;
+        if mapped.method().uses_pwt() {
+            let (xs, ys) = tune_data.expect("checked above");
+            let mut pwt_cfg = cfg.pwt;
+            pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
+            tune(mapped, xs, ys, &pwt_cfg)?;
+        }
+        let mut net = mapped.effective_network()?;
+        per_cycle.push(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?);
+    }
+    Ok(CycleEvaluation::from_cycles(per_cycle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Method, OffsetConfig};
+    use crate::gradient::mean_core_gradients;
+    use crate::mapping::MappedNetwork;
+    use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+    use rdo_rram::{CellKind, DeviceLut, VariationModel};
+    use rdo_tensor::rng::randn;
+
+    fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
+        let mut rng = seeded_rng(24);
+        let x = randn(&[160, 5], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> =
+            (0..160).map(|i| usize::from(x.data()[i * 5] + x.data()[i * 5 + 2] > 0.0)).collect();
+        let mut net = Sequential::new();
+        net.push(Linear::new(5, 16, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(16, 2, &mut rng));
+        fit(
+            &mut net,
+            &x,
+            &labels,
+            &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        (net, x, labels)
+    }
+
+    #[test]
+    fn cycle_statistics_are_computed() {
+        let e = CycleEvaluation::from_cycles(vec![0.8, 0.9, 1.0]);
+        assert!((e.mean - 0.9).abs() < 1e-6);
+        assert!(e.std > 0.0);
+        assert_eq!(e.per_cycle.len(), 3);
+    }
+
+    #[test]
+    fn full_protocol_runs_and_pwt_beats_plain() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+
+        let eval_cfg = CycleEvalConfig { cycles: 3, ..Default::default() };
+        let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        let plain_eval =
+            evaluate_cycles(&mut plain, None, &x, &labels, &eval_cfg).unwrap();
+
+        let mut pwt = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        let pwt_eval =
+            evaluate_cycles(&mut pwt, Some((&x, &labels)), &x, &labels, &eval_cfg).unwrap();
+
+        assert_eq!(plain_eval.per_cycle.len(), 3);
+        assert!(
+            pwt_eval.mean >= plain_eval.mean - 0.02,
+            "PWT {} vs plain {}",
+            pwt_eval.mean,
+            plain_eval.mean
+        );
+    }
+
+    #[test]
+    fn combined_method_runs_end_to_end() {
+        let (mut net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+        let grads = mean_core_gradients(&mut net, &x, &labels, 64).unwrap();
+        let mut full =
+            MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
+        let e = evaluate_cycles(
+            &mut full,
+            Some((&x, &labels)),
+            &x,
+            &labels,
+            &CycleEvalConfig { cycles: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(e.per_cycle.len(), 2);
+        assert!(e.mean > 0.5, "combined method below chance: {}", e.mean);
+    }
+
+    #[test]
+    fn pwt_without_tune_data_rejected() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+        let mut pwt = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        assert!(evaluate_cycles(&mut pwt, None, &x, &labels, &CycleEvalConfig::default())
+            .is_err());
+    }
+
+    use rdo_tensor::rng::seeded_rng;
+}

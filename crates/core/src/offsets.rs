@@ -1,0 +1,325 @@
+//! Offset-group layout and state.
+//!
+//! A digital offset is shared by `m` weights of one crossbar column
+//! (§III-A). With fan-in tiled onto 128-row crossbars and
+//! `m ∈ {16, 64, 128}` dividing 128, groups never straddle tile
+//! boundaries: each column of a `(fan_in, fan_out)` matrix is chopped into
+//! row ranges of at most `m` inside each row tile.
+
+use rdo_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::config::OffsetConfig;
+use crate::error::{CoreError, Result};
+
+/// Row ranges shared by every column of one mapped matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupLayout {
+    fan_in: usize,
+    fan_out: usize,
+    /// Half-open row ranges, in order, covering `0..fan_in`.
+    bounds: Vec<(usize, usize)>,
+}
+
+impl GroupLayout {
+    /// Computes the layout for a `(fan_in, fan_out)` matrix under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty matrix or an
+    /// invalid configuration.
+    pub fn new(fan_in: usize, fan_out: usize, cfg: &OffsetConfig) -> Result<Self> {
+        cfg.validate()?;
+        if fan_in == 0 || fan_out == 0 {
+            return Err(CoreError::InvalidConfig(
+                "cannot lay out an empty matrix".to_string(),
+            ));
+        }
+        let rows_per_tile = cfg.crossbar.rows;
+        let m = cfg.sharing_granularity;
+        let mut bounds = Vec::new();
+        let mut tile_start = 0usize;
+        while tile_start < fan_in {
+            let tile_end = (tile_start + rows_per_tile).min(fan_in);
+            let mut r = tile_start;
+            while r < tile_end {
+                let e = (r + m).min(tile_end);
+                bounds.push((r, e));
+                r = e;
+            }
+            tile_start = tile_end;
+        }
+        Ok(GroupLayout { fan_in, fan_out, bounds })
+    }
+
+    /// Matrix rows (fan-in).
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Matrix columns (fan-out).
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// Row ranges per column.
+    pub fn row_bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+
+    /// Total offset groups: `bounds.len() · fan_out`.
+    pub fn group_count(&self) -> usize {
+        self.bounds.len() * self.fan_out
+    }
+
+    /// Flat group index of `(range_index, column)`.
+    pub fn group_index(&self, range: usize, col: usize) -> usize {
+        range * self.fan_out + col
+    }
+}
+
+/// Offset values and complement flags for every group of one matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffsetState {
+    layout: GroupLayout,
+    /// Offset per group, in integer weight units (continuous during PWT
+    /// training, snapped to the register grid by
+    /// [`OffsetState::quantize`]).
+    offsets: Vec<f32>,
+    /// Whether the group stores complemented weights.
+    complemented: Vec<bool>,
+}
+
+impl OffsetState {
+    /// All-zero offsets, nothing complemented.
+    pub fn zeros(layout: GroupLayout) -> Self {
+        let n = layout.group_count();
+        OffsetState { layout, offsets: vec![0.0; n], complemented: vec![false; n] }
+    }
+
+    /// Builds a state from explicit per-group values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the lengths do not match the
+    /// layout.
+    pub fn from_parts(
+        layout: GroupLayout,
+        offsets: Vec<f32>,
+        complemented: Vec<bool>,
+    ) -> Result<Self> {
+        if offsets.len() != layout.group_count() || complemented.len() != layout.group_count() {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {} groups, got {} offsets / {} flags",
+                layout.group_count(),
+                offsets.len(),
+                complemented.len()
+            )));
+        }
+        Ok(OffsetState { layout, offsets, complemented })
+    }
+
+    /// The group layout.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// Offset of one group.
+    pub fn offset(&self, group: usize) -> f32 {
+        self.offsets[group]
+    }
+
+    /// All offsets, group-major.
+    pub fn offsets(&self) -> &[f32] {
+        &self.offsets
+    }
+
+    /// Mutable access to the offsets (PWT's trainable parameters).
+    pub fn offsets_mut(&mut self) -> &mut [f32] {
+        &mut self.offsets
+    }
+
+    /// Whether one group is complemented.
+    pub fn is_complemented(&self, group: usize) -> bool {
+        self.complemented[group]
+    }
+
+    /// All complement flags, group-major.
+    pub fn complemented(&self) -> &[bool] {
+        &self.complemented
+    }
+
+    /// Computes the network real weights: for each weight of `crw`
+    /// (`(fan_in, fan_out)`),
+    /// `NRW = CRW + b` for a normal group and
+    /// `NRW = maxw − (CRW + b)` for a complemented one, where `maxw` is
+    /// the largest representable weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `crw` does not match the
+    /// layout.
+    pub fn apply(&self, crw: &Tensor, max_weight: f32) -> Result<Tensor> {
+        if crw.dims() != [self.layout.fan_in, self.layout.fan_out] {
+            return Err(CoreError::InvalidConfig(format!(
+                "CRW shape {:?} does not match layout {}×{}",
+                crw.dims(),
+                self.layout.fan_in,
+                self.layout.fan_out
+            )));
+        }
+        let cols = self.layout.fan_out;
+        let mut out = crw.clone();
+        for (ri, &(r0, r1)) in self.layout.bounds.iter().enumerate() {
+            for c in 0..cols {
+                let g = self.layout.group_index(ri, c);
+                let b = self.offsets[g];
+                let comp = self.complemented[g];
+                for r in r0..r1 {
+                    let idx = r * cols + c;
+                    let v = out.data()[idx] + b;
+                    out.data_mut()[idx] = if comp { max_weight - v } else { v };
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduces a per-weight gradient matrix (`(fan_in, fan_out)`, in the
+    /// same integer-weight domain as [`OffsetState::apply`]'s output) to
+    /// per-group offset gradients: `dL/db_g = ±Σ_{i∈g} dL/dNRWᵢ`, negative
+    /// for complemented groups (Eq. 8 extended with the complement sign).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a shape mismatch.
+    pub fn reduce_gradient(&self, grad_nrw: &Tensor) -> Result<Vec<f32>> {
+        if grad_nrw.dims() != [self.layout.fan_in, self.layout.fan_out] {
+            return Err(CoreError::InvalidConfig(format!(
+                "gradient shape {:?} does not match layout",
+                grad_nrw.dims()
+            )));
+        }
+        let cols = self.layout.fan_out;
+        let mut out = vec![0.0f32; self.layout.group_count()];
+        for (ri, &(r0, r1)) in self.layout.bounds.iter().enumerate() {
+            for c in 0..cols {
+                let g = self.layout.group_index(ri, c);
+                let mut acc = 0.0f32;
+                for r in r0..r1 {
+                    acc += grad_nrw.data()[r * cols + c];
+                }
+                out[g] = if self.complemented[g] { -acc } else { acc };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Snaps every offset to the signed integer register grid of `cfg`.
+    pub fn quantize(&mut self, cfg: &OffsetConfig) {
+        let (lo, hi) = (cfg.offset_min() as f32, cfg.offset_max() as f32);
+        for b in &mut self.offsets {
+            *b = b.round().clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_rram::CellKind;
+
+    fn cfg(m: usize) -> OffsetConfig {
+        OffsetConfig::paper(CellKind::Slc, 0.5, m).unwrap()
+    }
+
+    #[test]
+    fn layout_groups_within_tiles() {
+        // 200 rows, tile = 128: ranges inside tile 1 then tile 2
+        let l = GroupLayout::new(200, 4, &cfg(64)).unwrap();
+        assert_eq!(l.row_bounds(), &[(0, 64), (64, 128), (128, 192), (192, 200)]);
+        assert_eq!(l.group_count(), 16);
+    }
+
+    #[test]
+    fn layout_covers_all_rows_exactly_once() {
+        for m in [16, 64, 128] {
+            for fan_in in [5usize, 128, 129, 300, 512] {
+                let l = GroupLayout::new(fan_in, 3, &cfg(m)).unwrap();
+                let total: usize = l.row_bounds().iter().map(|&(a, b)| b - a).sum();
+                assert_eq!(total, fan_in, "m={m}, fan_in={fan_in}");
+                let mut prev = 0;
+                for &(a, b) in l.row_bounds() {
+                    assert_eq!(a, prev);
+                    assert!(b > a && b - a <= m);
+                    prev = b;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_count_matches_eq9() {
+        // Eq. 9: H = S·l/m registers per full crossbar.
+        let l = GroupLayout::new(128, 16, &cfg(16)).unwrap();
+        assert_eq!(l.group_count(), 128 * 16 / 16);
+        let l = GroupLayout::new(128, 16, &cfg(128)).unwrap();
+        assert_eq!(l.group_count(), 128 * 16 / 128);
+    }
+
+    #[test]
+    fn apply_adds_offsets_per_group() {
+        let layout = GroupLayout::new(4, 2, &cfg(16)).unwrap(); // one range (0,4)
+        let mut st = OffsetState::zeros(layout);
+        st.offsets_mut()[0] = 1.5; // column 0
+        st.offsets_mut()[1] = -2.0; // column 1
+        let crw = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let nrw = st.apply(&crw, 255.0).unwrap();
+        for r in 0..4 {
+            assert_eq!(nrw.at(&[r, 0]).unwrap(), crw.at(&[r, 0]).unwrap() + 1.5);
+            assert_eq!(nrw.at(&[r, 1]).unwrap(), crw.at(&[r, 1]).unwrap() - 2.0);
+        }
+    }
+
+    #[test]
+    fn apply_complements_groups() {
+        let layout = GroupLayout::new(2, 1, &cfg(16)).unwrap();
+        let st = OffsetState::from_parts(layout, vec![3.0], vec![true]).unwrap();
+        let crw = Tensor::from_vec(vec![10.0, 20.0], &[2, 1]).unwrap();
+        let nrw = st.apply(&crw, 255.0).unwrap();
+        assert_eq!(nrw.data(), &[255.0 - 13.0, 255.0 - 23.0]);
+    }
+
+    #[test]
+    fn reduce_gradient_sums_groups_with_sign() {
+        let layout = GroupLayout::new(4, 1, &cfg(16)).unwrap();
+        let mut st = OffsetState::zeros(layout.clone());
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4, 1]).unwrap();
+        assert_eq!(st.reduce_gradient(&g).unwrap(), vec![10.0]);
+        // complemented group flips the sign
+        st = OffsetState::from_parts(layout, vec![0.0], vec![true]).unwrap();
+        assert_eq!(st.reduce_gradient(&g).unwrap(), vec![-10.0]);
+    }
+
+    #[test]
+    fn quantize_clamps_to_register_range() {
+        let layout = GroupLayout::new(2, 1, &cfg(16)).unwrap();
+        let mut st = OffsetState::from_parts(layout, vec![300.7], vec![false]).unwrap();
+        st.quantize(&cfg(16));
+        assert_eq!(st.offset(0), 127.0);
+        st.offsets_mut()[0] = -1000.0;
+        st.quantize(&cfg(16));
+        assert_eq!(st.offset(0), -128.0);
+        st.offsets_mut()[0] = 3.4;
+        st.quantize(&cfg(16));
+        assert_eq!(st.offset(0), 3.0);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let layout = GroupLayout::new(4, 2, &cfg(16)).unwrap();
+        let st = OffsetState::zeros(layout);
+        assert!(st.apply(&Tensor::zeros(&[2, 4]), 255.0).is_err());
+        assert!(st.reduce_gradient(&Tensor::zeros(&[4, 3])).is_err());
+    }
+}

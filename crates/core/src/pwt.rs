@@ -1,0 +1,373 @@
+//! Post-writing tuning (§III-D): training the digital offsets by
+//! backpropagation after the actual conductances are known.
+//!
+//! Eq. 8 of the paper gives the offset gradient
+//! `∂L/∂bᵢ = ∂L/∂z · Σⱼ x_{im+j}`, which is exactly the sum of the
+//! mapped weights' loss gradients over the group (with a sign flip for
+//! complemented groups). The implementation reuses the standard backward
+//! pass: it reads each core layer's weight gradient, converts it to the
+//! integer NRW domain via the chain rule `∂L/∂NRW = Δ·∂L/∂W`, and reduces
+//! it over offset groups.
+//!
+//! Eq. 8's plain gradient descent is available as
+//! [`PwtOptimizer::Sgd`]; the default is [`PwtOptimizer::Adam`], whose
+//! per-parameter normalization makes one learning rate work across layers
+//! with very different `Δ` scales (documented engineering deviation).
+
+use rdo_nn::{batch_gather, train::recalibrate_batchnorm, Layer, SoftmaxCrossEntropy};
+use rdo_tensor::rng::{permutation, seeded_rng};
+use rdo_tensor::Tensor;
+
+use crate::error::{CoreError, Result};
+use crate::gradient::extract_core_gradients;
+use crate::mapping::MappedNetwork;
+
+/// Update rule for the offsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PwtOptimizer {
+    /// Plain gradient descent, Eq. 8 verbatim: `Δb = −η·∂L/∂b`.
+    Sgd {
+        /// Learning rate η.
+        lr: f32,
+    },
+    /// Adam with the given step size (in integer offset units).
+    Adam {
+        /// Step size.
+        lr: f32,
+    },
+}
+
+/// Hyper-parameters for [`tune`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PwtConfig {
+    /// Passes over the tuning set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Offset update rule.
+    pub optimizer: PwtOptimizer,
+    /// Multiplicative factor applied to the learning rate after each
+    /// epoch (1.0 disables decay).
+    pub lr_decay: f32,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for PwtConfig {
+    fn default() -> Self {
+        PwtConfig {
+            epochs: 4,
+            batch_size: 32,
+            optimizer: PwtOptimizer::Adam { lr: 1.0 },
+            lr_decay: 0.75,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Summary of a PWT run.
+#[derive(Debug, Clone, Default)]
+pub struct PwtReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Loss of the mean-matching initialization, before any training.
+    pub initial_loss: f32,
+    /// Loss of the offsets that were finally kept (the best observed).
+    pub best_loss: f32,
+}
+
+#[derive(Debug)]
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+/// Trains the offsets of a programmed [`MappedNetwork`] on the given data,
+/// then snaps them to the offset-register grid.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if the network has not been
+/// programmed or the configuration is degenerate, and propagates layer
+/// errors.
+pub fn tune(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+) -> Result<PwtReport> {
+    if cfg.epochs == 0 || cfg.batch_size == 0 {
+        return Err(CoreError::InvalidConfig(
+            "PWT epochs and batch size must be positive".to_string(),
+        ));
+    }
+    let n = images.dims()[0];
+    if labels.len() != n {
+        return Err(CoreError::Nn(rdo_nn::NnError::LabelMismatch {
+            batch: n,
+            labels: labels.len(),
+        }));
+    }
+    // zeroth step: least-squares mean-matching from the measured CRWs
+    mapped.init_offsets_mean_matching()?;
+    let mut net = mapped.effective_network()?;
+    // batch norm is digital: re-estimate its running statistics against
+    // the perturbed weights before training the offsets
+    recalibrate_batchnorm(&mut net, images, cfg.batch_size)?;
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut rng = seeded_rng(cfg.seed);
+    let mut report = PwtReport::default();
+
+    // dataset loss of the current offsets (forward only)
+    let eval_loss = |mapped: &MappedNetwork,
+                         net: &mut rdo_nn::Sequential|
+     -> Result<f32> {
+        mapped.refresh_effective(net)?;
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + cfg.batch_size).min(n);
+            let x = rdo_nn::batch_slice(images, start, end)?;
+            let logits = net.forward(&x, false)?;
+            let (l, _) = loss_fn.compute(&logits, &labels[start..end])?;
+            total += l;
+            batches += 1;
+            start = end;
+        }
+        Ok(total / batches.max(1) as f32)
+    };
+
+    // safeguard: remember the best offsets seen, starting from the
+    // mean-matching initialization — PWT must never end up worse
+    let snapshot = |mapped: &MappedNetwork| -> Vec<Vec<f32>> {
+        mapped.layers().iter().map(|l| l.state.offsets().to_vec()).collect()
+    };
+    let mut best_loss = eval_loss(mapped, &mut net)?;
+    let mut best_offsets = snapshot(mapped);
+    report.initial_loss = best_loss;
+
+    // flat Adam state across all groups of all layers
+    let total_groups: usize = mapped
+        .layers()
+        .iter()
+        .map(|l| l.state.layout().group_count())
+        .sum();
+    let mut adam = AdamState { m: vec![0.0; total_groups], v: vec![0.0; total_groups], t: 0 };
+    let mut lr_scale = 1.0f32;
+
+    for epoch in 0..cfg.epochs {
+        let order = permutation(n, &mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = batch_gather(images, chunk)?;
+            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            // eval-mode forward: batch-norm statistics stay frozen, but
+            // every layer still caches what backward needs
+            let logits = net.forward(&x, false)?;
+            let (l, grad) = loss_fn.compute(&logits, &y)?;
+            net.zero_grad();
+            net.backward(&grad)?;
+            let core_grads = extract_core_gradients(&mut net);
+
+            adam.t += 1;
+            let mut group_base = 0usize;
+            for (layer, g_w) in mapped.layers_mut().iter_mut().zip(&core_grads) {
+                // ∂L/∂NRW = Δ · ∂L/∂W, in crossbar orientation
+                let delta = layer.quant.delta;
+                let g_nrw = g_w.transpose2()?.scale(delta);
+                let db = layer.state.reduce_gradient(&g_nrw)?;
+                let offsets = layer.state.offsets_mut();
+                match cfg.optimizer {
+                    PwtOptimizer::Sgd { lr } => {
+                        let lr = lr * lr_scale;
+                        for (b, g) in offsets.iter_mut().zip(&db) {
+                            *b -= lr * g;
+                        }
+                    }
+                    PwtOptimizer::Adam { lr } => {
+                        let lr = lr * lr_scale;
+                        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+                        let bc1 = 1.0 - b1.powi(adam.t);
+                        let bc2 = 1.0 - b2.powi(adam.t);
+                        for (k, (b, g)) in offsets.iter_mut().zip(&db).enumerate() {
+                            let idx = group_base + k;
+                            adam.m[idx] = b1 * adam.m[idx] + (1.0 - b1) * g;
+                            adam.v[idx] = b2 * adam.v[idx] + (1.0 - b2) * g * g;
+                            let mh = adam.m[idx] / bc1;
+                            let vh = adam.v[idx] / bc2;
+                            *b -= lr * mh / (vh.sqrt() + eps);
+                        }
+                    }
+                }
+                group_base += layer.state.layout().group_count();
+            }
+            mapped.refresh_effective(&mut net)?;
+            epoch_loss += l;
+            batches += 1;
+        }
+        let mean = epoch_loss / batches.max(1) as f32;
+        if cfg.verbose {
+            eprintln!("pwt epoch {:>2}: loss {:.4}", epoch + 1, mean);
+        }
+        report.epoch_losses.push(mean);
+        lr_scale *= cfg.lr_decay;
+        let current = eval_loss(mapped, &mut net)?;
+        if current < best_loss {
+            best_loss = current;
+            best_offsets = snapshot(mapped);
+        }
+    }
+
+    // restore the best offsets observed
+    for (layer, best) in mapped.layers_mut().iter_mut().zip(&best_offsets) {
+        layer.state.offsets_mut().copy_from_slice(best);
+    }
+    report.best_loss = best_loss;
+
+    // offsets live in 8-bit registers: snap to the grid
+    let arch = *mapped.config();
+    for layer in mapped.layers_mut() {
+        layer.state.quantize(&arch);
+    }
+    // hand the tuned network (with recalibrated batch-norm statistics)
+    // back for evaluation; its weights are refreshed on clone
+    mapped.refresh_effective(&mut net)?;
+    mapped.set_tuned_network(net);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Method, OffsetConfig};
+    use crate::mapping::MappedNetwork;
+    use rdo_nn::{evaluate, fit, Linear, Relu, Sequential, TrainConfig};
+    use rdo_rram::{CellKind, DeviceLut, VariationModel};
+    use rdo_tensor::rng::{randn, seeded_rng};
+
+    /// A small trained classification problem.
+    fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
+        let mut rng = seeded_rng(42);
+        let x = randn(&[192, 6], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..192)
+            .map(|i| {
+                let a = x.data()[i * 6] > 0.0;
+                let b = x.data()[i * 6 + 1] > 0.0;
+                (a as usize) * 2 + b as usize
+            })
+            .collect();
+        let mut net = Sequential::new();
+        net.push(Linear::new(6, 24, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(24, 4, &mut rng));
+        fit(
+            &mut net,
+            &x,
+            &labels,
+            &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        (net, x, labels)
+    }
+
+    #[test]
+    fn pwt_recovers_accuracy_under_variation() {
+        let (net, x, labels) = trained_problem();
+        let ideal = evaluate(&mut net.clone(), &x, &labels, 64).unwrap();
+        assert!(ideal > 0.9, "training failed: {ideal}");
+
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(7)).unwrap();
+
+        let mut noisy = mapped.effective_network().unwrap();
+        let acc_before = evaluate(&mut noisy, &x, &labels, 64).unwrap();
+
+        let report = tune(
+            &mut mapped,
+            &x,
+            &labels,
+            &PwtConfig { epochs: 6, ..Default::default() },
+        )
+        .unwrap();
+        let mut tuned = mapped.effective_network().unwrap();
+        let acc_after = evaluate(&mut tuned, &x, &labels, 64).unwrap();
+
+        assert!(
+            acc_after > acc_before + 0.05 || acc_after > ideal - 0.05,
+            "PWT did not help: {acc_before} → {acc_after} (ideal {ideal})"
+        );
+        assert!(report.epoch_losses.first().unwrap() >= report.epoch_losses.last().unwrap());
+    }
+
+    #[test]
+    fn pwt_loss_decreases_with_sgd_rule() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.4, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.4), &cfg.codec).unwrap();
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(8)).unwrap();
+        // Eq. 8 verbatim: plain SGD on the offsets
+        let report = tune(
+            &mut mapped,
+            &x,
+            &labels,
+            &PwtConfig {
+                epochs: 4,
+                optimizer: PwtOptimizer::Sgd { lr: 200.0 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(
+            last <= first * 1.05 + 1e-3,
+            "SGD PWT diverged: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn offsets_end_up_on_register_grid() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.3, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.3), &cfg.codec).unwrap();
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(9)).unwrap();
+        tune(&mut mapped, &x, &labels, &PwtConfig::default()).unwrap();
+        for layer in mapped.layers() {
+            for &b in layer.state.offsets() {
+                assert_eq!(b, b.round(), "offset {b} not on the integer grid");
+                assert!((-128.0..=127.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.3, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.3), &cfg.codec).unwrap();
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(10)).unwrap();
+        assert!(tune(&mut mapped, &x, &labels, &PwtConfig { epochs: 0, ..Default::default() })
+            .is_err());
+        assert!(tune(&mut mapped, &x, &[0, 1], &PwtConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unprogrammed_network_rejected() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.3, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.3), &cfg.codec).unwrap();
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        assert!(tune(&mut mapped, &x, &labels, &PwtConfig::default()).is_err());
+    }
+}

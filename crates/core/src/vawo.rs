@@ -1,0 +1,369 @@
+//! Variation-aware weight optimization (§III-B) and the weight-complement
+//! enhancement (§III-C).
+//!
+//! For every group of `m` weights sharing one offset, VAWO chooses the
+//! integer crossbar target weights `vᵢ` and the offset `b` minimizing
+//!
+//! ```text
+//!   Σᵢ gᵢ² · ( Var[R(vᵢ)] + biasᵢ² ),     biasᵢ = E[R(vᵢ)] + b − wᵢ*
+//! ```
+//!
+//! subject to `E[R(vᵢ)] + b ≈ wᵢ*` (Eq. 6 inverted through the device
+//! LUT). The paper's objective (Eq. 5) is the first term; the `biasᵢ²`
+//! extension accounts for the integer CTW grid making Eq. 6 inexact
+//! (DESIGN.md ablation 4) and can be disabled via
+//! [`OffsetConfig::vawo_bias_term`].
+//!
+//! With the weight-complement enhancement, each group may instead store
+//! `2ⁿ−1−wᵢ*`; the ISAAC `(2ⁿ−1)Σx − z′` unit undoes the complement
+//! digitally, so the group solves a second optimization against the
+//! complemented targets and keeps the better of the two.
+
+use rdo_tensor::Tensor;
+
+use crate::config::OffsetConfig;
+use crate::error::{CoreError, Result};
+use crate::offsets::{GroupLayout, OffsetState};
+use rdo_rram::DeviceLut;
+
+/// Result of optimizing one mapped matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VawoOutput {
+    /// Integer CTWs, `(fan_in, fan_out)`.
+    pub ctw: Tensor,
+    /// Per-group offsets and complement flags.
+    pub state: OffsetState,
+    /// The achieved objective value, summed over all groups.
+    pub objective: f64,
+}
+
+/// Precomputed solver: for every integer target mean `t`, the optimal CTW
+/// `v(t) = argmin |E[R(v)] − t|` plus that CTW's variance and bias².
+struct TargetTable {
+    t0: i64,
+    v: Vec<u32>,
+    var: Vec<f64>,
+    bias_sq: Vec<f64>,
+}
+
+impl TargetTable {
+    fn build(lut: &DeviceLut, cfg: &OffsetConfig) -> Self {
+        let maxw = (lut.len() - 1) as i64;
+        // targets span w̃ − b for w̃ ∈ [0, maxw], b ∈ [min, max]
+        let t0 = -(cfg.offset_max() as i64);
+        let t1 = maxw - cfg.offset_min() as i64;
+        let n = (t1 - t0 + 1) as usize;
+        let mut v = Vec::with_capacity(n);
+        let mut var = Vec::with_capacity(n);
+        let mut bias_sq = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = (t0 + i as i64) as f64;
+            let vi = lut.inverse_mean(t);
+            v.push(vi);
+            var.push(lut.var(vi));
+            let b = lut.mean(vi) - t;
+            bias_sq.push(b * b);
+        }
+        TargetTable { t0, v, var, bias_sq }
+    }
+
+    #[inline]
+    fn idx(&self, target: i64) -> usize {
+        (target - self.t0) as usize
+    }
+}
+
+/// Runs VAWO (optionally with the weight complement) over one mapped
+/// matrix.
+///
+/// * `ntw_q` — integer network target weights, `(fan_in, fan_out)`.
+/// * `grads_sq` — squared mean loss gradients, same shape. Only relative
+///   magnitudes within a group matter; all-zero groups fall back to an
+///   unweighted objective.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] on shape mismatches or if the LUT
+/// size disagrees with the codec in `cfg`.
+pub fn optimize_matrix(
+    ntw_q: &Tensor,
+    grads_sq: &Tensor,
+    layout: &GroupLayout,
+    lut: &DeviceLut,
+    cfg: &OffsetConfig,
+    use_complement: bool,
+) -> Result<VawoOutput> {
+    cfg.validate()?;
+    let (fan_in, fan_out) = (layout.fan_in(), layout.fan_out());
+    if ntw_q.dims() != [fan_in, fan_out] || grads_sq.dims() != [fan_in, fan_out] {
+        return Err(CoreError::InvalidConfig(format!(
+            "NTW {:?} / grads {:?} do not match layout {}×{}",
+            ntw_q.dims(),
+            grads_sq.dims(),
+            fan_in,
+            fan_out
+        )));
+    }
+    if lut.len() != cfg.codec.weight_levels() as usize {
+        return Err(CoreError::InvalidConfig(format!(
+            "LUT has {} entries but codec supports {}",
+            lut.len(),
+            cfg.codec.weight_levels()
+        )));
+    }
+    let maxw = cfg.codec.max_weight() as i64;
+    let table = TargetTable::build(lut, cfg);
+    let (b_min, b_max) = (cfg.offset_min() as i64, cfg.offset_max() as i64);
+
+    let mut ctw = Tensor::zeros(&[fan_in, fan_out]);
+    let n_groups = layout.group_count();
+    let mut offsets = vec![0.0f32; n_groups];
+    let mut complemented = vec![false; n_groups];
+    let mut total_objective = 0.0f64;
+
+    // scratch per group
+    let mut w_tilde = Vec::new();
+    let mut g2 = Vec::new();
+
+    for (ri, &(r0, r1)) in layout.row_bounds().iter().enumerate() {
+        for c in 0..fan_out {
+            let gi = layout.group_index(ri, c);
+            // two candidate formulations: original and complemented
+            let mut best: Option<(f64, i64, bool)> = None;
+            let forms: &[bool] = if use_complement { &[false, true] } else { &[false] };
+            for &comp in forms {
+                w_tilde.clear();
+                g2.clear();
+                for r in r0..r1 {
+                    let w = ntw_q.data()[r * fan_out + c].round() as i64;
+                    w_tilde.push(if comp { maxw - w } else { w });
+                    // floor the weighting at a tiny epsilon so zero-gradient
+                    // groups still get unbiased, low-variance CTWs
+                    g2.push((grads_sq.data()[r * fan_out + c] as f64).max(1e-20));
+                }
+                for b in b_min..=b_max {
+                    let mut obj = 0.0f64;
+                    for (w, g) in w_tilde.iter().zip(&g2) {
+                        let e = table.idx(w - b);
+                        let mut term = table.var[e];
+                        if cfg.vawo_bias_term {
+                            term += table.bias_sq[e];
+                        }
+                        obj += g * term;
+                    }
+                    if best.map_or(true, |(bo, _, _)| obj < bo) {
+                        best = Some((obj, b, comp));
+                    }
+                }
+            }
+            let (obj, b, comp) = best.expect("offset range is never empty");
+            offsets[gi] = b as f32;
+            complemented[gi] = comp;
+            total_objective += obj;
+            // materialize the CTWs for the winning formulation
+            for r in r0..r1 {
+                let w = ntw_q.data()[r * fan_out + c].round() as i64;
+                let wt = if comp { maxw - w } else { w };
+                let v = table.v[table.idx(wt - b)];
+                ctw.data_mut()[r * fan_out + c] = v as f32;
+            }
+        }
+    }
+
+    let state = OffsetState::from_parts(layout.clone(), offsets, complemented)?;
+    Ok(VawoOutput { ctw, state, objective: total_objective })
+}
+
+/// The complement of an integer weight at the given bit width:
+/// `2^bits − 1 − w` (§III-C).
+///
+/// # Panics
+///
+/// Panics if `w` does not fit in `bits` bits.
+pub fn complement_weight(w: u32, bits: u32) -> u32 {
+    let maxw = (1u32 << bits) - 1;
+    assert!(w <= maxw, "weight {w} exceeds {bits}-bit range");
+    maxw - w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_rram::{CellKind, VariationModel};
+
+    fn setup(m: usize, sigma: f64) -> (OffsetConfig, DeviceLut) {
+        let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+        (cfg, lut)
+    }
+
+    fn run(
+        ntw: Vec<f32>,
+        grads: Vec<f32>,
+        rows: usize,
+        cols: usize,
+        m: usize,
+        sigma: f64,
+        complement: bool,
+    ) -> VawoOutput {
+        let (cfg, lut) = setup(m, sigma);
+        let layout = GroupLayout::new(rows, cols, &cfg).unwrap();
+        let ntw_q = Tensor::from_vec(ntw, &[rows, cols]).unwrap();
+        let g2 = Tensor::from_vec(grads, &[rows, cols]).unwrap();
+        optimize_matrix(&ntw_q, &g2, &layout, &lut, &cfg, complement).unwrap()
+    }
+
+    #[test]
+    fn complement_weight_identity() {
+        assert_eq!(complement_weight(0, 8), 255);
+        assert_eq!(complement_weight(255, 8), 0);
+        assert_eq!(complement_weight(100, 8), 155);
+        for w in 0..=255u32 {
+            assert_eq!(complement_weight(complement_weight(w, 8), 8), w);
+        }
+    }
+
+    #[test]
+    fn vawo_removes_lognormal_bias() {
+        // plain writes CTW = NTW and lands on E[R(w)] = w·e^{σ²/2} ≫ w;
+        // VAWO's expected NRW must be ≈ w.
+        let out = run(vec![200.0; 16], vec![1.0; 16], 16, 1, 16, 0.5, false);
+        let (_, lut) = setup(16, 0.5);
+        let b = out.state.offset(0) as f64;
+        for &v in out.ctw.data() {
+            let exp_nrw = lut.mean(v as u32) + b;
+            assert!((exp_nrw - 200.0).abs() < 1.0, "E[NRW] = {exp_nrw}");
+        }
+    }
+
+    #[test]
+    fn vawo_prefers_small_stored_values() {
+        // Var[R(v)] grows with v, so VAWO should use a positive offset to
+        // store values smaller than the NTWs.
+        let out = run(vec![200.0; 16], vec![1.0; 16], 16, 1, 16, 0.5, false);
+        assert!(out.state.offset(0) > 0.0);
+        assert!(out.ctw.data().iter().all(|&v| v < 200.0));
+    }
+
+    #[test]
+    fn vawo_objective_beats_plain() {
+        let (cfg, lut) = setup(16, 0.5);
+        let ntw: Vec<f32> = (0..16).map(|i| 100.0 + 8.0 * i as f32).collect();
+        let out = run(ntw.clone(), vec![1.0; 16], 16, 1, 16, 0.5, false);
+        // plain objective: v = w, b = 0
+        let plain: f64 = ntw
+            .iter()
+            .map(|&w| {
+                let v = w as u32;
+                let bias = lut.mean(v) - w as f64;
+                lut.var(v) + bias * bias
+            })
+            .sum();
+        assert!(out.objective < plain, "{} !< {plain}", out.objective);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn complement_helps_groups_of_large_weights() {
+        // all-large NTWs: the complemented form stores small values with
+        // far lower variance, so VAWO* must complement and beat VAWO.
+        let plain = run(vec![240.0; 16], vec![1.0; 16], 16, 1, 16, 0.5, false);
+        let star = run(vec![240.0; 16], vec![1.0; 16], 16, 1, 16, 0.5, true);
+        assert!(star.objective <= plain.objective);
+        assert!(star.state.is_complemented(0), "group of large weights should complement");
+    }
+
+    #[test]
+    fn complement_not_used_for_small_weights() {
+        let star = run(vec![10.0; 16], vec![1.0; 16], 16, 1, 16, 0.5, true);
+        assert!(!star.state.is_complemented(0));
+    }
+
+    #[test]
+    fn finer_granularity_never_does_worse() {
+        // splitting groups can only decrease the total optimum
+        let ntw: Vec<f32> = (0..128).map(|i| (i * 2) as f32).collect();
+        let g: Vec<f32> = (0..128).map(|i| 1.0 + (i % 7) as f32).collect();
+        let fine = run(ntw.clone(), g.clone(), 128, 1, 16, 0.5, false);
+        let coarse = run(ntw, g, 128, 1, 128, 0.5, false);
+        assert!(fine.objective <= coarse.objective + 1e-9);
+    }
+
+    #[test]
+    fn complement_rescues_coarse_granularity() {
+        // The paper's key m=128 observation: VAWO degrades at coarse
+        // granularity but VAWO* holds up. A group mixing small and large
+        // weights can't pick one good offset — unless half is complemented.
+        let ntw: Vec<f32> = (0..128)
+            .map(|i| if i % 2 == 0 { 20.0 } else { 235.0 })
+            .collect();
+        let g = vec![1.0; 128];
+        let coarse_plain = run(ntw.clone(), g.clone(), 128, 1, 128, 0.5, false);
+        let coarse_star = run(ntw, g, 128, 1, 128, 0.5, true);
+        assert!(coarse_star.objective <= coarse_plain.objective);
+    }
+
+    #[test]
+    fn gradient_weighting_prioritizes_sensitive_weights() {
+        // one high-gradient weight at 250, fifteen zero-gradient at 10:
+        // the offset should serve the sensitive weight (reduce ITS
+        // variance), pushing its stored value down.
+        let mut ntw = vec![10.0; 16];
+        ntw[0] = 250.0;
+        let mut g = vec![0.0; 16];
+        g[0] = 100.0;
+        let out = run(ntw, g, 16, 1, 16, 0.5, false);
+        assert!(
+            out.ctw.data()[0] < 250.0,
+            "sensitive weight stored at {}",
+            out.ctw.data()[0]
+        );
+    }
+
+    #[test]
+    fn zero_sigma_yields_near_exact_mapping() {
+        let out = run(vec![100.0; 16], vec![1.0; 16], 16, 1, 16, 0.0, false);
+        assert!(out.objective < 1e-9);
+        let b = out.state.offset(0);
+        for &v in out.ctw.data() {
+            assert!((v + b - 100.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn bias_term_never_hurts() {
+        // with the bias term the achieved TRUE objective (var + bias²)
+        // is at least as good as without it
+        let (cfg, lut) = setup(16, 0.5);
+        let layout = GroupLayout::new(16, 1, &cfg).unwrap();
+        let ntw = Tensor::from_fn(&[16, 1], |i| (i * 16) as f32);
+        let g2 = Tensor::ones(&[16, 1]);
+        let with = optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, false).unwrap();
+        let mut cfg_no = cfg;
+        cfg_no.vawo_bias_term = false;
+        let without = optimize_matrix(&ntw, &g2, &layout, &lut, &cfg_no, false).unwrap();
+        // evaluate both under the full criterion
+        let true_obj = |o: &VawoOutput| -> f64 {
+            let b = o.state.offset(0) as f64;
+            o.ctw
+                .data()
+                .iter()
+                .zip(ntw.data())
+                .map(|(&v, &w)| {
+                    let bias = lut.mean(v as u32) + b - w as f64;
+                    lut.var(v as u32) + bias * bias
+                })
+                .sum()
+        };
+        assert!(true_obj(&with) <= true_obj(&without) + 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (cfg, lut) = setup(16, 0.5);
+        let layout = GroupLayout::new(16, 2, &cfg).unwrap();
+        let ntw = Tensor::zeros(&[16, 1]);
+        let g2 = Tensor::zeros(&[16, 1]);
+        assert!(optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, false).is_err());
+    }
+}

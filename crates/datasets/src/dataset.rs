@@ -1,0 +1,156 @@
+//! The labeled image dataset container.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{DatasetError, Result};
+
+/// A labeled image dataset: an `(n, c, h, w)` tensor plus integer labels.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_datasets::{Dataset};
+/// use rdo_tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 1, 2, 2]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// let (train, test) = ds.split(0.5)?;
+/// assert_eq!(train.len(), 2);
+/// assert_eq!(test.len(), 2);
+/// # Ok::<(), rdo_datasets::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Inconsistent`] if the image tensor is not
+    /// rank 4, the label count differs from the batch size, or a label is
+    /// out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Result<Self> {
+        if images.shape().rank() != 4 {
+            return Err(DatasetError::Inconsistent(format!(
+                "images must be rank-4 NCHW, got {:?}",
+                images.dims()
+            )));
+        }
+        if images.dims()[0] != labels.len() {
+            return Err(DatasetError::Inconsistent(format!(
+                "{} images but {} labels",
+                images.dims()[0],
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DatasetError::Inconsistent(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        Ok(Dataset { images, labels, classes })
+    }
+
+    /// The image tensor, `(n, c, h, w)`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits into `(first, second)` at `fraction` of the samples
+    /// (in existing order; generators already interleave classes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Inconsistent`] if `fraction` is outside
+    /// `(0, 1)`.
+    pub fn split(&self, fraction: f32) -> Result<(Dataset, Dataset)> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(DatasetError::Inconsistent(format!(
+                "split fraction {fraction} outside [0, 1]"
+            )));
+        }
+        let n = self.len();
+        let cut = ((n as f32) * fraction).round() as usize;
+        let dims = self.images.dims();
+        let stride: usize = dims[1..].iter().product();
+        let mk = |lo: usize, hi: usize| -> Result<Dataset> {
+            let mut d = dims.to_vec();
+            d[0] = hi - lo;
+            let images = Tensor::from_vec(
+                self.images.data()[lo * stride..hi * stride].to_vec(),
+                &d,
+            )
+            .map_err(|e| DatasetError::Inconsistent(e.to_string()))?;
+            Dataset::new(images, self.labels[lo..hi].to_vec(), self.classes)
+        };
+        Ok((mk(0, cut)?, mk(cut, n)?))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let img = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(img.clone(), vec![0, 1], 2).is_ok());
+        assert!(Dataset::new(img.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(img.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[2, 4]), vec![0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let img = Tensor::from_fn(&[10, 1, 1, 1], |i| i as f32);
+        let ds = Dataset::new(img, (0..10).map(|i| i % 2).collect(), 2).unwrap();
+        let (a, b) = ds.split(0.7).unwrap();
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.images().data()[6], 6.0);
+        assert_eq!(b.images().data()[0], 7.0);
+        assert!(ds.split(1.5).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let img = Tensor::zeros(&[4, 1, 1, 1]);
+        let ds = Dataset::new(img, vec![0, 0, 1, 2], 3).unwrap();
+        assert_eq!(ds.class_histogram(), vec![2, 1, 1]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Procedural MNIST substitute: stroke-rendered digits.
+//!
+//! The paper trains LeNet on MNIST, which is not available offline. This
+//! generator renders the ten digits from seven-segment stroke skeletons
+//! with per-sample random rotation, translation, scaling, stroke width and
+//! pixel noise, producing a 10-class, 1×28×28 problem a LeNet learns to
+//! high accuracy — which is all the variation experiments need, because
+//! they measure *degradation relative to the ideal accuracy on the same
+//! data* (see DESIGN.md §2).
+
+use rand::Rng;
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+use crate::dataset::Dataset;
+use crate::error::{DatasetError, Result};
+
+/// A line segment in the unit square.
+type Segment = ((f32, f32), (f32, f32));
+
+/// Seven-segment endpoints in the unit square (x right, y down).
+const SEG: [Segment; 7] = [
+    ((0.25, 0.15), (0.75, 0.15)), // 0: top
+    ((0.25, 0.15), (0.25, 0.50)), // 1: top-left
+    ((0.75, 0.15), (0.75, 0.50)), // 2: top-right
+    ((0.25, 0.50), (0.75, 0.50)), // 3: middle
+    ((0.25, 0.50), (0.25, 0.85)), // 4: bottom-left
+    ((0.75, 0.50), (0.75, 0.85)), // 5: bottom-right
+    ((0.25, 0.85), (0.75, 0.85)), // 6: bottom
+];
+
+/// Active segments per digit (classic seven-segment encoding).
+const DIGIT_SEGMENTS: [&[usize]; 10] = [
+    &[0, 1, 2, 4, 5, 6],    // 0
+    &[2, 5],                // 1
+    &[0, 2, 3, 4, 6],       // 2
+    &[0, 2, 3, 5, 6],       // 3
+    &[1, 2, 3, 5],          // 4
+    &[0, 1, 3, 5, 6],       // 5
+    &[0, 1, 3, 4, 5, 6],    // 6
+    &[0, 2, 5],             // 7
+    &[0, 1, 2, 3, 4, 5, 6], // 8
+    &[0, 1, 2, 3, 5, 6],    // 9
+];
+
+/// Options for the digit generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitsConfig {
+    /// Samples per class.
+    pub per_class: usize,
+    /// Image side length (the paper's LeNet uses 28).
+    pub hw: usize,
+    /// Maximum rotation in radians (±).
+    pub max_rotation: f32,
+    /// Maximum translation as a fraction of the image (±).
+    pub max_shift: f32,
+    /// Additive Gaussian pixel noise σ.
+    pub pixel_noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> Self {
+        DigitsConfig {
+            per_class: 100,
+            hw: 28,
+            max_rotation: 0.25,
+            max_shift: 0.08,
+            pixel_noise: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Distance from point `p` to segment `s`, in unit-square coordinates.
+fn segment_distance(p: (f32, f32), s: &Segment) -> f32 {
+    let (a, b) = (s.0, s.1);
+    let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        (((p.0 - a.0) * dx + (p.1 - a.1) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (a.0 + t * dx, a.1 + t * dy);
+    ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt()
+}
+
+/// Renders one digit into `out` (`hw × hw`, row-major) with the given
+/// random transform.
+#[allow(clippy::too_many_arguments)]
+fn render_digit(
+    out: &mut [f32],
+    hw: usize,
+    digit: usize,
+    angle: f32,
+    shift: (f32, f32),
+    scale: f32,
+    thickness: f32,
+    rng: &mut impl Rng,
+    noise: f32,
+) {
+    let (sin, cos) = angle.sin_cos();
+    let segs = DIGIT_SEGMENTS[digit];
+    for y in 0..hw {
+        for x in 0..hw {
+            // pixel center in unit coordinates, inverse-transformed
+            let px = (x as f32 + 0.5) / hw as f32 - 0.5 - shift.0;
+            let py = (y as f32 + 0.5) / hw as f32 - 0.5 - shift.1;
+            let rx = (cos * px + sin * py) / scale + 0.5;
+            let ry = (-sin * px + cos * py) / scale + 0.5;
+            let mut d = f32::INFINITY;
+            for &si in segs {
+                d = d.min(segment_distance((rx, ry), &SEG[si]));
+            }
+            // soft stroke: full intensity inside, smooth falloff
+            let v = (1.0 - (d - thickness).max(0.0) / (thickness * 0.8)).clamp(0.0, 1.0);
+            let n: f32 = if noise > 0.0 {
+                let u1: f32 = rng.gen::<f32>().max(1e-7);
+                let u2: f32 = rng.gen();
+                noise * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            } else {
+                0.0
+            };
+            out[y * hw + x] = (v + n).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Generates a balanced, class-interleaved digit dataset.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for zero sizes.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_datasets::{generate_digits, DigitsConfig};
+///
+/// let ds = generate_digits(&DigitsConfig { per_class: 3, ..Default::default() })?;
+/// assert_eq!(ds.len(), 30);
+/// assert_eq!(ds.images().dims(), &[30, 1, 28, 28]);
+/// # Ok::<(), rdo_datasets::DatasetError>(())
+/// ```
+pub fn generate_digits(cfg: &DigitsConfig) -> Result<Dataset> {
+    if cfg.per_class == 0 || cfg.hw < 12 {
+        return Err(DatasetError::InvalidConfig(
+            "need per_class ≥ 1 and hw ≥ 12".to_string(),
+        ));
+    }
+    let mut rng = seeded_rng(cfg.seed);
+    let n = cfg.per_class * 10;
+    let hw = cfg.hw;
+    let mut data = vec![0.0f32; n * hw * hw];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % 10; // interleave classes so splits stay balanced
+        let angle = rng.gen_range(-cfg.max_rotation..=cfg.max_rotation);
+        let shift = (
+            rng.gen_range(-cfg.max_shift..=cfg.max_shift),
+            rng.gen_range(-cfg.max_shift..=cfg.max_shift),
+        );
+        let scale = rng.gen_range(0.8..1.1);
+        let thickness = rng.gen_range(0.035..0.065);
+        render_digit(
+            &mut data[i * hw * hw..(i + 1) * hw * hw],
+            hw,
+            digit,
+            angle,
+            shift,
+            scale,
+            thickness,
+            &mut rng,
+            cfg.pixel_noise,
+        );
+        labels.push(digit);
+    }
+    let images = Tensor::from_vec(data, &[n, 1, hw, hw])
+        .map_err(|e| DatasetError::Inconsistent(e.to_string()))?;
+    Dataset::new(images, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_classes() {
+        let ds = generate_digits(&DigitsConfig { per_class: 5, ..Default::default() }).unwrap();
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.class_histogram(), vec![5; 10]);
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        let ds = generate_digits(&DigitsConfig { per_class: 2, ..Default::default() }).unwrap();
+        assert!(ds.images().min() >= 0.0);
+        assert!(ds.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = DigitsConfig { per_class: 2, seed: 9, ..Default::default() };
+        assert_eq!(generate_digits(&cfg).unwrap(), generate_digits(&cfg).unwrap());
+        let cfg2 = DigitsConfig { seed: 10, ..cfg };
+        assert_ne!(generate_digits(&cfg).unwrap(), generate_digits(&cfg2).unwrap());
+    }
+
+    #[test]
+    fn digits_are_visually_distinct() {
+        // Mean-pixel distance between class prototypes must be nonzero:
+        // render noise-free, centered digits and compare.
+        let cfg = DigitsConfig {
+            per_class: 1,
+            pixel_noise: 0.0,
+            max_rotation: 0.0,
+            max_shift: 0.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let ds = generate_digits(&cfg).unwrap();
+        let hw = 28 * 28;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let ia = &ds.images().data()[a * hw..(a + 1) * hw];
+                let ib = &ds.images().data()[b * hw..(b + 1) * hw];
+                let d: f32 = ia.iter().zip(ib).map(|(x, y)| (x - y).abs()).sum();
+                assert!(d > 1.0, "digits {a} and {b} look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn one_and_eight_have_different_ink() {
+        let cfg = DigitsConfig {
+            per_class: 1,
+            pixel_noise: 0.0,
+            max_rotation: 0.0,
+            max_shift: 0.0,
+            ..Default::default()
+        };
+        let ds = generate_digits(&cfg).unwrap();
+        let hw = 28 * 28;
+        let ink = |d: usize| ds.images().data()[d * hw..(d + 1) * hw].iter().sum::<f32>();
+        assert!(ink(8) > 2.0 * ink(1), "8 should have much more ink than 1");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(generate_digits(&DigitsConfig { per_class: 0, ..Default::default() }).is_err());
+        assert!(generate_digits(&DigitsConfig { hw: 4, ..Default::default() }).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Error type for dataset construction.
+
+use std::fmt;
+
+/// Error produced by dataset constructors and generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The supplied images/labels/classes are mutually inconsistent.
+    Inconsistent(String),
+    /// A generator was asked for an unsupported configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Convenient result alias used across the dataset crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

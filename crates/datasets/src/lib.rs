@@ -1,0 +1,38 @@
+//! # rdo-datasets
+//!
+//! Procedural synthetic image datasets standing in for MNIST and CIFAR-10
+//! in the reproduction of *"Digital Offset for RRAM-based Neuromorphic
+//! Computing"* (DATE 2021).
+//!
+//! Neither dataset is available offline, and the paper's experiments only
+//! need *a classification problem the network learns to a high ideal
+//! accuracy*, because every result is an accuracy **drop relative to that
+//! ideal** under device variation. [`generate_digits`] renders
+//! stroke-based digits (1×28×28, 10 classes) for LeNet;
+//! [`generate_textures`] renders parametric color textures (3×H×W,
+//! 10 classes) for ResNet-18 and VGG-16. Both are seeded and
+//! bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdo_datasets::{generate_digits, DigitsConfig};
+//!
+//! let ds = generate_digits(&DigitsConfig { per_class: 10, ..Default::default() })?;
+//! let (train, test) = ds.split(0.8)?;
+//! assert_eq!(train.len() + test.len(), 100);
+//! # Ok::<(), rdo_datasets::DatasetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod digits;
+mod error;
+mod textures;
+
+pub use dataset::Dataset;
+pub use digits::{generate_digits, DigitsConfig};
+pub use error::{DatasetError, Result};
+pub use textures::{generate_textures, TexturesConfig};

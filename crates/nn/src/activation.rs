@@ -1,0 +1,235 @@
+//! Activation and reshaping layers: ReLU, Flatten, and straight-through
+//! activation quantization.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, Param};
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
+                op: "Relu::backward",
+                lhs: vec![mask.len()],
+                rhs: grad_output.dims().to_vec(),
+            }));
+        }
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> String {
+        "Relu".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Flattens an NCHW tensor to `(n, c·h·w)`; the inverse shape is restored on
+/// backward.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = input.dims().to_vec();
+        if dims.is_empty() {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+                op: "Flatten::forward",
+                expected: 2,
+                actual: 0,
+            }));
+        }
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.input_dims = Some(dims);
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self.input_dims.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        Ok(grad_output.reshape(dims)?)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Uniform activation quantizer with a straight-through gradient estimator.
+///
+/// Models the 8-bit input DACs of an ISAAC-style accelerator: activations
+/// are clipped to `[0, max]` and snapped to `2^bits` levels on forward; the
+/// backward pass passes gradients through unchanged inside the clip range
+/// (the standard straight-through estimator), so PWT can still train
+/// offsets through quantized activations.
+///
+/// Inserted by the crossbar mapping pipeline in front of each mapped layer.
+#[derive(Debug, Clone)]
+pub struct ActQuant {
+    bits: u32,
+    max: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl ActQuant {
+    /// Creates a quantizer with the given bit width and calibrated maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `max` is not positive and finite.
+    pub fn new(bits: u32, max: f32) -> Self {
+        assert!(bits > 0, "quantizer needs at least one bit");
+        assert!(max.is_finite() && max > 0.0, "activation max must be positive");
+        ActQuant { bits, max, mask: None }
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// The calibrated clip maximum.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+}
+
+impl Layer for ActQuant {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let step = self.max / (self.levels() - 1) as f32;
+        self.mask = Some(
+            input
+                .data()
+                .iter()
+                .map(|&x| x > 0.0 && x < self.max)
+                .collect(),
+        );
+        Ok(input.map(|x| {
+            let clipped = x.clamp(0.0, self.max);
+            (clipped / step).round() * step
+        }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    fn name(&self) -> String {
+        format!("ActQuant({} bits, max {:.3})", self.bits, self.max)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]).unwrap();
+        let y = r.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = r.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn act_quant_snaps_to_grid() {
+        let mut q = ActQuant::new(2, 3.0); // 4 levels: 0, 1, 2, 3
+        let x = Tensor::from_vec(vec![-0.5, 0.4, 1.6, 2.4, 9.0], &[5]).unwrap();
+        let y = q.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn act_quant_straight_through() {
+        let mut q = ActQuant::new(8, 1.0);
+        let x = Tensor::from_vec(vec![-0.1, 0.5, 1.5], &[3]).unwrap();
+        q.forward(&x, true).unwrap();
+        let g = q.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn act_quant_is_nearly_identity_at_8_bits() {
+        let mut q = ActQuant::new(8, 4.0);
+        let x = Tensor::from_fn(&[100], |i| i as f32 * 0.04);
+        let y = q.forward(&x, false).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() <= 4.0 / 255.0 / 2.0 + 1e-6);
+        }
+    }
+}

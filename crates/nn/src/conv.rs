@@ -1,0 +1,286 @@
+//! 2-D convolution layer (im2col-lowered).
+
+use rand::Rng;
+use rdo_tensor::{col2im, im2col, matmul, rng::kaiming, Conv2dGeometry, Tensor};
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, Param, ParamKind};
+
+/// A 2-D convolution with square kernels, computed as an im2col matrix
+/// product — the same lowering an RRAM accelerator applies when it unrolls
+/// kernels into crossbar columns.
+///
+/// The weight is stored as `(out_channels, in_channels · kernel²)`.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_nn::{Conv2d, Layer};
+/// use rdo_tensor::rng::seeded_rng;
+/// use rdo_tensor::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut seeded_rng(0));
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, false)?;
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// # Ok::<(), rdo_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geom: Conv2dGeometry,
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-initialized kernels.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let geom = Conv2dGeometry::new(in_channels, out_channels, kernel, stride, padding);
+        let patch = geom.patch_len();
+        Conv2d {
+            geom,
+            weight: kaiming(&[out_channels, patch], patch, rng),
+            bias: Tensor::zeros(&[out_channels]),
+            weight_grad: Tensor::zeros(&[out_channels, patch]),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// The `(out_channels, patch_len)` kernel matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Replaces the kernel matrix (used by the crossbar mapper).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` is not `(out_channels, patch_len)`.
+    pub fn set_weight(&mut self, w: Tensor) -> Result<()> {
+        if w.dims() != [self.geom.out_channels, self.geom.patch_len()] {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
+                op: "Conv2d::set_weight",
+                lhs: w.dims().to_vec(),
+                rhs: vec![self.geom.out_channels, self.geom.patch_len()],
+            }));
+        }
+        self.weight = w;
+        Ok(())
+    }
+}
+
+/// Reorders a patch-major matrix `(n·oh·ow, c)` into an NCHW tensor.
+fn patches_to_nchw(p: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = p.data();
+    for b in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = ((b * oh + y) * ow + x) * c;
+                for ch in 0..c {
+                    out[((b * c + ch) * oh + y) * ow + x] = data[row + ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow]).expect("consistent by construction")
+}
+
+/// Reorders an NCHW tensor into a patch-major matrix `(n·oh·ow, c)`.
+fn nchw_to_patches(t: &Tensor) -> Tensor {
+    let [n, c, oh, ow] = [t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]];
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = t.data();
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out[((b * oh + y) * ow + x) * c + ch] =
+                        data[((b * c + ch) * oh + y) * ow + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, c]).expect("consistent by construction")
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let cols = im2col(input, &self.geom)?;
+        let [n, _, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let (oh, ow) = self.geom.output_hw(h, w);
+        let mut yp = matmul(&cols, &self.weight.transpose2()?)?;
+        let oc = self.geom.out_channels;
+        for r in 0..yp.dims()[0] {
+            let row = &mut yp.data_mut()[r * oc..(r + 1) * oc];
+            for (v, &b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
+        self.cache = Some(ConvCache { cols, n, h, w });
+        Ok(patches_to_nchw(&yp, n, oc, oh, ow))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let gp = nchw_to_patches(grad_output); // (n·oh·ow, oc)
+        let gw = matmul(&gp.transpose2()?, &cache.cols)?;
+        self.weight_grad.axpy(1.0, &gw)?;
+        for r in 0..gp.dims()[0] {
+            let row = gp.row(r)?;
+            for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        let dcols = matmul(&gp, &self.weight)?;
+        Ok(col2im(&dcols, &self.geom, cache.n, cache.h, cache.w)?)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.weight,
+                grad: &mut self.weight_grad,
+                kind: ParamKind::ConvWeight {
+                    out_channels: self.geom.out_channels,
+                    patch_len: self.geom.patch_len(),
+                },
+            },
+            Param {
+                value: &mut self.bias,
+                grad: &mut self.bias_grad,
+                kind: ParamKind::Bias,
+            },
+        ]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2d({}→{}, k{}, s{}, p{})",
+            self.geom.in_channels,
+            self.geom.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_tensor::rng::{randn, seeded_rng};
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2d::new(2, 5, 3, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[3, 2, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[3, 5, 4, 4]);
+    }
+
+    #[test]
+    fn patches_nchw_roundtrip() {
+        let t = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        let p = nchw_to_patches(&t);
+        let back = patches_to_nchw(&p, 2, 3, 4, 5);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(11);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = randn(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        conv.zero_grad();
+        conv.backward(&y).unwrap();
+        let analytic = conv.params()[0].grad.clone();
+        let base = conv.weight().clone();
+        let eps = 1e-3;
+        for idx in [0usize, 4, 8, 9, 17] {
+            let mut wp = base.clone();
+            wp.data_mut()[idx] += eps;
+            conv.set_weight(wp).unwrap();
+            let lp = conv.forward(&x, false).unwrap().norm_sq() / 2.0;
+            let mut wm = base.clone();
+            wm.data_mut()[idx] -= eps;
+            conv.set_weight(wm).unwrap();
+            let lm = conv.forward(&x, false).unwrap().norm_sq() / 2.0;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!((fd - an).abs() < 3e-2 * an.abs().max(1.0), "{fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(13);
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
+        let x = randn(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true).unwrap();
+        let dx = conv.backward(&y).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+        let eps = 1e-3;
+        for idx in [0usize, 10, 35, 71] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let lp = conv.forward(&xp, false).unwrap().norm_sq() / 2.0;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lm = conv.forward(&xm, false).unwrap().norm_sq() / 2.0;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = dx.data()[idx];
+            assert!((fd - an).abs() < 3e-2 * an.abs().max(1.0), "{fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn conv_equals_linear_for_1x1_full_coverage() {
+        // A 1×1 conv on 1×1 images is exactly a Linear layer.
+        let mut rng = seeded_rng(5);
+        let mut conv = Conv2d::new(4, 3, 1, 1, 0, &mut rng);
+        let x = randn(&[2, 4, 1, 1], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false).unwrap();
+        // manual: y[b][o] = Σ_c W[o][c]·x[b][c]
+        for b in 0..2 {
+            for o in 0..3 {
+                let mut acc = 0.0;
+                for c in 0..4 {
+                    acc += conv.weight().at(&[o, c]).unwrap() * x.at(&[b, c, 0, 0]).unwrap();
+                }
+                assert!((acc - y.at(&[b, o, 0, 0]).unwrap()).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Dropout regularization.
+
+
+use rand_distr::{Bernoulli, Distribution};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`; during
+/// evaluation the layer is the identity.
+///
+/// The layer carries its own seeded RNG so training runs remain
+/// bit-reproducible; cloning a network snapshots that RNG state's seed
+/// lineage.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f64,
+    seed: u64,
+    calls: u64,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, seed, calls: 0, mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.mask = Some(vec![true; input.len()]);
+            return Ok(input.clone());
+        }
+        self.calls += 1;
+        let mut rng = seeded_rng(self.seed.wrapping_add(self.calls));
+        let keep = Bernoulli::new(1.0 - self.p).expect("p validated at construction");
+        let mask: Vec<bool> = (0..input.len()).map(|_| keep.sample(&mut rng)).collect();
+        let scale = (1.0 / (1.0 - self.p)) as f32;
+        let mut out = input.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let scale = (1.0 / (1.0 - self.p)) as f32;
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout(p={})", self.p)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_fn(&[16], |i| i as f32);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((4500..5500).contains(&zeros), "{zeros} zeros");
+        // survivors are scaled by 1/(1-p) = 2
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[50_000]);
+        let y = d.forward(&x, true).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        for (a, b) in y.data().iter().zip(g.data()) {
+            assert_eq!(a == &0.0, b == &0.0, "mask mismatch between passes");
+        }
+    }
+
+    #[test]
+    fn successive_calls_draw_fresh_masks() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[256]);
+        let a = d.forward(&x, true).unwrap();
+        let b = d.forward(&x, true).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

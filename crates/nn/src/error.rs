@@ -1,0 +1,60 @@
+//! Error type for the NN framework.
+
+use std::fmt;
+
+use rdo_tensor::TensorError;
+
+/// Error produced by network construction, training or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/rank/index problems).
+    Tensor(TensorError),
+    /// `backward` was called before `forward`, so no cached activations
+    /// exist.
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// The network or training configuration is invalid.
+    InvalidConfig(String),
+    /// The number of labels does not match the batch size.
+    LabelMismatch {
+        /// Batch size implied by the input tensor.
+        batch: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::LabelMismatch { batch, labels } => {
+                write!(f, "batch of {batch} inputs received {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Convenient result alias used across the NN crate.
+pub type Result<T> = std::result::Result<T, NnError>;

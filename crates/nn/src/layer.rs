@@ -1,0 +1,135 @@
+//! The [`Layer`] trait and parameter plumbing shared by every layer.
+
+use rdo_tensor::Tensor;
+
+use crate::error::Result;
+
+/// What role a trainable parameter plays.
+///
+/// The crossbar mapping pipeline (in `rdo-core`) maps only *core* weights —
+/// convolution kernels and fully-connected matrices — onto RRAM arrays;
+/// biases and normalization parameters stay digital, as in ISAAC-style
+/// accelerators. `ParamKind` lets that pipeline identify the core weights
+/// and recover their matrix geometry without downcasting layer types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A convolution kernel stored as `(out_channels, patch_len)`.
+    ConvWeight {
+        /// Number of output channels (rows of the stored matrix).
+        out_channels: usize,
+        /// `in_channels · kernel²` (columns of the stored matrix).
+        patch_len: usize,
+    },
+    /// A fully-connected weight stored as `(out_features, in_features)`.
+    LinearWeight {
+        /// Output features (rows of the stored matrix).
+        out_features: usize,
+        /// Input features (columns of the stored matrix).
+        in_features: usize,
+    },
+    /// A bias vector (kept digital; never mapped to devices).
+    Bias,
+    /// A batch-norm scale vector.
+    NormGamma,
+    /// A batch-norm shift vector.
+    NormBeta,
+}
+
+impl ParamKind {
+    /// Returns `true` for parameters that the crossbar pipeline maps onto
+    /// RRAM devices (convolution and linear weights).
+    pub fn is_core_weight(&self) -> bool {
+        matches!(
+            self,
+            ParamKind::ConvWeight { .. } | ParamKind::LinearWeight { .. }
+        )
+    }
+}
+
+/// A mutable view of one trainable parameter: its value, its accumulated
+/// gradient, and its role.
+#[derive(Debug)]
+pub struct Param<'a> {
+    /// The parameter tensor.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the latest `backward` call.
+    pub grad: &'a mut Tensor,
+    /// Role of this parameter.
+    pub kind: ParamKind,
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and cache whatever activations they need
+/// during [`Layer::forward`] so that [`Layer::backward`] can run without
+/// re-seeing the input. The contract is strictly
+/// `forward → backward → (optimizer step) → zero_grad`, batch by batch.
+///
+/// Layers are `Send` and clonable through [`clone_box`](Layer::clone_box),
+/// which lets the crossbar pipeline snapshot a trained network before
+/// substituting noisy effective weights.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Runs the layer on `input`, caching activations when `train` is true
+    /// (and whenever the layer needs them for backward).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `input` does not match the layer geometry.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Propagates `grad_output` backwards, accumulating parameter gradients
+    /// and returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] if no forward pass
+    /// has been cached, or a shape error if `grad_output` is inconsistent.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Mutable views of every trainable parameter, in a stable order.
+    ///
+    /// Parameter-free layers return an empty vector (the default).
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// All persistent tensors: trainable parameters plus non-trainable
+    /// state such as batch-norm running statistics, in a stable order.
+    /// Used for checkpointing a trained network.
+    fn state(&mut self) -> Vec<&mut Tensor> {
+        self.params().into_iter().map(|p| p.value).collect()
+    }
+
+    /// A short human-readable layer name for error messages and summaries.
+    fn name(&self) -> String;
+
+    /// Clones the layer into a box — object-safe `Clone`.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_weight_classification() {
+        assert!(ParamKind::ConvWeight { out_channels: 4, patch_len: 9 }.is_core_weight());
+        assert!(ParamKind::LinearWeight { out_features: 4, in_features: 9 }.is_core_weight());
+        assert!(!ParamKind::Bias.is_core_weight());
+        assert!(!ParamKind::NormGamma.is_core_weight());
+        assert!(!ParamKind::NormBeta.is_core_weight());
+    }
+}

@@ -1,0 +1,145 @@
+//! LeNet-5, the paper's MNIST test network.
+
+use rand::Rng;
+
+use crate::activation::{Flatten, Relu};
+use crate::conv::Conv2d;
+use crate::error::{NnError, Result};
+use crate::linear::Linear;
+use crate::pool::MaxPool2d;
+use crate::sequential::Sequential;
+
+/// Configuration for a LeNet-5-style network.
+///
+/// [`LeNetConfig::classic`] is the layer plan the paper evaluates on MNIST
+/// (conv 6/16, fc 120/84/10 on 28×28 inputs). [`LeNetConfig::scaled`]
+/// shrinks the widths for fast unit tests on a single CPU core while
+/// keeping the exact topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeNetConfig {
+    /// Input channel count (1 for grayscale digits).
+    pub in_channels: usize,
+    /// Input spatial side length (28 for MNIST-shaped data).
+    pub input_hw: usize,
+    /// Channels of the first conv layer (classic: 6).
+    pub conv1: usize,
+    /// Channels of the second conv layer (classic: 16).
+    pub conv2: usize,
+    /// Width of the first fully-connected layer (classic: 120).
+    pub fc1: usize,
+    /// Width of the second fully-connected layer (classic: 84).
+    pub fc2: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl LeNetConfig {
+    /// The classic LeNet-5 plan used in the paper's Fig. 5(a).
+    pub fn classic() -> Self {
+        LeNetConfig {
+            in_channels: 1,
+            input_hw: 28,
+            conv1: 6,
+            conv2: 16,
+            fc1: 120,
+            fc2: 84,
+            classes: 10,
+        }
+    }
+
+    /// A width-reduced plan with identical topology, sized for fast tests.
+    pub fn scaled() -> Self {
+        LeNetConfig { conv1: 4, conv2: 8, fc1: 32, fc2: 24, ..Self::classic() }
+    }
+
+    /// Spatial side length after both conv/pool stages.
+    ///
+    /// conv1 is 5×5 pad 2 (shape-preserving), each pool halves, conv2 is
+    /// 5×5 unpadded.
+    pub fn final_hw(&self) -> usize {
+        let after1 = self.input_hw / 2;
+        let after2 = after1.saturating_sub(4);
+        after2 / 2
+    }
+
+    /// Number of features entering the classifier.
+    pub fn flat_features(&self) -> usize {
+        self.conv2 * self.final_hw() * self.final_hw()
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the input is too small for the
+    /// two 5×5 conv / 2×2 pool stages.
+    pub fn build(&self, rng: &mut impl Rng) -> Result<Sequential> {
+        if self.final_hw() == 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "input {}×{} too small for LeNet",
+                self.input_hw, self.input_hw
+            )));
+        }
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(self.in_channels, self.conv1, 5, 1, 2, rng));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Conv2d::new(self.conv1, self.conv2, 5, 1, 0, rng));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Linear::new(self.flat_features(), self.fc1, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(self.fc1, self.fc2, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(self.fc2, self.classes, rng));
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use rdo_tensor::rng::seeded_rng;
+    use rdo_tensor::Tensor;
+
+    #[test]
+    fn classic_dimensions_match_lenet5() {
+        let cfg = LeNetConfig::classic();
+        assert_eq!(cfg.final_hw(), 5);
+        assert_eq!(cfg.flat_features(), 400);
+    }
+
+    #[test]
+    fn classic_forward_shape() {
+        let mut rng = seeded_rng(0);
+        let mut net = LeNetConfig::classic().build(&mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 1, 28, 28]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn scaled_forward_shape() {
+        let mut rng = seeded_rng(0);
+        let mut net = LeNetConfig::scaled().build(&mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 1, 28, 28]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn too_small_input_rejected() {
+        let cfg = LeNetConfig { input_hw: 8, ..LeNetConfig::classic() };
+        assert!(cfg.build(&mut seeded_rng(0)).is_err());
+    }
+
+    #[test]
+    fn backward_runs_end_to_end() {
+        let mut rng = seeded_rng(1);
+        let mut net = LeNetConfig::scaled().build(&mut rng).unwrap();
+        let x = Tensor::ones(&[1, 1, 28, 28]);
+        let y = net.forward(&x, true).unwrap();
+        let dx = net.backward(&y).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

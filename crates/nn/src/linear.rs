@@ -1,0 +1,243 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+use rdo_tensor::{matmul, rng::kaiming, Tensor};
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, Param, ParamKind};
+
+/// A fully-connected (dense) layer: `y = x·Wᵀ + b`.
+///
+/// The weight is stored as an `(out_features, in_features)` matrix — each
+/// row is one output neuron — which is also the orientation the crossbar
+/// mapper consumes (it transposes to fan-in × fan-out when tiling onto
+/// 128-row arrays).
+///
+/// # Examples
+///
+/// ```
+/// use rdo_nn::{Layer, Linear};
+/// use rdo_tensor::rng::seeded_rng;
+/// use rdo_tensor::Tensor;
+///
+/// let mut layer = Linear::new(3, 2, &mut seeded_rng(0));
+/// let x = Tensor::ones(&[4, 3]); // batch of 4
+/// let y = layer.forward(&x, false)?;
+/// assert_eq!(y.dims(), &[4, 2]);
+/// # Ok::<(), rdo_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-initialized weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: kaiming(&[out_features, in_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            weight_grad: Tensor::zeros(&[out_features, in_features]),
+            bias_grad: Tensor::zeros(&[out_features]),
+            cached_input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The `(out_features, in_features)` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Replaces the weight matrix (used by the crossbar mapper to inject
+    /// effective weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` is not `(out_features, in_features)`.
+    pub fn set_weight(&mut self, w: Tensor) -> Result<()> {
+        if w.dims() != [self.out_features, self.in_features] {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
+                op: "Linear::set_weight",
+                lhs: w.dims().to_vec(),
+                rhs: vec![self.out_features, self.in_features],
+            }));
+        }
+        self.weight = w;
+        Ok(())
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
+                op: "Linear::forward",
+                lhs: input.dims().to_vec(),
+                rhs: vec![0, self.in_features],
+            }));
+        }
+        self.cached_input = Some(input.clone());
+        let mut y = matmul(input, &self.weight.transpose2()?)?;
+        let n = input.dims()[0];
+        for r in 0..n {
+            let row = &mut y.data_mut()[r * self.out_features..(r + 1) * self.out_features];
+            for (v, &b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        // dW += gᵀ · x ; db += Σ_batch g ; dx = g · W
+        let gw = matmul(&grad_output.transpose2()?, input)?;
+        self.weight_grad.axpy(1.0, &gw)?;
+        let n = grad_output.dims()[0];
+        for r in 0..n {
+            let row = grad_output.row(r)?;
+            for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        Ok(matmul(grad_output, &self.weight)?)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.weight,
+                grad: &mut self.weight_grad,
+                kind: ParamKind::LinearWeight {
+                    out_features: self.out_features,
+                    in_features: self.in_features,
+                },
+            },
+            Param {
+                value: &mut self.bias,
+                grad: &mut self.bias_grad,
+                kind: ParamKind::Bias,
+            },
+        ]
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_tensor::rng::seeded_rng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = seeded_rng(1);
+        let mut l = Linear::new(4, 3, &mut rng);
+        for p in l.params() {
+            if p.kind == ParamKind::Bias {
+                p.value.map_inplace(|_| 1.0);
+            } else {
+                p.value.map_inplace(|_| 0.0);
+            }
+        }
+        let y = l.forward(&Tensor::ones(&[2, 4]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut l = Linear::new(2, 2, &mut seeded_rng(0));
+        assert!(matches!(
+            l.backward(&Tensor::zeros(&[1, 2])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(7);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = rdo_tensor::rng::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        // loss = sum(y²)/2, dL/dy = y
+        let y = l.forward(&x, true).unwrap();
+        l.zero_grad();
+        l.backward(&y).unwrap();
+        let analytic = l.params()[0].grad.clone();
+
+        let eps = 1e-3f32;
+        let base_w = l.weight().clone();
+        for idx in [0usize, 3, 5] {
+            let mut wp = base_w.clone();
+            wp.data_mut()[idx] += eps;
+            l.set_weight(wp).unwrap();
+            let lp = l.forward(&x, false).unwrap().norm_sq() / 2.0;
+            let mut wm = base_w.clone();
+            wm.data_mut()[idx] -= eps;
+            l.set_weight(wm).unwrap();
+            let lm = l.forward(&x, false).unwrap().norm_sq() / 2.0;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!((fd - an).abs() < 2e-2 * an.abs().max(1.0), "{fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(9);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = rdo_tensor::rng::randn(&[1, 3], 0.0, 1.0, &mut rng);
+        let y = l.forward(&x, true).unwrap();
+        let dx = l.backward(&y).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let lp = l.forward(&xp, false).unwrap().norm_sq() / 2.0;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lm = l.forward(&xm, false).unwrap().norm_sq() / 2.0;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.data()[idx]).abs() < 2e-2 * fd.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn set_weight_validates_shape() {
+        let mut l = Linear::new(3, 2, &mut seeded_rng(0));
+        assert!(l.set_weight(Tensor::zeros(&[2, 3])).is_ok());
+        assert!(l.set_weight(Tensor::zeros(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn wrong_input_width_rejected() {
+        let mut l = Linear::new(3, 2, &mut seeded_rng(0));
+        assert!(l.forward(&Tensor::zeros(&[1, 4]), false).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Loss functions.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+
+/// Numerically stable softmax over the last axis of a `(batch, classes)`
+/// logit matrix.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+            op: "softmax",
+            expected: 2,
+            actual: logits.shape().rank(),
+        }));
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    for r in 0..n {
+        let row = &mut out.data_mut()[r * c..(r + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= z;
+        }
+    }
+    Ok(out)
+}
+
+/// Softmax cross-entropy loss — the paper's training objective for all
+/// three networks ("We use the cross-entropy loss function", §IV).
+///
+/// [`SoftmaxCrossEntropy::compute`] returns both the mean loss and the
+/// gradient with respect to the logits, ready to feed into
+/// [`crate::Layer::backward`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes `(mean_loss, dL/dlogits)` for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelMismatch`] if `labels.len()` differs from the
+    /// batch size, or a rank error for non-matrix logits.
+    pub fn compute(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let probs = softmax(logits)?;
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        if labels.len() != n {
+            return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
+        }
+        let mut grad = probs.clone();
+        let mut loss = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            if label >= c {
+                return Err(NnError::InvalidConfig(format!(
+                    "label {label} out of range for {c} classes"
+                )));
+            }
+            let p = probs.data()[r * c + label].max(1e-12);
+            loss -= p.ln();
+            grad.data_mut()[r * c + label] -= 1.0;
+        }
+        let scale = 1.0 / n as f32;
+        grad.map_inplace(|g| g * scale);
+        Ok((loss * scale, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|x| x + 100.0);
+        let (pa, pb) = (softmax(&a).unwrap(), softmax(&b).unwrap());
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (l, _) = loss.compute(&logits, &[0]).unwrap();
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_c() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[1, 10]);
+        let (l, _) = loss.compute(&logits, &[4]).unwrap();
+        assert!((l - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.5, 1.2, 0.1], &[2, 2]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = loss.compute(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fp = loss.compute(&lp, &labels).unwrap().0;
+            let fm = loss.compute(&lm, &labels).unwrap().0;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad.data()[idx]).abs() < 1e-3, "{fd} vs {}", grad.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn label_count_checked() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            loss.compute(&logits, &[0]),
+            Err(NnError::LabelMismatch { .. })
+        ));
+        assert!(loss.compute(&logits, &[0, 5]).is_err());
+    }
+}

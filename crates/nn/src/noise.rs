@@ -1,0 +1,148 @@
+//! Multiplicative lognormal weight-noise injection.
+//!
+//! This is the mechanism behind the DVA baseline ("Design of reliable DNN
+//! accelerator with un-reliable ReRAM", DATE 2019 — reference 9 in the paper): during
+//! training, every core weight is perturbed as `w · e^θ`, `θ ~ N(0, σ²)`,
+//! matching the device variation the weight will suffer once written to a
+//! crossbar. Gradients are computed at the noisy point (straight-through),
+//! and the clean weights are restored after each step.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use rdo_tensor::Tensor;
+
+use crate::error::Result;
+use crate::layer::Layer;
+
+/// Snapshot of the clean core weights, returned by [`perturb_core_weights`]
+/// and consumed by [`restore_core_weights`].
+#[derive(Debug, Clone)]
+pub struct WeightSnapshot {
+    saved: Vec<Tensor>,
+}
+
+impl WeightSnapshot {
+    /// Number of core-weight tensors captured.
+    pub fn len(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Returns `true` if no core weights were captured.
+    pub fn is_empty(&self) -> bool {
+        self.saved.is_empty()
+    }
+}
+
+/// Multiplies every core weight (conv kernels and linear matrices) by an
+/// i.i.d. lognormal factor `e^θ`, `θ ~ N(0, σ²)`, returning a snapshot of
+/// the clean values.
+///
+/// Biases and normalization parameters are left untouched — they stay
+/// digital in the accelerator and suffer no device variation.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn perturb_core_weights(
+    net: &mut dyn Layer,
+    sigma: f32,
+    rng: &mut impl Rng,
+) -> WeightSnapshot {
+    let normal = Normal::new(0.0f32, sigma).expect("sigma must be finite and non-negative");
+    let mut saved = Vec::new();
+    for p in net.params() {
+        if p.kind.is_core_weight() {
+            saved.push(p.value.clone());
+            p.value.map_inplace(|w| w * normal.sample(rng).exp());
+        }
+    }
+    WeightSnapshot { saved }
+}
+
+/// Restores the clean weights captured by [`perturb_core_weights`].
+///
+/// # Errors
+///
+/// Returns a shape error if the network structure changed between perturb
+/// and restore.
+pub fn restore_core_weights(net: &mut dyn Layer, snapshot: &WeightSnapshot) -> Result<()> {
+    let mut it = snapshot.saved.iter();
+    for p in net.params() {
+        if p.kind.is_core_weight() {
+            if let Some(clean) = it.next() {
+                // overwrite in place, verifying the shape
+                if clean.dims() != p.value.dims() {
+                    return Err(crate::NnError::InvalidConfig(
+                        "network structure changed between perturb and restore".to_string(),
+                    ));
+                }
+                *p.value = clean.clone();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::sequential::Sequential;
+    use rdo_tensor::rng::seeded_rng;
+
+    #[test]
+    fn perturb_then_restore_is_identity() {
+        let mut rng = seeded_rng(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 4, &mut rng));
+        let before = net.params()[0].value.clone();
+        let snap = perturb_core_weights(&mut net, 0.5, &mut rng);
+        assert_eq!(snap.len(), 1);
+        let noisy = net.params()[0].value.clone();
+        assert_ne!(before, noisy);
+        restore_core_weights(&mut net, &snap).unwrap();
+        assert_eq!(net.params()[0].value.clone(), before);
+    }
+
+    #[test]
+    fn zero_sigma_is_noop() {
+        let mut rng = seeded_rng(1);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 3, &mut rng));
+        let before = net.params()[0].value.clone();
+        perturb_core_weights(&mut net, 0.0, &mut rng);
+        assert_eq!(net.params()[0].value.clone(), before);
+    }
+
+    #[test]
+    fn bias_is_untouched() {
+        let mut rng = seeded_rng(2);
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 3, &mut rng));
+        // set bias to a sentinel
+        for p in net.params() {
+            if !p.kind.is_core_weight() {
+                p.value.map_inplace(|_| 7.5);
+            }
+        }
+        perturb_core_weights(&mut net, 1.0, &mut rng);
+        for p in net.params() {
+            if !p.kind.is_core_weight() {
+                assert!(p.value.data().iter().all(|&v| v == 7.5));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_multiplicative() {
+        let mut rng = seeded_rng(3);
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 2, &mut rng));
+        // zero weights stay zero under multiplicative noise
+        for p in net.params() {
+            p.value.map_inplace(|_| 0.0);
+        }
+        perturb_core_weights(&mut net, 1.0, &mut rng);
+        assert!(net.params()[0].value.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Batch normalization over NCHW tensors.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, Param, ParamKind};
+
+const EPS: f32 = 1e-5;
+
+/// 2-D batch normalization with running statistics.
+///
+/// In training mode the layer normalizes with batch statistics and updates
+/// exponential running averages; in evaluation mode (and throughout the
+/// crossbar-mapped inference and PWT phases) it uses the frozen running
+/// statistics, so backward in eval mode is a per-channel affine map.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    gamma_grad: Tensor,
+    beta_grad: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    train: bool,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            gamma_grad: Tensor::zeros(&[channels]),
+            beta_grad: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        }
+    }
+
+    /// Number of channels this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The frozen running mean (one value per channel).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The frozen running variance (one value per channel).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        if input.shape().rank() != 4 {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+                op: "BatchNorm2d::forward",
+                expected: 4,
+                actual: input.shape().rank(),
+            }));
+        }
+        if input.dims()[1] != self.channels {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
+                op: "BatchNorm2d::forward",
+                lhs: input.dims().to_vec(),
+                rhs: vec![0, self.channels],
+            }));
+        }
+        Ok((input.dims()[0], input.dims()[2], input.dims()[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let c = self.channels;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        if train {
+            for b in 0..n {
+                for ch in 0..c {
+                    let p = &input.data()[(b * c + ch) * plane..(b * c + ch + 1) * plane];
+                    mean[ch] += p.iter().sum::<f32>();
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for b in 0..n {
+                for ch in 0..c {
+                    let p = &input.data()[(b * c + ch) * plane..(b * c + ch + 1) * plane];
+                    var[ch] += p.iter().map(|&x| (x - mean[ch]).powi(2)).sum::<f32>();
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            for ch in 0..c {
+                let rm = self.running_mean.data_mut();
+                rm[ch] = (1.0 - self.momentum) * rm[ch] + self.momentum * mean[ch];
+                let rv = self.running_var.data_mut();
+                rv[ch] = (1.0 - self.momentum) * rv[ch] + self.momentum * var[ch];
+            }
+        } else {
+            mean.copy_from_slice(self.running_mean.data());
+            var.copy_from_slice(self.running_var.data());
+        }
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(input.dims());
+        let mut out = Tensor::zeros(input.dims());
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * plane;
+                let (g, be) = (self.gamma.data()[ch], self.beta.data()[ch]);
+                for i in 0..plane {
+                    let xh = (input.data()[base + i] - mean[ch]) * inv_std[ch];
+                    x_hat.data_mut()[base + i] = xh;
+                    out.data_mut()[base + i] = g * xh + be;
+                }
+            }
+        }
+        self.cache = Some(BnCache { x_hat, inv_std, train, dims: input.dims().to_vec() });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let dims = &cache.dims;
+        let [n, c, h, w] = [dims[0], dims[1], dims[2], dims[3]];
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut dx = Tensor::zeros(dims);
+
+        for ch in 0..c {
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let g = grad_output.data()[base + i];
+                    sum_g += g;
+                    sum_gx += g * cache.x_hat.data()[base + i];
+                }
+            }
+            self.beta_grad.data_mut()[ch] += sum_g;
+            self.gamma_grad.data_mut()[ch] += sum_gx;
+
+            let gamma = self.gamma.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let g = grad_output.data()[base + i];
+                    let v = if cache.train {
+                        // full batch-norm backward
+                        gamma * inv_std
+                            * (g - sum_g / count
+                                - cache.x_hat.data()[base + i] * sum_gx / count)
+                    } else {
+                        // frozen statistics: pure affine
+                        gamma * inv_std * g
+                    };
+                    dx.data_mut()[base + i] = v;
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.gamma, grad: &mut self.gamma_grad, kind: ParamKind::NormGamma },
+            Param { value: &mut self.beta, grad: &mut self.beta_grad, kind: ParamKind::NormBeta },
+        ]
+    }
+
+    fn state(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.gamma,
+            &mut self.beta,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.channels)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_tensor::rng::{randn, seeded_rng};
+
+    #[test]
+    fn train_forward_normalizes() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = seeded_rng(3);
+        let x = randn(&[8, 2, 4, 4], 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        // each channel of y should be ~N(0,1)
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..8 {
+                for i in 0..16 {
+                    vals.push(y.at(&[b, ch, i / 4, i % 4]).unwrap());
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = seeded_rng(4);
+        // accumulate running stats
+        for _ in 0..50 {
+            let x = randn(&[16, 1, 2, 2], 5.0, 3.0, &mut rng);
+            bn.forward(&x, true).unwrap();
+        }
+        assert!((bn.running_mean().data()[0] - 5.0).abs() < 0.5);
+        assert!((bn.running_var().data()[0] - 9.0).abs() < 1.5);
+        // eval on a constant input: output should be (x-μ)/σ
+        let x = Tensor::full(&[1, 1, 2, 2], 5.0);
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.data().iter().all(|v| v.abs() < 0.2));
+    }
+
+    #[test]
+    fn train_backward_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = seeded_rng(5);
+        let x = randn(&[3, 2, 2, 2], 1.0, 1.5, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        let dx = bn.backward(&y).unwrap();
+        let eps = 1e-2f32;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
+            bn.forward(x, true).unwrap().norm_sq() / 2.0
+        };
+        for idx in [0usize, 5, 13, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            let an = dx.data()[idx];
+            assert!((fd - an).abs() < 0.1 * fd.abs().max(0.5), "{fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn eval_backward_is_affine() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        bn.forward(&x, false).unwrap(); // running stats: mean 0, var 1
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = bn.backward(&g).unwrap();
+        // gamma=1, inv_std ≈ 1 ⇒ dx ≈ g
+        for v in dx.data() {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn state_includes_running_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        assert_eq!(bn.params().len(), 2);
+        assert_eq!(bn.state().len(), 4); // gamma, beta, running mean/var
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Pooling layers: 2×2 max pooling and global average pooling.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+
+/// Max pooling with a square window and stride equal to the window size.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    cache: Option<MaxPoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MaxPoolCache {
+    argmax: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window (e.g. 2 for 2×2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        MaxPool2d { window, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 4 {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+                op: "MaxPool2d::forward",
+                expected: 4,
+                actual: input.shape().rank(),
+            }));
+        }
+        let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let data = input.data();
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((b * c + ch) * oh + oy) * ow + ox;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let iidx = plane + (oy * k + dy) * w + (ox * k + dx);
+                                if data[iidx] > out[oidx] {
+                                    out[oidx] = data[iidx];
+                                    argmax[oidx] = iidx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(MaxPoolCache { argmax, input_dims: input.dims().to_vec() });
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let mut g = Tensor::zeros(&cache.input_dims);
+        let gd = g.data_mut();
+        for (o, &src) in cache.argmax.iter().enumerate() {
+            gd[src] += grad_output.data()[o];
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d({0}×{0})", self.window)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Global average pooling: NCHW → `(n, c)`, averaging each channel plane.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 4 {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+                op: "GlobalAvgPool::forward",
+                expected: 4,
+                actual: input.shape().rank(),
+            }));
+        }
+        let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+        let area = (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                out[b * c + ch] = plane.iter().sum::<f32>() / area;
+            }
+        }
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(Tensor::from_vec(out, &[n, c])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self.input_dims.clone().ok_or_else(|| {
+            NnError::BackwardBeforeForward { layer: self.name() }
+        })?;
+        let [n, c, h, w] = [dims[0], dims[1], dims[2], dims[3]];
+        let area = (h * w) as f32;
+        let mut g = Tensor::zeros(&dims);
+        for b in 0..n {
+            for ch in 0..c {
+                let gv = grad_output.data()[b * c + ch] / area;
+                let plane = &mut g.data_mut()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                for v in plane {
+                    *v = gv;
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> String {
+        "GlobalAvgPool".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_max() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        p.forward(&x, true).unwrap();
+        let g = p.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        let expected_hot = [5usize, 7, 13, 15];
+        for (i, &v) in g.data().iter().enumerate() {
+            if expected_hot.contains(&i) {
+                assert_eq!(v, 1.0);
+            } else {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_values_and_grad() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let g = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(g.dims(), &[1, 2, 2, 2]);
+        assert_eq!(g.data()[0], 1.0);
+        assert_eq!(g.data()[7], 2.0);
+    }
+
+    #[test]
+    fn pool_rejects_wrong_rank() {
+        assert!(MaxPool2d::new(2).forward(&Tensor::zeros(&[4, 4]), true).is_err());
+        assert!(GlobalAvgPool::new().forward(&Tensor::zeros(&[4, 4]), true).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! 8-bit weight quantization in the ISAAC one-crossbar style.
+//!
+//! The one-crossbar architecture stores only *non-negative* integers: a
+//! layer's weights are affinely mapped to `[0, 2^bits − 1]` by a scale
+//! `delta` and an integer `shift` (§II of the paper: weights in
+//! `[-120, 135]` are shifted by 120 into `[0, 255]`). The shift is undone
+//! digitally after the analog dot product by subtracting `shift · Σxᵢ`.
+//!
+//! Quantized integer weights are the *network target weights* (NTWs) that
+//! VAWO and PWT operate on.
+
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+
+/// Affine quantization parameters for one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-valued step between adjacent integer levels.
+    pub delta: f32,
+    /// Integer zero point: real weight = `delta · (q − shift)`.
+    pub shift: u32,
+    /// Bit width (levels = `2^bits`).
+    pub bits: u32,
+}
+
+impl QuantParams {
+    /// Largest representable integer level, `2^bits − 1`.
+    pub fn max_level(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Dequantizes a single integer level to its real value.
+    pub fn dequantize(&self, q: f32) -> f32 {
+        self.delta * (q - self.shift as f32)
+    }
+
+    /// Quantizes a single real value to the nearest integer level,
+    /// clamped to `[0, 2^bits − 1]`.
+    pub fn quantize(&self, w: f32) -> f32 {
+        ((w / self.delta).round() + self.shift as f32).clamp(0.0, self.max_level() as f32)
+    }
+}
+
+/// A quantized weight matrix: integer levels plus the affine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeight {
+    /// Integer levels in `[0, 2^bits − 1]`, stored as whole-valued `f32`s
+    /// (so the same tensor kernels apply).
+    pub levels: Tensor,
+    /// The affine map back to real weights.
+    pub params: QuantParams,
+}
+
+impl QuantizedWeight {
+    /// Dequantizes the whole matrix back to real weights.
+    pub fn dequantize(&self) -> Tensor {
+        let p = self.params;
+        self.levels.map(|q| p.dequantize(q))
+    }
+}
+
+/// Quantizes a real weight tensor to `bits`-bit non-negative integers.
+///
+/// The range is the tensor's `[min, max]`; `delta` and `shift` are chosen so
+/// that both extremes are representable and zero maps close to an integer
+/// level.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `bits` is 0 or greater than 16, or
+/// if the tensor contains non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_nn::quant::quantize_weights;
+/// use rdo_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(vec![-1.0, 0.0, 0.5, 1.0], &[2, 2])?;
+/// let q = quantize_weights(&w, 8)?;
+/// let back = q.dequantize();
+/// for (a, b) in w.data().iter().zip(back.data()) {
+///     assert!((a - b).abs() <= q.params.delta / 2.0 + 1e-6);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn quantize_weights(w: &Tensor, bits: u32) -> Result<QuantizedWeight> {
+    if bits == 0 || bits > 16 {
+        return Err(NnError::InvalidConfig(format!(
+            "unsupported weight bit width {bits}"
+        )));
+    }
+    if w.data().iter().any(|v| !v.is_finite()) {
+        return Err(NnError::InvalidConfig(
+            "cannot quantize non-finite weights".to_string(),
+        ));
+    }
+    let (lo, hi) = (w.min().min(0.0), w.max().max(0.0));
+    let max_level = ((1u32 << bits) - 1) as f32;
+    let span = (hi - lo).max(f32::MIN_POSITIVE);
+    let delta = span / max_level;
+    let shift = (-lo / delta).round().clamp(0.0, max_level) as u32;
+    let params = QuantParams { delta, shift, bits };
+    let levels = w.map(|v| params.quantize(v));
+    Ok(QuantizedWeight { levels, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdo_tensor::rng::{randn, seeded_rng};
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let w = randn(&[64], 0.0, 1.0, &mut seeded_rng(0));
+        let q = quantize_weights(&w, 8).unwrap();
+        let back = q.dequantize();
+        for (a, b) in w.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= q.params.delta / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn levels_within_range() {
+        let w = randn(&[256], 0.0, 3.0, &mut seeded_rng(1));
+        let q = quantize_weights(&w, 8).unwrap();
+        for &l in q.levels.data() {
+            assert!(l >= 0.0 && l <= 255.0);
+            assert_eq!(l, l.round());
+        }
+    }
+
+    #[test]
+    fn paper_example_range() {
+        // §II: weights in [-120, 135] shift by 120 into [0, 255].
+        let w = Tensor::from_vec(vec![-120.0, 0.0, 135.0], &[3]).unwrap();
+        let q = quantize_weights(&w, 8).unwrap();
+        assert_eq!(q.params.shift, 120);
+        assert_eq!(q.levels.data(), &[0.0, 120.0, 255.0]);
+    }
+
+    #[test]
+    fn all_positive_weights_get_zero_shift() {
+        let w = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]).unwrap();
+        let q = quantize_weights(&w, 8).unwrap();
+        assert_eq!(q.params.shift, 0);
+    }
+
+    #[test]
+    fn low_bit_quantization() {
+        let w = Tensor::from_vec(vec![-1.0, 1.0], &[2]).unwrap();
+        let q = quantize_weights(&w, 2).unwrap(); // 4 levels
+        assert_eq!(q.params.max_level(), 3);
+        assert_eq!(q.levels.data()[0], 0.0);
+        assert_eq!(q.levels.data()[1], 3.0);
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        let w = Tensor::ones(&[2]);
+        assert!(quantize_weights(&w, 0).is_err());
+        assert!(quantize_weights(&w, 17).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let w = Tensor::from_vec(vec![f32::NAN, 1.0], &[2]).unwrap();
+        assert!(quantize_weights(&w, 8).is_err());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes() {
+        let w = Tensor::zeros(&[4]);
+        let q = quantize_weights(&w, 8).unwrap();
+        let back = q.dequantize();
+        assert!(back.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+}

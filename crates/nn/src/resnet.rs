@@ -1,0 +1,168 @@
+//! ResNet-18 (basic-block) in its CIFAR form, the paper's second test
+//! network.
+
+use rand::Rng;
+
+use crate::activation::Relu;
+use crate::conv::Conv2d;
+use crate::error::{NnError, Result};
+use crate::linear::Linear;
+use crate::norm::BatchNorm2d;
+use crate::pool::GlobalAvgPool;
+use crate::sequential::{Residual, Sequential};
+
+/// Configuration for a basic-block ResNet.
+///
+/// [`ResNetConfig::resnet18`] is the full-width network the paper runs on
+/// CIFAR-10 (base width 64, blocks `[2, 2, 2, 2]`);
+/// [`ResNetConfig::resnet18_scaled`] keeps the exact block structure at a
+/// reduced base width so the single-core benchmark harness can train it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input channel count (3 for RGB).
+    pub in_channels: usize,
+    /// Channel width of the first stage; later stages double it.
+    pub base_width: usize,
+    /// Basic blocks per stage (ResNet-18: `[2, 2, 2, 2]`).
+    pub blocks: [usize; 4],
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ResNetConfig {
+    /// Full ResNet-18: base width 64, `[2, 2, 2, 2]` blocks.
+    pub fn resnet18() -> Self {
+        ResNetConfig { in_channels: 3, base_width: 64, blocks: [2, 2, 2, 2], classes: 10 }
+    }
+
+    /// ResNet-18 topology at a reduced base width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_width == 0`.
+    pub fn resnet18_scaled(base_width: usize) -> Self {
+        assert!(base_width > 0, "base width must be positive");
+        ResNetConfig { base_width, ..Self::resnet18() }
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a zero-width configuration.
+    pub fn build(&self, rng: &mut impl Rng) -> Result<Sequential> {
+        if self.base_width == 0 || self.classes == 0 {
+            return Err(NnError::InvalidConfig(
+                "resnet widths and classes must be positive".to_string(),
+            ));
+        }
+        let mut net = Sequential::new();
+        // stem: 3×3 conv, CIFAR-style (no 7×7 / maxpool stem)
+        net.push(Conv2d::new(self.in_channels, self.base_width, 3, 1, 1, rng));
+        net.push(BatchNorm2d::new(self.base_width));
+        net.push(Relu::new());
+
+        let mut in_ch = self.base_width;
+        for (stage, &nblocks) in self.blocks.iter().enumerate() {
+            let out_ch = self.base_width << stage;
+            for b in 0..nblocks {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                net.push(basic_block(in_ch, out_ch, stride, rng));
+                in_ch = out_ch;
+            }
+        }
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(in_ch, self.classes, rng));
+        Ok(net)
+    }
+}
+
+/// Builds one basic block: two 3×3 convs with batch norm, a projection
+/// shortcut when the shape changes, and a trailing ReLU.
+fn basic_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut impl Rng) -> Sequential {
+    let mut main = Sequential::new();
+    main.push(Conv2d::new(in_ch, out_ch, 3, stride, 1, rng));
+    main.push(BatchNorm2d::new(out_ch));
+    main.push(Relu::new());
+    main.push(Conv2d::new(out_ch, out_ch, 3, 1, 1, rng));
+    main.push(BatchNorm2d::new(out_ch));
+
+    let mut shortcut = Sequential::new();
+    if stride != 1 || in_ch != out_ch {
+        shortcut.push(Conv2d::new(in_ch, out_ch, 1, stride, 0, rng));
+        shortcut.push(BatchNorm2d::new(out_ch));
+    }
+
+    let mut block = Sequential::new();
+    block.push(Residual::new(main, shortcut));
+    block.push(Relu::new());
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use rdo_tensor::rng::seeded_rng;
+    use rdo_tensor::Tensor;
+
+    #[test]
+    fn full_resnet18_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut net = ResNetConfig::resnet18().build(&mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn full_resnet18_parameter_count_plausible() {
+        // The canonical CIFAR ResNet-18 has ≈11.2 M parameters.
+        let mut rng = seeded_rng(0);
+        let mut net = ResNetConfig::resnet18().build(&mut rng).unwrap();
+        let total: usize = net.params().iter().map(|p| p.value.len()).sum();
+        assert!(
+            (10_500_000..12_000_000).contains(&total),
+            "parameter count {total}"
+        );
+    }
+
+    #[test]
+    fn scaled_resnet_runs_small_inputs() {
+        let mut rng = seeded_rng(1);
+        let mut net = ResNetConfig::resnet18_scaled(8).build(&mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn backward_runs_through_residuals() {
+        let mut rng = seeded_rng(2);
+        let mut net = ResNetConfig::resnet18_scaled(4).build(&mut rng).unwrap();
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        let y = net.forward(&x, true).unwrap();
+        let dx = net.backward(&y).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn stage_count_is_four_with_downsampling() {
+        // 16×16 input through three stride-2 stages → final maps are 2×2.
+        let mut rng = seeded_rng(3);
+        let cfg = ResNetConfig::resnet18_scaled(4);
+        let mut net = cfg.build(&mut rng).unwrap();
+        // count conv layers via params: 17 convs (1 stem + 16 block convs)
+        // + 3 projection convs + 1 linear = 21 core weights
+        let cores = net
+            .params()
+            .iter()
+            .filter(|p| p.kind.is_core_weight())
+            .count();
+        assert_eq!(cores, 21);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = ResNetConfig { base_width: 0, ..ResNetConfig::resnet18() };
+        assert!(cfg.build(&mut seeded_rng(0)).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Mini-batch training loop.
+
+use std::time::{Duration, Instant};
+
+use rdo_tensor::rng::{permutation, seeded_rng};
+use rdo_tensor::Tensor;
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::loss::SoftmaxCrossEntropy;
+use crate::metrics::accuracy;
+use crate::noise::{perturb_core_weights, restore_core_weights};
+use crate::optim::Sgd;
+use crate::sequential::Sequential;
+
+/// Hyper-parameters for [`fit`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// SGD momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay on core weights.
+    pub weight_decay: f32,
+    /// Multiplicative factor applied to the learning rate after each epoch.
+    pub lr_decay: f32,
+    /// When set, injects multiplicative lognormal noise of this σ into the
+    /// core weights on every forward/backward pass (the DVA baseline's
+    /// variation-aware training).
+    pub noise_sigma: Option<f32>,
+    /// RNG seed for shuffling and noise.
+    pub seed: u64,
+    /// Print one progress line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_decay: 0.85,
+            noise_sigma: None,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Summary of a training run, returned by [`fit`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock time spent in the loop.
+    pub wall_time: Duration,
+    /// Accuracy on the training set after the last epoch.
+    pub train_accuracy: f32,
+}
+
+/// Extracts samples `[start, end)` along the batch axis of an `(n, ...)`
+/// tensor. Data is contiguous, so this is a cheap copy of a sub-range.
+///
+/// # Errors
+///
+/// Returns an index error if `start > end` or `end` exceeds the batch size.
+pub fn batch_slice(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    let dims = t.dims();
+    if dims.is_empty() || start > end || end > dims[0] {
+        return Err(NnError::Tensor(rdo_tensor::TensorError::IndexOutOfBounds {
+            index: vec![start, end],
+            shape: dims.to_vec(),
+        }));
+    }
+    let stride: usize = dims[1..].iter().product();
+    let mut new_dims = dims.to_vec();
+    new_dims[0] = end - start;
+    Ok(Tensor::from_vec(
+        t.data()[start * stride..end * stride].to_vec(),
+        &new_dims,
+    )?)
+}
+
+/// Gathers the samples at `indices` along the batch axis.
+///
+/// # Errors
+///
+/// Returns an index error if any index exceeds the batch size.
+pub fn batch_gather(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    let dims = t.dims();
+    if dims.is_empty() {
+        return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+            op: "batch_gather",
+            expected: 1,
+            actual: 0,
+        }));
+    }
+    let stride: usize = dims[1..].iter().product();
+    let mut data = Vec::with_capacity(indices.len() * stride);
+    for &i in indices {
+        if i >= dims[0] {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: dims.to_vec(),
+            }));
+        }
+        data.extend_from_slice(&t.data()[i * stride..(i + 1) * stride]);
+    }
+    let mut new_dims = dims.to_vec();
+    new_dims[0] = indices.len();
+    Ok(Tensor::from_vec(data, &new_dims)?)
+}
+
+/// Trains `net` on `(images, labels)` with softmax cross-entropy.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if sizes disagree, or propagates any
+/// layer error.
+pub fn fit(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> Result<TrainReport> {
+    let n = images.dims()[0];
+    if labels.len() != n {
+        return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
+    }
+    if cfg.batch_size == 0 || cfg.epochs == 0 {
+        return Err(NnError::InvalidConfig(
+            "batch_size and epochs must be positive".to_string(),
+        ));
+    }
+    let start = Instant::now();
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(cfg.lr)
+        .momentum(cfg.momentum)
+        .weight_decay(cfg.weight_decay);
+    let mut rng = seeded_rng(cfg.seed);
+    let mut report = TrainReport::default();
+
+    for epoch in 0..cfg.epochs {
+        let order = permutation(n, &mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = batch_gather(images, chunk)?;
+            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+
+            let snapshot = cfg
+                .noise_sigma
+                .map(|sigma| perturb_core_weights(net, sigma, &mut rng));
+
+            let logits = net.forward(&x, true)?;
+            let (l, grad) = loss_fn.compute(&logits, &y)?;
+            net.zero_grad();
+            net.backward(&grad)?;
+
+            if let Some(snap) = &snapshot {
+                restore_core_weights(net, snap)?;
+            }
+
+            opt.step(net)?;
+            epoch_loss += l;
+            batches += 1;
+        }
+        let mean = epoch_loss / batches.max(1) as f32;
+        report.epoch_losses.push(mean);
+        if cfg.verbose {
+            eprintln!("epoch {:>3}: loss {:.4} (lr {:.4})", epoch + 1, mean, opt.lr());
+        }
+        opt.set_lr(opt.lr() * cfg.lr_decay);
+    }
+
+    report.train_accuracy = evaluate(net, images, labels, cfg.batch_size)?;
+    report.wall_time = start.elapsed();
+    Ok(report)
+}
+
+/// Re-estimates batch-norm running statistics by streaming `images`
+/// through the network in training mode **without touching any weights**.
+///
+/// Used after crossbar mapping: the effective weights differ from the
+/// trained ones, so the frozen normalization statistics no longer match
+/// the activation distributions. Batch norm is a digital unit in
+/// ISAAC-style accelerators, so recalibrating it post-writing is a pure
+/// digital step, in the same spirit as post-writing tuning.
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn recalibrate_batchnorm(
+    net: &mut Sequential,
+    images: &Tensor,
+    batch_size: usize,
+) -> Result<()> {
+    let n = images.dims()[0];
+    let bs = batch_size.max(1);
+    // two passes so the exponential running averages converge toward the
+    // new statistics regardless of their starting point
+    for _ in 0..2 {
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + bs).min(n);
+            let x = batch_slice(images, start, end)?;
+            let _ = net.forward(&x, true)?;
+            start = end;
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates top-1 accuracy of `net` over a dataset, batched.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] if sizes disagree, or propagates any
+/// layer error.
+pub fn evaluate(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<f32> {
+    let n = images.dims()[0];
+    if labels.len() != n {
+        return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let bs = batch_size.max(1);
+    let mut correct = 0.0f32;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + bs).min(n);
+        let x = batch_slice(images, start, end)?;
+        let logits = net.infer(&x)?;
+        correct += accuracy(&logits, &labels[start..end])? * (end - start) as f32;
+        start = end;
+    }
+    Ok(correct / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use rdo_tensor::rng::{randn, seeded_rng};
+
+    fn toy_problem(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let x = randn(&[n, 4], 0.0, 1.0, &mut rng);
+        // label = quadrant sign pattern of the first two features
+        let labels = (0..n)
+            .map(|i| {
+                let a = x.data()[i * 4] > 0.0;
+                let b = x.data()[i * 4 + 1] > 0.0;
+                (a as usize) * 2 + b as usize
+            })
+            .collect();
+        (x, labels)
+    }
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 16, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(16, 4, &mut rng));
+        net
+    }
+
+    #[test]
+    fn fit_learns_toy_problem() {
+        let (x, y) = toy_problem(256, 1);
+        let mut net = mlp(2);
+        let cfg = TrainConfig { epochs: 20, batch_size: 32, lr: 0.1, ..Default::default() };
+        let report = fit(&mut net, &x, &y, &cfg).unwrap();
+        assert!(report.train_accuracy > 0.9, "accuracy {}", report.train_accuracy);
+        assert!(report.epoch_losses.last().unwrap() < &0.4);
+        assert_eq!(report.epoch_losses.len(), 20);
+    }
+
+    #[test]
+    fn noisy_training_still_learns() {
+        let (x, y) = toy_problem(256, 3);
+        let mut net = mlp(4);
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            lr: 0.1,
+            noise_sigma: Some(0.3),
+            ..Default::default()
+        };
+        let report = fit(&mut net, &x, &y, &cfg).unwrap();
+        assert!(report.train_accuracy > 0.8, "accuracy {}", report.train_accuracy);
+    }
+
+    #[test]
+    fn batch_slice_and_gather() {
+        let t = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let s = batch_slice(&t, 1, 3).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let g = batch_gather(&t, &[3, 0]).unwrap();
+        assert_eq!(g.data(), &[6.0, 7.0, 0.0, 1.0]);
+        assert!(batch_slice(&t, 2, 5).is_err());
+        assert!(batch_gather(&t, &[9]).is_err());
+    }
+
+    #[test]
+    fn evaluate_on_constant_net_is_chance_or_zero() {
+        let (x, y) = toy_problem(64, 5);
+        let mut net = mlp(6);
+        let acc = evaluate(&mut net, &x, &y, 16).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (x, y) = toy_problem(8, 7);
+        let mut net = mlp(8);
+        let cfg = TrainConfig { epochs: 0, ..Default::default() };
+        assert!(fit(&mut net, &x, &y, &cfg).is_err());
+        let cfg = TrainConfig { batch_size: 0, ..Default::default() };
+        assert!(fit(&mut net, &x, &y, &cfg).is_err());
+    }
+
+    #[test]
+    fn label_mismatch_rejected() {
+        let (x, _) = toy_problem(8, 9);
+        let mut net = mlp(10);
+        assert!(fit(&mut net, &x, &[0, 1], &TrainConfig::default()).is_err());
+        assert!(evaluate(&mut net, &x, &[0, 1], 4).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! VGG-16, the network the paper uses for its Table III comparison with
+//! DVA and PM.
+
+use rand::Rng;
+
+use crate::activation::{Flatten, Relu};
+use crate::conv::Conv2d;
+use crate::error::{NnError, Result};
+use crate::linear::Linear;
+use crate::norm::BatchNorm2d;
+use crate::pool::MaxPool2d;
+use crate::sequential::Sequential;
+
+/// One element of a VGG feature plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggItem {
+    /// A 3×3 conv (pad 1) with the given output channel count, followed by
+    /// batch norm and ReLU.
+    Conv(usize),
+    /// A 2×2 max pool.
+    Pool,
+}
+
+/// Configuration for a VGG-style network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VggConfig {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input spatial side length.
+    pub input_hw: usize,
+    /// Convolution / pooling plan.
+    pub plan: Vec<VggItem>,
+    /// Hidden width of the two classifier layers.
+    pub fc: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl VggConfig {
+    /// Full VGG-16 (13 convs at widths 64…512 + 3 fully-connected layers)
+    /// for 32×32 inputs.
+    pub fn vgg16() -> Self {
+        Self::vgg16_scaled(1, 32)
+    }
+
+    /// VGG-16 topology with all channel widths divided by `divisor`.
+    ///
+    /// Trailing pools that would shrink the feature map below 1×1 are
+    /// dropped, so small inputs (e.g. 16×16) remain usable without
+    /// changing the conv plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0` or the resulting widths would be zero.
+    pub fn vgg16_scaled(divisor: usize, input_hw: usize) -> Self {
+        assert!(divisor > 0 && 64 / divisor > 0, "divisor too large");
+        use VggItem::{Conv, Pool};
+        let d = |w: usize| w / divisor;
+        let mut plan = vec![
+            Conv(d(64)), Conv(d(64)), Pool,
+            Conv(d(128)), Conv(d(128)), Pool,
+            Conv(d(256)), Conv(d(256)), Conv(d(256)), Pool,
+            Conv(d(512)), Conv(d(512)), Conv(d(512)), Pool,
+            Conv(d(512)), Conv(d(512)), Conv(d(512)), Pool,
+        ];
+        // drop trailing pools the input cannot afford
+        let mut hw = input_hw;
+        let mut kept = Vec::with_capacity(plan.len());
+        for item in plan.drain(..) {
+            match item {
+                Pool if hw / 2 == 0 => continue,
+                Pool => {
+                    hw /= 2;
+                    kept.push(Pool);
+                }
+                conv => kept.push(conv),
+            }
+        }
+        VggConfig {
+            in_channels: 3,
+            input_hw,
+            plan: kept,
+            fc: d(512).max(4),
+            classes: 10,
+        }
+    }
+
+    /// Spatial side length after all pools in the plan.
+    pub fn final_hw(&self) -> usize {
+        let pools = self.plan.iter().filter(|i| matches!(i, VggItem::Pool)).count();
+        self.input_hw >> pools
+    }
+
+    /// Number of features entering the classifier.
+    pub fn flat_features(&self) -> usize {
+        let last_width = self
+            .plan
+            .iter()
+            .rev()
+            .find_map(|i| match i {
+                VggItem::Conv(w) => Some(*w),
+                VggItem::Pool => None,
+            })
+            .unwrap_or(self.in_channels);
+        last_width * self.final_hw() * self.final_hw()
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the plan pools the feature map
+    /// to nothing.
+    pub fn build(&self, rng: &mut impl Rng) -> Result<Sequential> {
+        if self.final_hw() == 0 {
+            return Err(NnError::InvalidConfig(
+                "vgg plan pools the input away".to_string(),
+            ));
+        }
+        let mut net = Sequential::new();
+        let mut ch = self.in_channels;
+        for item in &self.plan {
+            match *item {
+                VggItem::Conv(w) => {
+                    net.push(Conv2d::new(ch, w, 3, 1, 1, rng));
+                    net.push(BatchNorm2d::new(w));
+                    net.push(Relu::new());
+                    ch = w;
+                }
+                VggItem::Pool => net.push(MaxPool2d::new(2)),
+            }
+        }
+        net.push(Flatten::new());
+        net.push(Linear::new(self.flat_features(), self.fc, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(self.fc, self.fc, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(self.fc, self.classes, rng));
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use rdo_tensor::rng::seeded_rng;
+    use rdo_tensor::Tensor;
+
+    #[test]
+    fn full_vgg16_has_13_convs_and_3_linears() {
+        let cfg = VggConfig::vgg16();
+        let convs = cfg.plan.iter().filter(|i| matches!(i, VggItem::Conv(_))).count();
+        assert_eq!(convs, 13);
+        let mut net = cfg.build(&mut seeded_rng(0)).unwrap();
+        let cores = net.params().iter().filter(|p| p.kind.is_core_weight()).count();
+        assert_eq!(cores, 16); // 13 convs + 3 linears = VGG-16
+    }
+
+    #[test]
+    fn full_vgg16_forward_shape() {
+        let mut net = VggConfig::vgg16().build(&mut seeded_rng(0)).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn scaled_vgg_drops_excess_pools_for_small_inputs() {
+        let cfg = VggConfig::vgg16_scaled(8, 16);
+        assert!(cfg.final_hw() >= 1);
+        let mut net = cfg.build(&mut seeded_rng(1)).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn backward_runs() {
+        let cfg = VggConfig::vgg16_scaled(16, 16);
+        let mut net = cfg.build(&mut seeded_rng(2)).unwrap();
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        let y = net.forward(&x, true).unwrap();
+        let dx = net.backward(&y).unwrap();
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor too large")]
+    fn oversized_divisor_panics() {
+        let _ = VggConfig::vgg16_scaled(128, 32);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the NN framework: loss-function laws,
+//! quantization round-trips and layer algebra.
+
+use proptest::prelude::*;
+use rdo_nn::quant::quantize_weights;
+use rdo_nn::{softmax, Flatten, Layer, Linear, Relu, SoftmaxCrossEntropy};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax rows are probability vectors for any finite logits.
+    #[test]
+    fn softmax_rows_are_distributions(
+        v in proptest::collection::vec(-30.0f32..30.0, 12),
+    ) {
+        let logits = Tensor::from_vec(v, &[3, 4]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for r in 0..3 {
+            let row = p.row(r).unwrap();
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    /// Cross-entropy is minimized by confident correct predictions:
+    /// boosting the true logit never increases the loss.
+    #[test]
+    fn boosting_true_logit_cannot_hurt(
+        v in proptest::collection::vec(-5.0f32..5.0, 4),
+        label in 0usize..4,
+        boost in 0.0f32..5.0,
+    ) {
+        let loss = SoftmaxCrossEntropy::new();
+        let base = Tensor::from_vec(v.clone(), &[1, 4]).unwrap();
+        let mut boosted = base.clone();
+        boosted.data_mut()[label] += boost;
+        let (l0, _) = loss.compute(&base, &[label]).unwrap();
+        let (l1, _) = loss.compute(&boosted, &[label]).unwrap();
+        prop_assert!(l1 <= l0 + 1e-5);
+    }
+
+    /// The cross-entropy gradient sums to zero over classes (softmax
+    /// probabilities minus a one-hot both sum to one).
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(
+        v in proptest::collection::vec(-5.0f32..5.0, 8),
+        label in 0usize..4,
+    ) {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(v, &[2, 4]).unwrap();
+        let (_, g) = loss.compute(&logits, &[label, (label + 1) % 4]).unwrap();
+        for r in 0..2 {
+            let s: f32 = g.row(r).unwrap().iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// Quantize → dequantize round-trips within half a step for any
+    /// finite weights and any supported bit width.
+    #[test]
+    fn quantization_roundtrip(
+        v in proptest::collection::vec(-10.0f32..10.0, 16),
+        bits in 2u32..10,
+    ) {
+        let w = Tensor::from_vec(v, &[4, 4]).unwrap();
+        let q = quantize_weights(&w, bits).unwrap();
+        let back = q.dequantize();
+        for (a, b) in w.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.params.delta / 2.0 + 1e-5);
+        }
+        for &l in q.levels.data() {
+            prop_assert!(l >= 0.0 && l <= q.params.max_level() as f32);
+            prop_assert_eq!(l, l.round());
+        }
+    }
+
+    /// ReLU is idempotent: relu(relu(x)) == relu(x).
+    #[test]
+    fn relu_idempotent(v in proptest::collection::vec(-10.0f32..10.0, 8)) {
+        let x = Tensor::from_vec(v, &[8]).unwrap();
+        let mut r = Relu::new();
+        let once = r.forward(&x, false).unwrap();
+        let twice = r.forward(&once, false).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Linear layers are affine: f(αx) − f(0) == α(f(x) − f(0)).
+    #[test]
+    fn linear_is_affine(
+        seed in 0u64..100,
+        alpha in -3.0f32..3.0,
+        v in proptest::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let mut l = Linear::new(3, 2, &mut seeded_rng(seed));
+        let x = Tensor::from_vec(v, &[1, 3]).unwrap();
+        let zero = Tensor::zeros(&[1, 3]);
+        let f0 = l.forward(&zero, false).unwrap();
+        let fx = l.forward(&x, false).unwrap();
+        let fax = l.forward(&x.scale(alpha), false).unwrap();
+        for i in 0..2 {
+            let lhs = fax.data()[i] - f0.data()[i];
+            let rhs = alpha * (fx.data()[i] - f0.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * rhs.abs().max(1.0));
+        }
+    }
+
+    /// Flatten preserves every value and the batch dimension.
+    #[test]
+    fn flatten_preserves_data(n in 1usize..4, c in 1usize..4, hw in 1usize..5) {
+        let x = Tensor::from_fn(&[n, c, hw, hw], |i| i as f32);
+        let mut f = Flatten::new();
+        let y = f.forward(&x, false).unwrap();
+        prop_assert_eq!(y.dims()[0], n);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert_eq!(y.data(), x.data());
+    }
+}

@@ -1,0 +1,264 @@
+//! ADC model and the bit-serial ISAAC-style evaluation pipeline.
+//!
+//! ISAAC feeds inputs one bit per cycle, activates a limited number of
+//! wordlines, converts each bitline with a shared ADC, and combines cell
+//! columns and input bits in a shift-and-add unit (Fig. 1(b) and §II of
+//! the paper). [`BitSerialEvaluator`] reproduces that pipeline over a
+//! cell-level [`Crossbar`], which lets tests cross-check the fast
+//! effective-weight path against the cycle-accurate one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crossbar::Crossbar;
+use crate::error::{Result, RramError};
+
+/// An analog-to-digital converter with a given resolution and full-scale
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Resolution in bits; `None` models an ideal (infinite) converter.
+    bits: Option<u32>,
+    /// Full-scale input current.
+    full_scale: f64,
+}
+
+impl Adc {
+    /// Creates a `bits`-bit ADC with the given full-scale current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `full_scale <= 0`.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!(bits > 0, "ADC needs at least 1 bit");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Adc { bits: Some(bits), full_scale }
+    }
+
+    /// An ideal converter: output equals input.
+    pub fn ideal() -> Self {
+        Adc { bits: None, full_scale: 1.0 }
+    }
+
+    /// Resolution in bits, if finite.
+    pub fn bits(&self) -> Option<u32> {
+        self.bits
+    }
+
+    /// Converts a current to its quantized digital reading.
+    pub fn convert(&self, current: f64) -> f64 {
+        match self.bits {
+            None => current,
+            Some(bits) => {
+                let levels = ((1u64 << bits) - 1) as f64;
+                let clamped = current.clamp(0.0, self.full_scale);
+                (clamped / self.full_scale * levels).round() / levels * self.full_scale
+            }
+        }
+    }
+}
+
+/// Evaluates vector–matrix products through the bit-serial pipeline:
+/// per input bit, per wordline group, ADC per bitline, then shift-and-add
+/// over cell slices and input bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitSerialEvaluator {
+    adc: Adc,
+    input_bits: u32,
+    /// Wordlines activated per cycle (the paper's activation constraint;
+    /// also the natural offset sharing granularity).
+    active_rows: usize,
+}
+
+impl BitSerialEvaluator {
+    /// Creates an evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits == 0` or `active_rows == 0`.
+    pub fn new(adc: Adc, input_bits: u32, active_rows: usize) -> Self {
+        assert!(input_bits > 0 && input_bits <= 16, "1..=16 input bits");
+        assert!(active_rows > 0, "must activate at least one row per cycle");
+        BitSerialEvaluator { adc, input_bits, active_rows }
+    }
+
+    /// Wordlines activated per cycle.
+    pub fn active_rows(&self) -> usize {
+        self.active_rows
+    }
+
+    /// Number of array cycles one VMM takes:
+    /// `input_bits · ceil(rows / active_rows)`.
+    pub fn cycles(&self, used_rows: usize) -> usize {
+        self.input_bits as usize * used_rows.div_ceil(self.active_rows)
+    }
+
+    /// Computes `y[c] = Σ_r x[r] · CRW[r][c]` through the pipeline, for
+    /// non-negative integer inputs of `input_bits` bits.
+    ///
+    /// The nominal HRS floor is calibrated out digitally per group using
+    /// the group's input-bit popcount, mirroring how a real design
+    /// subtracts the known leakage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] if `x` does not cover the used
+    /// rows, or [`RramError::WeightOutOfRange`] if an input exceeds the
+    /// configured bit width.
+    pub fn evaluate(&self, crossbar: &Crossbar, x: &[u32]) -> Result<Vec<f64>> {
+        let rows = crossbar.used_rows();
+        if x.len() != rows {
+            return Err(RramError::ShapeMismatch(format!(
+                "{} inputs for {} used rows",
+                x.len(),
+                rows
+            )));
+        }
+        let max_input = (1u32 << self.input_bits) - 1;
+        if let Some(&bad) = x.iter().find(|&&v| v > max_input) {
+            return Err(RramError::WeightOutOfRange {
+                value: bad,
+                levels: max_input + 1,
+            });
+        }
+        let codec = crossbar.codec();
+        let cpw = codec.cells_per_weight();
+        let wcols = crossbar.used_weight_cols();
+        let cell_floor = codec.cell().floor();
+        let mut y = vec![0.0f64; wcols];
+
+        for bit in 0..self.input_bits {
+            let weight_of_bit = (1u64 << bit) as f64;
+            let mut start = 0usize;
+            while start < rows {
+                let end = (start + self.active_rows).min(rows);
+                // drive active wordlines with this input bit (0/1 volts)
+                let drive: Vec<f32> = x[start..end]
+                    .iter()
+                    .map(|&v| ((v >> bit) & 1) as f32)
+                    .collect();
+                let ones = drive.iter().filter(|&&d| d > 0.0).count() as f64;
+                let currents = crossbar.bitline_currents(&drive, start, end)?;
+                // per weight column: S+A over cell slices, floor calibration
+                for (wc, yv) in y.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for j in 0..cpw {
+                        let reading = self.adc.convert(currents[wc * cpw + j]);
+                        acc += codec.place_value(j) as f64 * (reading - ones * cell_floor);
+                    }
+                    *yv += weight_of_bit * acc;
+                }
+                start = end;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WeightCodec;
+    use crate::crossbar::CrossbarSpec;
+    use crate::device::{CellKind, CellTechnology};
+    use crate::variation::VariationModel;
+    use rdo_tensor::rng::seeded_rng;
+    use rdo_tensor::Tensor;
+
+    fn program(kind: CellKind, sigma: f64, rows: usize, wcols: usize, seed: u64) -> Crossbar {
+        let codec = WeightCodec::paper(CellTechnology::paper(kind));
+        let ctw = Tensor::from_fn(&[rows, wcols], |i| ((i * 89 + 3) % 256) as f32);
+        Crossbar::program(
+            CrossbarSpec::default(),
+            codec,
+            &ctw,
+            &VariationModel::per_weight(sigma),
+            &mut seeded_rng(seed),
+        )
+        .unwrap()
+    }
+
+    fn direct(crossbar: &Crossbar, x: &[u32]) -> Vec<f64> {
+        (0..crossbar.used_weight_cols())
+            .map(|c| {
+                (0..crossbar.used_rows())
+                    .map(|r| x[r] as f64 * crossbar.crw(r, c))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_pipeline_matches_direct_dot_product_slc() {
+        let xb = program(CellKind::Slc, 0.0, 16, 4, 0);
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+        let x: Vec<u32> = (0..16).map(|i| (i * 37 % 256) as u32).collect();
+        let y = eval.evaluate(&xb, &x).unwrap();
+        let d = direct(&xb, &x);
+        for (a, b) in y.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ideal_pipeline_matches_direct_dot_product_mlc_with_noise() {
+        let xb = program(CellKind::Mlc2, 0.5, 32, 8, 1);
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+        let x: Vec<u32> = (0..32).map(|i| (i * 11 % 256) as u32).collect();
+        let y = eval.evaluate(&xb, &x).unwrap();
+        let d = direct(&xb, &x);
+        for (a, b) in y.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-5 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn finite_adc_stays_close_to_ideal() {
+        let xb = program(CellKind::Slc, 0.2, 16, 4, 2);
+        let x: Vec<u32> = (0..16).map(|i| (255 - i * 9) as u32).collect();
+        // full scale: m rows of max-conductance cells
+        let fs = 16.0 * (1.0 + xb.codec().cell().floor()) * 3.0;
+        let coarse = BitSerialEvaluator::new(Adc::new(8, fs), 8, 16);
+        let ideal = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+        let yc = coarse.evaluate(&xb, &x).unwrap();
+        let yi = ideal.evaluate(&xb, &x).unwrap();
+        for (a, b) in yc.iter().zip(&yi) {
+            assert!((a - b).abs() < 0.05 * b.abs().max(100.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn partial_activation_gives_same_answer() {
+        let xb = program(CellKind::Slc, 0.3, 64, 4, 3);
+        let x: Vec<u32> = (0..64).map(|i| (i * 7 % 256) as u32).collect();
+        let full = BitSerialEvaluator::new(Adc::ideal(), 8, 64).evaluate(&xb, &x).unwrap();
+        let grouped = BitSerialEvaluator::new(Adc::ideal(), 8, 16).evaluate(&xb, &x).unwrap();
+        for (a, b) in full.iter().zip(&grouped) {
+            assert!((a - b).abs() < 1e-5 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cycle_count_formula() {
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+        assert_eq!(eval.cycles(128), 8 * 8);
+        assert_eq!(eval.cycles(100), 8 * 7);
+        assert_eq!(eval.cycles(1), 8);
+    }
+
+    #[test]
+    fn adc_quantizes_to_grid() {
+        let adc = Adc::new(2, 3.0); // levels 0, 1, 2, 3
+        assert_eq!(adc.convert(0.4), 0.0);
+        assert_eq!(adc.convert(0.6), 1.0);
+        assert_eq!(adc.convert(9.0), 3.0);
+        assert_eq!(Adc::ideal().convert(1.234), 1.234);
+    }
+
+    #[test]
+    fn input_validation() {
+        let xb = program(CellKind::Slc, 0.0, 4, 2, 4);
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 4);
+        assert!(eval.evaluate(&xb, &[1, 2, 3]).is_err()); // wrong length
+        assert!(eval.evaluate(&xb, &[1, 2, 3, 256]).is_err()); // too wide
+    }
+}

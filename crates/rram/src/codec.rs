@@ -1,0 +1,255 @@
+//! Bit-slicing codec: n-bit integer weights ↔ per-cell levels.
+//!
+//! A practical accelerator represents each binary weight with several
+//! cells (Fig. 1(b) of the paper): an 8-bit weight needs 8 SLCs or 4
+//! 2-bit MLCs, one cell per slice, with power-of-two place values combined
+//! by the shift-and-add unit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::CellTechnology;
+use crate::error::{Result, RramError};
+
+/// Maps integer weights of `weight_bits` bits onto a row of cells of the
+/// given technology.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_rram::{CellKind, CellTechnology, WeightCodec};
+///
+/// let codec = WeightCodec::new(8, CellTechnology::paper(CellKind::Mlc2))?;
+/// assert_eq!(codec.cells_per_weight(), 4);
+/// let slices = codec.encode(0b10_11_01_00)?;
+/// assert_eq!(slices, vec![0b00, 0b01, 0b11, 0b10]); // LSB slice first
+/// assert_eq!(codec.decode(&slices)?, 0b10_11_01_00);
+/// # Ok::<(), rdo_rram::RramError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightCodec {
+    weight_bits: u32,
+    cell: CellTechnology,
+}
+
+impl WeightCodec {
+    /// Creates a codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidGeometry`] if `weight_bits` is 0, larger
+    /// than 16, or not a multiple of the cell bit width.
+    pub fn new(weight_bits: u32, cell: CellTechnology) -> Result<Self> {
+        if weight_bits == 0 || weight_bits > 16 {
+            return Err(RramError::InvalidGeometry(format!(
+                "unsupported weight width {weight_bits}"
+            )));
+        }
+        if weight_bits % cell.kind().bits() != 0 {
+            return Err(RramError::InvalidGeometry(format!(
+                "weight width {weight_bits} is not a multiple of the {} cell width",
+                cell.kind()
+            )));
+        }
+        Ok(WeightCodec { weight_bits, cell })
+    }
+
+    /// The paper's 8-bit weight configuration over the given technology.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: 8 is a multiple of both supported cell widths.
+    pub fn paper(cell: CellTechnology) -> Self {
+        WeightCodec::new(8, cell).expect("8-bit weights fit both cell kinds")
+    }
+
+    /// Weight bit width.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// The cell technology.
+    pub fn cell(&self) -> &CellTechnology {
+        &self.cell
+    }
+
+    /// Cells needed per weight.
+    pub fn cells_per_weight(&self) -> usize {
+        (self.weight_bits / self.cell.kind().bits()) as usize
+    }
+
+    /// Number of representable weight levels, `2^weight_bits`.
+    pub fn weight_levels(&self) -> u32 {
+        1u32 << self.weight_bits
+    }
+
+    /// Largest representable weight, `2^weight_bits − 1`.
+    pub fn max_weight(&self) -> u32 {
+        self.weight_levels() - 1
+    }
+
+    /// Place value of slice `j` (slice 0 is least significant).
+    pub fn place_value(&self, slice: usize) -> u32 {
+        1u32 << (self.cell.kind().bits() as usize * slice)
+    }
+
+    /// Splits a weight into per-cell levels, least-significant slice first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::WeightOutOfRange`] if `value` does not fit.
+    pub fn encode(&self, value: u32) -> Result<Vec<u32>> {
+        if value > self.max_weight() {
+            return Err(RramError::WeightOutOfRange {
+                value,
+                levels: self.weight_levels(),
+            });
+        }
+        let cell_levels = self.cell.kind().levels();
+        let mut v = value;
+        let slices = (0..self.cells_per_weight())
+            .map(|_| {
+                let s = v % cell_levels;
+                v /= cell_levels;
+                s
+            })
+            .collect();
+        Ok(slices)
+    }
+
+    /// Reassembles a weight from per-cell levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidGeometry`] if the slice count is wrong
+    /// or [`RramError::WeightOutOfRange`] if any level is invalid.
+    pub fn decode(&self, slices: &[u32]) -> Result<u32> {
+        if slices.len() != self.cells_per_weight() {
+            return Err(RramError::InvalidGeometry(format!(
+                "expected {} slices, got {}",
+                self.cells_per_weight(),
+                slices.len()
+            )));
+        }
+        let cell_levels = self.cell.kind().levels();
+        let mut value = 0u32;
+        for (j, &s) in slices.iter().enumerate() {
+            if s >= cell_levels {
+                return Err(RramError::WeightOutOfRange { value: s, levels: cell_levels });
+            }
+            value += s * self.place_value(j);
+        }
+        Ok(value)
+    }
+
+    /// Total nominal leakage (HRS floor) of one weight's cells in weight
+    /// units: `Σⱼ place(j) · floor`. This is the deterministic conductance
+    /// offset the read-out calibrates away.
+    pub fn total_floor(&self) -> f64 {
+        (0..self.cells_per_weight())
+            .map(|j| self.place_value(j) as f64 * self.cell.floor())
+            .sum()
+    }
+
+    /// Nominal total conductance of a weight `v` in weight units,
+    /// including leakage: `v + total_floor()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::WeightOutOfRange`] if `v` does not fit.
+    pub fn nominal_conductance(&self, v: u32) -> Result<f64> {
+        if v > self.max_weight() {
+            return Err(RramError::WeightOutOfRange {
+                value: v,
+                levels: self.weight_levels(),
+            });
+        }
+        Ok(v as f64 + self.total_floor())
+    }
+
+    /// Relative read power of a weight `v`: the sum of each cell's
+    /// conductance (power ∝ conductance at fixed read voltage). Unlike
+    /// [`WeightCodec::nominal_conductance`], slices are *not* weighted by
+    /// place value — every cell is read at the same voltage, so a HRS cell
+    /// costs the same whether it holds bit 0 or bit 7.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::WeightOutOfRange`] if `v` does not fit.
+    pub fn read_power(&self, v: u32) -> Result<f64> {
+        let slices = self.encode(v)?;
+        Ok(slices.iter().map(|&s| self.cell.read_power(s)).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::CellKind;
+
+    fn slc() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Slc))
+    }
+
+    fn mlc() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2))
+    }
+
+    #[test]
+    fn cells_per_weight_matches_paper() {
+        // §IV-C2: "Our method uses 4 2-bit MLCs to represent a weight";
+        // DVA uses 8 SLCs.
+        assert_eq!(slc().cells_per_weight(), 8);
+        assert_eq!(mlc().cells_per_weight(), 4);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_values() {
+        for codec in [slc(), mlc()] {
+            for v in 0..=codec.max_weight() {
+                let slices = codec.encode(v).unwrap();
+                assert_eq!(codec.decode(&slices).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn slc_encoding_is_binary() {
+        let slices = slc().encode(0b1010_0110).unwrap();
+        assert_eq!(slices, vec![0, 1, 1, 0, 0, 1, 0, 1]); // LSB first
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(slc().encode(256).is_err());
+        assert!(mlc().decode(&[4, 0, 0, 0]).is_err());
+        assert!(mlc().decode(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mlc2 = CellTechnology::paper(CellKind::Mlc2);
+        assert!(WeightCodec::new(7, mlc2).is_err()); // 7 not multiple of 2
+        assert!(WeightCodec::new(0, mlc2).is_err());
+        assert!(WeightCodec::new(17, mlc2).is_err());
+    }
+
+    #[test]
+    fn read_power_monotone_in_ones_density() {
+        let c = slc();
+        // 0x00 (all HRS) cheapest; 0xFF (all LRS) most expensive
+        let p0 = c.read_power(0).unwrap();
+        let p255 = c.read_power(255).unwrap();
+        assert!(p255 > 50.0 * p0);
+        // value 1 and value 128 both have exactly one LRS cell → equal power
+        assert!((c.read_power(1).unwrap() - c.read_power(128).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_conductance_includes_floor() {
+        let c = mlc();
+        let g0 = c.nominal_conductance(0).unwrap();
+        assert!((g0 - c.total_floor()).abs() < 1e-12);
+        let g255 = c.nominal_conductance(255).unwrap();
+        assert!((g255 - (255.0 + c.total_floor())).abs() < 1e-9);
+    }
+}

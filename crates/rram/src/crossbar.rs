@@ -1,0 +1,597 @@
+//! The physical crossbar array and matrix programming.
+//!
+//! Two levels of fidelity are exposed (DESIGN.md §6, ablation 5):
+//!
+//! * [`program_matrix`] — the *effective-weight fast path*. It samples one
+//!   CRW per weight and returns a real-valued matrix; downstream VMMs are
+//!   ordinary matrix products. Because Kirchhoff summation is linear and an
+//!   ideal ADC preserves it, this is exact for accuracy experiments.
+//! * [`Crossbar`] — a cell-level array holding per-cell levels and noisy
+//!   conductances, supporting partial-wordline analog VMMs for the
+//!   bit-serial ADC pipeline in [`crate::adc`].
+
+use rand::Rng;
+use rdo_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::WeightCodec;
+use crate::error::{Result, RramError};
+use crate::variation::{VariationKind, VariationModel};
+
+/// Physical dimensions of one crossbar array (the paper simulates
+/// 128×128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrossbarSpec {
+    /// Number of wordlines (rows).
+    pub rows: usize,
+    /// Number of bitlines (cell columns).
+    pub cols: usize,
+}
+
+impl Default for CrossbarSpec {
+    fn default() -> Self {
+        CrossbarSpec { rows: 128, cols: 128 }
+    }
+}
+
+impl CrossbarSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
+        CrossbarSpec { rows, cols }
+    }
+
+    /// How many *weights* fit along the bitline axis for the given codec
+    /// (each weight consumes `cells_per_weight` adjacent bitlines).
+    pub fn weight_cols(&self, codec: &WeightCodec) -> usize {
+        self.cols / codec.cells_per_weight()
+    }
+}
+
+/// Samples CRWs for a whole integer weight matrix: the fast path.
+///
+/// `ctw` holds integer levels (as whole-valued `f32`) of shape
+/// `(fan_in, fan_out)`; the result has the same shape with one sampled
+/// crossbar real weight per entry.
+///
+/// # Errors
+///
+/// Returns [`RramError::WeightOutOfRange`] if any entry does not fit the
+/// codec, or [`RramError::ShapeMismatch`] for a non-matrix tensor.
+pub fn program_matrix(
+    ctw: &Tensor,
+    codec: &WeightCodec,
+    model: &VariationModel,
+    rng: &mut impl Rng,
+) -> Result<Tensor> {
+    if ctw.shape().rank() != 2 {
+        return Err(RramError::ShapeMismatch(format!(
+            "CTW matrix must be rank 2, got {:?}",
+            ctw.dims()
+        )));
+    }
+    let mut out = Tensor::zeros(ctw.dims());
+    for (o, &q) in out.data_mut().iter_mut().zip(ctw.data()) {
+        let v = q.round();
+        if v < 0.0 || v > codec.max_weight() as f32 {
+            return Err(RramError::WeightOutOfRange {
+                value: v.max(0.0) as u32,
+                levels: codec.weight_levels(),
+            });
+        }
+        *o = model.write(v as u32, codec, rng)? as f32;
+    }
+    Ok(out)
+}
+
+/// Samples per-weight device-to-device factors (`e^{θ_d}`, fixed across
+/// programming cycles) for a matrix of the given shape.
+pub fn sample_ddv_factors(
+    dims: &[usize],
+    ddv: &VariationModel,
+    rng: &mut impl Rng,
+) -> Tensor {
+    use rand_distr::{Distribution, Normal};
+    if ddv.sigma() == 0.0 {
+        return Tensor::ones(dims);
+    }
+    let normal = Normal::new(0.0, ddv.sigma()).expect("sigma validated at construction");
+    Tensor::from_fn(dims, |_| normal.sample(rng).exp() as f32)
+}
+
+/// Like [`program_matrix`], but composes a fixed per-device DDV factor
+/// with a fresh cycle-to-cycle factor:
+/// `CRW = (v + F)·d·e^{θ_c} − F`, where `d` comes from
+/// [`sample_ddv_factors`] (held constant across calls) and `θ_c` is drawn
+/// fresh on every call.
+///
+/// With an all-ones `ddv` matrix this is exactly [`program_matrix`] for
+/// the per-weight model.
+///
+/// # Errors
+///
+/// Returns [`RramError::ShapeMismatch`] if the factor matrix does not
+/// match `ctw`, or [`RramError::WeightOutOfRange`] for unrepresentable
+/// weights.
+pub fn program_matrix_with_ddv(
+    ctw: &Tensor,
+    codec: &WeightCodec,
+    ddv_factors: &Tensor,
+    ccv: &VariationModel,
+    rng: &mut impl Rng,
+) -> Result<Tensor> {
+    if ctw.shape().rank() != 2 || ddv_factors.dims() != ctw.dims() {
+        return Err(RramError::ShapeMismatch(format!(
+            "CTW {:?} vs DDV factors {:?}",
+            ctw.dims(),
+            ddv_factors.dims()
+        )));
+    }
+    let floor = codec.total_floor();
+    let mut out = Tensor::zeros(ctw.dims());
+    for ((o, &q), &d) in out
+        .data_mut()
+        .iter_mut()
+        .zip(ctw.data())
+        .zip(ddv_factors.data())
+    {
+        let v = q.round();
+        if v < 0.0 || v > codec.max_weight() as f32 {
+            return Err(RramError::WeightOutOfRange {
+                value: v.max(0.0) as u32,
+                levels: codec.weight_levels(),
+            });
+        }
+        // write the nominal conductance through both factors, calibrate
+        // the floor out afterwards (same convention as VariationModel)
+        let nominal = codec.nominal_conductance(v as u32)?;
+        *o = (nominal * d as f64 * ccv.sample_factor(rng) - floor) as f32;
+    }
+    Ok(out)
+}
+
+/// A cell-level crossbar array: programmed levels plus realized (noisy)
+/// conductances, in step units including the HRS floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossbar {
+    spec: CrossbarSpec,
+    codec: WeightCodec,
+    /// Programmed level per cell, row-major `(rows, cols)`.
+    levels: Vec<u32>,
+    /// Realized conductance per cell (after variation), same layout.
+    conductance: Vec<f64>,
+    /// Number of weight columns actually in use.
+    used_weight_cols: usize,
+    /// Number of rows actually in use.
+    used_rows: usize,
+}
+
+impl Crossbar {
+    /// Programs a block of integer weights into a fresh crossbar.
+    ///
+    /// `ctw_block` is `(rows_used, weight_cols_used)` with
+    /// `rows_used ≤ spec.rows` and
+    /// `weight_cols_used ≤ spec.weight_cols(codec)`. Unused cells stay in
+    /// HRS.
+    ///
+    /// For [`VariationKind::PerWeight`], all cells of one weight share the
+    /// same lognormal factor; for [`VariationKind::PerCell`] each cell
+    /// draws its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] if the block exceeds the array
+    /// or [`RramError::WeightOutOfRange`] for unrepresentable weights.
+    pub fn program(
+        spec: CrossbarSpec,
+        codec: WeightCodec,
+        ctw_block: &Tensor,
+        model: &VariationModel,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if ctw_block.shape().rank() != 2 {
+            return Err(RramError::ShapeMismatch(
+                "CTW block must be rank 2".to_string(),
+            ));
+        }
+        let (used_rows, used_weight_cols) = (ctw_block.dims()[0], ctw_block.dims()[1]);
+        let cpw = codec.cells_per_weight();
+        if used_rows > spec.rows || used_weight_cols * cpw > spec.cols {
+            return Err(RramError::ShapeMismatch(format!(
+                "block {used_rows}×{used_weight_cols} weights exceeds {}×{} array",
+                spec.rows,
+                spec.weight_cols(&codec)
+            )));
+        }
+        let cell_floor = codec.cell().floor();
+        let mut levels = vec![0u32; spec.rows * spec.cols];
+        let mut conductance = vec![cell_floor; spec.rows * spec.cols];
+        for r in 0..used_rows {
+            for wc in 0..used_weight_cols {
+                let q = ctw_block.at(&[r, wc])?.round();
+                if q < 0.0 || q > codec.max_weight() as f32 {
+                    return Err(RramError::WeightOutOfRange {
+                        value: q.max(0.0) as u32,
+                        levels: codec.weight_levels(),
+                    });
+                }
+                let slices = codec.encode(q as u32)?;
+                // one shared factor for PerWeight, fresh per cell otherwise
+                let shared = sample_lognormal(model, rng);
+                for (j, &s) in slices.iter().enumerate() {
+                    let idx = r * spec.cols + wc * cpw + j;
+                    levels[idx] = s;
+                    let factor = match model.kind() {
+                        VariationKind::PerWeight => shared,
+                        VariationKind::PerCell => sample_lognormal(model, rng),
+                    };
+                    conductance[idx] = (s as f64 + cell_floor) * factor;
+                }
+            }
+        }
+        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows })
+    }
+
+    /// The array dimensions.
+    pub fn spec(&self) -> CrossbarSpec {
+        self.spec
+    }
+
+    /// The weight codec the array was programmed with.
+    pub fn codec(&self) -> &WeightCodec {
+        &self.codec
+    }
+
+    /// Rows in use.
+    pub fn used_rows(&self) -> usize {
+        self.used_rows
+    }
+
+    /// Weight columns in use.
+    pub fn used_weight_cols(&self) -> usize {
+        self.used_weight_cols
+    }
+
+    /// Programmed level of the cell at `(row, cell_col)`.
+    pub fn level(&self, row: usize, cell_col: usize) -> u32 {
+        self.levels[row * self.spec.cols + cell_col]
+    }
+
+    /// Realized conductance of the cell at `(row, cell_col)` in step units.
+    pub fn cell_conductance(&self, row: usize, cell_col: usize) -> f64 {
+        self.conductance[row * self.spec.cols + cell_col]
+    }
+
+    /// The calibrated crossbar real weight at `(row, weight_col)`: the
+    /// place-value-weighted sum of its cells' conductances minus the
+    /// nominal floor. This is what a post-writing test measures.
+    pub fn crw(&self, row: usize, weight_col: usize) -> f64 {
+        let cpw = self.codec.cells_per_weight();
+        let mut total = 0.0;
+        for j in 0..cpw {
+            total += self.codec.place_value(j) as f64
+                * self.cell_conductance(row, weight_col * cpw + j);
+        }
+        total - self.codec.total_floor()
+    }
+
+    /// All CRWs of the used block as a `(used_rows, used_weight_cols)`
+    /// tensor — the measurement step that precedes PWT.
+    pub fn crw_matrix(&self) -> Tensor {
+        Tensor::from_fn(&[self.used_rows, self.used_weight_cols], |i| {
+            let (r, c) = (i / self.used_weight_cols, i % self.used_weight_cols);
+            self.crw(r, c) as f32
+        })
+    }
+
+    /// Analog partial VMM: bitline currents when wordlines
+    /// `[row_start, row_end)` are driven with voltages `x` and all other
+    /// wordlines are off. Returns one current per *cell column*, in
+    /// step-unit conductance times input units (the floor is **not**
+    /// subtracted — that calibration happens digitally downstream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] if the input length does not
+    /// equal the active row count or the range is invalid.
+    pub fn bitline_currents(
+        &self,
+        x: &[f32],
+        row_start: usize,
+        row_end: usize,
+    ) -> Result<Vec<f64>> {
+        if row_start > row_end || row_end > self.spec.rows || x.len() != row_end - row_start {
+            return Err(RramError::ShapeMismatch(format!(
+                "active rows {row_start}..{row_end} with {} inputs",
+                x.len()
+            )));
+        }
+        let mut currents = vec![0.0f64; self.spec.cols];
+        for (i, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = row_start + i;
+            let base = row * self.spec.cols;
+            for (c, cur) in currents.iter_mut().enumerate() {
+                *cur += xv as f64 * self.conductance[base + c];
+            }
+        }
+        Ok(currents)
+    }
+
+    /// Total relative read power of the used block: the sum of nominal
+    /// cell conductances over all used cells (power ∝ conductance at a
+    /// fixed read voltage). Used by the Table I reading-power study.
+    pub fn read_power(&self) -> f64 {
+        let cpw = self.codec.cells_per_weight();
+        let cell_floor = self.codec.cell().floor();
+        let mut total = 0.0;
+        for r in 0..self.used_rows {
+            for c in 0..self.used_weight_cols * cpw {
+                total += self.levels[r * self.spec.cols + c] as f64 + cell_floor;
+            }
+        }
+        total
+    }
+}
+
+fn sample_lognormal(model: &VariationModel, rng: &mut impl Rng) -> f64 {
+    use rand_distr::{Distribution, Normal};
+    if model.sigma() == 0.0 {
+        return 1.0;
+    }
+    Normal::new(0.0, model.sigma())
+        .expect("sigma validated at construction")
+        .sample(rng)
+        .exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{CellKind, CellTechnology};
+    use rdo_tensor::rng::seeded_rng;
+
+    fn codec() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Slc))
+    }
+
+    #[test]
+    fn program_matrix_zero_sigma_is_exact() {
+        let ctw = Tensor::from_vec(vec![0.0, 17.0, 255.0, 128.0], &[2, 2]).unwrap();
+        let crw = program_matrix(
+            &ctw,
+            &codec(),
+            &VariationModel::per_weight(0.0),
+            &mut seeded_rng(0),
+        )
+        .unwrap();
+        for (a, b) in ctw.data().iter().zip(crw.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn program_matrix_rejects_out_of_range() {
+        let ctw = Tensor::from_vec(vec![256.0], &[1, 1]).unwrap();
+        assert!(program_matrix(
+            &ctw,
+            &codec(),
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+        let neg = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
+        assert!(program_matrix(
+            &neg,
+            &codec(),
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cell_array_crw_matches_fast_path_statistics() {
+        // the detailed array's CRW must be distributed like the fast path
+        let c = codec();
+        let model = VariationModel::per_weight(0.3);
+        let mut rng = seeded_rng(1);
+        let ctw = Tensor::full(&[64, 4], 100.0);
+        let mut crws = Vec::new();
+        for _ in 0..40 {
+            let xb =
+                Crossbar::program(CrossbarSpec::default(), c, &ctw, &model, &mut rng).unwrap();
+            let m = xb.crw_matrix();
+            crws.extend(m.data().iter().map(|&v| v as f64));
+        }
+        let n = crws.len() as f64;
+        let mean = crws.iter().sum::<f64>() / n;
+        let (am, _) = model.moments(100, &c).unwrap();
+        assert!((mean - am).abs() / am < 0.02, "{mean} vs {am}");
+    }
+
+    #[test]
+    fn crw_matrix_zero_sigma_recovers_ctw() {
+        let c = codec();
+        let ctw = Tensor::from_fn(&[8, 3], |i| ((i * 37) % 256) as f32);
+        let xb = Crossbar::program(
+            CrossbarSpec::default(),
+            c,
+            &ctw,
+            &VariationModel::per_weight(0.0),
+            &mut seeded_rng(2),
+        )
+        .unwrap();
+        let m = xb.crw_matrix();
+        for (a, b) in ctw.data().iter().zip(m.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bitline_currents_linear_in_inputs() {
+        let c = codec();
+        let ctw = Tensor::from_fn(&[4, 2], |i| (i * 31 % 256) as f32);
+        let xb = Crossbar::program(
+            CrossbarSpec::default(),
+            c,
+            &ctw,
+            &VariationModel::per_weight(0.2),
+            &mut seeded_rng(3),
+        )
+        .unwrap();
+        let x1 = [1.0f32, 0.0, 2.0, 0.5];
+        let x2 = [0.5f32, 1.5, 0.0, 1.0];
+        let i1 = xb.bitline_currents(&x1, 0, 4).unwrap();
+        let i2 = xb.bitline_currents(&x2, 0, 4).unwrap();
+        let sum: Vec<f32> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let i12 = xb.bitline_currents(&sum, 0, 4).unwrap();
+        for k in 0..i12.len() {
+            assert!((i12[k] - (i1[k] + i2[k])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_activation_covers_rows_in_pieces() {
+        let c = codec();
+        let ctw = Tensor::from_fn(&[8, 2], |i| (i * 13 % 256) as f32);
+        let xb = Crossbar::program(
+            CrossbarSpec::default(),
+            c,
+            &ctw,
+            &VariationModel::per_weight(0.4),
+            &mut seeded_rng(4),
+        )
+        .unwrap();
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.25).collect();
+        let full = xb.bitline_currents(&x, 0, 8).unwrap();
+        let a = xb.bitline_currents(&x[0..4], 0, 4).unwrap();
+        let b = xb.bitline_currents(&x[4..8], 4, 8).unwrap();
+        for k in 0..full.len() {
+            assert!((full[k] - (a[k] + b[k])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let c = codec();
+        let spec = CrossbarSpec::new(4, 16); // 2 weight columns for SLC-8
+        let ctw = Tensor::zeros(&[4, 3]);
+        assert!(Crossbar::program(
+            spec,
+            c,
+            &ctw,
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+        let tall = Tensor::zeros(&[5, 2]);
+        assert!(Crossbar::program(
+            spec,
+            c,
+            &tall,
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn read_power_higher_for_large_weights() {
+        let c = codec();
+        let model = VariationModel::per_weight(0.0);
+        let low = Crossbar::program(
+            CrossbarSpec::default(),
+            c,
+            &Tensor::full(&[16, 4], 1.0),
+            &model,
+            &mut seeded_rng(0),
+        )
+        .unwrap();
+        let high = Crossbar::program(
+            CrossbarSpec::default(),
+            c,
+            &Tensor::full(&[16, 4], 255.0),
+            &model,
+            &mut seeded_rng(0),
+        )
+        .unwrap();
+        assert!(high.read_power() > 5.0 * low.read_power());
+    }
+
+    #[test]
+    fn split_ddv_ccv_preserves_total_variance() {
+        let total = VariationModel::per_weight(0.5);
+        let (d, c) = total.split_ddv_ccv(0.3);
+        let s2 = d.sigma() * d.sigma() + c.sigma() * c.sigma();
+        assert!((s2 - 0.25).abs() < 1e-12);
+        let (d, c) = total.split_ddv_ccv(0.0);
+        assert_eq!(d.sigma(), 0.0);
+        assert_eq!(c.sigma(), 0.5);
+    }
+
+    #[test]
+    fn ddv_program_is_deterministic_without_ccv() {
+        let c = codec();
+        let total = VariationModel::per_weight(0.5);
+        let (ddv, _) = total.split_ddv_ccv(1.0);
+        let ctw = Tensor::from_fn(&[8, 4], |i| ((i * 31) % 256) as f32);
+        let factors = sample_ddv_factors(ctw.dims(), &ddv, &mut seeded_rng(7));
+        let ccv_none = VariationModel::per_weight(0.0);
+        let a = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(1))
+            .unwrap();
+        let b = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(2))
+            .unwrap();
+        assert_eq!(a, b, "pure DDV must repeat exactly across cycles");
+        assert_ne!(a, ctw, "DDV factors must still perturb the weights");
+    }
+
+    #[test]
+    fn ddv_plus_ccv_matches_total_statistics() {
+        let c = codec();
+        let total = VariationModel::per_weight(0.5);
+        let (ddv, ccv) = total.split_ddv_ccv(0.5);
+        let ctw = Tensor::full(&[64, 4], 100.0);
+        let mut rng = seeded_rng(3);
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for _ in 0..40 {
+            let factors = sample_ddv_factors(ctw.dims(), &ddv, &mut rng);
+            let crw = program_matrix_with_ddv(&ctw, &c, &factors, &ccv, &mut rng).unwrap();
+            sum += crw.data().iter().map(|&v| v as f64).sum::<f64>();
+            count += crw.len();
+        }
+        let (expected_mean, _) = total.moments(100, &c).unwrap();
+        let mean = sum / count as f64;
+        assert!((mean - expected_mean).abs() / expected_mean < 0.02, "{mean} vs {expected_mean}");
+    }
+
+    #[test]
+    fn ddv_shape_mismatch_rejected() {
+        let c = codec();
+        let ctw = Tensor::zeros(&[4, 4]);
+        let factors = Tensor::ones(&[4, 3]);
+        assert!(program_matrix_with_ddv(
+            &ctw,
+            &c,
+            &factors,
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weight_cols_for_codecs() {
+        let spec = CrossbarSpec::default();
+        assert_eq!(spec.weight_cols(&codec()), 16); // 128 / 8 SLCs
+        let mlc = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+        assert_eq!(spec.weight_cols(&mlc), 32); // 128 / 4 MLCs
+    }
+}

@@ -1,0 +1,171 @@
+//! Memristor cell model: SLC / 2-bit MLC levels, finite ON/OFF ratio and
+//! state-dependent read power.
+
+use serde::{Deserialize, Serialize};
+
+/// The cell technology: single-level or 2-bit multi-level (§II of the
+/// paper; the experiments use SLC for Fig. 5(a)/(b) and 2-bit MLC for
+/// Fig. 5(c) and the cost studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Single-level cell: HRS encodes 0, LRS encodes 1.
+    Slc,
+    /// 2-bit multi-level cell: four resistance states.
+    Mlc2,
+}
+
+impl CellKind {
+    /// Bits stored per cell.
+    pub fn bits(&self) -> u32 {
+        match self {
+            CellKind::Slc => 1,
+            CellKind::Mlc2 => 2,
+        }
+    }
+
+    /// Number of distinct resistance states, `2^bits`.
+    pub fn levels(&self) -> u32 {
+        1 << self.bits()
+    }
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellKind::Slc => write!(f, "SLC"),
+            CellKind::Mlc2 => write!(f, "2-bit MLC"),
+        }
+    }
+}
+
+/// A memristor cell technology: level count plus the finite ON/OFF
+/// conductance ratio (the paper uses 200).
+///
+/// Conductance is expressed in *step units*: the spacing between adjacent
+/// levels is 1, so a cell at level `ℓ` conducts `ℓ + floor`, where `floor`
+/// is the HRS leakage `(levels − 1) / (ratio − 1)`. For an infinite ratio
+/// the floor vanishes and level = conductance.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_rram::{CellKind, CellTechnology};
+///
+/// let slc = CellTechnology::new(CellKind::Slc, 200.0);
+/// assert!((slc.floor() - 1.0 / 199.0).abs() < 1e-9);
+/// assert!(slc.conductance(1) > slc.conductance(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTechnology {
+    kind: CellKind,
+    on_off_ratio: f64,
+}
+
+impl CellTechnology {
+    /// Creates a technology descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_off_ratio <= 1`.
+    pub fn new(kind: CellKind, on_off_ratio: f64) -> Self {
+        assert!(on_off_ratio > 1.0, "ON/OFF ratio must exceed 1");
+        CellTechnology { kind, on_off_ratio }
+    }
+
+    /// The paper's configuration: the given cell kind at ON/OFF ratio 200.
+    pub fn paper(kind: CellKind) -> Self {
+        CellTechnology::new(kind, 200.0)
+    }
+
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The ON/OFF conductance ratio.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.on_off_ratio
+    }
+
+    /// HRS leakage conductance in step units:
+    /// `(levels − 1) / (ratio − 1)`.
+    ///
+    /// Derivation: with `g(ℓ) = g_off + ℓ·(g_on − g_off)/(L−1)` and step
+    /// units `(g_on − g_off)/(L−1) = 1`, the ratio constraint
+    /// `g_on = ratio · g_off` gives `g_off = (L−1)/(ratio−1)`.
+    pub fn floor(&self) -> f64 {
+        (self.kind.levels() - 1) as f64 / (self.on_off_ratio - 1.0)
+    }
+
+    /// Nominal conductance of a cell programmed to `level`, in step units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not a valid state for this cell kind.
+    pub fn conductance(&self, level: u32) -> f64 {
+        assert!(level < self.kind.levels(), "level {level} out of range");
+        level as f64 + self.floor()
+    }
+
+    /// Relative read power of a cell at `level`: during a read, the device
+    /// dissipates `V²·G`, so power is proportional to conductance. This is
+    /// the quantity Table I aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not a valid state.
+    pub fn read_power(&self, level: u32) -> f64 {
+        self.conductance(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_bit_widths() {
+        assert_eq!(CellKind::Slc.bits(), 1);
+        assert_eq!(CellKind::Slc.levels(), 2);
+        assert_eq!(CellKind::Mlc2.bits(), 2);
+        assert_eq!(CellKind::Mlc2.levels(), 4);
+    }
+
+    #[test]
+    fn floor_matches_ratio() {
+        let t = CellTechnology::paper(CellKind::Slc);
+        // g_on/g_off = (1 + floor)/floor = 200
+        let ratio = (1.0 + t.floor()) / t.floor();
+        assert!((ratio - 200.0).abs() < 1e-6);
+
+        let m = CellTechnology::paper(CellKind::Mlc2);
+        let ratio = (3.0 + m.floor()) / m.floor();
+        assert!((ratio - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conductance_monotone_in_level() {
+        let m = CellTechnology::paper(CellKind::Mlc2);
+        for l in 0..3 {
+            assert!(m.conductance(l + 1) > m.conductance(l));
+        }
+    }
+
+    #[test]
+    fn read_power_tracks_conductance() {
+        let t = CellTechnology::paper(CellKind::Slc);
+        assert!(t.read_power(1) / t.read_power(0) > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_level_panics() {
+        CellTechnology::paper(CellKind::Slc).conductance(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed 1")]
+    fn bad_ratio_panics() {
+        CellTechnology::new(CellKind::Slc, 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the RRAM simulator.
+
+use std::fmt;
+
+/// Error produced by device, codec, LUT and crossbar operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RramError {
+    /// A weight value does not fit the configured bit width.
+    WeightOutOfRange {
+        /// The offending integer weight.
+        value: u32,
+        /// The number of representable levels.
+        levels: u32,
+    },
+    /// Bit widths are mutually inconsistent (e.g. weight bits not a
+    /// multiple of the cell bits).
+    InvalidGeometry(String),
+    /// An operand shape does not match the crossbar/matrix geometry.
+    ShapeMismatch(String),
+    /// A tensor operation failed.
+    Tensor(rdo_tensor::TensorError),
+}
+
+impl fmt::Display for RramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RramError::WeightOutOfRange { value, levels } => {
+                write!(f, "weight {value} exceeds the {levels} representable levels")
+            }
+            RramError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            RramError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            RramError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RramError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rdo_tensor::TensorError> for RramError {
+    fn from(e: rdo_tensor::TensorError) -> Self {
+        RramError::Tensor(e)
+    }
+}
+
+/// Convenient result alias used across the RRAM crate.
+pub type Result<T> = std::result::Result<T, RramError>;

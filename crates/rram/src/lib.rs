@@ -1,0 +1,56 @@
+//! # rdo-rram
+//!
+//! RRAM device and crossbar simulator for the reproduction of *"Digital
+//! Offset for RRAM-based Neuromorphic Computing"* (DATE 2021).
+//!
+//! The crate models the full §II/§IV substrate: SLC and 2-bit MLC cells
+//! with a finite ON/OFF ratio ([`CellTechnology`]), bit-sliced 8-bit weight
+//! encoding ([`WeightCodec`]), lognormal DDV+CCV write variation
+//! ([`VariationModel`]), the device statistics LUT with both closed-form
+//! and measured construction ([`DeviceLut`]), cell-level crossbars with
+//! partial wordline activation ([`Crossbar`]), an ISAAC-style bit-serial
+//! ADC pipeline ([`BitSerialEvaluator`]) and matrix-to-crossbar tiling
+//! ([`TileMapping`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rdo_rram::{
+//!     CellKind, CellTechnology, DeviceLut, VariationModel, WeightCodec,
+//! };
+//!
+//! let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+//! let model = VariationModel::per_weight(0.5);
+//! let lut = DeviceLut::analytic(&model, &codec)?;
+//! // lognormal noise inflates the expected written value…
+//! assert!(lut.mean(200) > 200.0);
+//! // …and the LUT inverts the bias: writing this CTW lands on 200 on average.
+//! let ctw = lut.inverse_mean(200.0);
+//! assert!(ctw < 200);
+//! # Ok::<(), rdo_rram::RramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod codec;
+mod crossbar;
+mod device;
+mod drift;
+mod error;
+mod lut;
+mod tile_map;
+mod variation;
+
+pub use adc::{Adc, BitSerialEvaluator};
+pub use codec::WeightCodec;
+pub use crossbar::{
+    program_matrix, program_matrix_with_ddv, sample_ddv_factors, Crossbar, CrossbarSpec,
+};
+pub use device::{CellKind, CellTechnology};
+pub use drift::DriftModel;
+pub use error::{Result, RramError};
+pub use lut::DeviceLut;
+pub use tile_map::TileMapping;
+pub use variation::{VariationKind, VariationModel};

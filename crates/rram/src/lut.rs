@@ -1,0 +1,224 @@
+//! The device LUT of `E[R(v)]` and `Var[R(v)]` per crossbar target weight.
+//!
+//! §III-B of the paper: *"for each CTW v, K random sets of n memristors are
+//! selected. For each set, it is programmed with the CTW v for J times and
+//! the final CRWs are measured. After collecting KJ CRWs for the CTW v, we
+//! can calculate E[R(v)] and Var[R(v)]. By iterating over all CTWs, we can
+//! finally build a look-up table."*
+//!
+//! [`DeviceLut::measure`] implements exactly that statistical-testing
+//! procedure; [`DeviceLut::analytic`] computes the same table in closed
+//! form from the lognormal model. A test asserts they agree, so VAWO can
+//! use either.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::WeightCodec;
+use crate::error::{Result, RramError};
+use crate::variation::VariationModel;
+
+/// Lookup table of write-statistics per CTW: `E[R(v)]` and `Var[R(v)]`
+/// for every representable `v`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLut {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+impl DeviceLut {
+    /// Builds the LUT in closed form from the lognormal variation model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec range errors (none occur for a consistent codec).
+    pub fn analytic(model: &VariationModel, codec: &WeightCodec) -> Result<Self> {
+        let n = codec.weight_levels();
+        let mut mean = Vec::with_capacity(n as usize);
+        let mut var = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            let (m, s2) = model.moments(v, codec)?;
+            mean.push(m);
+            var.push(s2);
+        }
+        Ok(DeviceLut { mean, var })
+    }
+
+    /// Builds the LUT by the paper's statistical-testing procedure:
+    /// `k_sets` device sets, each programmed `j_writes` times per CTW,
+    /// i.e. `k_sets · j_writes` measured CRWs per entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidGeometry`] if `k_sets · j_writes < 2`
+    /// (sample variance needs at least two observations).
+    pub fn measure(
+        model: &VariationModel,
+        codec: &WeightCodec,
+        k_sets: usize,
+        j_writes: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let samples = k_sets * j_writes;
+        if samples < 2 {
+            return Err(RramError::InvalidGeometry(
+                "statistical testing needs at least 2 writes per CTW".to_string(),
+            ));
+        }
+        let n = codec.weight_levels();
+        let mut mean = Vec::with_capacity(n as usize);
+        let mut var = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            let mut acc = 0.0f64;
+            let mut acc_sq = 0.0f64;
+            for _ in 0..samples {
+                let crw = model.write(v, codec, rng)?;
+                acc += crw;
+                acc_sq += crw * crw;
+            }
+            let m = acc / samples as f64;
+            let s2 = (acc_sq - samples as f64 * m * m) / (samples - 1) as f64;
+            mean.push(m);
+            var.push(s2.max(0.0));
+        }
+        Ok(DeviceLut { mean, var })
+    }
+
+    /// Number of entries (`2^weight_bits`).
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Returns `true` if the table is empty (never for a valid build).
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// `E[R(v)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn mean(&self, v: u32) -> f64 {
+        self.mean[v as usize]
+    }
+
+    /// `Var[R(v)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&self, v: u32) -> f64 {
+        self.var[v as usize]
+    }
+
+    /// Solves the VAWO constraint `E[R(v)] = target` for the integer CTW
+    /// `v` minimizing `|E[R(v)] − target|` (Eq. 6 of the paper, inverted
+    /// through the LUT). The means are monotone in `v`, so this is a
+    /// binary search with boundary clamping.
+    pub fn inverse_mean(&self, target: f64) -> u32 {
+        let n = self.mean.len();
+        // partition point: first index with mean >= target
+        let idx = self.mean.partition_point(|&m| m < target);
+        if idx == 0 {
+            return 0;
+        }
+        if idx >= n {
+            return (n - 1) as u32;
+        }
+        // choose the closer of idx-1 and idx
+        let lo = (target - self.mean[idx - 1]).abs();
+        let hi = (self.mean[idx] - target).abs();
+        if lo <= hi { (idx - 1) as u32 } else { idx as u32 }
+    }
+
+    /// Returns `true` if means are strictly increasing — a sanity check the
+    /// binary search relies on (always true for the analytic LUT; holds
+    /// for the measured LUT with enough samples).
+    pub fn is_monotone(&self) -> bool {
+        self.mean.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{CellKind, CellTechnology};
+    use rdo_tensor::rng::seeded_rng;
+
+    fn codec() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Slc))
+    }
+
+    #[test]
+    fn analytic_lut_is_monotone_and_complete() {
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &codec()).unwrap();
+        assert_eq!(lut.len(), 256);
+        assert!(lut.is_monotone());
+    }
+
+    #[test]
+    fn measured_lut_agrees_with_analytic() {
+        // The paper's K-set × J-write testing procedure must converge to
+        // the closed form.
+        let model = VariationModel::per_weight(0.3);
+        let c = codec();
+        let analytic = DeviceLut::analytic(&model, &c).unwrap();
+        let mut rng = seeded_rng(7);
+        let measured = DeviceLut::measure(&model, &c, 40, 50, &mut rng).unwrap();
+        for v in (0..256).step_by(17) {
+            let (am, av) = (analytic.mean(v), analytic.var(v));
+            let (mm, mv) = (measured.mean(v), measured.var(v));
+            assert!((am - mm).abs() <= 0.05 * am.abs().max(1.0), "mean {v}: {am} vs {mm}");
+            assert!((av - mv).abs() <= 0.25 * av.max(1.0), "var {v}: {av} vs {mv}");
+        }
+    }
+
+    #[test]
+    fn inverse_mean_recovers_ctw() {
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &codec()).unwrap();
+        for v in [0u32, 1, 17, 100, 200, 255] {
+            assert_eq!(lut.inverse_mean(lut.mean(v)), v);
+        }
+    }
+
+    #[test]
+    fn inverse_mean_clamps_at_boundaries() {
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &codec()).unwrap();
+        assert_eq!(lut.inverse_mean(-1e9), 0);
+        assert_eq!(lut.inverse_mean(1e9), 255);
+    }
+
+    #[test]
+    fn inverse_mean_picks_nearest() {
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.4), &codec()).unwrap();
+        let between = (lut.mean(10) * 0.8 + lut.mean(11) * 0.2) as f64;
+        assert_eq!(lut.inverse_mean(between), 10);
+        let between = lut.mean(10) * 0.2 + lut.mean(11) * 0.8;
+        assert_eq!(lut.inverse_mean(between), 11);
+    }
+
+    #[test]
+    fn mean_bias_grows_with_value() {
+        // Under lognormal noise E[R(v)] > v, and the absolute bias grows
+        // with v — the systematic error VAWO removes.
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &codec()).unwrap();
+        let bias_small = lut.mean(10) - 10.0;
+        let bias_large = lut.mean(200) - 200.0;
+        assert!(bias_small > 0.0);
+        assert!(bias_large > 10.0 * bias_small);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let mut rng = seeded_rng(0);
+        assert!(DeviceLut::measure(
+            &VariationModel::per_weight(0.3),
+            &codec(),
+            1,
+            1,
+            &mut rng
+        )
+        .is_err());
+    }
+}

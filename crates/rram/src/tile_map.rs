@@ -1,0 +1,156 @@
+//! Tiling of layer weight matrices onto fixed-size crossbars.
+//!
+//! A layer's `(fan_in, fan_out)` weight matrix rarely fits one 128×128
+//! array: fan-in is tiled along wordlines and fan-out along bitlines
+//! (each weight consuming `cells_per_weight` bitlines). The tile count
+//! feeds the Table III crossbar-number comparison, and the row-tile
+//! boundaries determine where offset groups may sit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::WeightCodec;
+use crate::crossbar::CrossbarSpec;
+use crate::error::{Result, RramError};
+
+/// How a `(fan_in, fan_out)` weight matrix tiles onto crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileMapping {
+    /// Matrix rows (fan-in).
+    pub fan_in: usize,
+    /// Matrix columns (fan-out).
+    pub fan_out: usize,
+    /// Rows per crossbar.
+    pub rows_per_tile: usize,
+    /// Weight columns per crossbar.
+    pub weight_cols_per_tile: usize,
+}
+
+impl TileMapping {
+    /// Computes the mapping of a matrix onto arrays of `spec` using
+    /// `codec` (which fixes how many bitlines one weight needs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidGeometry`] if the matrix is empty or a
+    /// weight does not fit one array's bitlines.
+    pub fn new(
+        fan_in: usize,
+        fan_out: usize,
+        spec: CrossbarSpec,
+        codec: &WeightCodec,
+    ) -> Result<Self> {
+        if fan_in == 0 || fan_out == 0 {
+            return Err(RramError::InvalidGeometry(
+                "cannot map an empty matrix".to_string(),
+            ));
+        }
+        let weight_cols = spec.weight_cols(codec);
+        if weight_cols == 0 {
+            return Err(RramError::InvalidGeometry(format!(
+                "one {}-cell weight does not fit {} bitlines",
+                codec.cells_per_weight(),
+                spec.cols
+            )));
+        }
+        Ok(TileMapping {
+            fan_in,
+            fan_out,
+            rows_per_tile: spec.rows,
+            weight_cols_per_tile: weight_cols,
+        })
+    }
+
+    /// Tiles along the fan-in (wordline) axis.
+    pub fn row_tiles(&self) -> usize {
+        self.fan_in.div_ceil(self.rows_per_tile)
+    }
+
+    /// Tiles along the fan-out (bitline) axis.
+    pub fn col_tiles(&self) -> usize {
+        self.fan_out.div_ceil(self.weight_cols_per_tile)
+    }
+
+    /// Total crossbars this matrix occupies.
+    pub fn crossbars(&self) -> usize {
+        self.row_tiles() * self.col_tiles()
+    }
+
+    /// Row range `[start, end)` of row-tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= row_tiles()`.
+    pub fn row_range(&self, t: usize) -> (usize, usize) {
+        assert!(t < self.row_tiles(), "row tile {t} out of range");
+        let start = t * self.rows_per_tile;
+        (start, (start + self.rows_per_tile).min(self.fan_in))
+    }
+
+    /// Iterates over row-tile ranges.
+    pub fn row_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.row_tiles()).map(|t| self.row_range(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{CellKind, CellTechnology};
+
+    fn slc_codec() -> WeightCodec {
+        WeightCodec::paper(CellTechnology::paper(CellKind::Slc))
+    }
+
+    #[test]
+    fn small_matrix_fits_one_tile() {
+        let m = TileMapping::new(100, 10, CrossbarSpec::default(), &slc_codec()).unwrap();
+        assert_eq!(m.crossbars(), 1);
+        assert_eq!(m.row_tiles(), 1);
+        assert_eq!(m.row_range(0), (0, 100));
+    }
+
+    #[test]
+    fn large_matrix_tiles_both_axes() {
+        // 400×120 weights, SLC-8: 16 weight cols/tile ⇒ ceil(400/128)=4
+        // row tiles × ceil(120/16)=8 col tiles = 32 crossbars
+        let m = TileMapping::new(400, 120, CrossbarSpec::default(), &slc_codec()).unwrap();
+        assert_eq!(m.row_tiles(), 4);
+        assert_eq!(m.col_tiles(), 8);
+        assert_eq!(m.crossbars(), 32);
+        assert_eq!(m.row_range(3), (384, 400)); // last tile is partial
+    }
+
+    #[test]
+    fn mlc_needs_half_the_column_tiles() {
+        let mlc = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+        let s = TileMapping::new(128, 128, CrossbarSpec::default(), &slc_codec()).unwrap();
+        let m = TileMapping::new(128, 128, CrossbarSpec::default(), &mlc).unwrap();
+        assert_eq!(s.col_tiles(), 8);
+        assert_eq!(m.col_tiles(), 4);
+    }
+
+    #[test]
+    fn row_ranges_partition_fan_in() {
+        let m = TileMapping::new(300, 16, CrossbarSpec::default(), &slc_codec()).unwrap();
+        let total: usize = m.row_ranges().map(|(a, b)| b - a).sum();
+        assert_eq!(total, 300);
+        let mut prev_end = 0;
+        for (a, b) in m.row_ranges() {
+            assert_eq!(a, prev_end);
+            assert!(b > a);
+            prev_end = b;
+        }
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(TileMapping::new(0, 4, CrossbarSpec::default(), &slc_codec()).is_err());
+        assert!(TileMapping::new(4, 0, CrossbarSpec::default(), &slc_codec()).is_err());
+    }
+
+    #[test]
+    fn too_narrow_array_rejected() {
+        let spec = CrossbarSpec::new(128, 4); // 4 bitlines < 8 cells/weight
+        assert!(TileMapping::new(8, 8, spec, &slc_codec()).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the device, codec and LUT layers.
+
+use proptest::prelude::*;
+use rdo_rram::{
+    CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel, WeightCodec,
+};
+use rdo_tensor::rng::seeded_rng;
+
+fn codec_strategy() -> impl Strategy<Value = WeightCodec> {
+    prop_oneof![
+        Just(WeightCodec::paper(CellTechnology::paper(CellKind::Slc))),
+        Just(WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode/decode is the identity on every representable weight.
+    #[test]
+    fn codec_roundtrip(codec in codec_strategy(), v in 0u32..256) {
+        let slices = codec.encode(v).unwrap();
+        prop_assert_eq!(slices.len(), codec.cells_per_weight());
+        prop_assert_eq!(codec.decode(&slices).unwrap(), v);
+    }
+
+    /// The decoded value equals the place-value sum of the slices.
+    #[test]
+    fn codec_place_values(codec in codec_strategy(), v in 0u32..256) {
+        let slices = codec.encode(v).unwrap();
+        let sum: u32 = slices
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| s * codec.place_value(j))
+            .sum();
+        prop_assert_eq!(sum, v);
+    }
+
+    /// Zero-σ writes are exact for both variation kinds.
+    #[test]
+    fn zero_sigma_write_is_exact(
+        codec in codec_strategy(),
+        v in 0u32..256,
+        per_cell in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let kind = if per_cell { VariationKind::PerCell } else { VariationKind::PerWeight };
+        let model = VariationModel::new(0.0, kind);
+        let mut rng = seeded_rng(seed);
+        let crw = model.write(v, &codec, &mut rng).unwrap();
+        prop_assert!((crw - v as f64).abs() < 1e-9);
+    }
+
+    /// The analytic LUT is strictly monotone and inverts exactly on its
+    /// own means, for any σ and either cell kind.
+    #[test]
+    fn lut_monotone_and_invertible(
+        codec in codec_strategy(),
+        sigma in 0.05f64..1.0,
+        v in 0u32..256,
+    ) {
+        let model = VariationModel::per_weight(sigma);
+        let lut = DeviceLut::analytic(&model, &codec).unwrap();
+        prop_assert!(lut.is_monotone());
+        prop_assert_eq!(lut.inverse_mean(lut.mean(v)), v);
+    }
+
+    /// inverse_mean always returns the closest entry.
+    #[test]
+    fn inverse_mean_is_nearest(
+        sigma in 0.05f64..1.0,
+        target in -50.0f64..400.0,
+    ) {
+        let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec).unwrap();
+        let v = lut.inverse_mean(target);
+        let d = (lut.mean(v) - target).abs();
+        for cand in [v.saturating_sub(1), (v + 1).min(255)] {
+            prop_assert!(d <= (lut.mean(cand) - target).abs() + 1e-9);
+        }
+    }
+
+    /// E[R(v)] ≥ v under lognormal noise (mean inflation), with equality
+    /// only as σ → 0.
+    #[test]
+    fn mean_inflation_nonnegative(
+        codec in codec_strategy(),
+        sigma in 0.05f64..1.0,
+        v in 0u32..256,
+    ) {
+        let model = VariationModel::per_weight(sigma);
+        let (mean, var) = model.moments(v, &codec).unwrap();
+        prop_assert!(mean >= v as f64 - 1e-9);
+        prop_assert!(var >= 0.0);
+    }
+
+    /// Variance grows with the stored value for the per-weight model.
+    #[test]
+    fn variance_monotone_in_value(sigma in 0.1f64..1.0, v in 0u32..255) {
+        let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+        let model = VariationModel::per_weight(sigma);
+        let (_, var_lo) = model.moments(v, &codec).unwrap();
+        let (_, var_hi) = model.moments(v + 1, &codec).unwrap();
+        prop_assert!(var_hi > var_lo);
+    }
+
+    /// Read power is monotone in the sum of cell levels and invariant to
+    /// which cells hold them (same level multiset ⇒ same power).
+    #[test]
+    fn read_power_depends_on_level_multiset(v in 0u32..256) {
+        let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+        // bit-rotating an SLC pattern preserves the popcount ⇒ same power
+        let rotated = ((v << 1) | (v >> 7)) & 0xFF;
+        let p1 = codec.read_power(v).unwrap();
+        let p2 = codec.read_power(rotated).unwrap();
+        prop_assert!((p1 - p2).abs() < 1e-9, "{} vs {}", p1, p2);
+    }
+}

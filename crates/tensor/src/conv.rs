@@ -1,0 +1,268 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! Convolutions in the `rdo-nn` crate are computed as matrix
+//! products over im2col patch matrices. This mirrors how an RRAM accelerator
+//! maps a convolution onto crossbars: each kernel becomes one column of a
+//! weight matrix and each input patch one activation vector, which is exactly
+//! the VMM the paper's crossbars execute.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution (single stride/padding for both axes).
+///
+/// # Examples
+///
+/// ```
+/// use rdo_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 8, 3, 1, 1); // 3→8 channels, 3×3, stride 1, pad 1
+/// assert_eq!(g.output_hw(32, 32), (32, 32));
+/// assert_eq!(g.patch_len(), 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count (number of kernels).
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride along both axes.
+    pub stride: usize,
+    /// Zero padding along both axes.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dGeometry { in_channels, out_channels, kernel, stride, padding }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Length of one flattened input patch (`in_channels · kernel²`) —
+    /// the inner dimension of the lowered matmul and the crossbar row count
+    /// this layer needs.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers a batch of images `(n, c, h, w)` to a patch matrix of shape
+/// `(n · oh · ow, c · kernel²)`.
+///
+/// Row `b·oh·ow + y·ow + x` holds the flattened receptive field of output
+/// pixel `(y, x)` of batch element `b`, so `im2col(x) · Wᵀ` computes the
+/// convolution for kernel matrix `W` of shape `(out_channels, patch_len)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `input` has rank 4, and
+/// [`TensorError::ShapeMismatch`] if the channel count disagrees with `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    if c != geom.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: input.dims().to_vec(),
+            rhs: vec![geom.in_channels],
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w);
+    let patch = geom.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let k = geom.kernel;
+    let data = input.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // stays zero (padding)
+                        }
+                        let src = ((b * c + ch) * h + iy as usize) * w;
+                        let dst = row + (ch * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst + kx] = data[src + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, patch])
+}
+
+/// Adjoint of [`im2col`]: scatters a patch-matrix gradient of shape
+/// `(n · oh · ow, c · kernel²)` back to an image gradient `(n, c, h, w)`.
+///
+/// Overlapping patches accumulate, which is exactly the adjoint relation
+/// `⟨im2col(x), g⟩ = ⟨x, col2im(g)⟩` the backward pass needs.
+///
+/// # Errors
+///
+/// Returns a shape error if `cols` does not match the geometry implied by
+/// `geom` and `(n, h, w)`.
+pub fn col2im(
+    cols: &Tensor,
+    geom: &Conv2dGeometry,
+    n: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor> {
+    let (oh, ow) = geom.output_hw(h, w);
+    let patch = geom.patch_len();
+    if cols.dims() != [n * oh * ow, patch] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: vec![n * oh * ow, patch],
+        });
+    }
+    let c = geom.in_channels;
+    let k = geom.kernel;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst = ((b * c + ch) * h + iy as usize) * w;
+                        let src = row + (ch * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst + ix as usize] += data[src + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 0);
+        assert_eq!(g.output_hw(5, 5), (3, 3));
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 1);
+        assert_eq!(g.output_hw(5, 5), (5, 5));
+        let g = Conv2dGeometry::new(1, 1, 3, 2, 1);
+        assert_eq!(g.output_hw(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn im2col_identity_kernel_reproduces_input() {
+        // 1×1 kernel, stride 1, no padding: patches are just the pixels.
+        let g = Conv2dGeometry::new(2, 1, 1, 1, 0);
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 2]);
+        // column 0 is channel 0, column 1 is channel 1
+        for p in 0..9 {
+            assert_eq!(cols.at(&[p, 0]).unwrap(), p as f32);
+            assert_eq!(cols.at(&[p, 1]).unwrap(), (9 + p) as f32);
+        }
+    }
+
+    #[test]
+    fn convolution_via_im2col_matches_direct() {
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 1);
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32) - 8.0);
+        // Laplacian-like kernel
+        let kern = Tensor::from_vec(
+            vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
+            &[1, 9],
+        )
+        .unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let y = matmul(&cols, &kern.transpose2().unwrap()).unwrap(); // (16,1)
+        // direct convolution check for an interior pixel (1,1)
+        let direct = |cy: isize, cx: isize| -> f32 {
+            let mut acc = 0.0;
+            let kv = [[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]];
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let (iy, ix) = (cy + dy, cx + dx);
+                    if (0..4).contains(&iy) && (0..4).contains(&ix) {
+                        acc += kv[(dy + 1) as usize][(dx + 1) as usize]
+                            * x.at(&[0, 0, iy as usize, ix as usize]).unwrap();
+                    }
+                }
+            }
+            acc
+        };
+        for cy in 0..4 {
+            for cx in 0..4 {
+                let got = y.at(&[(cy * 4 + cx) as usize, 0]).unwrap();
+                assert!((got - direct(cy, cx)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // ⟨im2col(x), g⟩ must equal ⟨x, col2im(g)⟩ for arbitrary x, g.
+        let g = Conv2dGeometry::new(2, 3, 3, 2, 1);
+        let x = Tensor::from_fn(&[2, 2, 5, 5], |i| ((i * 37) % 17) as f32 - 8.0);
+        let cols = im2col(&x, &g).unwrap();
+        let grad = Tensor::from_fn(cols.dims(), |i| ((i * 53) % 19) as f32 - 9.0);
+        let back = col2im(&grad, &g, 2, 5, 5).unwrap();
+        let lhs: f32 = cols.data().iter().zip(grad.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() / lhs.abs().max(1.0) < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn wrong_rank_rejected() {
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 1);
+        assert!(im2col(&Tensor::zeros(&[3, 4, 4]), &g).is_err());
+    }
+
+    #[test]
+    fn wrong_channels_rejected() {
+        let g = Conv2dGeometry::new(3, 1, 3, 1, 1);
+        assert!(im2col(&Tensor::zeros(&[1, 2, 4, 4]), &g).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_tensor::{Tensor, TensorError};
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// let err = t.reshape(&[7]).unwrap_err();
+/// assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The shapes of the operands are incompatible for the requested
+    /// operation (element counts or dimensions differ).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand / primary operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand / requested operand.
+        rhs: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape it was applied to.
+        shape: Vec<usize>,
+    },
+    /// The operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An argument was invalid (empty shape, zero dimension where one is
+    /// not allowed, etc.).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op} expects rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient result alias used across the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

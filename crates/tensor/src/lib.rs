@@ -1,0 +1,41 @@
+//! # rdo-tensor
+//!
+//! Dense `f32` tensor substrate for the reproduction of *"Digital Offset for
+//! RRAM-based Neuromorphic Computing"* (DATE 2021).
+//!
+//! The crate deliberately implements only what the rest of the workspace
+//! needs — shapes, elementwise math, blocked [`matmul()`], im2col convolution
+//! lowering and seeded random construction — with no `unsafe` and no
+//! external math dependencies, so the full stack (NN training, crossbar
+//! simulation, VAWO/PWT optimization) is auditable end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdo_tensor::{matmul, Tensor};
+//! use rdo_tensor::rng::{randn, seeded_rng};
+//!
+//! let mut rng = seeded_rng(1);
+//! let w = randn(&[4, 3], 0.0, 1.0, &mut rng);
+//! let x = Tensor::ones(&[3, 2]);
+//! let y = matmul(&w, &x)?;
+//! assert_eq!(y.dims(), &[4, 2]);
+//! # Ok::<(), rdo_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod matmul;
+pub mod rng;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::{Result, TensorError};
+pub use matmul::{matmul, matmul_into, matvec, outer, vecmat};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,232 @@
+//! Matrix multiplication kernels.
+//!
+//! The whole stack funnels its heavy math through these two functions:
+//! convolution lowers to [`matmul`] via im2col, and the crossbar simulator's
+//! "effective weight" fast path is a plain matrix product. The kernel is a
+//! cache-blocked ikj loop — no SIMD intrinsics, but good enough to train the
+//! scaled networks on one CPU core.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Cache block size (elements). 64×64 f32 tiles fit comfortably in L1/L2.
+const BLOCK: usize = 64;
+
+/// Multiplies two rank-2 tensors: `C = A (m×k) · B (k×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not a matrix
+/// and [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok::<(), rdo_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul", a)?;
+    check_rank2("matmul", b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw blocked matmul on slices: `c += a (m×k) · b (k×n)`.
+///
+/// `c` must be zero-initialized by the caller if a pure product is wanted.
+/// Exposed so callers that manage their own buffers (the trainer's backward
+/// pass) avoid reallocation.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Matrix–vector product `y = A (m×k) · x (k)`.
+///
+/// # Errors
+///
+/// Returns a shape error if `A` is not a matrix or the lengths disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    check_rank2("matvec", a)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &a.data()[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(x.data()).map(|(&w, &v)| w * v).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+/// Vector–matrix product `y = x (m) · A (m×n)` — the orientation RRAM
+/// crossbars compute natively (inputs on wordlines, weights in the array).
+///
+/// # Errors
+///
+/// Returns a shape error if `A` is not a matrix or the lengths disagree.
+pub fn vecmat(x: &Tensor, a: &Tensor) -> Result<Tensor> {
+    check_rank2("vecmat", a)?;
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if x.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            op: "vecmat",
+            lhs: x.dims().to_vec(),
+            rhs: a.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; n];
+    for (i, &xv) in x.data().iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let row = &a.data()[i * n..(i + 1) * n];
+        for (o, &w) in out.iter_mut().zip(row) {
+            *o += xv * w;
+        }
+    }
+    Tensor::from_vec(out, &[n])
+}
+
+/// Outer product `A = x (m) ⊗ y (n)`, an `m×n` matrix.
+pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    let (m, n) = (x.len(), y.len());
+    let mut out = vec![0.0f32; m * n];
+    for (i, &xv) in x.data().iter().enumerate() {
+        for (j, &yv) in y.data().iter().enumerate() {
+            out[i * n + j] = xv * yv;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("outer: shape is consistent by construction")
+}
+
+fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|kk| a.data()[i * k + kk] * b.data()[kk * n + j]).sum()
+        })
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_beyond_block_size() {
+        let (m, k, n) = (70, 65, 67); // > BLOCK to cross tile boundaries
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 7919) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 104729) % 11) as f32 - 5.0);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn inner_dim_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matvec_and_vecmat_agree_with_matmul() {
+        let a = Tensor::from_fn(&[4, 5], |i| i as f32 * 0.5 - 3.0);
+        let x = Tensor::from_fn(&[5], |i| i as f32 - 2.0);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[5, 1]).unwrap();
+        let y2 = matmul(&a, &xm).unwrap();
+        assert_eq!(y.data(), y2.data());
+
+        let v = Tensor::from_fn(&[4], |i| 1.0 + i as f32);
+        let z = vecmat(&v, &a).unwrap();
+        let vm = v.reshape(&[1, 4]).unwrap();
+        let z2 = matmul(&vm, &a).unwrap();
+        for (p, q) in z.data().iter().zip(z2.data()) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let y = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = outer(&x, &y);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(&[3, 3], |i| i as f32);
+        let id = Tensor::from_fn(&[3, 3], |i| if i / 3 == i % 3 { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+}

@@ -1,0 +1,430 @@
+//! The dense row-major `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the numeric workhorse of the whole reproduction: network
+/// activations, weights, gradients, crossbar conductance matrices and device
+/// statistics are all stored as `Tensor`s. The representation is a flat
+/// `Vec<f32>` plus a [`Shape`]; all views are materialized (no aliasing), so
+/// the type is `Send + Sync` and trivially serializable.
+///
+/// # Examples
+///
+/// ```
+/// use rdo_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::full(&[2, 2], 0.5);
+/// let c = a.zip_map(&b, |x, y| x * y)?;
+/// assert_eq!(c.data(), &[0.5, 1.0, 1.5, 2.0]);
+/// # Ok::<(), rdo_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// the element count implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "from_vec",
+                lhs: vec![data.len()],
+                rhs: dims.to_vec(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|i| f(i)).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying flat data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying flat data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let new_shape = Shape::new(dims);
+        if new_shape.len() != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "reshape",
+                lhs: self.dims().to_vec(),
+                rhs: dims.to_vec(),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape: new_shape })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Accumulates `alpha * other` into `self` (`axpy`), elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (`-inf` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element of a 1-D view of the data
+    /// (first occurrence wins; 0 for an empty tensor).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm of the data.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Returns row `r` of a rank-2 tensor as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix tensors and
+    /// [`TensorError::IndexOutOfBounds`] for an invalid row.
+    pub fn row(&self, r: usize) -> Result<&[f32]> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![r],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix tensors.
+    pub fn transpose2(&self) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "transpose2",
+                expected: 2,
+                actual: self.shape.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    /// Collects an iterator into a rank-1 tensor.
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let data: Vec<f32> = iter.into_iter().collect();
+        let n = data.len();
+        Tensor { data, shape: Shape::new(&[n]) }
+    }
+}
+
+impl AsRef<[f32]> for Tensor {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(a.add(&b).is_err());
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[2, 2]).unwrap();
+        assert_eq!(a.sum(), 2.5);
+        assert_eq!(a.mean(), 0.625);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.argmax(), 2);
+        assert!((a.norm_sq() - (1.0 + 4.0 + 9.0 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let b = a.reshape(&[3, 2]).unwrap();
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transpose2().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]).unwrap(), a.at(&[1, 2]).unwrap());
+        assert_eq!(t.transpose2().unwrap(), a);
+    }
+
+    #[test]
+    fn row_slicing() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(a.row(1).unwrap(), &[3.0, 4.0, 5.0]);
+        assert!(a.row(2).is_err());
+        assert!(Tensor::zeros(&[4]).row(0).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn collect_into_tensor() {
+        let t: Tensor = (0..4).map(|i| i as f32).collect();
+        assert_eq!(t.dims(), &[4]);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+}

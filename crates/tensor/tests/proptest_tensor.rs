@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use rdo_tensor::{col2im, im2col, matmul, Conv2dGeometry, Tensor};
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("consistent"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A + B) + C == A + (B + C) up to float tolerance.
+    #[test]
+    fn add_is_associative(v in proptest::collection::vec(-1e3f32..1e3, 12)) {
+        let a = Tensor::from_vec(v[0..4].to_vec(), &[4]).unwrap();
+        let b = Tensor::from_vec(v[4..8].to_vec(), &[4]).unwrap();
+        let c = Tensor::from_vec(v[8..12].to_vec(), &[4]).unwrap();
+        let l = a.add(&b).unwrap().add(&c).unwrap();
+        let r = a.add(&b.add(&c).unwrap()).unwrap();
+        for (x, y) in l.data().iter().zip(r.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    /// Transposition is an involution on any matrix.
+    #[test]
+    fn transpose_involution(t in tensor_strategy(12)) {
+        prop_assert_eq!(t.transpose2().unwrap().transpose2().unwrap(), t);
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(10),
+        bcols in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let k = a.dims()[1];
+        let b = Tensor::from_fn(&[k, bcols], |i| {
+            ((i as u64).wrapping_mul(seed + 1) % 17) as f32 - 8.0
+        });
+        let lhs = matmul(&a, &b).unwrap().transpose2().unwrap();
+        let rhs = matmul(&b.transpose2().unwrap(), &a.transpose2().unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0), "{} vs {}", x, y);
+        }
+    }
+
+    /// Matmul distributes over addition: A·(B+C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes(a in tensor_strategy(8), seed in 0u64..100) {
+        let k = a.dims()[1];
+        let mk = |s: u64| Tensor::from_fn(&[k, 5], |i| {
+            ((i as u64).wrapping_mul(s * 31 + 7) % 13) as f32 - 6.0
+        });
+        let (b, c) = (mk(seed), mk(seed + 1));
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    /// Scaling commutes with summation: sum(αx) == α·sum(x).
+    #[test]
+    fn scale_sum_commute(t in tensor_strategy(12), alpha in -10.0f32..10.0) {
+        let lhs = t.scale(alpha).sum();
+        let rhs = alpha * t.sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * rhs.abs().max(1.0));
+    }
+
+    /// col2im is the adjoint of im2col for random geometries.
+    #[test]
+    fn im2col_adjoint(
+        h in 3usize..8,
+        w in 3usize..8,
+        c in 1usize..3,
+        k in 1usize..4,
+        pad in 0usize..2,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = Conv2dGeometry::new(c, 1, k, stride, pad);
+        let x = Tensor::from_fn(&[1, c, h, w], |i| {
+            ((i as u64).wrapping_mul(seed + 3) % 23) as f32 - 11.0
+        });
+        let cols = im2col(&x, &geom).unwrap();
+        let g = Tensor::from_fn(cols.dims(), |i| {
+            ((i as u64).wrapping_mul(seed + 5) % 19) as f32 - 9.0
+        });
+        let back = col2im(&g, &geom, 1, h, w).unwrap();
+        let lhs: f32 = cols.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * lhs.abs().max(1.0), "{} vs {}", lhs, rhs);
+    }
+
+    /// Reshape never alters data, only the shape.
+    #[test]
+    fn reshape_preserves_data(t in tensor_strategy(12)) {
+        let n = t.len();
+        let flat = t.reshape(&[n]).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+    }
+}

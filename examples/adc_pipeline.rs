@@ -1,0 +1,72 @@
+//! The cell-level ISAAC pipeline up close: program one 128×128 crossbar,
+//! feed 8-bit inputs bit-serially through a finite-resolution ADC with
+//! partial wordline activation, and compare against the ideal dot
+//! product — the detailed path that backs the accuracy simulator's
+//! effective-weight shortcut.
+//!
+//! Run with: `cargo run --release --example adc_pipeline`
+
+use rram_digital_offset::rram::{
+    Adc, BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec, VariationModel,
+    WeightCodec,
+};
+use rram_digital_offset::tensor::rng::seeded_rng;
+use rram_digital_offset::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+    let spec = CrossbarSpec::default();
+    println!(
+        "crossbar: {}×{} cells, {} ({} cells/weight → {} weight columns), ON/OFF 200",
+        spec.rows,
+        spec.cols,
+        codec.cell().kind(),
+        codec.cells_per_weight(),
+        spec.weight_cols(&codec)
+    );
+
+    // program a full array of pseudo-random 8-bit weights at sigma = 0.3
+    let mut rng = seeded_rng(42);
+    let ctw = Tensor::from_fn(&[128, 32], |i| ((i * 89 + 7) % 256) as f32);
+    let model = VariationModel::per_weight(0.3);
+    let xbar = Crossbar::program(spec, codec, &ctw, &model, &mut rng)?;
+
+    let x: Vec<u32> = (0..128).map(|i| (i * 13 % 256) as u32).collect();
+
+    // the "truth" on these exact devices: dot product over measured CRWs
+    let crw = xbar.crw_matrix();
+    let direct: Vec<f64> = (0..32)
+        .map(|c| {
+            (0..128)
+                .map(|r| x[r] as f64 * crw.at(&[r, c]).expect("in range") as f64)
+                .sum()
+        })
+        .collect();
+
+    println!("\n{:<26} {:>12} {:>12} {:>10}", "pipeline", "column 0", "column 31", "cycles");
+    for (name, adc, m) in [
+        ("ideal ADC, m=128", Adc::ideal(), 128),
+        ("ideal ADC, m=16", Adc::ideal(), 16),
+        (
+            "8-bit ADC, m=16",
+            Adc::new(8, 16.0 * 3.0 * (1.0 + codec.cell().floor())),
+            16,
+        ),
+    ] {
+        let eval = BitSerialEvaluator::new(adc, 8, m);
+        let y = eval.evaluate(&xbar, &x)?;
+        println!(
+            "{:<26} {:>12.1} {:>12.1} {:>10}",
+            name,
+            y[0],
+            y[31],
+            eval.cycles(128)
+        );
+    }
+    println!("{:<26} {:>12.1} {:>12.1} {:>10}", "direct CRW dot product", direct[0], direct[31], "-");
+
+    println!("\nthe bit-serial pipeline with an ideal ADC reproduces the CRW dot");
+    println!("product exactly; the 8-bit ADC adds a bounded quantization error;");
+    println!("finer wordline activation (smaller m) costs proportionally more cycles.");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Design-space exploration: how sharing granularity `m` trades accuracy
+//! against register count and tile overhead — the cross-cutting view of
+//! Fig. 5 and Table II on a single small workload.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use rram_digital_offset::arch::{tile_overhead, IsaacTile, UnitCosts};
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+};
+use rram_digital_offset::nn::{evaluate, fit, Linear, Relu, Sequential, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::{randn, seeded_rng};
+use rram_digital_offset::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a 4-class MLP problem large enough to span several offset groups
+    let mut rng = seeded_rng(11);
+    let x = randn(&[768, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..768)
+        .map(|i| {
+            let a = x.data()[i * 16] + x.data()[i * 16 + 3] > 0.0;
+            let b = x.data()[i * 16 + 1] - x.data()[i * 16 + 2] > 0.0;
+            (a as usize) * 2 + b as usize
+        })
+        .collect();
+    let split = 576;
+    let cols = 16;
+    let train_x = Tensor::from_vec(x.data()[..split * cols].to_vec(), &[split, cols])?;
+    let test_x =
+        Tensor::from_vec(x.data()[split * cols..].to_vec(), &[768 - split, cols])?;
+    let (train_y, test_y) = (&labels[..split], &labels[split..]);
+
+    let mut net = Sequential::new();
+    net.push(Linear::new(16, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(64, 4, &mut rng));
+    fit(&mut net, &train_x, train_y, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })?;
+    let ideal = evaluate(&mut net, &test_x, test_y, 64)?;
+    let grads = mean_core_gradients(&mut net, &train_x, train_y, 64)?;
+
+    let sigma = 0.5;
+    let tile = IsaacTile::paper();
+    let costs = UnitCosts::calibrated_32nm();
+    println!("ideal accuracy {:.1}%, sigma = {sigma}, VAWO*+PWT\n", 100.0 * ideal);
+    println!(
+        "{:>5} {:>12} {:>14} {:>12} {:>12}",
+        "m", "accuracy", "registers/xbar", "area ovh", "power ovh"
+    );
+
+    for m in [16usize, 32, 64, 128] {
+        let cfg = OffsetConfig::paper(CellKind::Mlc2, sigma, m)?;
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+        let mut mapped =
+            MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+        let plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None)?;
+        let rel_power = mapped.read_power()? / plain.read_power()?;
+        let acc = evaluate_cycles(
+            &mut mapped,
+            Some((&train_x, train_y)),
+            &test_x,
+            test_y,
+            &CycleEvalConfig { cycles: 3, ..Default::default() },
+        )?;
+        let o = tile_overhead(&tile, &costs, m, rel_power);
+        println!(
+            "{:>5} {:>11.1}% {:>14} {:>11.1}% {:>11.1}%",
+            m,
+            100.0 * acc.mean,
+            tile.offset_registers_per_crossbar(m),
+            100.0 * o.area_fraction,
+            100.0 * o.power_fraction
+        );
+    }
+    println!("\nfiner m ⇒ more registers but better compensation; coarser m ⇒ bigger adders");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The paper's LeNet workload end to end: train LeNet-5 on the synthetic
+//! digit dataset, map it onto SLC crossbars at σ = 0.5, and compare the
+//! plain scheme against VAWO\*+PWT over five programming cycles —
+//! a single-point version of Fig. 5(a).
+//!
+//! Run with: `cargo run --release --example lenet_digits`
+//! (set `LENET_FAST=1` for a quicker, width-reduced variant).
+
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+};
+use rram_digital_offset::datasets::{generate_digits, DigitsConfig};
+use rram_digital_offset::nn::{evaluate, fit, LeNetConfig, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::var("LENET_FAST").is_ok();
+    let per_class = if fast { 40 } else { 120 };
+    let epochs = if fast { 4 } else { 12 };
+
+    println!("generating digits ({per_class} per class)…");
+    let ds = generate_digits(&DigitsConfig { per_class, ..Default::default() })?;
+    let (train, test) = ds.split(2.0 / 3.0)?;
+
+    let lenet_cfg = if fast { LeNetConfig::scaled() } else { LeNetConfig::classic() };
+    let mut net = lenet_cfg.build(&mut seeded_rng(1))?;
+    println!("training LeNet ({epochs} epochs)…");
+    fit(
+        &mut net,
+        train.images(),
+        train.labels(),
+        &TrainConfig { epochs, lr: 0.08, weight_decay: 0.0, ..Default::default() },
+    )?;
+    let ideal = evaluate(&mut net, test.images(), test.labels(), 64)?;
+    println!("ideal accuracy: {:.2}%", 100.0 * ideal);
+
+    let sigma = 0.5;
+    let m = 16;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let eval = CycleEvalConfig { cycles: 5, ..Default::default() };
+
+    println!("\nmapping onto 128×128 SLC crossbars, sigma = {sigma}, m = {m}:");
+    let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None)?;
+    let plain_acc =
+        evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval)?;
+    println!("  plain:      {:.2}%  (±{:.2} over cycles)", 100.0 * plain_acc.mean, 100.0 * plain_acc.std);
+
+    let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64)?;
+    let mut full = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+    let full_acc = evaluate_cycles(
+        &mut full,
+        Some((train.images(), train.labels())),
+        test.images(),
+        test.labels(),
+        &eval,
+    )?;
+    println!(
+        "  VAWO*+PWT:  {:.2}%  (drop {:.2} points from ideal)",
+        100.0 * full_acc.mean,
+        100.0 * (ideal - full_acc.mean)
+    );
+    Ok(())
+}

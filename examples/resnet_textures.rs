@@ -1,0 +1,56 @@
+//! The paper's ResNet workload: a scaled ResNet-18 on synthetic color
+//! textures, mapped onto 2-bit MLC crossbars — demonstrating the Fig. 5(c)
+//! setting at one (σ, m) point, including how MLCs amplify variation
+//! sensitivity.
+//!
+//! Run with: `cargo run --release --example resnet_textures`
+
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+};
+use rram_digital_offset::datasets::{generate_textures, TexturesConfig};
+use rram_digital_offset::nn::{evaluate, fit, ResNetConfig, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("generating textures…");
+    let ds = generate_textures(&TexturesConfig { per_class: 80, hw: 16, ..Default::default() })?;
+    let (train, test) = ds.split(2.0 / 3.0)?;
+
+    // ResNet-18 topology at reduced width (one CPU core; see DESIGN.md §2)
+    let mut net = ResNetConfig::resnet18_scaled(8).build(&mut seeded_rng(2))?;
+    println!("training ResNet-18 (width 8)…");
+    fit(
+        &mut net,
+        train.images(),
+        train.labels(),
+        &TrainConfig { epochs: 6, lr: 0.05, ..Default::default() },
+    )?;
+    let ideal = evaluate(&mut net, test.images(), test.labels(), 64)?;
+    println!("ideal accuracy: {:.2}%", 100.0 * ideal);
+
+    let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64)?;
+    let eval = CycleEvalConfig { cycles: 3, ..Default::default() };
+
+    println!("\nVAWO*+PWT on 2-bit MLC crossbars, m = 16:");
+    for sigma in [0.2f64, 0.5, 0.7] {
+        let cfg = OffsetConfig::paper(CellKind::Mlc2, sigma, 16)?;
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+        let mut mapped =
+            MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+        let acc = evaluate_cycles(
+            &mut mapped,
+            Some((train.images(), train.labels())),
+            test.images(),
+            test.labels(),
+            &eval,
+        )?;
+        println!(
+            "  sigma {sigma:>3}: {:.2}% (drop {:.2} points)",
+            100.0 * acc.mean,
+            100.0 * (ideal - acc.mean)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # rram-digital-offset
+//!
+//! Umbrella crate of the reproduction of *"Digital Offset for RRAM-based
+//! Neuromorphic Computing: A Novel Solution to Conquer Cycle-to-cycle
+//! Variation"* (DATE 2021). It re-exports the workspace crates so the
+//! examples and integration tests have a single dependency:
+//!
+//! * [`tensor`] — dense `f32` math substrate.
+//! * [`nn`] — the neural-network framework (LeNet / ResNet-18 / VGG-16).
+//! * [`datasets`] — synthetic MNIST/CIFAR substitutes.
+//! * [`rram`] — device, variation, LUT and crossbar simulation.
+//! * [`arch`] — ISAAC tile cost models (Tables I–III support).
+//! * [`core`] — digital offsets, VAWO(\*) and PWT (the contribution).
+//! * [`baselines`] — DVA and PM comparison points.
+//!
+//! See `README.md` for a walkthrough and `examples/quickstart.rs` for the
+//! fastest end-to-end tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rdo_arch as arch;
+pub use rdo_baselines as baselines;
+pub use rdo_core as core;
+pub use rdo_datasets as datasets;
+pub use rdo_nn as nn;
+pub use rdo_rram as rram;
+pub use rdo_tensor as tensor;

@@ -1,0 +1,105 @@
+//! Cross-checks between the effective-weight fast path and the
+//! cell-level bit-serial ADC path (DESIGN.md ablation 5), driven through
+//! the quantization/mapping layers.
+
+use rram_digital_offset::nn::quant::quantize_weights;
+use rram_digital_offset::rram::{
+    Adc, BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec, VariationModel,
+    WeightCodec,
+};
+use rram_digital_offset::tensor::rng::{randn, seeded_rng};
+
+/// Programs quantized weights into a cell-level crossbar and checks that
+/// the bit-serial pipeline computes exactly the dot product implied by
+/// the measured CRWs — i.e. the fast path and the detailed path agree on
+/// the same devices.
+#[test]
+fn bit_serial_pipeline_matches_measured_crws() {
+    let mut rng = seeded_rng(0);
+    let w = randn(&[8, 64], 0.0, 0.2, &mut rng); // (out, in) network layer
+    let q = quantize_weights(&w, 8).unwrap();
+    let ctw = q.levels.transpose2().unwrap(); // fan_in × fan_out
+
+    for (kind, sigma) in [(CellKind::Slc, 0.0), (CellKind::Slc, 0.5), (CellKind::Mlc2, 0.5)] {
+        let codec = WeightCodec::paper(CellTechnology::paper(kind));
+        let model = VariationModel::per_weight(sigma);
+        let xbar =
+            Crossbar::program(CrossbarSpec::default(), codec, &ctw, &model, &mut rng).unwrap();
+        let crw = xbar.crw_matrix();
+
+        let x: Vec<u32> = (0..64).map(|i| (i * 37 % 256) as u32).collect();
+        for m in [16usize, 64] {
+            let eval = BitSerialEvaluator::new(Adc::ideal(), 8, m);
+            let y = eval.evaluate(&xbar, &x).unwrap();
+            for (c, &yc) in y.iter().enumerate() {
+                let direct: f64 = (0..64)
+                    .map(|r| x[r] as f64 * crw.at(&[r, c]).unwrap() as f64)
+                    .sum();
+                assert!(
+                    (yc - direct).abs() <= 1e-5 * direct.abs().max(1.0),
+                    "{kind:?} sigma {sigma} m {m}: {yc} vs {direct}"
+                );
+            }
+        }
+    }
+}
+
+/// With zero variation and an ideal ADC, the whole analog pipeline must
+/// reproduce the exact integer arithmetic of the quantized layer.
+#[test]
+fn zero_noise_pipeline_is_integer_exact() {
+    let mut rng = seeded_rng(1);
+    let w = randn(&[4, 32], 0.0, 0.3, &mut rng);
+    let q = quantize_weights(&w, 8).unwrap();
+    let ctw = q.levels.transpose2().unwrap();
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+    let xbar = Crossbar::program(
+        CrossbarSpec::default(),
+        codec,
+        &ctw,
+        &VariationModel::per_weight(0.0),
+        &mut rng,
+    )
+    .unwrap();
+    let x: Vec<u32> = (0..32).map(|i| (i * 11 % 256) as u32).collect();
+    let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+    let y = eval.evaluate(&xbar, &x).unwrap();
+    for (c, &yc) in y.iter().enumerate() {
+        let exact: f64 = (0..32)
+            .map(|r| x[r] as f64 * ctw.at(&[r, c]).unwrap() as f64)
+            .sum();
+        assert!((yc - exact).abs() < 1e-4, "column {c}: {yc} vs {exact}");
+    }
+}
+
+/// An 8-bit ADC with a sensible full scale introduces only a small
+/// relative error versus the ideal converter.
+#[test]
+fn finite_adc_error_is_bounded() {
+    let mut rng = seeded_rng(2);
+    let w = randn(&[4, 64], 0.0, 0.3, &mut rng);
+    let q = quantize_weights(&w, 8).unwrap();
+    let ctw = q.levels.transpose2().unwrap();
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+    let xbar = Crossbar::program(
+        CrossbarSpec::default(),
+        codec,
+        &ctw,
+        &VariationModel::per_weight(0.3),
+        &mut rng,
+    )
+    .unwrap();
+    let x: Vec<u32> = (0..64).map(|i| (255 - i * 3) as u32).collect();
+    let m = 16;
+    let fs = m as f64 * (1.0 + codec.cell().floor());
+    let ideal = BitSerialEvaluator::new(Adc::ideal(), 8, m);
+    let coarse = BitSerialEvaluator::new(Adc::new(8, fs), 8, m);
+    let yi = ideal.evaluate(&xbar, &x).unwrap();
+    let yc = coarse.evaluate(&xbar, &x).unwrap();
+    for (a, b) in yc.iter().zip(&yi) {
+        assert!(
+            (a - b).abs() <= 0.03 * b.abs().max(1000.0),
+            "{a} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Smoke test of the paper's primary workload at miniature scale: a
+//! width-reduced LeNet on synthetic digits, through the full
+//! map → program → compensate → evaluate pipeline.
+
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+    PwtConfig,
+};
+use rram_digital_offset::datasets::{generate_digits, DigitsConfig};
+use rram_digital_offset::nn::{evaluate, fit, LeNetConfig, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::seeded_rng;
+
+#[test]
+fn scaled_lenet_recovers_under_variation() {
+    let ds = generate_digits(&DigitsConfig { per_class: 30, ..Default::default() }).unwrap();
+    let (train, test) = ds.split(2.0 / 3.0).unwrap();
+
+    let mut net = LeNetConfig::scaled().build(&mut seeded_rng(1)).unwrap();
+    fit(
+        &mut net,
+        train.images(),
+        train.labels(),
+        &TrainConfig { epochs: 6, lr: 0.08, weight_decay: 0.0, ..Default::default() },
+    )
+    .unwrap();
+    let ideal = evaluate(&mut net, test.images(), test.labels(), 64).unwrap();
+    assert!(ideal > 0.7, "LeNet failed to learn the digits: {ideal}");
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+    let eval = CycleEvalConfig {
+        cycles: 2,
+        seed: 0,
+        pwt: PwtConfig { epochs: 3, ..Default::default() },
+        batch_size: 64,
+    };
+
+    let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+    let plain_acc =
+        evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval).unwrap();
+
+    let grads =
+        mean_core_gradients(&mut net, train.images(), train.labels(), 64).unwrap();
+    let mut full =
+        MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
+    let full_acc = evaluate_cycles(
+        &mut full,
+        Some((train.images(), train.labels())),
+        test.images(),
+        test.labels(),
+        &eval,
+    )
+    .unwrap();
+
+    assert!(
+        plain_acc.mean < ideal - 0.3,
+        "plain should collapse under sigma 0.5: {} vs ideal {ideal}",
+        plain_acc.mean
+    );
+    assert!(
+        full_acc.mean > plain_acc.mean + 0.2,
+        "VAWO*+PWT ({}) should clearly beat plain ({})",
+        full_acc.mean,
+        plain_acc.mean
+    );
+    assert!(
+        full_acc.mean > ideal - 0.25,
+        "VAWO*+PWT ({}) should approach ideal ({ideal})",
+        full_acc.mean
+    );
+}

@@ -1,0 +1,117 @@
+//! The paper's own worked examples, reproduced against the library.
+
+use rram_digital_offset::core::{GroupLayout, OffsetConfig, OffsetState};
+use rram_digital_offset::rram::CellKind;
+use rram_digital_offset::tensor::{vecmat, Tensor};
+
+/// §II's weight-shift example: "weights initially in the range
+/// [−120, 135] are shifted to the range [0, 255] by adding each with
+/// 120. After the calculation by the crossbar, we should subtract
+/// 120·Σxᵢ from the result."
+#[test]
+fn section_ii_shift_example() {
+    use rram_digital_offset::nn::quant::quantize_weights;
+    let w = Tensor::from_vec(vec![-120.0, 0.0, 135.0], &[3]).unwrap();
+    let q = quantize_weights(&w, 8).unwrap();
+    assert_eq!(q.params.shift, 120);
+    // crossbar computes Σ x·(w+shift); digital subtraction of
+    // shift·Σx recovers the signed dot product
+    let x = [2.0f32, 5.0, 1.0];
+    let analog: f32 = x.iter().zip(q.levels.data()).map(|(a, b)| a * b).sum();
+    let sum_x: f32 = x.iter().sum();
+    let recovered = q.params.delta * (analog - q.params.shift as f32 * sum_x);
+    let exact: f32 = x.iter().zip(w.data()).map(|(a, b)| a * b).sum();
+    assert!((recovered - exact).abs() < q.params.delta * 2.0, "{recovered} vs {exact}");
+}
+
+/// Eq. 1 / Fig. 2(c): with inputs (3, 0, 1) and a per-column offset b,
+/// the digital compensation is exactly `b·Σxᵢ` — "(3+0+1)·(−0.3) = −1.2
+/// for the 1st column and −1.6 for the 2nd".
+#[test]
+fn fig2_offset_compensation() {
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let layout = GroupLayout::new(3, 2, &cfg).unwrap(); // one group per column
+    let state = OffsetState::from_parts(
+        layout,
+        vec![-0.3, -0.4], // the offsets of Fig. 2(c)
+        vec![false, false],
+    )
+    .unwrap();
+    // arbitrary noisy crossbar weights
+    let crw = Tensor::from_vec(vec![3.3, 6.4, 0.1, 2.2, 1.2, 4.1], &[3, 2]).unwrap();
+    let x = Tensor::from_vec(vec![3.0, 0.0, 1.0], &[3]).unwrap();
+
+    let nrw = state.apply(&crw, 255.0).unwrap();
+    let with_offsets = vecmat(&x, &nrw).unwrap();
+    let without = vecmat(&x, &crw).unwrap();
+    let comp1 = with_offsets.data()[0] - without.data()[0];
+    let comp2 = with_offsets.data()[1] - without.data()[1];
+    assert!((comp1 - (3.0 + 0.0 + 1.0) * -0.3).abs() < 1e-5, "col 1: {comp1}");
+    assert!((comp1 - -1.2).abs() < 1e-5);
+    assert!((comp2 - -1.6).abs() < 1e-5, "col 2: {comp2}");
+}
+
+/// Fig. 3's weight-domain walk: a CRW of 2.1 with offset b = 1 yields an
+/// NRW of 3.1.
+#[test]
+fn fig3_nrw_from_crw_and_offset() {
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let layout = GroupLayout::new(1, 1, &cfg).unwrap();
+    let state = OffsetState::from_parts(layout, vec![1.0], vec![false]).unwrap();
+    let crw = Tensor::from_vec(vec![2.1], &[1, 1]).unwrap();
+    let nrw = state.apply(&crw, 255.0).unwrap();
+    assert!((nrw.data()[0] - 3.1).abs() < 1e-6);
+}
+
+/// Eq. 7's decomposition: the column output equals the raw crossbar term
+/// plus `Σᵢ bᵢ·Σⱼ x_{im+j}` — verified for a 128-row column at m = 16
+/// (k = 8 groups).
+#[test]
+fn eq7_group_decomposition() {
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let layout = GroupLayout::new(128, 1, &cfg).unwrap();
+    assert_eq!(layout.row_bounds().len(), 8); // k = N/m
+    let offsets: Vec<f32> = (0..8).map(|i| (i as f32) - 3.5).collect();
+    let state = OffsetState::from_parts(layout.clone(), offsets.clone(), vec![false; 8]).unwrap();
+
+    let crw = Tensor::from_fn(&[128, 1], |i| ((i * 13) % 97) as f32 * 0.1);
+    let x = Tensor::from_fn(&[128], |i| ((i * 7) % 11) as f32);
+
+    let z = vecmat(&x, &state.apply(&crw, 255.0).unwrap()).unwrap().data()[0];
+    let raw = vecmat(&x, &crw).unwrap().data()[0];
+    let offset_term: f32 = layout
+        .row_bounds()
+        .iter()
+        .zip(&offsets)
+        .map(|(&(a, b), &bi)| bi * x.data()[a..b].iter().sum::<f32>())
+        .sum();
+    assert!((z - (raw + offset_term)).abs() < 1e-2 * z.abs().max(1.0), "{z} vs {}", raw + offset_term);
+}
+
+/// §III-C's complement identity:
+/// `Σ wᵢ*xᵢ = (2ⁿ−1)Σxᵢ − Σ w̄ᵢ*xᵢ`.
+#[test]
+fn complement_dot_product_identity() {
+    use rram_digital_offset::core::complement_weight;
+    let w: Vec<u32> = vec![3, 200, 128, 0, 255, 17];
+    let x: Vec<f64> = vec![1.0, 0.5, 2.0, 3.0, 0.0, 1.5];
+    let direct: f64 = w.iter().zip(&x).map(|(&wi, &xi)| wi as f64 * xi).sum();
+    let sum_x: f64 = x.iter().sum();
+    let complemented: f64 = w
+        .iter()
+        .zip(&x)
+        .map(|(&wi, &xi)| complement_weight(wi, 8) as f64 * xi)
+        .sum();
+    let via_identity = 255.0 * sum_x - complemented;
+    assert!((direct - via_identity).abs() < 1e-9);
+}
+
+/// Eq. 9's register-count example from §IV-B2: 256 registers per
+/// crossbar at m = 16 and 32 at m = 128 (S = 128, l = 32).
+#[test]
+fn eq9_register_counts() {
+    use rram_digital_offset::arch::IsaacTile;
+    let tile = IsaacTile::paper();
+    assert_eq!(tile.offset_registers_per_crossbar(16), 256);
+    assert_eq!(tile.offset_registers_per_crossbar(128), 32);
+}

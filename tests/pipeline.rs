@@ -1,0 +1,175 @@
+//! End-to-end integration: train → quantize → map → program → compensate
+//! → evaluate, across all five methods, checking the orderings the paper
+//! reports.
+
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+    PwtConfig,
+};
+use rram_digital_offset::nn::{evaluate, fit, Linear, Relu, Sequential, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::{randn, seeded_rng};
+use rram_digital_offset::tensor::Tensor;
+
+fn trained_problem(seed: u64) -> (Sequential, Tensor, Vec<usize>, Tensor, Vec<usize>, f32) {
+    let mut rng = seeded_rng(seed);
+    let n = 400;
+    let x = randn(&[n, 8], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n)
+        .map(|i| {
+            let a = x.data()[i * 8] > 0.0;
+            let b = x.data()[i * 8 + 1] > 0.0;
+            (a as usize) * 2 + b as usize
+        })
+        .collect();
+    let split = 300;
+    let train_x = Tensor::from_vec(x.data()[..split * 8].to_vec(), &[split, 8]).unwrap();
+    let test_x = Tensor::from_vec(x.data()[split * 8..].to_vec(), &[n - split, 8]).unwrap();
+    let (train_y, test_y) = (labels[..split].to_vec(), labels[split..].to_vec());
+
+    let mut net = Sequential::new();
+    net.push(Linear::new(8, 96, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(96, 4, &mut rng));
+    fit(
+        &mut net,
+        &train_x,
+        &train_y,
+        &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() },
+    )
+    .unwrap();
+    let ideal = evaluate(&mut net, &test_x, &test_y, 64).unwrap();
+    (net, train_x, train_y, test_x, test_y, ideal)
+}
+
+fn accuracy_of(
+    net: &mut Sequential,
+    method: Method,
+    sigma: f64,
+    m: usize,
+    train: (&Tensor, &[usize]),
+    test: (&Tensor, &[usize]),
+    seed: u64,
+) -> f32 {
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+    let grads = if method.uses_vawo() {
+        Some(mean_core_gradients(net, train.0, train.1, 64).unwrap())
+    } else {
+        None
+    };
+    let mut mapped = MappedNetwork::map(net, method, &cfg, &lut, grads.as_deref()).unwrap();
+    let eval = CycleEvalConfig {
+        cycles: 3,
+        seed,
+        pwt: PwtConfig { epochs: 6, ..Default::default() },
+        batch_size: 64,
+    };
+    evaluate_cycles(&mut mapped, Some(train), test.0, test.1, &eval)
+        .unwrap()
+        .mean
+}
+
+#[test]
+fn method_ordering_matches_paper() {
+    let (mut net, train_x, train_y, test_x, test_y, ideal) = trained_problem(1);
+    assert!(ideal >= 0.85, "training failed: {ideal}");
+    let sigma = 0.5;
+    let m = 16;
+    let run = |net: &mut Sequential, method| {
+        accuracy_of(net, method, sigma, m, (&train_x, &train_y), (&test_x, &test_y), 100)
+    };
+    let plain = run(&mut net, Method::Plain);
+    let vawo_star = run(&mut net, Method::VawoStar);
+    let combined = run(&mut net, Method::VawoStarPwt);
+
+    // the paper's headline orderings
+    assert!(
+        vawo_star > plain + 0.05,
+        "VAWO* {vawo_star} should clearly beat plain {plain}"
+    );
+    assert!(
+        combined >= vawo_star - 0.02,
+        "combined {combined} should not lose to VAWO* {vawo_star}"
+    );
+    assert!(
+        combined > ideal - 0.25,
+        "combined {combined} should be near ideal {ideal}"
+    );
+    assert!(
+        combined > plain + 0.2,
+        "combined {combined} should recover far above plain {plain}"
+    );
+}
+
+#[test]
+fn combined_method_is_deterministic_per_seed() {
+    let (mut net, train_x, train_y, test_x, test_y, _) = trained_problem(2);
+    let a = accuracy_of(
+        &mut net,
+        Method::VawoStarPwt,
+        0.5,
+        16,
+        (&train_x, &train_y),
+        (&test_x, &test_y),
+        7,
+    );
+    let b = accuracy_of(
+        &mut net,
+        Method::VawoStarPwt,
+        0.5,
+        16,
+        (&train_x, &train_y),
+        (&test_x, &test_y),
+        7,
+    );
+    assert_eq!(a, b, "same seed must reproduce the same accuracy");
+}
+
+#[test]
+fn zero_variation_keeps_every_method_near_ideal() {
+    let (mut net, train_x, train_y, test_x, test_y, ideal) = trained_problem(3);
+    for method in [Method::Plain, Method::VawoStar, Method::VawoStarPwt] {
+        let acc = accuracy_of(
+            &mut net,
+            method,
+            0.0,
+            16,
+            (&train_x, &train_y),
+            (&test_x, &test_y),
+            5,
+        );
+        assert!(
+            acc > ideal - 0.05,
+            "{method} at sigma 0: {acc} vs ideal {ideal} (only 8-bit quantization)"
+        );
+    }
+}
+
+#[test]
+fn finer_granularity_helps_vawo() {
+    let (mut net, train_x, train_y, test_x, test_y, _) = trained_problem(4);
+    // average over a couple of seeds to damp cycle noise
+    let mut acc = |m: usize| -> f32 {
+        (0..2)
+            .map(|s| {
+                accuracy_of(
+                    &mut net,
+                    Method::Vawo,
+                    0.5,
+                    m,
+                    (&train_x, &train_y),
+                    (&test_x, &test_y),
+                    40 + s,
+                )
+            })
+            .sum::<f32>()
+            / 2.0
+    };
+    let fine = acc(16);
+    let coarse = acc(128);
+    assert!(
+        fine >= coarse - 0.05,
+        "m=16 ({fine}) should not be clearly worse than m=128 ({coarse})"
+    );
+}

@@ -1,0 +1,105 @@
+//! Variation-sweep integration tests: the monotone degradation trends of
+//! Fig. 5(c) on a small workload.
+
+use rram_digital_offset::core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, MappedNetwork, Method, OffsetConfig,
+    PwtConfig,
+};
+use rram_digital_offset::nn::{evaluate, fit, Linear, Relu, Sequential, TrainConfig};
+use rram_digital_offset::rram::{CellKind, DeviceLut, VariationModel};
+use rram_digital_offset::tensor::rng::{randn, seeded_rng};
+use rram_digital_offset::tensor::Tensor;
+
+fn trained_problem() -> (Sequential, Tensor, Vec<usize>, f32) {
+    let mut rng = seeded_rng(31);
+    let n = 320;
+    let x = randn(&[n, 10], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n)
+        .map(|i| {
+            let s = x.data()[i * 10] + x.data()[i * 10 + 4];
+            let t = x.data()[i * 10 + 1] - x.data()[i * 10 + 5];
+            (usize::from(s > 0.0)) * 2 + usize::from(t > 0.0)
+        })
+        .collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(10, 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, 4, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
+        .unwrap();
+    let ideal = evaluate(&mut net, &x, &labels, 64).unwrap();
+    (net, x, labels, ideal)
+}
+
+fn run(
+    net: &mut Sequential,
+    method: Method,
+    cell: CellKind,
+    sigma: f64,
+    x: &Tensor,
+    labels: &[usize],
+) -> f32 {
+    let cfg = OffsetConfig::paper(cell, sigma, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+    let grads = if method.uses_vawo() {
+        Some(mean_core_gradients(net, x, labels, 64).unwrap())
+    } else {
+        None
+    };
+    let mut mapped = MappedNetwork::map(net, method, &cfg, &lut, grads.as_deref()).unwrap();
+    let eval = CycleEvalConfig {
+        cycles: 3,
+        seed: 9,
+        pwt: PwtConfig { epochs: 3, ..Default::default() },
+        batch_size: 64,
+    };
+    evaluate_cycles(&mut mapped, Some((x, labels)), x, labels, &eval)
+        .unwrap()
+        .mean
+}
+
+#[test]
+fn plain_degrades_with_sigma() {
+    let (mut net, x, labels, ideal) = trained_problem();
+    assert!(ideal > 0.9);
+    let lo = run(&mut net, Method::Plain, CellKind::Slc, 0.1, &x, &labels);
+    let hi = run(&mut net, Method::Plain, CellKind::Slc, 0.8, &x, &labels);
+    assert!(
+        lo > hi + 0.1,
+        "plain accuracy must fall sharply with sigma: {lo} vs {hi}"
+    );
+}
+
+#[test]
+fn combined_method_tracks_sigma_gracefully() {
+    // Fig. 5(c) shape: VAWO*+PWT degrades slowly and stays far above plain
+    let (mut net, x, labels, ideal) = trained_problem();
+    for (sigma, max_drop) in [(0.2f64, 0.15), (0.5, 0.3), (1.0, 0.55)] {
+        let plain = run(&mut net, Method::Plain, CellKind::Mlc2, sigma, &x, &labels);
+        let full = run(&mut net, Method::VawoStarPwt, CellKind::Mlc2, sigma, &x, &labels);
+        assert!(
+            full >= plain,
+            "combined ({full}) below plain ({plain}) at sigma {sigma}"
+        );
+        // the tolerable drop grows with sigma; a small MLP has little
+        // redundancy, so the budget is looser than Fig. 5(c)'s ResNet
+        assert!(
+            full > ideal - max_drop,
+            "combined collapsed at sigma {sigma}: {full} (ideal {ideal})"
+        );
+    }
+}
+
+#[test]
+fn mlc_is_more_sensitive_than_slc_for_plain() {
+    // §IV-A3: MLCs have "higher sensitivity to variations"
+    let (mut net, x, labels, _) = trained_problem();
+    let sigma = 0.5;
+    // average a few cycles of each; MLC should not be better
+    let slc = run(&mut net, Method::Plain, CellKind::Slc, sigma, &x, &labels);
+    let mlc = run(&mut net, Method::Plain, CellKind::Mlc2, sigma, &x, &labels);
+    assert!(
+        mlc <= slc + 0.1,
+        "2-bit MLC plain ({mlc}) should not beat SLC plain ({slc}) by a margin"
+    );
+}
