@@ -36,6 +36,6 @@ mod power;
 pub use cost::{tile_overhead, TileOverhead};
 pub use crossbars::{CrossbarArchitecture, CrossbarBudget};
 pub use isaac::IsaacTile;
-pub use pipeline::{LayerPlan, NetworkPlan, PipelineModel};
 pub use offset_unit::{adder_cost, datapath_cost, AdderCost, OffsetDatapathCost, UnitCosts};
+pub use pipeline::{LayerPlan, NetworkPlan, PipelineModel};
 pub use power::{read_power_of_histogram, relative_read_power, weight_histogram};

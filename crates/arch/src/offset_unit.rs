@@ -173,8 +173,7 @@ mod tests {
         let c = UnitCosts::default();
         let d = datapath_cost(16, 32, 256, &c);
         assert!(
-            (d.area_um2() - (d.adders_area_um2 + d.mult_area_um2 + d.regs_area_um2)).abs()
-                < 1e-9
+            (d.area_um2() - (d.adders_area_um2 + d.mult_area_um2 + d.regs_area_um2)).abs() < 1e-9
         );
         assert!(d.regs_area_um2 > 0.0 && d.adders_area_um2 > 0.0);
     }

@@ -38,13 +38,8 @@ impl PipelineModel {
     /// Panics if `m` is zero or does not divide the tile's rows.
     pub fn paper(m: usize) -> Self {
         let tile = IsaacTile::paper();
-        assert!(m > 0 && tile.rows % m == 0, "m must divide the crossbar rows");
-        PipelineModel {
-            tile,
-            costs: UnitCosts::calibrated_32nm(),
-            input_bits: 8,
-            active_rows: m,
-        }
+        assert!(m > 0 && tile.rows.is_multiple_of(m), "m must divide the crossbar rows");
+        PipelineModel { tile, costs: UnitCosts::calibrated_32nm(), input_bits: 8, active_rows: m }
     }
 }
 
@@ -106,7 +101,10 @@ impl PipelineModel {
         fan_out: usize,
         codec: &WeightCodec,
     ) -> rdo_rram::Result<LayerPlan> {
-        let spec = rdo_rram::CrossbarSpec::new(self.tile.rows, self.tile.weight_cols * codec.cells_per_weight());
+        let spec = rdo_rram::CrossbarSpec::new(
+            self.tile.rows,
+            self.tile.weight_cols * codec.cells_per_weight(),
+        );
         let mapping = TileMapping::new(fan_in, fan_out, spec, codec)?;
         let crossbars = mapping.crossbars();
         let tallest = fan_in.min(self.tile.rows);
@@ -116,8 +114,7 @@ impl PipelineModel {
         // array read energy: each active crossbar draws its share of the
         // tile read budget for the duration of the layer's cycles
         let per_crossbar_read_mw = self.tile.read_power_mw / self.tile.crossbars as f64;
-        let array_energy_nj =
-            per_crossbar_read_mw * crossbars as f64 * latency_ns * 1e-3; // mW·ns = pJ; ×1e-3 → nJ
+        let array_energy_nj = per_crossbar_read_mw * crossbars as f64 * latency_ns * 1e-3; // mW·ns = pJ; ×1e-3 → nJ
 
         // offset datapath energy over the same window
         let regs = self.tile.offset_registers_per_crossbar(self.active_rows);
@@ -145,17 +142,12 @@ impl PipelineModel {
         shapes: &[(usize, usize)],
         codec: &WeightCodec,
     ) -> rdo_rram::Result<NetworkPlan> {
-        let layers: rdo_rram::Result<Vec<LayerPlan>> = shapes
-            .iter()
-            .map(|&(fi, fo)| self.plan_layer(fi, fo, codec))
-            .collect();
+        let layers: rdo_rram::Result<Vec<LayerPlan>> =
+            shapes.iter().map(|&(fi, fo)| self.plan_layer(fi, fo, codec)).collect();
         let layers = layers?;
         let total_crossbars: usize = layers.iter().map(|l| l.crossbars).sum();
         let tiles = total_crossbars.div_ceil(self.tile.crossbars);
-        let initiation_interval_ns = layers
-            .iter()
-            .map(|l| l.latency_ns)
-            .fold(0.0f64, f64::max);
+        let initiation_interval_ns = layers.iter().map(|l| l.latency_ns).fold(0.0f64, f64::max);
         let total_latency_ns = layers.iter().map(|l| l.latency_ns).sum();
         let total_energy_nj = layers.iter().map(LayerPlan::energy_nj).sum();
         Ok(NetworkPlan {
@@ -216,10 +208,7 @@ mod tests {
         let shapes = [(25usize, 6usize), (150, 16), (400, 120)];
         let plan = model.plan_network(&shapes, &codec).unwrap();
         assert_eq!(plan.layers.len(), 3);
-        assert_eq!(
-            plan.total_crossbars,
-            plan.layers.iter().map(|l| l.crossbars).sum::<usize>()
-        );
+        assert_eq!(plan.total_crossbars, plan.layers.iter().map(|l| l.crossbars).sum::<usize>());
         assert!(plan.tiles >= 1);
         // slowest stage bounds the initiation interval
         let max = plan.layers.iter().map(|l| l.latency_ns).fold(0.0, f64::max);

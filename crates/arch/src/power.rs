@@ -35,10 +35,7 @@ pub fn weight_histogram(values: &[f32], levels: u32) -> Vec<u64> {
     let mut hist = vec![0u64; levels as usize];
     for &v in values {
         let q = v.round();
-        assert!(
-            q >= 0.0 && (q as u32) < levels,
-            "weight {v} outside 0..{levels}"
-        );
+        assert!(q >= 0.0 && (q as u32) < levels, "weight {v} outside 0..{levels}");
         hist[q as usize] += 1;
     }
     hist

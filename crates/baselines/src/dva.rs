@@ -8,7 +8,9 @@
 //! uses the one-crossbar architecture with 8 SLCs per weight and no
 //! offsets, so deployment is exactly the plain mapping.
 
-use rdo_core::{evaluate_cycles, CycleEvalConfig, CycleEvaluation, MappedNetwork, Method, OffsetConfig};
+use rdo_core::{
+    evaluate_cycles, CycleEvalConfig, CycleEvaluation, MappedNetwork, Method, OffsetConfig,
+};
 use rdo_nn::{fit, Sequential, TrainConfig, TrainReport};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 use rdo_tensor::Tensor;
@@ -112,8 +114,7 @@ mod tests {
     fn problem() -> (Sequential, Tensor, Vec<usize>) {
         let mut rng = seeded_rng(3);
         let x = randn(&[192, 6], 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> =
-            (0..192).map(|i| usize::from(x.data()[i * 6] > 0.0)).collect();
+        let labels: Vec<usize> = (0..192).map(|i| usize::from(x.data()[i * 6] > 0.0)).collect();
         let mut net = Sequential::new();
         net.push(Linear::new(6, 16, &mut rng));
         net.push(Relu::new());
@@ -138,23 +139,15 @@ mod tests {
         let sigma = 0.5;
         // vanilla training
         let mut vanilla = net0.clone();
-        fit(
-            &mut vanilla,
-            &x,
-            &labels,
-            &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() },
-        )
-        .unwrap();
+        fit(&mut vanilla, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
+            .unwrap();
         // DVA training from the same init
         let mut dva = net0;
         train_dva(
             &mut dva,
             &x,
             &labels,
-            &DvaConfig {
-                train: TrainConfig { epochs: 25, lr: 0.1, ..Default::default() },
-                sigma,
-            },
+            &DvaConfig { train: TrainConfig { epochs: 25, lr: 0.1, ..Default::default() }, sigma },
         )
         .unwrap();
         assert!(evaluate(&mut dva.clone(), &x, &labels, 64).unwrap() > 0.8);

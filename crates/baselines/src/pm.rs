@@ -110,9 +110,8 @@ pub fn pm_effective_network(
         // per-layer unary step: full range = max |w|
         let max_abs = p.value.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
         let delta = max_abs / cfg.unary_levels() as f32;
-        let noisy = Tensor::from_fn(p.value.dims(), |i| {
-            write_weight(p.value.data()[i], delta, cfg, rng)
-        });
+        let noisy =
+            Tensor::from_fn(p.value.dims(), |i| write_weight(p.value.data()[i], delta, cfg, rng));
         *p.value = noisy;
     }
     Ok(out)
@@ -201,8 +200,7 @@ mod tests {
         let n = 4000;
         let w = 1.0f32;
         let delta = w / cfg.unary_levels() as f32;
-        let samples: Vec<f32> =
-            (0..n).map(|_| write_weight(w, delta, &cfg, &mut rng)).collect();
+        let samples: Vec<f32> = (0..n).map(|_| write_weight(w, delta, &cfg, &mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
         let std = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n as f32).sqrt();
         let single_rel_std = ((2.0 * sigma * sigma).exp() - (sigma * sigma).exp()).sqrt()
@@ -219,8 +217,7 @@ mod tests {
     fn pm_deployment_preserves_accuracy_reasonably() {
         let mut rng = seeded_rng(5);
         let x = randn(&[192, 6], 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> =
-            (0..192).map(|i| usize::from(x.data()[i * 6] > 0.0)).collect();
+        let labels: Vec<usize> = (0..192).map(|i| usize::from(x.data()[i * 6] > 0.0)).collect();
         let mut net = Sequential::new();
         net.push(Linear::new(6, 16, &mut rng));
         net.push(Relu::new());
@@ -228,8 +225,7 @@ mod tests {
         fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
             .unwrap();
         let ideal = evaluate(&mut net.clone(), &x, &labels, 64).unwrap();
-        let acc =
-            evaluate_pm_cycles(&net, &x, &labels, &PmConfig::paper(0.5), 3, 9, None).unwrap();
+        let acc = evaluate_pm_cycles(&net, &x, &labels, &PmConfig::paper(0.5), 3, 9, None).unwrap();
         assert!(acc > ideal - 0.2, "PM accuracy {acc} vs ideal {ideal}");
     }
 

@@ -1,0 +1,56 @@
+//! Parallel experiment engine: wall-clock of the §IV multi-cycle
+//! protocol at different worker-thread counts (results are bitwise
+//! identical at every setting — this measures only the speedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_core::{evaluate_cycles, CycleEvalConfig, MappedNetwork, Method, OffsetConfig, PwtConfig};
+use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::{randn, seeded_rng};
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut rng = seeded_rng(24);
+    let x = randn(&[256, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..256).map(|i| usize::from(x.data()[i * 16] + x.data()[i * 16 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(16, 32, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(32, 2, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 10, lr: 0.1, ..Default::default() })
+        .expect("fit");
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).expect("valid config");
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+    let mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).expect("map");
+
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut group = c.benchmark_group("evaluate_cycles");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4].into_iter().filter(|&t| t == 1 || t <= max) {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut m = mapped.clone();
+                evaluate_cycles(
+                    &mut m,
+                    Some((&x, &labels)),
+                    &x,
+                    &labels,
+                    &CycleEvalConfig {
+                        cycles: 8,
+                        seed: 7,
+                        pwt: PwtConfig { epochs: 1, ..Default::default() },
+                        batch_size: 64,
+                        threads: t,
+                    },
+                )
+                .expect("evaluate_cycles")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

@@ -22,10 +22,9 @@ fn bench_pwt(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pwt_epoch");
     group.sample_size(10);
-    for (name, opt) in [
-        ("sgd", PwtOptimizer::Sgd { lr: 1000.0 }),
-        ("adam", PwtOptimizer::Adam { lr: 1.0 }),
-    ] {
+    for (name, opt) in
+        [("sgd", PwtOptimizer::Sgd { lr: 1000.0 }), ("adam", PwtOptimizer::Adam { lr: 1.0 })]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             b.iter(|| {
                 let mut mapped =

@@ -39,14 +39,8 @@ fn bench_bit_serial(c: &mut Criterion) {
     let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
     let model = VariationModel::per_weight(0.5);
     let ctw = Tensor::from_fn(&[128, 16], |i| (i % 256) as f32);
-    let xbar = Crossbar::program(
-        CrossbarSpec::default(),
-        codec,
-        &ctw,
-        &model,
-        &mut seeded_rng(1),
-    )
-    .expect("fits the array");
+    let xbar = Crossbar::program(CrossbarSpec::default(), codec, &ctw, &model, &mut seeded_rng(1))
+        .expect("fits the array");
     let x: Vec<u32> = (0..128).map(|i| (i * 7 % 256) as u32).collect();
     let mut group = c.benchmark_group("bit_serial_vmm");
     for &m in &[16usize, 128] {

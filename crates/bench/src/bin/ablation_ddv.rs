@@ -8,14 +8,14 @@
 //! not take CCV into consideration". Per-cycle PWT (the paper's protocol)
 //! is shown alongside as the fix.
 
-use rdo_bench::{map_only, pct, prepare_lenet, Result, Scale};
+use rdo_bench::{map_only, pct, prepare_lenet, BenchConfig, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
 use rdo_tensor::rng::seeded_rng;
 
 fn main() -> Result<()> {
-    let model = prepare_lenet(Scale::from_env())?;
+    let model = prepare_lenet(&BenchConfig::from_env())?;
     let sigma = 0.5;
     let m = 16;
     let pwt = PwtConfig { epochs: 4, ..Default::default() };

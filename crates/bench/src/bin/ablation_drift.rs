@@ -7,14 +7,14 @@
 //! they can be re-tuned in place without reprogramming a single device —
 //! the same PWT machinery the paper runs per programming cycle.
 
-use rdo_bench::{map_only, pct, prepare_lenet, Result, Scale};
+use rdo_bench::{map_only, pct, prepare_lenet, BenchConfig, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::{CellKind, DriftModel};
 use rdo_tensor::rng::seeded_rng;
 
 fn main() -> Result<()> {
-    let model = prepare_lenet(Scale::from_env())?;
+    let model = prepare_lenet(&BenchConfig::from_env())?;
     let sigma = 0.5;
     let pwt = PwtConfig { epochs: 4, ..Default::default() };
     let drift = DriftModel::typical();

@@ -4,18 +4,17 @@
 //! alone.
 
 use rdo_baselines::{train_dva, DvaConfig};
-use rdo_bench::{
-    default_eval_cfg, map_only, pct, prepare_lenet, run_method, seed_from_env, Result, Scale,
-};
+use rdo_bench::{map_only, pct, prepare_lenet, run_method, BenchConfig, Result};
 use rdo_core::{evaluate_cycles, mean_core_gradients, MappedNetwork, Method, OffsetConfig};
 use rdo_nn::TrainConfig;
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 
 fn main() -> Result<()> {
-    let model = prepare_lenet(Scale::from_env())?;
+    let bench = BenchConfig::from_env();
+    let model = prepare_lenet(&bench)?;
     let sigma = 0.5;
     let m = 16;
-    let eval = default_eval_cfg();
+    let eval = bench.eval_cfg();
 
     println!();
     println!("Future-work ablation — DVA ⊕ digital offsets (LeNet, SLC, sigma = {sigma})");
@@ -34,42 +33,28 @@ fn main() -> Result<()> {
                 lr: 0.01,
                 lr_decay: 0.8,
                 weight_decay: 0.0,
-                seed: seed_from_env(),
+                seed: bench.seed,
                 ..Default::default()
             },
             sigma,
         },
     )?;
-    let dva_ideal = rdo_nn::evaluate(
-        &mut dva_net.clone(),
-        model.test.images(),
-        model.test.labels(),
-        64,
-    )?;
+    let dva_ideal =
+        rdo_nn::evaluate(&mut dva_net.clone(), model.test.images(), model.test.labels(), 64)?;
     println!("DVA-trained ideal accuracy: {}", pct(dva_ideal));
     let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
     let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
     let mut dva_plain = MappedNetwork::map(&dva_net, Method::Plain, &cfg, &lut, None)?;
-    let dva_alone = evaluate_cycles(
-        &mut dva_plain,
-        None,
-        model.test.images(),
-        model.test.labels(),
-        &eval,
-    )?;
+    let dva_alone =
+        evaluate_cycles(&mut dva_plain, None, model.test.images(), model.test.labels(), &eval)?;
 
     // offsets alone (VAWO*+PWT on the vanilla network)
-    let offsets_alone =
-        run_method(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m, &eval)?;
+    let offsets_alone = run_method(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m, &eval)?;
 
     // combined: DVA-trained network, VAWO*+PWT mapping
     let mut dva_for_grads = dva_net.clone();
-    let grads = mean_core_gradients(
-        &mut dva_for_grads,
-        model.train.images(),
-        model.train.labels(),
-        64,
-    )?;
+    let grads =
+        mean_core_gradients(&mut dva_for_grads, model.train.images(), model.train.labels(), 64)?;
     let mut combined_map =
         MappedNetwork::map(&dva_net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
     let combined = evaluate_cycles(

@@ -8,16 +8,23 @@
 //! 3. the analytic device LUT versus the paper's K×J statistical-testing
 //!    LUT (ablation 3).
 
-use rdo_bench::{default_eval_cfg, pct, prepare_lenet, Result, Scale};
+use rdo_bench::{pct, prepare_lenet, run_grid, BenchConfig, Result};
 use rdo_core::{evaluate_cycles, MappedNetwork, Method, OffsetConfig};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::parallel::resolve_threads;
 use rdo_tensor::rng::seeded_rng;
 
 fn main() -> Result<()> {
-    let model = prepare_lenet(Scale::from_env())?;
+    let bench = BenchConfig::from_env();
+    let model = prepare_lenet(&bench)?;
     let sigma = 0.5;
     let m = 16;
-    let eval = default_eval_cfg();
+    let mut eval = bench.eval_cfg();
+    // grid points run concurrently below; keep the per-point cycle loop
+    // serial when the grid level owns the parallelism
+    if resolve_threads(bench.threads) > 1 {
+        eval.threads = 1;
+    }
     let tune = (model.train.images(), model.train.labels());
 
     println!();
@@ -25,13 +32,14 @@ fn main() -> Result<()> {
     println!("ideal accuracy: {}", pct(model.ideal_accuracy));
 
     // 1. variation granularity
-    for (name, variation) in [
+    let granularity: [(&str, VariationModel); 2] = [
         ("per-weight noise (§IV)", VariationModel::per_weight(sigma)),
         ("per-cell noise (Fig. 3)", VariationModel::per_cell(sigma)),
-    ] {
+    ];
+    let accs = run_grid(&granularity, bench.threads, |(_, variation)| {
         let mut cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
-        cfg.variation = variation;
-        let lut = DeviceLut::analytic(&variation, &cfg.codec)?;
+        cfg.variation = *variation;
+        let lut = DeviceLut::analytic(variation, &cfg.codec)?;
         let mut mapped =
             MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, &lut, Some(&model.grads))?;
         let acc = evaluate_cycles(
@@ -41,12 +49,16 @@ fn main() -> Result<()> {
             model.test.labels(),
             &eval,
         )?;
-        println!("{name:<28} {}", pct(acc.mean));
+        Ok(acc.mean)
+    })?;
+    for ((name, _), acc) in granularity.iter().zip(&accs) {
+        println!("{name:<28} {}", pct(*acc));
     }
 
     // 2. VAWO objective with/without the bias term (VAWO* alone so the
     //    CTW choice is what's measured, not PWT's repair)
-    for (name, bias_term) in [("objective var+bias² (ours)", true), ("objective var only (Eq. 5)", false)]
+    for (name, bias_term) in
+        [("objective var+bias² (ours)", true), ("objective var only (Eq. 5)", false)]
     {
         let mut cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
         cfg.vawo_bias_term = bias_term;
@@ -65,15 +77,16 @@ fn main() -> Result<()> {
 
     // 3. analytic vs statistical-testing LUT (VAWO* + PWT)
     let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
-    for (name, lut) in [
+    let luts: [(&str, DeviceLut); 2] = [
         ("analytic LUT", DeviceLut::analytic(&cfg.variation, &cfg.codec)?),
         (
             "measured LUT (K=20, J=20)",
             DeviceLut::measure(&cfg.variation, &cfg.codec, 20, 20, &mut seeded_rng(5))?,
         ),
-    ] {
+    ];
+    let accs = run_grid(&luts, bench.threads, |(_, lut)| {
         let mut mapped =
-            MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, &lut, Some(&model.grads))?;
+            MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, lut, Some(&model.grads))?;
         let acc = evaluate_cycles(
             &mut mapped,
             Some(tune),
@@ -81,7 +94,10 @@ fn main() -> Result<()> {
             model.test.labels(),
             &eval,
         )?;
-        println!("{name:<28} {}", pct(acc.mean));
+        Ok(acc.mean)
+    })?;
+    for ((name, _), acc) in luts.iter().zip(&accs) {
+        println!("{name:<28} {}", pct(*acc));
     }
     Ok(())
 }

@@ -1,14 +1,15 @@
 //! Diagnostic: per-layer weight statistics, NRW error and accuracy of
 //! each method on LeNet, to understand where accuracy is lost.
 
-use rdo_bench::{default_eval_cfg, map_only, pct, prepare_lenet, run_method, Result, Scale};
+use rdo_bench::{map_only, pct, prepare_lenet, run_method, BenchConfig, Result};
 use rdo_core::{tune, Method, PwtConfig, PwtOptimizer};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
 use rdo_tensor::rng::seeded_rng;
 
 fn main() -> Result<()> {
-    let model = prepare_lenet(Scale::from_env())?;
+    let bench = BenchConfig::from_env();
+    let model = prepare_lenet(&bench)?;
     let sigma = 0.5;
     let m = 16;
 
@@ -18,8 +19,7 @@ fn main() -> Result<()> {
     for (i, layer) in plain.layers().iter().enumerate() {
         let d = layer.ntw_q.data();
         let mean = d.iter().sum::<f32>() / d.len() as f32;
-        let std =
-            (d.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d.len() as f32).sqrt();
+        let std = (d.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d.len() as f32).sqrt();
         // mean within-group (16 consecutive rows, same column) spread
         let (fan_in, fan_out) = (layer.ntw_q.dims()[0], layer.ntw_q.dims()[1]);
         let mut spread = 0.0f32;
@@ -84,17 +84,13 @@ fn main() -> Result<()> {
         let acc = evaluate(&mut eff, model.test.images(), model.test.labels(), 64)?;
         println!(
             "PWT {name}: losses {:?} → accuracy {}",
-            report
-                .epoch_losses
-                .iter()
-                .map(|l| format!("{l:.3}"))
-                .collect::<Vec<_>>(),
+            report.epoch_losses.iter().map(|l| format!("{l:.3}")).collect::<Vec<_>>(),
             pct(acc)
         );
     }
 
     // combined at several sigmas
-    let eval = default_eval_cfg();
+    let eval = bench.eval_cfg();
     for s in [0.2, 0.5] {
         let e = run_method(&model, Method::VawoStarPwt, CellKind::Slc, s, m, &eval)?;
         println!("VAWO*+PWT sigma {s}: {}", pct(e.mean));

@@ -1,14 +1,14 @@
 //! Diagnostic: why does VAWO*+PWT trail PWT-alone on ResNet at m=16?
 //! Compares NRW error, offset saturation and PWT losses of both inits.
 
-use rdo_bench::{map_only, pct, prepare_resnet, Result, Scale};
+use rdo_bench::{map_only, pct, prepare_resnet, BenchConfig, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
 use rdo_tensor::rng::seeded_rng;
 
 fn main() -> Result<()> {
-    let model = prepare_resnet(Scale::from_env())?;
+    let model = prepare_resnet(&BenchConfig::from_env())?;
     let sigma = 0.5;
     let m = 16;
 

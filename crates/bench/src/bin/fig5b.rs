@@ -2,33 +2,37 @@
 //! VAWO\*+PWT for sharing granularities m ∈ {16, 64, 128}, SLC cells,
 //! σ = 0.5.
 
-use rdo_bench::{default_eval_cfg, pct, prepare_resnet, run_method, write_results, Result, Scale};
+use rdo_bench::{
+    pct, prepare_resnet, run_method_grid, write_results, BenchConfig, GridPoint, Result,
+};
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
 fn main() -> Result<()> {
-    let model = prepare_resnet(Scale::from_env())?;
-    let eval = default_eval_cfg();
+    let cfg = BenchConfig::from_env();
+    let model = prepare_resnet(&cfg)?;
     let sigma = 0.5;
     let ms = [16usize, 64, 128];
 
     println!();
-    println!(
-        "Fig. 5(b) — ResNet-18, SLC, sigma = {sigma} ({} cycles averaged)",
-        eval.cycles
-    );
+    println!("Fig. 5(b) — ResNet-18, SLC, sigma = {sigma} ({} cycles averaged)", cfg.cycles);
     println!("ideal accuracy: {}", pct(model.ideal_accuracy));
     println!("{:<12} {:>10} {:>10} {:>10}", "method", "m=16", "m=64", "m=128");
+
+    let methods = Method::all();
+    let points: Vec<GridPoint> = methods
+        .iter()
+        .flat_map(|&method| {
+            ms.iter().map(move |&m| GridPoint { method, cell: CellKind::Slc, sigma, m })
+        })
+        .collect();
+    let evals = run_method_grid(&model, &points, &cfg)?;
 
     let mut rows = serde_json::Map::new();
     rows.insert("ideal".into(), serde_json::json!(model.ideal_accuracy));
 
-    for method in Method::all() {
-        let mut cells = Vec::new();
-        for &m in &ms {
-            let e = run_method(&model, method, CellKind::Slc, sigma, m, &eval)?;
-            cells.push(e.mean);
-        }
+    for (mi, method) in methods.iter().enumerate() {
+        let cells: Vec<f32> = (0..ms.len()).map(|j| evals[mi * ms.len() + j].mean).collect();
         println!(
             "{:<12} {:>10} {:>10} {:>10}",
             method.to_string(),

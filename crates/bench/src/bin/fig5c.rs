@@ -1,21 +1,20 @@
 //! Fig. 5(c): ResNet-18 with 2-bit MLC cells, VAWO\*+PWT, accuracy versus
 //! σ ∈ {0.2, 0.4, 0.5, 0.7, 1.0} for m ∈ {16, 64, 128}.
 
-use rdo_bench::{default_eval_cfg, pct, prepare_resnet, run_method, write_results, Result, Scale};
+use rdo_bench::{
+    pct, prepare_resnet, run_method_grid, write_results, BenchConfig, GridPoint, Result,
+};
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
 fn main() -> Result<()> {
-    let model = prepare_resnet(Scale::from_env())?;
-    let eval = default_eval_cfg();
+    let cfg = BenchConfig::from_env();
+    let model = prepare_resnet(&cfg)?;
     let sigmas = [0.2f64, 0.4, 0.5, 0.7, 1.0];
     let ms = [16usize, 64, 128];
 
     println!();
-    println!(
-        "Fig. 5(c) — ResNet-18, 2-bit MLC, VAWO*+PWT ({} cycles averaged)",
-        eval.cycles
-    );
+    println!("Fig. 5(c) — ResNet-18, 2-bit MLC, VAWO*+PWT ({} cycles averaged)", cfg.cycles);
     println!("ideal accuracy: {}", pct(model.ideal_accuracy));
     print!("{:<8}", "sigma");
     for &m in &ms {
@@ -23,14 +22,27 @@ fn main() -> Result<()> {
     }
     println!();
 
+    let points: Vec<GridPoint> = sigmas
+        .iter()
+        .flat_map(|&sigma| {
+            ms.iter().map(move |&m| GridPoint {
+                method: Method::VawoStarPwt,
+                cell: CellKind::Mlc2,
+                sigma,
+                m,
+            })
+        })
+        .collect();
+    let evals = run_method_grid(&model, &points, &cfg)?;
+
     let mut rows = serde_json::Map::new();
     rows.insert("ideal".into(), serde_json::json!(model.ideal_accuracy));
 
-    for &sigma in &sigmas {
+    for (si, &sigma) in sigmas.iter().enumerate() {
         print!("{sigma:<8}");
         let mut series = serde_json::Map::new();
-        for &m in &ms {
-            let e = run_method(&model, Method::VawoStarPwt, CellKind::Mlc2, sigma, m, &eval)?;
+        for (j, &m) in ms.iter().enumerate() {
+            let e = &evals[si * ms.len() + j];
             print!(" {:>10}", pct(e.mean));
             series.insert(format!("m{m}"), serde_json::json!(e.mean));
         }

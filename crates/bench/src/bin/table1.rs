@@ -2,7 +2,9 @@
 //! scheme, for LeNet and ResNet at m ∈ {16, 128} (2-bit MLC, σ = 0.5,
 //! matching §IV-B's cost setting).
 
-use rdo_bench::{map_only, prepare_lenet, prepare_resnet, write_results, Result, Scale, TrainedModel};
+use rdo_bench::{
+    map_only, prepare_lenet, prepare_resnet, write_results, BenchConfig, Result, TrainedModel,
+};
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
@@ -13,10 +15,10 @@ fn relative_power(model: &TrainedModel, m: usize, sigma: f64) -> Result<f64> {
 }
 
 fn main() -> Result<()> {
-    let scale = Scale::from_env();
+    let cfg = BenchConfig::from_env();
     let sigma = 0.5;
-    let lenet = prepare_lenet(scale)?;
-    let resnet = prepare_resnet(scale)?;
+    let lenet = prepare_lenet(&cfg)?;
+    let resnet = prepare_resnet(&cfg)?;
 
     println!();
     println!("Table I — relative reading power, VAWO* / plain (2-bit MLC, sigma = {sigma})");
@@ -26,16 +28,8 @@ fn main() -> Result<()> {
     for model in [&lenet, &resnet] {
         let r16 = relative_power(model, 16, sigma)?;
         let r128 = relative_power(model, 128, sigma)?;
-        println!(
-            "{:<22} {:>9.2}% {:>9.2}%",
-            model.name,
-            100.0 * r16,
-            100.0 * r128
-        );
-        rows.insert(
-            model.name.clone(),
-            serde_json::json!({ "m16": r16, "m128": r128 }),
-        );
+        println!("{:<22} {:>9.2}% {:>9.2}%", model.name, 100.0 * r16, 100.0 * r128);
+        rows.insert(model.name.clone(), serde_json::json!({ "m16": r16, "m128": r128 }));
     }
     println!("(paper: LeNet 68.87% / 79.95%; ResNet 57.61% / 72.24%)");
 

@@ -6,18 +6,21 @@
 //! rather than hard-coding the paper's 57.61% / 72.24%.
 
 use rdo_arch::{tile_overhead, IsaacTile, UnitCosts};
-use rdo_bench::{map_only, prepare_resnet, write_results, Result, Scale};
+use rdo_bench::{map_only, prepare_resnet, write_results, BenchConfig, Result};
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
 fn main() -> Result<()> {
-    let model = prepare_resnet(Scale::from_env())?;
+    let model = prepare_resnet(&BenchConfig::from_env())?;
     let sigma = 0.5;
     let tile = IsaacTile::paper();
     let costs = UnitCosts::calibrated_32nm();
 
     println!();
-    println!("Table II — overhead in an ISAAC tile (baseline {} mm², {} mW)", tile.area_mm2, tile.power_mw);
+    println!(
+        "Table II — overhead in an ISAAC tile (baseline {} mm², {} mW)",
+        tile.area_mm2, tile.power_mw
+    );
     println!(
         "{:<8} {:>12} {:>10} {:>12} {:>10} {:>14}",
         "m", "area/mm²", "area %", "power/mW", "power %", "Sum+Multi/ns"

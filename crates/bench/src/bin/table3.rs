@@ -12,19 +12,16 @@
 
 use rdo_arch::CrossbarBudget;
 use rdo_baselines::{evaluate_dva, evaluate_pm_cycles, train_dva, DvaConfig, PmConfig};
-use rdo_bench::{
-    cycles_from_env, default_eval_cfg, prepare_vgg, run_method, seed_from_env, write_results,
-    Result, Scale,
-};
+use rdo_bench::{prepare_vgg, run_grid, run_method, write_results, BenchConfig, Result};
 use rdo_core::Method;
-use rdo_nn::TrainConfig;
+use rdo_nn::{Sequential, TrainConfig};
 use rdo_rram::CellKind;
 
 fn main() -> Result<()> {
-    let model = prepare_vgg(Scale::from_env())?;
+    let cfg = BenchConfig::from_env();
+    let model = prepare_vgg(&cfg)?;
     let sigma = 0.8;
-    let cycles = cycles_from_env();
-    let eval = default_eval_cfg();
+    let eval = cfg.eval_cfg();
     let ideal = model.ideal_accuracy;
     let ours_budget = CrossbarBudget::this_work();
 
@@ -45,7 +42,7 @@ fn main() -> Result<()> {
                 lr: 0.01,
                 lr_decay: 0.8,
                 weight_decay: 0.0,
-                seed: seed_from_env(),
+                seed: cfg.seed,
                 ..Default::default()
             },
             sigma: sigma / 2.0,
@@ -54,12 +51,8 @@ fn main() -> Result<()> {
     // noise training skews the batch-norm running statistics; restore
     // them against the clean weights before measuring clean accuracy
     rdo_nn::train::recalibrate_batchnorm(&mut dva_net, model.train.images(), 64)?;
-    let dva_ideal = rdo_nn::evaluate(
-        &mut dva_net.clone(),
-        model.test.images(),
-        model.test.labels(),
-        64,
-    )?;
+    let dva_ideal =
+        rdo_nn::evaluate(&mut dva_net.clone(), model.test.images(), model.test.labels(), 64)?;
     println!("DVA-trained clean accuracy: {:.2}%", 100.0 * dva_ideal);
 
     // Row 1: DVA (one-crossbar, 8 SLC, plain deployment)
@@ -71,35 +64,27 @@ fn main() -> Result<()> {
         &eval,
         Some(model.train.images()),
     )?;
-    // Row 2: PM (two-crossbar, 10 2-bit MLC unary)
-    let pm_acc = evaluate_pm_cycles(
-        &model.net,
-        model.test.images(),
-        model.test.labels(),
-        &PmConfig::paper(sigma),
-        cycles,
-        seed_from_env(),
-        Some(model.train.images()),
-    )?;
-    // Row 3: DVA + PM
-    let dva_pm_acc = evaluate_pm_cycles(
-        &dva_net,
-        model.test.images(),
-        model.test.labels(),
-        &PmConfig::paper(sigma),
-        cycles,
-        seed_from_env() + 17,
-        Some(model.train.images()),
-    )?;
+    // Rows 2 & 3: PM (two-crossbar, 10 2-bit MLC unary) on the clean and
+    // the DVA-trained networks — two independent grid points.
+    let pm_points: [(&Sequential, u64); 2] = [(&model.net, cfg.seed), (&dva_net, cfg.seed + 17)];
+    let pm_accs = run_grid(&pm_points, cfg.threads, |&(net, seed)| {
+        Ok(evaluate_pm_cycles(
+            net,
+            model.test.images(),
+            model.test.labels(),
+            &PmConfig::paper(sigma),
+            cfg.cycles,
+            seed,
+            Some(model.train.images()),
+        )?)
+    })?;
+    let (pm_acc, dva_pm_acc) = (pm_accs[0], pm_accs[1]);
     // Row 4: this work (VAWO*+PWT, 2-bit MLC, m = 16)
     let ours = run_method(&model, Method::VawoStarPwt, CellKind::Mlc2, sigma, 16, &eval)?;
 
     println!();
     println!("Table III — VGG-16, sigma = {sigma} (ideal {:.2}%)", 100.0 * ideal);
-    println!(
-        "{:<12} {:>14} {:>18}",
-        "method", "accuracy loss", "crossbar number"
-    );
+    println!("{:<12} {:>14} {:>18}", "method", "accuracy loss", "crossbar number");
     // each method's loss is measured against ITS OWN clean network's
     // accuracy, as the quoted papers do (DVA rows use the DVA-trained
     // network's clean accuracy)

@@ -13,30 +13,141 @@
 //! | `table3` | Table III: comparison with DVA / PM / DVA+PM |
 //! | `all` | everything above, sequentially |
 //!
-//! Scale is controlled by `RDO_SCALE` (`fast`, the default single-core
-//! preset, or `paper` for larger runs), `RDO_CYCLES` (programming cycles
-//! averaged, default 5), and `RDO_SEED`. Trained checkpoints are cached
+//! All experiment knobs flow through one [`BenchConfig`], read once from
+//! the environment (`RDO_SCALE`, `RDO_CYCLES`, `RDO_SEED`,
+//! `RDO_PWT_EPOCHS`, `RDO_THREADS`) and threaded explicitly from there.
+//! Independent (method, cell, σ, m) grid points run concurrently through
+//! [`run_method_grid`] / [`run_grid`]; per-point results are identical to
+//! a serial run for every thread count. Trained checkpoints are cached
 //! under `target/rdo-cache/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use rdo_baselines::BaselineError;
 use rdo_core::{
-    evaluate_cycles, mean_core_gradients, CycleEvalConfig, CycleEvaluation, MappedNetwork,
-    Method, OffsetConfig, PwtConfig,
+    evaluate_cycles, mean_core_gradients, CoreError, CycleEvalConfig, CycleEvaluation,
+    MappedNetwork, Method, OffsetConfig, PwtConfig,
 };
-use rdo_datasets::{generate_digits, generate_textures, Dataset, DigitsConfig, TexturesConfig};
-use rdo_nn::{evaluate, fit, Layer, LeNetConfig, ResNetConfig, Sequential, TrainConfig, VggConfig};
-use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_datasets::{
+    generate_digits, generate_textures, Dataset, DatasetError, DigitsConfig, TexturesConfig,
+};
+use rdo_nn::{
+    evaluate, fit, Layer, LeNetConfig, NnError, ResNetConfig, Sequential, TrainConfig, VggConfig,
+};
+use rdo_rram::{CellKind, DeviceLut, RramError, VariationModel};
+use rdo_tensor::parallel::{parallel_map_indexed, resolve_threads};
 use rdo_tensor::rng::seeded_rng;
-use rdo_tensor::Tensor;
+use rdo_tensor::{Tensor, TensorError};
 
-/// Boxed error alias for the harness.
-pub type BenchError = Box<dyn std::error::Error>;
+/// Error produced by the benchmark harness.
+///
+/// Every failure class of the underlying crates keeps its own variant, so
+/// callers can match on *what* went wrong (mapping vs dataset vs I/O)
+/// instead of string-matching a boxed `dyn Error`.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A network (training/evaluation) operation failed.
+    Nn(NnError),
+    /// Dataset synthesis or splitting failed.
+    Dataset(DatasetError),
+    /// A device/crossbar operation failed.
+    Rram(RramError),
+    /// Mapping, VAWO, PWT or multi-cycle evaluation failed.
+    Core(CoreError),
+    /// A DVA/PM baseline failed.
+    Baseline(BaselineError),
+    /// Reading or writing checkpoints/results failed.
+    Io(std::io::Error),
+    /// (De)serializing checkpoints/results failed.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BenchError::Nn(e) => write!(f, "network error: {e}"),
+            BenchError::Dataset(e) => write!(f, "dataset error: {e}"),
+            BenchError::Rram(e) => write!(f, "rram error: {e}"),
+            BenchError::Core(e) => write!(f, "core error: {e}"),
+            BenchError::Baseline(e) => write!(f, "baseline error: {e}"),
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::Json(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Tensor(e) => Some(e),
+            BenchError::Nn(e) => Some(e),
+            BenchError::Dataset(e) => Some(e),
+            BenchError::Rram(e) => Some(e),
+            BenchError::Core(e) => Some(e),
+            BenchError::Baseline(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<TensorError> for BenchError {
+    fn from(e: TensorError) -> Self {
+        BenchError::Tensor(e)
+    }
+}
+
+impl From<NnError> for BenchError {
+    fn from(e: NnError) -> Self {
+        BenchError::Nn(e)
+    }
+}
+
+impl From<DatasetError> for BenchError {
+    fn from(e: DatasetError) -> Self {
+        BenchError::Dataset(e)
+    }
+}
+
+impl From<RramError> for BenchError {
+    fn from(e: RramError) -> Self {
+        BenchError::Rram(e)
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+impl From<BaselineError> for BenchError {
+    fn from(e: BaselineError) -> Self {
+        BenchError::Baseline(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for BenchError {
+    fn from(e: serde_json::Error) -> Self {
+        BenchError::Json(e)
+    }
+}
+
 /// Result alias for the harness.
 pub type Result<T> = std::result::Result<T, BenchError>;
 
@@ -51,6 +162,7 @@ pub enum Scale {
 
 impl Scale {
     /// Reads `RDO_SCALE` (`fast` / `paper`), defaulting to [`Scale::Fast`].
+    #[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().scale`")]
     pub fn from_env() -> Self {
         match std::env::var("RDO_SCALE").as_deref() {
             Ok("paper") => Scale::Paper,
@@ -59,18 +171,125 @@ impl Scale {
     }
 }
 
+/// All environment-driven experiment knobs, read once and passed
+/// explicitly.
+///
+/// This replaces the four scattered free functions (`Scale::from_env`,
+/// `cycles_from_env`, `seed_from_env`, `pwt_epochs_from_env`) that every
+/// binary used to call piecemeal; those remain as thin deprecated
+/// wrappers for one release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Dataset/network size preset (`RDO_SCALE`).
+    pub scale: Scale,
+    /// Programming cycles averaged per experiment (`RDO_CYCLES`,
+    /// default 5 as in §IV).
+    pub cycles: usize,
+    /// Base RNG seed (`RDO_SEED`, default 0).
+    pub seed: u64,
+    /// PWT tuning epochs (`RDO_PWT_EPOCHS`, default 5).
+    pub pwt_epochs: usize,
+    /// Worker threads for grids and the cycle loop (`RDO_THREADS`;
+    /// 0 = available parallelism, 1 = fully serial). Results are
+    /// identical for every setting.
+    pub threads: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { scale: Scale::Fast, cycles: 5, seed: 0, pwt_epochs: 5, threads: 0 }
+    }
+}
+
+impl BenchConfig {
+    /// Reads every knob from the environment (`RDO_SCALE`, `RDO_CYCLES`,
+    /// `RDO_SEED`, `RDO_PWT_EPOCHS`, `RDO_THREADS`), falling back to the
+    /// defaults above for unset or unparsable values.
+    pub fn from_env() -> Self {
+        fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok().and_then(|s| s.parse().ok())
+        }
+        BenchConfig {
+            scale: match std::env::var("RDO_SCALE").as_deref() {
+                Ok("paper") => Scale::Paper,
+                _ => Scale::Fast,
+            },
+            cycles: parsed::<usize>("RDO_CYCLES").filter(|&c| c > 0).unwrap_or(5),
+            seed: parsed::<u64>("RDO_SEED").unwrap_or(0),
+            pwt_epochs: parsed::<usize>("RDO_PWT_EPOCHS").filter(|&e| e > 0).unwrap_or(5),
+            threads: parsed::<usize>("RDO_THREADS").unwrap_or(0),
+        }
+    }
+
+    /// Returns `self` with the given scale preset.
+    #[must_use]
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Returns `self` with the given number of programming cycles.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Returns `self` with the given base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns `self` with the given number of PWT epochs.
+    #[must_use]
+    pub fn with_pwt_epochs(mut self, pwt_epochs: usize) -> Self {
+        self.pwt_epochs = pwt_epochs;
+        self
+    }
+
+    /// Returns `self` with the given worker-thread cap (0 = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The multi-cycle evaluation configuration these knobs describe.
+    pub fn eval_cfg(&self) -> CycleEvalConfig {
+        CycleEvalConfig {
+            cycles: self.cycles,
+            seed: self.seed,
+            pwt: PwtConfig { epochs: self.pwt_epochs, lr_decay: 0.75, ..Default::default() },
+            batch_size: 64,
+            threads: self.threads,
+        }
+    }
+}
+
 /// Reads `RDO_CYCLES`, defaulting to the paper's 5 programming cycles.
+#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().cycles`")]
 pub fn cycles_from_env() -> usize {
-    std::env::var("RDO_CYCLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&c| c > 0)
-        .unwrap_or(5)
+    BenchConfig::from_env().cycles
 }
 
 /// Reads `RDO_SEED`, defaulting to 0.
+#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().seed`")]
 pub fn seed_from_env() -> u64 {
-    std::env::var("RDO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+    BenchConfig::from_env().seed
+}
+
+/// Reads `RDO_PWT_EPOCHS`, defaulting to 5 tuning epochs.
+#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().pwt_epochs`")]
+pub fn pwt_epochs_from_env() -> usize {
+    BenchConfig::from_env().pwt_epochs
+}
+
+/// The default multi-cycle evaluation configuration from the environment.
+#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().eval_cfg()`")]
+pub fn default_eval_cfg() -> CycleEvalConfig {
+    BenchConfig::from_env().eval_cfg()
 }
 
 /// A trained model bundled with its data and the artifacts the
@@ -111,9 +330,7 @@ fn load_checkpoint(net: &mut Sequential, path: &PathBuf) -> bool {
     let Ok(bytes) = fs::read(path) else { return false };
     let Ok(state) = serde_json::from_slice::<Vec<Vec<f32>>>(&bytes) else { return false };
     let mut targets = net.state();
-    if targets.len() != state.len()
-        || targets.iter().zip(&state).any(|(t, s)| t.len() != s.len())
-    {
+    if targets.len() != state.len() || targets.iter().zip(&state).any(|(t, s)| t.len() != s.len()) {
         return false;
     }
     for (t, s) in targets.iter_mut().zip(&state) {
@@ -144,15 +361,7 @@ fn train_or_load(
     let ideal_accuracy = evaluate(&mut net, test.images(), test.labels(), 64)?;
     eprintln!("[{name}] ideal accuracy {:.2}%", 100.0 * ideal_accuracy);
     let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64)?;
-    Ok(TrainedModel {
-        name: name.to_string(),
-        net,
-        train,
-        test,
-        ideal_accuracy,
-        grads,
-        train_time,
-    })
+    Ok(TrainedModel { name: name.to_string(), net, train, test, ideal_accuracy, grads, train_time })
 }
 
 /// Prepares the LeNet + digits workload (the paper's LeNet + MNIST).
@@ -160,9 +369,9 @@ fn train_or_load(
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_lenet(scale: Scale) -> Result<TrainedModel> {
-    let seed = seed_from_env();
-    let (per_class, epochs) = match scale {
+pub fn prepare_lenet(cfg: &BenchConfig) -> Result<TrainedModel> {
+    let seed = cfg.seed;
+    let (per_class, epochs) = match cfg.scale {
         Scale::Fast => (120, 12),
         Scale::Paper => (300, 20),
     };
@@ -170,14 +379,7 @@ pub fn prepare_lenet(scale: Scale) -> Result<TrainedModel> {
     let (train, test) = ds.split(2.0 / 3.0)?;
     let net = LeNetConfig::classic().build(&mut seeded_rng(seed.wrapping_add(1)))?;
     let tc = TrainConfig { epochs, lr: 0.08, weight_decay: 0.0, seed, ..Default::default() };
-    train_or_load(
-        "LeNet",
-        &format!("lenet_{per_class}_{epochs}_{seed}"),
-        net,
-        train,
-        test,
-        &tc,
-    )
+    train_or_load("LeNet", &format!("lenet_{per_class}_{epochs}_{seed}"), net, train, test, &tc)
 }
 
 /// Prepares the ResNet-18 + textures workload (the paper's ResNet-18 +
@@ -186,16 +388,15 @@ pub fn prepare_lenet(scale: Scale) -> Result<TrainedModel> {
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_resnet(scale: Scale) -> Result<TrainedModel> {
-    let seed = seed_from_env();
-    let (per_class, hw, width, epochs) = match scale {
+pub fn prepare_resnet(cfg: &BenchConfig) -> Result<TrainedModel> {
+    let seed = cfg.seed;
+    let (per_class, hw, width, epochs) = match cfg.scale {
         Scale::Fast => (120, 16, 8, 6),
         Scale::Paper => (300, 32, 16, 10),
     };
     let ds = generate_textures(&TexturesConfig { per_class, hw, seed, ..Default::default() })?;
     let (train, test) = ds.split(2.0 / 3.0)?;
-    let net =
-        ResNetConfig::resnet18_scaled(width).build(&mut seeded_rng(seed.wrapping_add(2)))?;
+    let net = ResNetConfig::resnet18_scaled(width).build(&mut seeded_rng(seed.wrapping_add(2)))?;
     let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
     train_or_load(
         "ResNet-18",
@@ -213,9 +414,9 @@ pub fn prepare_resnet(scale: Scale) -> Result<TrainedModel> {
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_vgg(scale: Scale) -> Result<TrainedModel> {
-    let seed = seed_from_env();
-    let (per_class, hw, divisor, epochs) = match scale {
+pub fn prepare_vgg(cfg: &BenchConfig) -> Result<TrainedModel> {
+    let seed = cfg.seed;
+    let (per_class, hw, divisor, epochs) = match cfg.scale {
         Scale::Fast => (120, 16, 8, 6),
         Scale::Paper => (300, 32, 4, 10),
     };
@@ -226,8 +427,7 @@ pub fn prepare_vgg(scale: Scale) -> Result<TrainedModel> {
         ..Default::default()
     })?;
     let (train, test) = ds.split(2.0 / 3.0)?;
-    let net =
-        VggConfig::vgg16_scaled(divisor, hw).build(&mut seeded_rng(seed.wrapping_add(3)))?;
+    let net = VggConfig::vgg16_scaled(divisor, hw).build(&mut seeded_rng(seed.wrapping_add(3)))?;
     let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
     train_or_load(
         "VGG-16",
@@ -264,6 +464,64 @@ pub fn run_method(
     )?)
 }
 
+/// One point of a (method, cell, σ, m) sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Mapping method.
+    pub method: Method,
+    /// Cell kind (SLC / 2-bit MLC).
+    pub cell: CellKind,
+    /// Lognormal variation σ.
+    pub sigma: f64,
+    /// Offset sharing granularity m.
+    pub m: usize,
+}
+
+/// Runs `f` over `items` on up to `threads` worker threads (0 = the
+/// `RDO_THREADS` knob / available parallelism), returning results in item
+/// order and the first error (by item order within each worker batch) if
+/// any point fails.
+///
+/// This is the generic engine behind [`run_method_grid`]; the ablation
+/// binaries use it directly for sweeps whose points are not plain
+/// (method, cell, σ, m) tuples.
+///
+/// # Errors
+///
+/// Propagates the first failing point's error.
+pub fn run_grid<I, O, F>(items: &[I], threads: usize, f: F) -> Result<Vec<O>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> Result<O> + Sync,
+{
+    let threads = resolve_threads(threads).clamp(1, items.len().max(1));
+    parallel_map_indexed(items.len(), threads, |i| f(&items[i])).into_iter().collect()
+}
+
+/// Evaluates every grid point concurrently (§IV protocol per point).
+///
+/// When more than one worker is available the per-point cycle loop is
+/// forced serial (`threads = 1`) so the grid level owns the parallelism —
+/// points outnumber cycles in every Fig. 5 sweep and never contend for the
+/// same caches. Results are identical to a serial sweep either way.
+///
+/// # Errors
+///
+/// Propagates the first failing point's error.
+pub fn run_method_grid(
+    model: &TrainedModel,
+    points: &[GridPoint],
+    cfg: &BenchConfig,
+) -> Result<Vec<CycleEvaluation>> {
+    let threads = resolve_threads(cfg.threads).clamp(1, points.len().max(1));
+    let mut eval = cfg.eval_cfg();
+    if threads > 1 {
+        eval.threads = 1;
+    }
+    run_grid(points, cfg.threads, |p| run_method(model, p.method, p.cell, p.sigma, p.m, &eval))
+}
+
 /// Builds a mapped (unprogrammed) network for read-power and similar
 /// static studies.
 ///
@@ -281,29 +539,6 @@ pub fn map_only(
     let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
     let grads = if method.uses_vawo() { Some(model.grads.as_slice()) } else { None };
     Ok(MappedNetwork::map(&model.net, method, &cfg, &lut, grads)?)
-}
-
-/// Reads `RDO_PWT_EPOCHS`, defaulting to 4 tuning epochs.
-pub fn pwt_epochs_from_env() -> usize {
-    std::env::var("RDO_PWT_EPOCHS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&e| e > 0)
-        .unwrap_or(5)
-}
-
-/// The default multi-cycle evaluation configuration from the environment.
-pub fn default_eval_cfg() -> CycleEvalConfig {
-    CycleEvalConfig {
-        cycles: cycles_from_env(),
-        seed: seed_from_env(),
-        pwt: PwtConfig {
-            epochs: pwt_epochs_from_env(),
-            lr_decay: 0.75,
-            ..Default::default()
-        },
-        batch_size: 64,
-    }
 }
 
 /// Writes an experiment's JSON record under `results/`.
@@ -330,9 +565,74 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_default_is_fast() {
-        assert_eq!(Scale::from_env(), Scale::Fast);
-        assert!(cycles_from_env() >= 1);
+    fn config_defaults_match_paper() {
+        let cfg = BenchConfig::default();
+        assert_eq!(cfg.scale, Scale::Fast);
+        assert_eq!(cfg.cycles, 5);
+        assert_eq!(cfg.seed, 0);
+        assert_eq!(cfg.pwt_epochs, 5);
+        assert_eq!(cfg.threads, 0);
+    }
+
+    #[test]
+    fn config_builders_chain() {
+        let cfg = BenchConfig::default()
+            .with_scale(Scale::Paper)
+            .with_cycles(3)
+            .with_seed(7)
+            .with_pwt_epochs(2)
+            .with_threads(4);
+        assert_eq!(cfg.scale, Scale::Paper);
+        assert_eq!(cfg.cycles, 3);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.pwt_epochs, 2);
+        assert_eq!(cfg.threads, 4);
+        let eval = cfg.eval_cfg();
+        assert_eq!(eval.cycles, 3);
+        assert_eq!(eval.seed, 7);
+        assert_eq!(eval.pwt.epochs, 2);
+        assert_eq!(eval.threads, 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_config() {
+        let cfg = BenchConfig::from_env();
+        assert_eq!(cycles_from_env(), cfg.cycles);
+        assert_eq!(seed_from_env(), cfg.seed);
+        assert_eq!(pwt_epochs_from_env(), cfg.pwt_epochs);
+        let eval = default_eval_cfg();
+        assert_eq!(eval.cycles, cfg.cycles);
+        assert_eq!(eval.pwt.epochs, cfg.pwt_epochs);
+        assert!(cfg.cycles >= 1);
+    }
+
+    #[test]
+    fn bench_error_wraps_and_matches() {
+        let e: BenchError = CoreError::InvalidConfig("boom".to_string()).into();
+        assert!(matches!(e, BenchError::Core(_)));
+        assert!(e.to_string().contains("boom"));
+        let io: BenchError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(matches!(io, BenchError::Io(_)));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+        let nn: BenchError = NnError::LabelMismatch { batch: 1, labels: 2 }.into();
+        assert!(matches!(nn, BenchError::Nn(_)));
+    }
+
+    #[test]
+    fn run_grid_preserves_order_and_propagates_errors() {
+        let items = [1usize, 2, 3, 4, 5];
+        let out = run_grid(&items, 3, |&i| Ok(i * 10)).unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+        let err = run_grid(&items, 3, |&i| {
+            if i == 3 {
+                Err(BenchError::Core(CoreError::InvalidConfig("bad point".into())))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(matches!(err, Err(BenchError::Core(_))));
     }
 
     #[test]

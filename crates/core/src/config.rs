@@ -112,7 +112,7 @@ impl OffsetConfig {
                 "sharing granularity must be positive".to_string(),
             ));
         }
-        if self.crossbar.rows % self.sharing_granularity != 0 {
+        if !self.crossbar.rows.is_multiple_of(self.sharing_granularity) {
             return Err(CoreError::InvalidConfig(format!(
                 "sharing granularity {} does not divide the {} crossbar rows",
                 self.sharing_granularity, self.crossbar.rows

@@ -3,8 +3,19 @@
 //! time) and report the average accuracy (§IV: "each experiment is
 //! repeated 5 times with different CRWs each time and the average result
 //! is reported").
+//!
+//! Cycles are mutually independent by construction — cycle `c` programs
+//! from a fresh `seed + c` RNG and PWT reseeds with `seed + 1000 + c` — so
+//! [`evaluate_cycles`] runs them on scoped worker threads when
+//! [`CycleEvalConfig::threads`] (or the `RDO_THREADS` environment knob)
+//! allows. Each worker clones the mapped network and executes exactly the
+//! serial per-cycle code, so `per_cycle` is bitwise identical for any
+//! thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use rdo_nn::evaluate;
+use rdo_tensor::parallel::resolve_threads;
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::Tensor;
 
@@ -24,6 +35,11 @@ pub struct CycleEvalConfig {
     pub pwt: PwtConfig,
     /// Evaluation batch size.
     pub batch_size: usize,
+    /// Worker threads for the cycle loop: `0` (the default) defers to the
+    /// `RDO_THREADS` environment knob / available parallelism, `1` forces
+    /// the serial path, `N` caps the workers at `N`. Results are identical
+    /// for every setting.
+    pub threads: usize,
 }
 
 impl Default for CycleEvalConfig {
@@ -33,6 +49,7 @@ impl Default for CycleEvalConfig {
             seed: 0,
             pwt: PwtConfig::default(),
             batch_size: 64,
+            threads: 0,
         }
     }
 }
@@ -86,20 +103,99 @@ pub fn evaluate_cycles(
             mapped.method()
         )));
     }
-    let mut per_cycle = Vec::with_capacity(cfg.cycles);
-    for c in 0..cfg.cycles {
-        let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
-        mapped.program(&mut rng)?;
-        if mapped.method().uses_pwt() {
-            let (xs, ys) = tune_data.expect("checked above");
-            let mut pwt_cfg = cfg.pwt;
-            pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
-            tune(mapped, xs, ys, &pwt_cfg)?;
+    let threads = resolve_threads(cfg.threads).min(cfg.cycles).max(1);
+    if threads <= 1 {
+        let mut per_cycle = Vec::with_capacity(cfg.cycles);
+        for c in 0..cfg.cycles {
+            per_cycle.push(run_cycle(mapped, c, tune_data, test_images, test_labels, cfg)?);
         }
-        let mut net = mapped.effective_network()?;
-        per_cycle.push(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?);
+        return Ok(CycleEvaluation::from_cycles(per_cycle));
+    }
+
+    // Parallel path: each worker pulls cycle indices from an atomic cursor,
+    // clones the mapped network and runs the identical per-cycle code. The
+    // clone that executed the final cycle is written back so the caller
+    // observes the same end state as after the serial loop.
+    let shared: &MappedNetwork = mapped;
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    type CycleBatch = (Vec<(usize, f32)>, Option<MappedNetwork>);
+    let worker_results: Vec<Result<CycleBatch>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| -> Result<CycleBatch> {
+                    let mut accs = Vec::new();
+                    let mut last = None;
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= cfg.cycles || failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let mut local = shared.clone();
+                        let acc = match run_cycle(
+                            &mut local,
+                            c,
+                            tune_data,
+                            test_images,
+                            test_labels,
+                            cfg,
+                        ) {
+                            Ok(a) => a,
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        };
+                        accs.push((c, acc));
+                        if c == cfg.cycles - 1 {
+                            last = Some(local);
+                        }
+                    }
+                    Ok((accs, last))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cycle worker panicked")).collect()
+    });
+
+    let mut per_cycle = vec![0.0f32; cfg.cycles];
+    let mut final_state = None;
+    for result in worker_results {
+        let (accs, last) = result?;
+        for (c, acc) in accs {
+            per_cycle[c] = acc;
+        }
+        if last.is_some() {
+            final_state = last;
+        }
+    }
+    if let Some(state) = final_state {
+        *mapped = state;
     }
     Ok(CycleEvaluation::from_cycles(per_cycle))
+}
+
+/// One §IV cycle: program with the cycle seed, run PWT when the method
+/// uses it, and measure test accuracy — shared verbatim by the serial and
+/// parallel paths of [`evaluate_cycles`].
+fn run_cycle(
+    mapped: &mut MappedNetwork,
+    c: usize,
+    tune_data: Option<(&Tensor, &[usize])>,
+    test_images: &Tensor,
+    test_labels: &[usize],
+    cfg: &CycleEvalConfig,
+) -> Result<f32> {
+    let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
+    mapped.program(&mut rng)?;
+    if mapped.method().uses_pwt() {
+        let (xs, ys) = tune_data.expect("validated by evaluate_cycles");
+        let mut pwt_cfg = cfg.pwt;
+        pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
+        tune(mapped, xs, ys, &pwt_cfg)?;
+    }
+    let mut net = mapped.effective_network()?;
+    Ok(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?)
 }
 
 #[cfg(test)]
@@ -121,13 +217,8 @@ mod tests {
         net.push(Linear::new(5, 16, &mut rng));
         net.push(Relu::new());
         net.push(Linear::new(16, 2, &mut rng));
-        fit(
-            &mut net,
-            &x,
-            &labels,
-            &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() },
-        )
-        .unwrap();
+        fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
+            .unwrap();
         (net, x, labels)
     }
 
@@ -147,8 +238,7 @@ mod tests {
 
         let eval_cfg = CycleEvalConfig { cycles: 3, ..Default::default() };
         let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
-        let plain_eval =
-            evaluate_cycles(&mut plain, None, &x, &labels, &eval_cfg).unwrap();
+        let plain_eval = evaluate_cycles(&mut plain, None, &x, &labels, &eval_cfg).unwrap();
 
         let mut pwt = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
         let pwt_eval =
@@ -189,8 +279,7 @@ mod tests {
         let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
         let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
         let mut pwt = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
-        assert!(evaluate_cycles(&mut pwt, None, &x, &labels, &CycleEvalConfig::default())
-            .is_err());
+        assert!(evaluate_cycles(&mut pwt, None, &x, &labels, &CycleEvalConfig::default()).is_err());
     }
 
     use rdo_tensor::rng::seeded_rng;

@@ -25,16 +25,12 @@ pub struct CoreWeightInfo {
 
 fn info_of(kind: ParamKind) -> Option<CoreWeightInfo> {
     match kind {
-        ParamKind::ConvWeight { out_channels, patch_len } => Some(CoreWeightInfo {
-            kind,
-            rows: out_channels,
-            cols: patch_len,
-        }),
-        ParamKind::LinearWeight { out_features, in_features } => Some(CoreWeightInfo {
-            kind,
-            rows: out_features,
-            cols: in_features,
-        }),
+        ParamKind::ConvWeight { out_channels, patch_len } => {
+            Some(CoreWeightInfo { kind, rows: out_channels, cols: patch_len })
+        }
+        ParamKind::LinearWeight { out_features, in_features } => {
+            Some(CoreWeightInfo { kind, rows: out_features, cols: in_features })
+        }
         _ => None,
     }
 }
@@ -46,20 +42,12 @@ pub fn core_weight_infos(net: &mut Sequential) -> Vec<CoreWeightInfo> {
 
 /// Clones every core weight tensor, in enumeration order.
 pub fn extract_core_weights(net: &mut Sequential) -> Vec<Tensor> {
-    net.params()
-        .into_iter()
-        .filter(|p| p.kind.is_core_weight())
-        .map(|p| p.value.clone())
-        .collect()
+    net.params().into_iter().filter(|p| p.kind.is_core_weight()).map(|p| p.value.clone()).collect()
 }
 
 /// Clones every core weight *gradient* tensor, in enumeration order.
 pub fn extract_core_gradients(net: &mut Sequential) -> Vec<Tensor> {
-    net.params()
-        .into_iter()
-        .filter(|p| p.kind.is_core_weight())
-        .map(|p| p.grad.clone())
-        .collect()
+    net.params().into_iter().filter(|p| p.kind.is_core_weight()).map(|p| p.grad.clone()).collect()
 }
 
 /// Overwrites every core weight with the supplied tensors, in enumeration
@@ -74,10 +62,9 @@ pub fn inject_core_weights(net: &mut Sequential, weights: &[Tensor]) -> Result<(
     let mut injected = 0usize;
     for p in net.params() {
         if p.kind.is_core_weight() {
-            let w = it.next().ok_or(CoreError::GradientMismatch {
-                expected: injected,
-                actual: weights.len(),
-            })?;
+            let w = it
+                .next()
+                .ok_or(CoreError::GradientMismatch { expected: injected, actual: weights.len() })?;
             if w.dims() != p.value.dims() {
                 return Err(CoreError::InvalidConfig(format!(
                     "weight {} shape {:?} does not match layer shape {:?}",

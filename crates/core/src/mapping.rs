@@ -21,7 +21,9 @@ use rdo_tensor::Tensor;
 
 use crate::config::{Method, OffsetConfig};
 use crate::error::{CoreError, Result};
-use crate::gradient::{core_weight_infos, extract_core_weights, inject_core_weights, CoreWeightInfo};
+use crate::gradient::{
+    core_weight_infos, extract_core_weights, inject_core_weights, CoreWeightInfo,
+};
 use crate::offsets::{GroupLayout, OffsetState};
 use crate::vawo::optimize_matrix;
 
@@ -54,9 +56,10 @@ impl MappedLayer {
     /// Returns [`CoreError::InvalidConfig`] if the layer has not been
     /// programmed yet.
     pub fn effective_weight(&self, cfg: &OffsetConfig) -> Result<Tensor> {
-        let crw = self.crw.as_ref().ok_or_else(|| {
-            CoreError::InvalidConfig("layer has not been programmed".to_string())
-        })?;
+        let crw = self
+            .crw
+            .as_ref()
+            .ok_or_else(|| CoreError::InvalidConfig("layer has not been programmed".to_string()))?;
         let nrw = self.state.apply(crw, cfg.codec.max_weight() as f32)?;
         let q = self.quant;
         let float = nrw.map(|v| q.dequantize(v));
@@ -142,14 +145,8 @@ impl MappedNetwork {
                     let gi = x * delta;
                     gi * gi
                 });
-                let out = optimize_matrix(
-                    &ntw_q,
-                    &g_sq,
-                    &layout,
-                    lut,
-                    cfg,
-                    method.uses_complement(),
-                )?;
+                let out =
+                    optimize_matrix(&ntw_q, &g_sq, &layout, lut, cfg, method.uses_complement())?;
                 (out.ctw, out.state)
             } else {
                 (ntw_q.clone(), OffsetState::zeros(layout))
@@ -211,11 +208,8 @@ impl MappedNetwork {
             ));
         }
         let (ddv, ccv) = self.cfg.variation.split_ddv_ccv(fraction);
-        let factors = self
-            .layers
-            .iter()
-            .map(|l| sample_ddv_factors(l.ctw.dims(), &ddv, rng))
-            .collect();
+        let factors =
+            self.layers.iter().map(|l| sample_ddv_factors(l.ctw.dims(), &ddv, rng)).collect();
         self.ddv = Some(DdvState { factors, ccv });
         Ok(())
     }
@@ -313,11 +307,8 @@ impl MappedNetwork {
             Some(t) => t.clone(),
             None => self.base.clone(),
         };
-        let weights: Result<Vec<Tensor>> = self
-            .layers
-            .iter()
-            .map(|l| l.effective_weight(&self.cfg))
-            .collect();
+        let weights: Result<Vec<Tensor>> =
+            self.layers.iter().map(|l| l.effective_weight(&self.cfg)).collect();
         inject_core_weights(&mut net, &weights?)?;
         Ok(net)
     }
@@ -330,11 +321,8 @@ impl MappedNetwork {
     ///
     /// Same conditions as [`MappedNetwork::effective_network`].
     pub fn refresh_effective(&self, net: &mut Sequential) -> Result<()> {
-        let weights: Result<Vec<Tensor>> = self
-            .layers
-            .iter()
-            .map(|l| l.effective_weight(&self.cfg))
-            .collect();
+        let weights: Result<Vec<Tensor>> =
+            self.layers.iter().map(|l| l.effective_weight(&self.cfg)).collect();
         inject_core_weights(net, &weights?)
     }
 

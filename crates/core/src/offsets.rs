@@ -31,9 +31,7 @@ impl GroupLayout {
     pub fn new(fan_in: usize, fan_out: usize, cfg: &OffsetConfig) -> Result<Self> {
         cfg.validate()?;
         if fan_in == 0 || fan_out == 0 {
-            return Err(CoreError::InvalidConfig(
-                "cannot lay out an empty matrix".to_string(),
-            ));
+            return Err(CoreError::InvalidConfig("cannot lay out an empty matrix".to_string()));
         }
         let rows_per_tile = cfg.crossbar.rows;
         let m = cfg.sharing_granularity;

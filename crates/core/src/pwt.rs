@@ -123,9 +123,7 @@ pub fn tune(
     let mut report = PwtReport::default();
 
     // dataset loss of the current offsets (forward only)
-    let eval_loss = |mapped: &MappedNetwork,
-                         net: &mut rdo_nn::Sequential|
-     -> Result<f32> {
+    let eval_loss = |mapped: &MappedNetwork, net: &mut rdo_nn::Sequential| -> Result<f32> {
         mapped.refresh_effective(net)?;
         let mut total = 0.0f32;
         let mut batches = 0usize;
@@ -152,11 +150,7 @@ pub fn tune(
     report.initial_loss = best_loss;
 
     // flat Adam state across all groups of all layers
-    let total_groups: usize = mapped
-        .layers()
-        .iter()
-        .map(|l| l.state.layout().group_count())
-        .sum();
+    let total_groups: usize = mapped.layers().iter().map(|l| l.state.layout().group_count()).sum();
     let mut adam = AdamState { m: vec![0.0; total_groups], v: vec![0.0; total_groups], t: 0 };
     let mut lr_scale = 1.0f32;
 
@@ -266,13 +260,8 @@ mod tests {
         net.push(Linear::new(6, 24, &mut rng));
         net.push(Relu::new());
         net.push(Linear::new(24, 4, &mut rng));
-        fit(
-            &mut net,
-            &x,
-            &labels,
-            &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() },
-        )
-        .unwrap();
+        fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
+            .unwrap();
         (net, x, labels)
     }
 
@@ -290,13 +279,8 @@ mod tests {
         let mut noisy = mapped.effective_network().unwrap();
         let acc_before = evaluate(&mut noisy, &x, &labels, 64).unwrap();
 
-        let report = tune(
-            &mut mapped,
-            &x,
-            &labels,
-            &PwtConfig { epochs: 6, ..Default::default() },
-        )
-        .unwrap();
+        let report =
+            tune(&mut mapped, &x, &labels, &PwtConfig { epochs: 6, ..Default::default() }).unwrap();
         let mut tuned = mapped.effective_network().unwrap();
         let acc_after = evaluate(&mut tuned, &x, &labels, 64).unwrap();
 
@@ -328,10 +312,7 @@ mod tests {
         .unwrap();
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
-        assert!(
-            last <= first * 1.05 + 1e-3,
-            "SGD PWT diverged: {first} → {last}"
-        );
+        assert!(last <= first * 1.05 + 1e-3, "SGD PWT diverged: {first} → {last}");
     }
 
     #[test]
@@ -357,8 +338,9 @@ mod tests {
         let lut = DeviceLut::analytic(&VariationModel::per_weight(0.3), &cfg.codec).unwrap();
         let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
         mapped.program(&mut seeded_rng(10)).unwrap();
-        assert!(tune(&mut mapped, &x, &labels, &PwtConfig { epochs: 0, ..Default::default() })
-            .is_err());
+        assert!(
+            tune(&mut mapped, &x, &labels, &PwtConfig { epochs: 0, ..Default::default() }).is_err()
+        );
         assert!(tune(&mut mapped, &x, &[0, 1], &PwtConfig::default()).is_err());
     }
 

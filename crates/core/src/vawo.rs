@@ -151,7 +151,7 @@ pub fn optimize_matrix(
                         }
                         obj += g * term;
                     }
-                    if best.map_or(true, |(bo, _, _)| obj < bo) {
+                    if best.is_none_or(|(bo, _, _)| obj < bo) {
                         best = Some((obj, b, comp));
                     }
                 }
@@ -294,9 +294,7 @@ mod tests {
         // The paper's key m=128 observation: VAWO degrades at coarse
         // granularity but VAWO* holds up. A group mixing small and large
         // weights can't pick one good offset — unless half is complemented.
-        let ntw: Vec<f32> = (0..128)
-            .map(|i| if i % 2 == 0 { 20.0 } else { 235.0 })
-            .collect();
+        let ntw: Vec<f32> = (0..128).map(|i| if i % 2 == 0 { 20.0 } else { 235.0 }).collect();
         let g = vec![1.0; 128];
         let coarse_plain = run(ntw.clone(), g.clone(), 128, 1, 128, 0.5, false);
         let coarse_star = run(ntw, g, 128, 1, 128, 0.5, true);
@@ -313,11 +311,7 @@ mod tests {
         let mut g = vec![0.0; 16];
         g[0] = 100.0;
         let out = run(ntw, g, 16, 1, 16, 0.5, false);
-        assert!(
-            out.ctw.data()[0] < 250.0,
-            "sensitive weight stored at {}",
-            out.ctw.data()[0]
-        );
+        assert!(out.ctw.data()[0] < 250.0, "sensitive weight stored at {}", out.ctw.data()[0]);
     }
 
     #[test]

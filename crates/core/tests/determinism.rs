@@ -1,0 +1,90 @@
+//! Determinism guarantees of the parallel experiment engine.
+//!
+//! The §IV protocol seeds every programming cycle independently
+//! (`seed + c`, PWT at `seed + 1000 + c`), so [`evaluate_cycles`] must
+//! produce bitwise-identical `per_cycle` accuracies (a) across repeated
+//! runs and (b) for every thread count, including the serial
+//! `threads = 1` path.
+
+use rdo_core::{
+    evaluate_cycles, mean_core_gradients, CycleEvalConfig, CycleEvaluation, MappedNetwork, Method,
+    OffsetConfig, PwtConfig,
+};
+use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::{randn, seeded_rng};
+use rdo_tensor::Tensor;
+
+fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(24);
+    let x = randn(&[160, 5], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..160).map(|i| usize::from(x.data()[i * 5] + x.data()[i * 5 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(5, 16, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(16, 2, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() }).unwrap();
+    (net, x, labels)
+}
+
+fn run_with_threads(method: Method, threads: usize) -> (CycleEvaluation, f64) {
+    let (mut net, x, labels) = trained_problem();
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+    let grads = if method.uses_vawo() {
+        Some(mean_core_gradients(&mut net, &x, &labels, 64).unwrap())
+    } else {
+        None
+    };
+    let mut mapped = MappedNetwork::map(&net, method, &cfg, &lut, grads.as_deref()).unwrap();
+    let tune = method.uses_pwt().then_some((&x, &labels[..]));
+    let eval_cfg = CycleEvalConfig {
+        cycles: 4,
+        seed: 7,
+        pwt: PwtConfig { epochs: 2, ..Default::default() },
+        batch_size: 64,
+        threads,
+    };
+    let eval = evaluate_cycles(&mut mapped, tune, &x, &labels, &eval_cfg).unwrap();
+    // the post-run state of `mapped` (the last cycle's programming) must
+    // also match between serial and parallel runs
+    let final_err = mapped.nrw_error().unwrap();
+    (eval, final_err)
+}
+
+#[test]
+fn repeated_serial_runs_are_identical() {
+    for method in [Method::Plain, Method::Pwt] {
+        let (a, err_a) = run_with_threads(method, 1);
+        let (b, err_b) = run_with_threads(method, 1);
+        assert_eq!(a.per_cycle, b.per_cycle, "{method}: serial runs diverged");
+        assert_eq!(err_a, err_b, "{method}: final state diverged");
+    }
+}
+
+#[test]
+fn parallel_matches_serial_bitwise() {
+    for method in [Method::Plain, Method::Pwt] {
+        let (serial, serial_err) = run_with_threads(method, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let (par, par_err) = run_with_threads(method, threads);
+            assert_eq!(
+                serial.per_cycle, par.per_cycle,
+                "{method}: threads={threads} changed per-cycle accuracies"
+            );
+            assert_eq!(serial.mean, par.mean, "{method}: threads={threads} changed mean");
+            assert_eq!(
+                serial_err, par_err,
+                "{method}: threads={threads} changed the final mapped state"
+            );
+        }
+    }
+}
+
+#[test]
+fn combined_method_is_thread_count_invariant() {
+    let (serial, _) = run_with_threads(Method::VawoStarPwt, 1);
+    let (par, _) = run_with_threads(Method::VawoStarPwt, 4);
+    assert_eq!(serial.per_cycle, par.per_cycle);
+}

@@ -102,11 +102,9 @@ impl Dataset {
         let mk = |lo: usize, hi: usize| -> Result<Dataset> {
             let mut d = dims.to_vec();
             d[0] = hi - lo;
-            let images = Tensor::from_vec(
-                self.images.data()[lo * stride..hi * stride].to_vec(),
-                &d,
-            )
-            .map_err(|e| DatasetError::Inconsistent(e.to_string()))?;
+            let images =
+                Tensor::from_vec(self.images.data()[lo * stride..hi * stride].to_vec(), &d)
+                    .map_err(|e| DatasetError::Inconsistent(e.to_string()))?;
             Dataset::new(images, self.labels[lo..hi].to_vec(), self.classes)
         };
         Ok((mk(0, cut)?, mk(cut, n)?))

@@ -146,9 +146,7 @@ fn render_digit(
 /// ```
 pub fn generate_digits(cfg: &DigitsConfig) -> Result<Dataset> {
     if cfg.per_class == 0 || cfg.hw < 12 {
-        return Err(DatasetError::InvalidConfig(
-            "need per_class ≥ 1 and hw ≥ 12".to_string(),
-        ));
+        return Err(DatasetError::InvalidConfig("need per_class ≥ 1 and hw ≥ 12".to_string()));
     }
     let mut rng = seeded_rng(cfg.seed);
     let n = cfg.per_class * 10;

@@ -67,43 +67,47 @@ const FAMILIES: [Family; 10] = [
 /// Scalar field of one family at unit coordinates `(x, y) ∈ [0,1]²`,
 /// returning a mixing weight in `[0, 1]`.
 #[allow(clippy::too_many_arguments)]
-fn field(
-    family: Family,
-    x: f32,
-    y: f32,
-    freq: f32,
-    phase: f32,
-    cx: f32,
-    cy: f32,
-    aux: f32,
-) -> f32 {
-    use std::f32::consts::TAU;
+fn field(family: Family, x: f32, y: f32, freq: f32, phase: f32, cx: f32, cy: f32, aux: f32) -> f32 {
+    use std::f32::consts::{FRAC_1_SQRT_2, TAU};
     let wave = |t: f32| 0.5 + 0.5 * (TAU * t).sin();
     match family {
         Family::HorizontalStripes => wave(freq * y + phase),
         Family::VerticalStripes => wave(freq * x + phase),
-        Family::DiagonalStripes => wave(freq * (x + y) * 0.7071 + phase),
+        Family::DiagonalStripes => wave(freq * (x + y) * FRAC_1_SQRT_2 + phase),
         Family::Checkerboard => {
             let a = ((freq * x + phase).floor() as i64 + (freq * y + phase).floor() as i64) & 1;
             a as f32
         }
         Family::Disk => {
             let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
-            if r < aux { 1.0 } else { 0.0 }
+            if r < aux {
+                1.0
+            } else {
+                0.0
+            }
         }
         Family::Ring => {
             let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
-            if (r - aux).abs() < 0.08 { 1.0 } else { 0.0 }
+            if (r - aux).abs() < 0.08 {
+                1.0
+            } else {
+                0.0
+            }
         }
         Family::RadialGradient => {
             let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
             (1.0 - r * 1.8).clamp(0.0, 1.0)
         }
-        Family::CornerGradient => ((x * phase.cos().abs() + y * phase.sin().abs()) * aux)
-            .clamp(0.0, 1.0),
+        Family::CornerGradient => {
+            ((x * phase.cos().abs() + y * phase.sin().abs()) * aux).clamp(0.0, 1.0)
+        }
         Family::Cross => {
             let w = 0.10 + 0.05 * aux;
-            if (x - cx).abs() < w || (y - cy).abs() < w { 1.0 } else { 0.0 }
+            if (x - cx).abs() < w || (y - cy).abs() < w {
+                1.0
+            } else {
+                0.0
+            }
         }
         Family::Blobs => {
             // sum of three low-frequency sinusoids — smooth blobby field
@@ -133,9 +137,7 @@ fn field(
 /// ```
 pub fn generate_textures(cfg: &TexturesConfig) -> Result<Dataset> {
     if cfg.per_class == 0 || cfg.hw < 8 {
-        return Err(DatasetError::InvalidConfig(
-            "need per_class ≥ 1 and hw ≥ 8".to_string(),
-        ));
+        return Err(DatasetError::InvalidConfig("need per_class ≥ 1 and hw ≥ 8".to_string()));
     }
     let mut rng = seeded_rng(cfg.seed);
     let n = cfg.per_class * 10;
@@ -153,8 +155,10 @@ pub fn generate_textures(cfg: &TexturesConfig) -> Result<Dataset> {
         let cy = rng.gen_range(0.35..0.65);
         let aux = rng.gen_range(0.18..0.32);
         // two random palette colors
-        let fg: [f32; 3] = [rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0)];
-        let bg: [f32; 3] = [rng.gen_range(0.0..0.4), rng.gen_range(0.0..0.4), rng.gen_range(0.0..0.4)];
+        let fg: [f32; 3] =
+            [rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0)];
+        let bg: [f32; 3] =
+            [rng.gen_range(0.0..0.4), rng.gen_range(0.0..0.4), rng.gen_range(0.0..0.4)];
 
         for y in 0..hw {
             for x in 0..hw {
@@ -185,8 +189,7 @@ mod tests {
 
     #[test]
     fn generates_balanced_classes() {
-        let ds =
-            generate_textures(&TexturesConfig { per_class: 4, ..Default::default() }).unwrap();
+        let ds = generate_textures(&TexturesConfig { per_class: 4, ..Default::default() }).unwrap();
         assert_eq!(ds.len(), 40);
         assert_eq!(ds.class_histogram(), vec![4; 10]);
         assert_eq!(ds.images().dims()[1], 3);
@@ -194,8 +197,7 @@ mod tests {
 
     #[test]
     fn pixels_are_normalized() {
-        let ds =
-            generate_textures(&TexturesConfig { per_class: 2, ..Default::default() }).unwrap();
+        let ds = generate_textures(&TexturesConfig { per_class: 2, ..Default::default() }).unwrap();
         assert!(ds.images().min() >= 0.0);
         assert!(ds.images().max() <= 1.0);
     }
@@ -210,14 +212,12 @@ mod tests {
     fn stripes_have_directional_structure() {
         // horizontal stripes (class 0): row variance ≪ column variance of
         // the luminance field; vertical stripes (class 1): the reverse.
-        let cfg = TexturesConfig { per_class: 1, pixel_noise: 0.0, seed: 2, hw: 32, ..Default::default() };
+        let cfg = TexturesConfig { per_class: 1, pixel_noise: 0.0, seed: 2, hw: 32 };
         let ds = generate_textures(&cfg).unwrap();
         let hw = 32;
         let plane = hw * hw;
         let lum = |sample: usize, y: usize, x: usize| -> f32 {
-            (0..3)
-                .map(|c| ds.images().data()[(sample * 3 + c) * plane + y * hw + x])
-                .sum::<f32>()
+            (0..3).map(|c| ds.images().data()[(sample * 3 + c) * plane + y * hw + x]).sum::<f32>()
         };
         let row_var = |s: usize| -> f32 {
             // variance along x within rows, averaged

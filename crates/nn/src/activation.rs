@@ -26,9 +26,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         if mask.len() != grad_output.len() {
             return Err(NnError::Tensor(rdo_tensor::TensorError::ShapeMismatch {
                 op: "Relu::backward",
@@ -85,9 +86,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let dims = self.input_dims.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         Ok(grad_output.reshape(dims)?)
     }
 
@@ -142,13 +144,7 @@ impl ActQuant {
 impl Layer for ActQuant {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         let step = self.max / (self.levels() - 1) as f32;
-        self.mask = Some(
-            input
-                .data()
-                .iter()
-                .map(|&x| x > 0.0 && x < self.max)
-                .collect(),
-        );
+        self.mask = Some(input.data().iter().map(|&x| x > 0.0 && x < self.max).collect());
         Ok(input.map(|x| {
             let clipped = x.clamp(0.0, self.max);
             (clipped / step).round() * step
@@ -156,9 +152,10 @@ impl Layer for ActQuant {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let mut g = grad_output.clone();
         for (v, &m) in g.data_mut().iter_mut().zip(mask) {
             if !m {

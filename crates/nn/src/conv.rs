@@ -119,8 +119,7 @@ fn nchw_to_patches(t: &Tensor) -> Tensor {
         for ch in 0..c {
             for y in 0..oh {
                 for x in 0..ow {
-                    out[((b * oh + y) * ow + x) * c + ch] =
-                        data[((b * c + ch) * oh + y) * ow + x];
+                    out[((b * oh + y) * ow + x) * c + ch] = data[((b * c + ch) * oh + y) * ow + x];
                 }
             }
         }
@@ -146,9 +145,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let gp = nchw_to_patches(grad_output); // (n·oh·ow, oc)
         let gw = matmul(&gp.transpose2()?, &cache.cols)?;
         self.weight_grad.axpy(1.0, &gw)?;
@@ -172,11 +172,7 @@ impl Layer for Conv2d {
                     patch_len: self.geom.patch_len(),
                 },
             },
-            Param {
-                value: &mut self.bias,
-                grad: &mut self.bias_grad,
-                kind: ParamKind::Bias,
-            },
+            Param { value: &mut self.bias, grad: &mut self.bias_grad, kind: ParamKind::Bias },
         ]
     }
 

@@ -1,6 +1,5 @@
 //! Dropout regularization.
 
-
 use rand_distr::{Bernoulli, Distribution};
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::Tensor;
@@ -60,9 +59,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let scale = (1.0 / (1.0 - self.p)) as f32;
         let mut g = grad_output.clone();
         for (v, &m) in g.data_mut().iter_mut().zip(mask) {

@@ -39,10 +39,7 @@ impl ParamKind {
     /// Returns `true` for parameters that the crossbar pipeline maps onto
     /// RRAM devices (convolution and linear weights).
     pub fn is_core_weight(&self) -> bool {
-        matches!(
-            self,
-            ParamKind::ConvWeight { .. } | ParamKind::LinearWeight { .. }
-        )
+        matches!(self, ParamKind::ConvWeight { .. } | ParamKind::LinearWeight { .. })
     }
 }
 
@@ -65,10 +62,13 @@ pub struct Param<'a> {
 /// re-seeing the input. The contract is strictly
 /// `forward → backward → (optimizer step) → zero_grad`, batch by batch.
 ///
-/// Layers are `Send` and clonable through [`clone_box`](Layer::clone_box),
-/// which lets the crossbar pipeline snapshot a trained network before
-/// substituting noisy effective weights.
-pub trait Layer: std::fmt::Debug + Send {
+/// Layers are `Send + Sync` and clonable through
+/// [`clone_box`](Layer::clone_box): the crossbar pipeline snapshots a
+/// trained network before substituting noisy effective weights, and the
+/// parallel experiment engine shares a trained network immutably across
+/// scoped worker threads, each of which clones it. Layers hold plain owned
+/// data (no interior mutability), so both bounds are automatic.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Runs the layer on `input`, caching activations when `train` is true
     /// (and whenever the layer needs them for backward).
     ///

@@ -107,9 +107,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         // dW += gᵀ · x ; db += Σ_batch g ; dx = g · W
         let gw = matmul(&grad_output.transpose2()?, input)?;
         self.weight_grad.axpy(1.0, &gw)?;
@@ -133,11 +134,7 @@ impl Layer for Linear {
                     in_features: self.in_features,
                 },
             },
-            Param {
-                value: &mut self.bias,
-                grad: &mut self.bias_grad,
-                kind: ParamKind::Bias,
-            },
+            Param { value: &mut self.bias, grad: &mut self.bias_grad, kind: ParamKind::Bias },
         ]
     }
 

@@ -139,10 +139,7 @@ mod tests {
     fn label_count_checked() {
         let loss = SoftmaxCrossEntropy::new();
         let logits = Tensor::zeros(&[2, 3]);
-        assert!(matches!(
-            loss.compute(&logits, &[0]),
-            Err(NnError::LabelMismatch { .. })
-        ));
+        assert!(matches!(loss.compute(&logits, &[0]), Err(NnError::LabelMismatch { .. })));
         assert!(loss.compute(&logits, &[0, 5]).is_err());
     }
 }

@@ -43,11 +43,7 @@ impl WeightSnapshot {
 /// # Panics
 ///
 /// Panics if `sigma` is negative or not finite.
-pub fn perturb_core_weights(
-    net: &mut dyn Layer,
-    sigma: f32,
-    rng: &mut impl Rng,
-) -> WeightSnapshot {
+pub fn perturb_core_weights(net: &mut dyn Layer, sigma: f32, rng: &mut impl Rng) -> WeightSnapshot {
     let normal = Normal::new(0.0f32, sigma).expect("sigma must be finite and non-negative");
     let mut saved = Vec::new();
     for p in net.params() {

@@ -95,9 +95,9 @@ impl Layer for BatchNorm2d {
         let mut var = vec![0.0f32; c];
         if train {
             for b in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let p = &input.data()[(b * c + ch) * plane..(b * c + ch + 1) * plane];
-                    mean[ch] += p.iter().sum::<f32>();
+                    *m += p.iter().sum::<f32>();
                 }
             }
             for m in &mut mean {
@@ -142,9 +142,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let dims = &cache.dims;
         let [n, c, h, w] = [dims[0], dims[1], dims[2], dims[3]];
         let plane = h * w;
@@ -173,9 +174,9 @@ impl Layer for BatchNorm2d {
                     let g = grad_output.data()[base + i];
                     let v = if cache.train {
                         // full batch-norm backward
-                        gamma * inv_std
-                            * (g - sum_g / count
-                                - cache.x_hat.data()[base + i] * sum_gx / count)
+                        gamma
+                            * inv_std
+                            * (g - sum_g / count - cache.x_hat.data()[base + i] * sum_gx / count)
                     } else {
                         // frozen statistics: pure affine
                         gamma * inv_std * g
@@ -189,18 +190,17 @@ impl Layer for BatchNorm2d {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.gamma, grad: &mut self.gamma_grad, kind: ParamKind::NormGamma },
+            Param {
+                value: &mut self.gamma,
+                grad: &mut self.gamma_grad,
+                kind: ParamKind::NormGamma,
+            },
             Param { value: &mut self.beta, grad: &mut self.beta_grad, kind: ParamKind::NormBeta },
         ]
     }
 
     fn state(&mut self) -> Vec<&mut Tensor> {
-        vec![
-            &mut self.gamma,
-            &mut self.beta,
-            &mut self.running_mean,
-            &mut self.running_var,
-        ]
+        vec![&mut self.gamma, &mut self.beta, &mut self.running_mean, &mut self.running_var]
     }
 
     fn name(&self) -> String {
@@ -263,9 +263,7 @@ mod tests {
         let y = bn.forward(&x, true).unwrap();
         let dx = bn.backward(&y).unwrap();
         let eps = 1e-2f32;
-        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
-            bn.forward(x, true).unwrap().norm_sq() / 2.0
-        };
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| bn.forward(x, true).unwrap().norm_sq() / 2.0;
         for idx in [0usize, 5, 13, 23] {
             let mut xp = x.clone();
             xp.data_mut()[idx] += eps;

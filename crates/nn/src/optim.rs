@@ -110,7 +110,8 @@ mod tests {
         net.push(Linear::new(2, 2, &mut rng));
         let x = randn(&[8, 2], 0.0, 1.0, &mut rng);
         // labels: class 0 if x0 > 0 else 1 — linearly separable
-        let labels: Vec<usize> = (0..8).map(|i| if x.data()[i * 2] > 0.0 { 0 } else { 1 }).collect();
+        let labels: Vec<usize> =
+            (0..8).map(|i| if x.data()[i * 2] > 0.0 { 0 } else { 1 }).collect();
         let loss = SoftmaxCrossEntropy::new();
         let mut opt = Sgd::new(0.5).momentum(0.9);
         let mut first = None;

@@ -69,9 +69,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.as_ref().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let mut g = Tensor::zeros(&cache.input_dims);
         let gd = g.data_mut();
         for (o, &src) in cache.argmax.iter().enumerate() {
@@ -125,9 +126,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let dims = self.input_dims.clone().ok_or_else(|| {
-            NnError::BackwardBeforeForward { layer: self.name() }
-        })?;
+        let dims = self
+            .input_dims
+            .clone()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         let [n, c, h, w] = [dims[0], dims[1], dims[2], dims[3]];
         let area = (h * w) as f32;
         let mut g = Tensor::zeros(&dims);
@@ -160,7 +162,10 @@ mod tests {
     fn maxpool_forward_picks_max() {
         let mut p = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -173,7 +178,10 @@ mod tests {
     fn maxpool_backward_routes_to_argmax() {
         let mut p = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

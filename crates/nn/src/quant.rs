@@ -87,14 +87,10 @@ impl QuantizedWeight {
 /// ```
 pub fn quantize_weights(w: &Tensor, bits: u32) -> Result<QuantizedWeight> {
     if bits == 0 || bits > 16 {
-        return Err(NnError::InvalidConfig(format!(
-            "unsupported weight bit width {bits}"
-        )));
+        return Err(NnError::InvalidConfig(format!("unsupported weight bit width {bits}")));
     }
     if w.data().iter().any(|v| !v.is_finite()) {
-        return Err(NnError::InvalidConfig(
-            "cannot quantize non-finite weights".to_string(),
-        ));
+        return Err(NnError::InvalidConfig("cannot quantize non-finite weights".to_string()));
     }
     let (lo, hi) = (w.min().min(0.0), w.max().max(0.0));
     let max_level = ((1u32 << bits) - 1) as f32;
@@ -126,7 +122,7 @@ mod tests {
         let w = randn(&[256], 0.0, 3.0, &mut seeded_rng(1));
         let q = quantize_weights(&w, 8).unwrap();
         for &l in q.levels.data() {
-            assert!(l >= 0.0 && l <= 255.0);
+            assert!((0.0..=255.0).contains(&l));
             assert_eq!(l, l.round());
         }
     }

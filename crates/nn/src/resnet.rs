@@ -120,10 +120,7 @@ mod tests {
         let mut rng = seeded_rng(0);
         let mut net = ResNetConfig::resnet18().build(&mut rng).unwrap();
         let total: usize = net.params().iter().map(|p| p.value.len()).sum();
-        assert!(
-            (10_500_000..12_000_000).contains(&total),
-            "parameter count {total}"
-        );
+        assert!((10_500_000..12_000_000).contains(&total), "parameter count {total}");
     }
 
     #[test]
@@ -152,11 +149,7 @@ mod tests {
         let mut net = cfg.build(&mut rng).unwrap();
         // count conv layers via params: 17 convs (1 stem + 16 block convs)
         // + 3 projection convs + 1 linear = 21 core weights
-        let cores = net
-            .params()
-            .iter()
-            .filter(|p| p.kind.is_core_weight())
-            .count();
+        let cores = net.params().iter().filter(|p| p.kind.is_core_weight()).count();
         assert_eq!(cores, 21);
     }
 

@@ -82,10 +82,7 @@ pub fn batch_slice(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
     let stride: usize = dims[1..].iter().product();
     let mut new_dims = dims.to_vec();
     new_dims[0] = end - start;
-    Ok(Tensor::from_vec(
-        t.data()[start * stride..end * stride].to_vec(),
-        &new_dims,
-    )?)
+    Ok(Tensor::from_vec(t.data()[start * stride..end * stride].to_vec(), &new_dims)?)
 }
 
 /// Gathers the samples at `indices` along the batch axis.
@@ -135,15 +132,11 @@ pub fn fit(
         return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
     }
     if cfg.batch_size == 0 || cfg.epochs == 0 {
-        return Err(NnError::InvalidConfig(
-            "batch_size and epochs must be positive".to_string(),
-        ));
+        return Err(NnError::InvalidConfig("batch_size and epochs must be positive".to_string()));
     }
     let start = Instant::now();
     let loss_fn = SoftmaxCrossEntropy::new();
-    let mut opt = Sgd::new(cfg.lr)
-        .momentum(cfg.momentum)
-        .weight_decay(cfg.weight_decay);
+    let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
     let mut rng = seeded_rng(cfg.seed);
     let mut report = TrainReport::default();
 
@@ -155,9 +148,7 @@ pub fn fit(
             let x = batch_gather(images, chunk)?;
             let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
 
-            let snapshot = cfg
-                .noise_sigma
-                .map(|sigma| perturb_core_weights(net, sigma, &mut rng));
+            let snapshot = cfg.noise_sigma.map(|sigma| perturb_core_weights(net, sigma, &mut rng));
 
             let logits = net.forward(&x, true)?;
             let (l, grad) = loss_fn.compute(&logits, &y)?;

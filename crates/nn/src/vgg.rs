@@ -57,11 +57,24 @@ impl VggConfig {
         use VggItem::{Conv, Pool};
         let d = |w: usize| w / divisor;
         let mut plan = vec![
-            Conv(d(64)), Conv(d(64)), Pool,
-            Conv(d(128)), Conv(d(128)), Pool,
-            Conv(d(256)), Conv(d(256)), Conv(d(256)), Pool,
-            Conv(d(512)), Conv(d(512)), Conv(d(512)), Pool,
-            Conv(d(512)), Conv(d(512)), Conv(d(512)), Pool,
+            Conv(d(64)),
+            Conv(d(64)),
+            Pool,
+            Conv(d(128)),
+            Conv(d(128)),
+            Pool,
+            Conv(d(256)),
+            Conv(d(256)),
+            Conv(d(256)),
+            Pool,
+            Conv(d(512)),
+            Conv(d(512)),
+            Conv(d(512)),
+            Pool,
+            Conv(d(512)),
+            Conv(d(512)),
+            Conv(d(512)),
+            Pool,
         ];
         // drop trailing pools the input cannot afford
         let mut hw = input_hw;
@@ -76,13 +89,7 @@ impl VggConfig {
                 conv => kept.push(conv),
             }
         }
-        VggConfig {
-            in_channels: 3,
-            input_hw,
-            plan: kept,
-            fc: d(512).max(4),
-            classes: 10,
-        }
+        VggConfig { in_channels: 3, input_hw, plan: kept, fc: d(512).max(4), classes: 10 }
     }
 
     /// Spatial side length after all pools in the plan.
@@ -113,9 +120,7 @@ impl VggConfig {
     /// to nothing.
     pub fn build(&self, rng: &mut impl Rng) -> Result<Sequential> {
         if self.final_hw() == 0 {
-            return Err(NnError::InvalidConfig(
-                "vgg plan pools the input away".to_string(),
-            ));
+            return Err(NnError::InvalidConfig("vgg plan pools the input away".to_string()));
         }
         let mut net = Sequential::new();
         let mut ch = self.in_channels;

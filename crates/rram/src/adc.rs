@@ -115,10 +115,7 @@ impl BitSerialEvaluator {
         }
         let max_input = (1u32 << self.input_bits) - 1;
         if let Some(&bad) = x.iter().find(|&&v| v > max_input) {
-            return Err(RramError::WeightOutOfRange {
-                value: bad,
-                levels: max_input + 1,
-            });
+            return Err(RramError::WeightOutOfRange { value: bad, levels: max_input + 1 });
         }
         let codec = crossbar.codec();
         let cpw = codec.cells_per_weight();
@@ -132,10 +129,8 @@ impl BitSerialEvaluator {
             while start < rows {
                 let end = (start + self.active_rows).min(rows);
                 // drive active wordlines with this input bit (0/1 volts)
-                let drive: Vec<f32> = x[start..end]
-                    .iter()
-                    .map(|&v| ((v >> bit) & 1) as f32)
-                    .collect();
+                let drive: Vec<f32> =
+                    x[start..end].iter().map(|&v| ((v >> bit) & 1) as f32).collect();
                 let ones = drive.iter().filter(|&&d| d > 0.0).count() as f64;
                 let currents = crossbar.bitline_currents(&drive, start, end)?;
                 // per weight column: S+A over cell slices, floor calibration
@@ -179,11 +174,7 @@ mod tests {
 
     fn direct(crossbar: &Crossbar, x: &[u32]) -> Vec<f64> {
         (0..crossbar.used_weight_cols())
-            .map(|c| {
-                (0..crossbar.used_rows())
-                    .map(|r| x[r] as f64 * crossbar.crw(r, c))
-                    .sum()
-            })
+            .map(|c| (0..crossbar.used_rows()).map(|r| x[r] as f64 * crossbar.crw(r, c)).sum())
             .collect()
     }
 

@@ -44,7 +44,7 @@ impl WeightCodec {
                 "unsupported weight width {weight_bits}"
             )));
         }
-        if weight_bits % cell.kind().bits() != 0 {
+        if !weight_bits.is_multiple_of(cell.kind().bits()) {
             return Err(RramError::InvalidGeometry(format!(
                 "weight width {weight_bits} is not a multiple of the {} cell width",
                 cell.kind()
@@ -99,10 +99,7 @@ impl WeightCodec {
     /// Returns [`RramError::WeightOutOfRange`] if `value` does not fit.
     pub fn encode(&self, value: u32) -> Result<Vec<u32>> {
         if value > self.max_weight() {
-            return Err(RramError::WeightOutOfRange {
-                value,
-                levels: self.weight_levels(),
-            });
+            return Err(RramError::WeightOutOfRange { value, levels: self.weight_levels() });
         }
         let cell_levels = self.cell.kind().levels();
         let mut v = value;
@@ -145,9 +142,7 @@ impl WeightCodec {
     /// units: `Σⱼ place(j) · floor`. This is the deterministic conductance
     /// offset the read-out calibrates away.
     pub fn total_floor(&self) -> f64 {
-        (0..self.cells_per_weight())
-            .map(|j| self.place_value(j) as f64 * self.cell.floor())
-            .sum()
+        (0..self.cells_per_weight()).map(|j| self.place_value(j) as f64 * self.cell.floor()).sum()
     }
 
     /// Nominal total conductance of a weight `v` in weight units,
@@ -158,10 +153,7 @@ impl WeightCodec {
     /// Returns [`RramError::WeightOutOfRange`] if `v` does not fit.
     pub fn nominal_conductance(&self, v: u32) -> Result<f64> {
         if v > self.max_weight() {
-            return Err(RramError::WeightOutOfRange {
-                value: v,
-                levels: self.weight_levels(),
-            });
+            return Err(RramError::WeightOutOfRange { value: v, levels: self.weight_levels() });
         }
         Ok(v as f64 + self.total_floor())
     }

@@ -90,11 +90,7 @@ pub fn program_matrix(
 
 /// Samples per-weight device-to-device factors (`e^{θ_d}`, fixed across
 /// programming cycles) for a matrix of the given shape.
-pub fn sample_ddv_factors(
-    dims: &[usize],
-    ddv: &VariationModel,
-    rng: &mut impl Rng,
-) -> Tensor {
+pub fn sample_ddv_factors(dims: &[usize], ddv: &VariationModel, rng: &mut impl Rng) -> Tensor {
     use rand_distr::{Distribution, Normal};
     if ddv.sigma() == 0.0 {
         return Tensor::ones(dims);
@@ -133,12 +129,7 @@ pub fn program_matrix_with_ddv(
     }
     let floor = codec.total_floor();
     let mut out = Tensor::zeros(ctw.dims());
-    for ((o, &q), &d) in out
-        .data_mut()
-        .iter_mut()
-        .zip(ctw.data())
-        .zip(ddv_factors.data())
-    {
+    for ((o, &q), &d) in out.data_mut().iter_mut().zip(ctw.data()).zip(ddv_factors.data()) {
         let v = q.round();
         if v < 0.0 || v > codec.max_weight() as f32 {
             return Err(RramError::WeightOutOfRange {
@@ -194,9 +185,7 @@ impl Crossbar {
         rng: &mut impl Rng,
     ) -> Result<Self> {
         if ctw_block.shape().rank() != 2 {
-            return Err(RramError::ShapeMismatch(
-                "CTW block must be rank 2".to_string(),
-            ));
+            return Err(RramError::ShapeMismatch("CTW block must be rank 2".to_string()));
         }
         let (used_rows, used_weight_cols) = (ctw_block.dims()[0], ctw_block.dims()[1]);
         let cpw = codec.cells_per_weight();
@@ -273,8 +262,8 @@ impl Crossbar {
         let cpw = self.codec.cells_per_weight();
         let mut total = 0.0;
         for j in 0..cpw {
-            total += self.codec.place_value(j) as f64
-                * self.cell_conductance(row, weight_col * cpw + j);
+            total +=
+                self.codec.place_value(j) as f64 * self.cell_conductance(row, weight_col * cpw + j);
         }
         total - self.codec.total_floor()
     }
@@ -345,10 +334,7 @@ fn sample_lognormal(model: &VariationModel, rng: &mut impl Rng) -> f64 {
     if model.sigma() == 0.0 {
         return 1.0;
     }
-    Normal::new(0.0, model.sigma())
-        .expect("sigma validated at construction")
-        .sample(rng)
-        .exp()
+    Normal::new(0.0, model.sigma()).expect("sigma validated at construction").sample(rng).exp()
 }
 
 #[cfg(test)]
@@ -364,13 +350,9 @@ mod tests {
     #[test]
     fn program_matrix_zero_sigma_is_exact() {
         let ctw = Tensor::from_vec(vec![0.0, 17.0, 255.0, 128.0], &[2, 2]).unwrap();
-        let crw = program_matrix(
-            &ctw,
-            &codec(),
-            &VariationModel::per_weight(0.0),
-            &mut seeded_rng(0),
-        )
-        .unwrap();
+        let crw =
+            program_matrix(&ctw, &codec(), &VariationModel::per_weight(0.0), &mut seeded_rng(0))
+                .unwrap();
         for (a, b) in ctw.data().iter().zip(crw.data()) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -405,8 +387,7 @@ mod tests {
         let ctw = Tensor::full(&[64, 4], 100.0);
         let mut crws = Vec::new();
         for _ in 0..40 {
-            let xb =
-                Crossbar::program(CrossbarSpec::default(), c, &ctw, &model, &mut rng).unwrap();
+            let xb = Crossbar::program(CrossbarSpec::default(), c, &ctw, &model, &mut rng).unwrap();
             let m = xb.crw_matrix();
             crws.extend(m.data().iter().map(|&v| v as f64));
         }
@@ -544,10 +525,8 @@ mod tests {
         let ctw = Tensor::from_fn(&[8, 4], |i| ((i * 31) % 256) as f32);
         let factors = sample_ddv_factors(ctw.dims(), &ddv, &mut seeded_rng(7));
         let ccv_none = VariationModel::per_weight(0.0);
-        let a = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(1))
-            .unwrap();
-        let b = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(2))
-            .unwrap();
+        let a = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(1)).unwrap();
+        let b = program_matrix_with_ddv(&ctw, &c, &factors, &ccv_none, &mut seeded_rng(2)).unwrap();
         assert_eq!(a, b, "pure DDV must repeat exactly across cycles");
         assert_ne!(a, ctw, "DDV factors must still perturb the weights");
     }

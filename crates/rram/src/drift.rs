@@ -57,8 +57,7 @@ impl DriftModel {
         if self.nu_sigma == 0.0 {
             return Tensor::full(dims, self.nu_mean as f32);
         }
-        let normal =
-            Normal::new(self.nu_mean, self.nu_sigma).expect("parameters validated");
+        let normal = Normal::new(self.nu_mean, self.nu_sigma).expect("parameters validated");
         Tensor::from_fn(dims, |_| normal.sample(rng).max(0.0) as f32)
     }
 
@@ -72,12 +71,7 @@ impl DriftModel {
     /// Returns [`RramError::ShapeMismatch`] if the exponent matrix does
     /// not match, or [`RramError::InvalidGeometry`] for a non-positive
     /// time ratio.
-    pub fn age(
-        &self,
-        crw: &Tensor,
-        exponents: &Tensor,
-        time_ratio: f64,
-    ) -> Result<Tensor> {
+    pub fn age(&self, crw: &Tensor, exponents: &Tensor, time_ratio: f64) -> Result<Tensor> {
         if crw.dims() != exponents.dims() {
             return Err(RramError::ShapeMismatch(format!(
                 "CRW {:?} vs exponents {:?}",
@@ -85,7 +79,7 @@ impl DriftModel {
                 exponents.dims()
             )));
         }
-        if !(time_ratio > 0.0) {
+        if time_ratio.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(RramError::InvalidGeometry(format!(
                 "time ratio {time_ratio} must be positive"
             )));

@@ -129,7 +129,11 @@ impl DeviceLut {
         // choose the closer of idx-1 and idx
         let lo = (target - self.mean[idx - 1]).abs();
         let hi = (self.mean[idx] - target).abs();
-        if lo <= hi { (idx - 1) as u32 } else { idx as u32 }
+        if lo <= hi {
+            (idx - 1) as u32
+        } else {
+            idx as u32
+        }
     }
 
     /// Returns `true` if means are strictly increasing — a sanity check the
@@ -192,7 +196,7 @@ mod tests {
     #[test]
     fn inverse_mean_picks_nearest() {
         let lut = DeviceLut::analytic(&VariationModel::per_weight(0.4), &codec()).unwrap();
-        let between = (lut.mean(10) * 0.8 + lut.mean(11) * 0.2) as f64;
+        let between = lut.mean(10) * 0.8 + lut.mean(11) * 0.2;
         assert_eq!(lut.inverse_mean(between), 10);
         let between = lut.mean(10) * 0.2 + lut.mean(11) * 0.8;
         assert_eq!(lut.inverse_mean(between), 11);
@@ -212,13 +216,8 @@ mod tests {
     #[test]
     fn too_few_samples_rejected() {
         let mut rng = seeded_rng(0);
-        assert!(DeviceLut::measure(
-            &VariationModel::per_weight(0.3),
-            &codec(),
-            1,
-            1,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            DeviceLut::measure(&VariationModel::per_weight(0.3), &codec(), 1, 1, &mut rng).is_err()
+        );
     }
 }

@@ -40,9 +40,7 @@ impl TileMapping {
         codec: &WeightCodec,
     ) -> Result<Self> {
         if fan_in == 0 || fan_out == 0 {
-            return Err(RramError::InvalidGeometry(
-                "cannot map an empty matrix".to_string(),
-            ));
+            return Err(RramError::InvalidGeometry("cannot map an empty matrix".to_string()));
         }
         let weight_cols = spec.weight_cols(codec);
         if weight_cols == 0 {

@@ -76,10 +76,7 @@ impl VariationModel {
     ///
     /// Panics if `ddv_fraction` is outside `[0, 1]`.
     pub fn split_ddv_ccv(&self, ddv_fraction: f64) -> (VariationModel, VariationModel) {
-        assert!(
-            (0.0..=1.0).contains(&ddv_fraction),
-            "DDV fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&ddv_fraction), "DDV fraction must be in [0, 1]");
         let s2 = self.sigma * self.sigma;
         (
             VariationModel::new((s2 * ddv_fraction).sqrt(), self.kind),
@@ -213,8 +210,7 @@ mod tests {
         let n = 40_000;
         let samples: Vec<f64> = (0..n).map(|_| m.write(80, &c, &mut rng).unwrap()).collect();
         let emp_mean = samples.iter().sum::<f64>() / n as f64;
-        let emp_var =
-            samples.iter().map(|s| (s - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let emp_var = samples.iter().map(|s| (s - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         let (mean, var) = m.moments(80, &c).unwrap();
         assert!((emp_mean - mean).abs() / mean < 0.02, "{emp_mean} vs {mean}");
         assert!((emp_var - var).abs() / var < 0.1, "{emp_var} vs {var}");
@@ -228,8 +224,7 @@ mod tests {
         let n = 40_000;
         let samples: Vec<f64> = (0..n).map(|_| m.write(170, &c, &mut rng).unwrap()).collect();
         let emp_mean = samples.iter().sum::<f64>() / n as f64;
-        let emp_var =
-            samples.iter().map(|s| (s - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let emp_var = samples.iter().map(|s| (s - emp_mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         let (mean, var) = m.moments(170, &c).unwrap();
         assert!((emp_mean - mean).abs() / mean < 0.02, "{emp_mean} vs {mean}");
         assert!((emp_var - var).abs() / var < 0.1, "{emp_var} vs {var}");
@@ -247,8 +242,10 @@ mod tests {
 
     #[test]
     fn mean_inflation_grows_with_sigma() {
-        assert!(VariationModel::per_weight(1.0).mean_factor()
-            > VariationModel::per_weight(0.2).mean_factor());
+        assert!(
+            VariationModel::per_weight(1.0).mean_factor()
+                > VariationModel::per_weight(0.2).mean_factor()
+        );
         assert!((VariationModel::per_weight(0.0).mean_factor() - 1.0).abs() < 1e-12);
     }
 

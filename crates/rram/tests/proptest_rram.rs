@@ -1,9 +1,7 @@
 //! Property-based tests for the device, codec and LUT layers.
 
 use proptest::prelude::*;
-use rdo_rram::{
-    CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel, WeightCodec,
-};
+use rdo_rram::{CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel, WeightCodec};
 use rdo_tensor::rng::seeded_rng;
 
 fn codec_strategy() -> impl Strategy<Value = WeightCodec> {

@@ -211,14 +211,11 @@ mod tests {
         let g = Conv2dGeometry::new(1, 1, 3, 1, 1);
         let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32) - 8.0);
         // Laplacian-like kernel
-        let kern = Tensor::from_vec(
-            vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
-            &[1, 9],
-        )
-        .unwrap();
+        let kern =
+            Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0], &[1, 9]).unwrap();
         let cols = im2col(&x, &g).unwrap();
         let y = matmul(&cols, &kern.transpose2().unwrap()).unwrap(); // (16,1)
-        // direct convolution check for an interior pixel (1,1)
+                                                                     // direct convolution check for an interior pixel (1,1)
         let direct = |cy: isize, cx: isize| -> f32 {
             let mut acc = 0.0;
             let kv = [[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]];

@@ -32,10 +32,14 @@ mod tensor;
 
 pub mod conv;
 pub mod matmul;
+pub mod parallel;
 pub mod rng;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::{Result, TensorError};
-pub use matmul::{matmul, matmul_into, matvec, outer, vecmat};
+pub use matmul::{
+    matmul, matmul_into, matmul_into_serial, matmul_into_threads, matvec, outer, vecmat,
+};
+pub use parallel::{available_threads, parallel_map_indexed, resolve_threads};
 pub use shape::Shape;
 pub use tensor::Tensor;

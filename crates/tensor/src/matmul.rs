@@ -5,12 +5,23 @@
 //! "effective weight" fast path is a plain matrix product. The kernel is a
 //! cache-blocked ikj loop — no SIMD intrinsics, but good enough to train the
 //! scaled networks on one CPU core.
+//!
+//! Above [`PAR_MIN_MACS`] multiply–accumulates, [`matmul_into`] partitions
+//! the output rows over scoped worker threads (`RDO_THREADS` controls the
+//! count; see [`crate::parallel`]). Each row is accumulated in exactly the
+//! serial kernel's operation order, so the parallel product is bitwise
+//! identical to the serial one.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::available_threads;
 use crate::tensor::Tensor;
 
 /// Cache block size (elements). 64×64 f32 tiles fit comfortably in L1/L2.
 const BLOCK: usize = 64;
+
+/// Multiply–accumulate count (`m·k·n`) above which [`matmul_into`] uses
+/// worker threads. Below it, thread spawn/join overhead dominates.
+pub const PAR_MIN_MACS: usize = 1 << 21;
 
 /// Multiplies two rank-2 tensors: `C = A (m×k) · B (k×n)`.
 ///
@@ -52,10 +63,31 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Exposed so callers that manage their own buffers (the trainer's backward
 /// pass) avoid reallocation.
 ///
+/// Products above [`PAR_MIN_MACS`] multiply–accumulates are partitioned by
+/// output row over worker threads (thread count from [`available_threads`],
+/// i.e. the `RDO_THREADS` knob); results are bitwise identical to the
+/// serial kernel either way. Use [`matmul_into_serial`] or
+/// [`matmul_into_threads`] to force a specific path.
+///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = if m >= 2 && m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_MACS {
+        available_threads()
+    } else {
+        1
+    };
+    matmul_into_threads(a, b, c, m, k, n, threads);
+}
+
+/// The serial cache-blocked kernel behind [`matmul_into`]: `c += a · b`,
+/// always on the calling thread.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -80,6 +112,47 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     }
 }
 
+/// Row-partitioned parallel matmul: `c += a (m×k) · b (k×n)` on up to
+/// `threads` scoped worker threads (`0` and `1` both mean serial).
+///
+/// The output rows are split into contiguous chunks, one worker per chunk;
+/// every row is accumulated by the same blocked kernel in the same
+/// operation order as [`matmul_into_serial`], so the result is bitwise
+/// identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    let threads = threads.clamp(1, m.max(1));
+    if threads == 1 || n == 0 || k == 0 {
+        // k == 0 adds nothing; n == 0 has no output. Either way the serial
+        // kernel handles the degenerate shape without chunking by zero.
+        matmul_into_serial(a, b, c, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let r0 = t * rows_per;
+            let rows = c_chunk.len() / n;
+            let a_part = &a[r0 * k..(r0 + rows) * k];
+            s.spawn(move || matmul_into_serial(a_part, b, c_chunk, rows, k, n));
+        }
+    });
+}
+
 /// Matrix–vector product `y = A (m×k) · x (k)`.
 ///
 /// # Errors
@@ -96,9 +169,9 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m];
-    for i in 0..m {
+    for (i, o) in out.iter_mut().enumerate() {
         let row = &a.data()[i * k..(i + 1) * k];
-        out[i] = row.iter().zip(x.data()).map(|(&w, &v)| w * v).sum();
+        *o = row.iter().zip(x.data()).map(|(&w, &v)| w * v).sum();
     }
     Tensor::from_vec(out, &[m])
 }
@@ -146,11 +219,7 @@ pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
 
 fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
     if t.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            op,
-            expected: 2,
-            actual: t.shape().rank(),
-        });
+        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.shape().rank() });
     }
     Ok(())
 }
@@ -220,6 +289,48 @@ mod tests {
         let o = outer(&x, &y);
         assert_eq!(o.dims(), &[2, 3]);
         assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn threaded_matches_serial_bitwise() {
+        let (m, k, n) = (37, 29, 31); // awkward sizes, uneven chunks
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 * 0.37 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 * 0.21 - 1.0).collect();
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut serial, m, k, n);
+        for threads in [0, 1, 2, 3, 5, 8, 64] {
+            let mut par = vec![0.0f32; m * n];
+            matmul_into_threads(&a, &b, &mut par, m, k, n, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_accumulates_into_existing_output() {
+        // the `c += A·B` contract must survive row partitioning
+        let (m, k, n) = (5, 4, 3);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.5).collect();
+        let mut serial = vec![1.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut serial, m, k, n);
+        let mut par = vec![1.0f32; m * n];
+        matmul_into_threads(&a, &b, &mut par, m, k, n, 4);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn threaded_single_row_and_degenerate_shapes() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0f32; 3];
+        matmul_into_threads(&a, &b, &mut c, 1, 2, 3, 8);
+        assert_eq!(c, vec![3.0 + 2.0 * 6.0, 4.0 + 2.0 * 7.0, 5.0 + 2.0 * 8.0]);
+        // k = 0: nothing accumulated
+        let mut c0 = vec![9.0f32; 4];
+        matmul_into_threads(&[], &[], &mut c0, 2, 0, 2, 4);
+        assert_eq!(c0, vec![9.0; 4]);
+        // m = 0 / n = 0: no output, must not panic
+        matmul_into_threads(&[], &[], &mut [], 0, 3, 0, 4);
     }
 
     #[test]

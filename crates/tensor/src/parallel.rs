@@ -1,0 +1,121 @@
+//! Worker-thread plumbing for the parallel experiment engine.
+//!
+//! Every parallel path in the workspace (the row-partitioned
+//! [`crate::matmul::matmul_into`], `rdo_core`'s multi-cycle evaluation and
+//! `rdo-bench`'s grid runner) resolves its thread count here, so a single
+//! `RDO_THREADS` environment knob controls them all:
+//!
+//! * `RDO_THREADS` unset or `0` — use [`std::thread::available_parallelism`];
+//! * `RDO_THREADS=1` — force the serial code paths (single-core
+//!   reproduction mode);
+//! * `RDO_THREADS=N` — use at most `N` worker threads.
+//!
+//! Parallelism never changes results: work is partitioned so that each
+//! unit (a matrix row, a programming cycle, a grid point) is computed by
+//! exactly the same code, in the same per-unit operation order, as the
+//! serial path. Threads only decide *who* computes a unit, not *how*.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads the environment asks for: `RDO_THREADS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism (falling back to 1 when that cannot be determined).
+pub fn available_threads() -> usize {
+    match std::env::var("RDO_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Resolves an explicit thread request: `0` means "ask the environment"
+/// (see [`available_threads`]), any positive value is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        available_threads()
+    }
+}
+
+/// Evaluates `f(0..n)` on up to `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so unevenly sized
+/// items load-balance; the output order is always `f(0), f(1), …`
+/// regardless of scheduling. With `threads <= 1` (or `n <= 1`) this is a
+/// plain serial map — same closure, same order.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map_indexed worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in &mut chunks {
+        for (i, v) in chunk.drain(..) {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|v| v.expect("every index is produced exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert_eq!(parallel_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map_indexed(3, 16, |i| i as f32 * 0.5);
+        assert_eq!(out, vec![0.0, 0.5, 1.0]);
+    }
+}

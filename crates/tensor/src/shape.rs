@@ -78,9 +78,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong
     /// rank or any coordinate exceeds its dimension.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

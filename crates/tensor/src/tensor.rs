@@ -66,9 +66,9 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at every flat index.
-    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { data, shape }
     }
 
@@ -146,10 +146,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
     }
 
     /// Applies `f` to every element in place.
@@ -173,12 +170,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape.clone(),
         })
     }

@@ -1,7 +1,9 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use rdo_tensor::{col2im, im2col, matmul, Conv2dGeometry, Tensor};
+use rdo_tensor::{
+    col2im, im2col, matmul, matmul_into_serial, matmul_into_threads, Conv2dGeometry, Tensor,
+};
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -105,5 +107,29 @@ proptest! {
         let n = t.len();
         let flat = t.reshape(&[n]).unwrap();
         prop_assert_eq!(flat.data(), t.data());
+    }
+
+    /// Row-partitioned parallel matmul is bitwise identical to the serial
+    /// kernel for every shape and thread count: each output row's
+    /// k-accumulation order is unchanged by the partitioning.
+    #[test]
+    fn parallel_matmul_matches_serial_bitwise(
+        m in 1usize..24,
+        k in 1usize..16,
+        n in 1usize..16,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(seed + 11) % 29) as f32 - 14.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 13) % 31) as f32 - 15.0)
+            .collect();
+        let mut serial = vec![0.0f32; m * n];
+        let mut parallel = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut serial, m, k, n);
+        matmul_into_threads(&a, &b, &mut parallel, m, k, n, threads);
+        prop_assert_eq!(serial, parallel);
     }
 }

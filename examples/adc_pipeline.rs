@@ -36,34 +36,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the "truth" on these exact devices: dot product over measured CRWs
     let crw = xbar.crw_matrix();
     let direct: Vec<f64> = (0..32)
-        .map(|c| {
-            (0..128)
-                .map(|r| x[r] as f64 * crw.at(&[r, c]).expect("in range") as f64)
-                .sum()
-        })
+        .map(|c| (0..128).map(|r| x[r] as f64 * crw.at(&[r, c]).expect("in range") as f64).sum())
         .collect();
 
     println!("\n{:<26} {:>12} {:>12} {:>10}", "pipeline", "column 0", "column 31", "cycles");
     for (name, adc, m) in [
         ("ideal ADC, m=128", Adc::ideal(), 128),
         ("ideal ADC, m=16", Adc::ideal(), 16),
-        (
-            "8-bit ADC, m=16",
-            Adc::new(8, 16.0 * 3.0 * (1.0 + codec.cell().floor())),
-            16,
-        ),
+        ("8-bit ADC, m=16", Adc::new(8, 16.0 * 3.0 * (1.0 + codec.cell().floor())), 16),
     ] {
         let eval = BitSerialEvaluator::new(adc, 8, m);
         let y = eval.evaluate(&xbar, &x)?;
-        println!(
-            "{:<26} {:>12.1} {:>12.1} {:>10}",
-            name,
-            y[0],
-            y[31],
-            eval.cycles(128)
-        );
+        println!("{:<26} {:>12.1} {:>12.1} {:>10}", name, y[0], y[31], eval.cycles(128));
     }
-    println!("{:<26} {:>12.1} {:>12.1} {:>10}", "direct CRW dot product", direct[0], direct[31], "-");
+    println!(
+        "{:<26} {:>12.1} {:>12.1} {:>10}",
+        "direct CRW dot product", direct[0], direct[31], "-"
+    );
 
     println!("\nthe bit-serial pipeline with an ideal ADC reproduces the CRW dot");
     println!("product exactly; the 8-bit ADC adds a bounded quantization error;");

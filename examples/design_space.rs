@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = 576;
     let cols = 16;
     let train_x = Tensor::from_vec(x.data()[..split * cols].to_vec(), &[split, cols])?;
-    let test_x =
-        Tensor::from_vec(x.data()[split * cols..].to_vec(), &[768 - split, cols])?;
+    let test_x = Tensor::from_vec(x.data()[split * cols..].to_vec(), &[768 - split, cols])?;
     let (train_y, test_y) = (&labels[..split], &labels[split..]);
 
     let mut net = Sequential::new();
@@ -51,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in [16usize, 32, 64, 128] {
         let cfg = OffsetConfig::paper(CellKind::Mlc2, sigma, m)?;
         let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
-        let mut mapped =
-            MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+        let mut mapped = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
         let plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None)?;
         let rel_power = mapped.read_power()? / plain.read_power()?;
         let acc = evaluate_cycles(

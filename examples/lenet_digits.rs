@@ -43,9 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nmapping onto 128×128 SLC crossbars, sigma = {sigma}, m = {m}:");
     let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None)?;
-    let plain_acc =
-        evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval)?;
-    println!("  plain:      {:.2}%  (±{:.2} over cycles)", 100.0 * plain_acc.mean, 100.0 * plain_acc.std);
+    let plain_acc = evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval)?;
+    println!(
+        "  plain:      {:.2}%  (±{:.2} over cycles)",
+        100.0 * plain_acc.mean,
+        100.0 * plain_acc.std
+    );
 
     let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64)?;
     let mut full = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;

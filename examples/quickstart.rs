@@ -73,10 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 fn split(x: &Tensor, at: usize) -> (Tensor, Tensor) {
     let cols = x.dims()[1];
     let a = Tensor::from_vec(x.data()[..at * cols].to_vec(), &[at, cols]).expect("consistent");
-    let b = Tensor::from_vec(
-        x.data()[at * cols..].to_vec(),
-        &[x.dims()[0] - at, cols],
-    )
-    .expect("consistent");
+    let b = Tensor::from_vec(x.data()[at * cols..].to_vec(), &[x.dims()[0] - at, cols])
+        .expect("consistent");
     (a, b)
 }

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for sigma in [0.2f64, 0.5, 0.7] {
         let cfg = OffsetConfig::paper(CellKind::Mlc2, sigma, 16)?;
         let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
-        let mut mapped =
-            MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
+        let mut mapped = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads))?;
         let acc = evaluate_cycles(
             &mut mapped,
             Some((train.images(), train.labels())),

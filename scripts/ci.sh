@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Every PR must pass this script unchanged;
+# it is exactly what reviewers and automation run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all gates passed"

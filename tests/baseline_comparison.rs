@@ -24,8 +24,7 @@ fn trained_problem() -> (Sequential, Tensor, Vec<usize>, f32) {
     net.push(Linear::new(8, 24, &mut rng));
     net.push(Relu::new());
     net.push(Linear::new(24, 2, &mut rng));
-    fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
-        .unwrap();
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() }).unwrap();
     let ideal = evaluate(&mut net, &x, &labels, 64).unwrap();
     (net, x, labels, ideal)
 }
@@ -40,17 +39,16 @@ fn this_work_beats_baselines_with_fewer_crossbars() {
     let cfg = OffsetConfig::paper(CellKind::Mlc2, sigma, 16).unwrap();
     let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
     let grads = mean_core_gradients(&mut net, &x, &labels, 64).unwrap();
-    let mut ours =
-        MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
+    let mut ours = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
     let eval = CycleEvalConfig {
         cycles: 3,
         seed: 3,
         pwt: PwtConfig { epochs: 4, ..Default::default() },
         batch_size: 64,
+        threads: 1,
     };
-    let ours_acc = evaluate_cycles(&mut ours, Some((&x, &labels)), &x, &labels, &eval)
-        .unwrap()
-        .mean;
+    let ours_acc =
+        evaluate_cycles(&mut ours, Some((&x, &labels)), &x, &labels, &eval).unwrap().mean;
 
     // DVA: noise-trained, deployed on 8 SLCs, one crossbar, plain
     let mut dva_net = net.clone();
@@ -58,10 +56,7 @@ fn this_work_beats_baselines_with_fewer_crossbars() {
         &mut dva_net,
         &x,
         &labels,
-        &DvaConfig {
-            train: TrainConfig { epochs: 10, lr: 0.02, ..Default::default() },
-            sigma,
-        },
+        &DvaConfig { train: TrainConfig { epochs: 10, lr: 0.02, ..Default::default() }, sigma },
     )
     .unwrap();
     let dva_acc = evaluate_dva(&dva_net, &x, &labels, sigma, &eval, Some(&x)).unwrap().mean;
@@ -78,14 +73,8 @@ fn this_work_beats_baselines_with_fewer_crossbars() {
     // than the one-crossbar DVA baseline, and competitive with the
     // 2.5×-crossbar PM baseline (PM's 10-cell unary averaging is very
     // strong on a tiny 2-class MLP — the full comparison is `table3`)
-    assert!(
-        ours_loss <= dva_loss + 0.05,
-        "ours loss {ours_loss} vs DVA {dva_loss}"
-    );
-    assert!(
-        ours_loss <= pm_loss + 0.15,
-        "ours loss {ours_loss} vs PM {pm_loss}"
-    );
+    assert!(ours_loss <= dva_loss + 0.05, "ours loss {ours_loss} vs DVA {dva_loss}");
+    assert!(ours_loss <= pm_loss + 0.15, "ours loss {ours_loss} vs PM {pm_loss}");
     let base = CrossbarBudget::this_work();
     assert!(CrossbarBudget::dva().normalized_crossbars(&base) >= 2.0);
     assert!(CrossbarBudget::pm().normalized_crossbars(&base) >= 2.0);
@@ -100,13 +89,11 @@ fn dva_plus_pm_composes() {
         &mut dva_net,
         &x,
         &labels,
-        &DvaConfig {
-            train: TrainConfig { epochs: 10, lr: 0.02, ..Default::default() },
-            sigma,
-        },
+        &DvaConfig { train: TrainConfig { epochs: 10, lr: 0.02, ..Default::default() }, sigma },
     )
     .unwrap();
-    let pm_only = evaluate_pm_cycles(&net, &x, &labels, &PmConfig::paper(sigma), 3, 6, None).unwrap();
+    let pm_only =
+        evaluate_pm_cycles(&net, &x, &labels, &PmConfig::paper(sigma), 3, 6, None).unwrap();
     let dva_pm =
         evaluate_pm_cycles(&dva_net, &x, &labels, &PmConfig::paper(sigma), 3, 6, None).unwrap();
     // DVA training should not hurt the PM deployment (paper: DVA+PM > PM)

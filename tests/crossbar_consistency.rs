@@ -32,9 +32,8 @@ fn bit_serial_pipeline_matches_measured_crws() {
             let eval = BitSerialEvaluator::new(Adc::ideal(), 8, m);
             let y = eval.evaluate(&xbar, &x).unwrap();
             for (c, &yc) in y.iter().enumerate() {
-                let direct: f64 = (0..64)
-                    .map(|r| x[r] as f64 * crw.at(&[r, c]).unwrap() as f64)
-                    .sum();
+                let direct: f64 =
+                    (0..64).map(|r| x[r] as f64 * crw.at(&[r, c]).unwrap() as f64).sum();
                 assert!(
                     (yc - direct).abs() <= 1e-5 * direct.abs().max(1.0),
                     "{kind:?} sigma {sigma} m {m}: {yc} vs {direct}"
@@ -65,9 +64,7 @@ fn zero_noise_pipeline_is_integer_exact() {
     let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
     let y = eval.evaluate(&xbar, &x).unwrap();
     for (c, &yc) in y.iter().enumerate() {
-        let exact: f64 = (0..32)
-            .map(|r| x[r] as f64 * ctw.at(&[r, c]).unwrap() as f64)
-            .sum();
+        let exact: f64 = (0..32).map(|r| x[r] as f64 * ctw.at(&[r, c]).unwrap() as f64).sum();
         assert!((yc - exact).abs() < 1e-4, "column {c}: {yc} vs {exact}");
     }
 }
@@ -97,9 +94,6 @@ fn finite_adc_error_is_bounded() {
     let yi = ideal.evaluate(&xbar, &x).unwrap();
     let yc = coarse.evaluate(&xbar, &x).unwrap();
     for (a, b) in yc.iter().zip(&yi) {
-        assert!(
-            (a - b).abs() <= 0.03 * b.abs().max(1000.0),
-            "{a} vs {b}"
-        );
+        assert!((a - b).abs() <= 0.03 * b.abs().max(1000.0), "{a} vs {b}");
     }
 }

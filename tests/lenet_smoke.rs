@@ -35,16 +35,14 @@ fn scaled_lenet_recovers_under_variation() {
         seed: 0,
         pwt: PwtConfig { epochs: 3, ..Default::default() },
         batch_size: 64,
+        threads: 1,
     };
 
     let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
-    let plain_acc =
-        evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval).unwrap();
+    let plain_acc = evaluate_cycles(&mut plain, None, test.images(), test.labels(), &eval).unwrap();
 
-    let grads =
-        mean_core_gradients(&mut net, train.images(), train.labels(), 64).unwrap();
-    let mut full =
-        MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
+    let grads = mean_core_gradients(&mut net, train.images(), train.labels(), 64).unwrap();
+    let mut full = MappedNetwork::map(&net, Method::VawoStarPwt, &cfg, &lut, Some(&grads)).unwrap();
     let full_acc = evaluate_cycles(
         &mut full,
         Some((train.images(), train.labels())),

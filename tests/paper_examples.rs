@@ -85,7 +85,11 @@ fn eq7_group_decomposition() {
         .zip(&offsets)
         .map(|(&(a, b), &bi)| bi * x.data()[a..b].iter().sum::<f32>())
         .sum();
-    assert!((z - (raw + offset_term)).abs() < 1e-2 * z.abs().max(1.0), "{z} vs {}", raw + offset_term);
+    assert!(
+        (z - (raw + offset_term)).abs() < 1e-2 * z.abs().max(1.0),
+        "{z} vs {}",
+        raw + offset_term
+    );
 }
 
 /// §III-C's complement identity:
@@ -97,11 +101,8 @@ fn complement_dot_product_identity() {
     let x: Vec<f64> = vec![1.0, 0.5, 2.0, 3.0, 0.0, 1.5];
     let direct: f64 = w.iter().zip(&x).map(|(&wi, &xi)| wi as f64 * xi).sum();
     let sum_x: f64 = x.iter().sum();
-    let complemented: f64 = w
-        .iter()
-        .zip(&x)
-        .map(|(&wi, &xi)| complement_weight(wi, 8) as f64 * xi)
-        .sum();
+    let complemented: f64 =
+        w.iter().zip(&x).map(|(&wi, &xi)| complement_weight(wi, 8) as f64 * xi).sum();
     let via_identity = 255.0 * sum_x - complemented;
     assert!((direct - via_identity).abs() < 1e-9);
 }

@@ -31,13 +31,8 @@ fn trained_problem(seed: u64) -> (Sequential, Tensor, Vec<usize>, Tensor, Vec<us
     net.push(Linear::new(8, 96, &mut rng));
     net.push(Relu::new());
     net.push(Linear::new(96, 4, &mut rng));
-    fit(
-        &mut net,
-        &train_x,
-        &train_y,
-        &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() },
-    )
-    .unwrap();
+    fit(&mut net, &train_x, &train_y, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
+        .unwrap();
     let ideal = evaluate(&mut net, &test_x, &test_y, 64).unwrap();
     (net, train_x, train_y, test_x, test_y, ideal)
 }
@@ -64,10 +59,9 @@ fn accuracy_of(
         seed,
         pwt: PwtConfig { epochs: 6, ..Default::default() },
         batch_size: 64,
+        threads: 1,
     };
-    evaluate_cycles(&mut mapped, Some(train), test.0, test.1, &eval)
-        .unwrap()
-        .mean
+    evaluate_cycles(&mut mapped, Some(train), test.0, test.1, &eval).unwrap().mean
 }
 
 #[test]
@@ -84,22 +78,13 @@ fn method_ordering_matches_paper() {
     let combined = run(&mut net, Method::VawoStarPwt);
 
     // the paper's headline orderings
-    assert!(
-        vawo_star > plain + 0.05,
-        "VAWO* {vawo_star} should clearly beat plain {plain}"
-    );
+    assert!(vawo_star > plain + 0.05, "VAWO* {vawo_star} should clearly beat plain {plain}");
     assert!(
         combined >= vawo_star - 0.02,
         "combined {combined} should not lose to VAWO* {vawo_star}"
     );
-    assert!(
-        combined > ideal - 0.25,
-        "combined {combined} should be near ideal {ideal}"
-    );
-    assert!(
-        combined > plain + 0.2,
-        "combined {combined} should recover far above plain {plain}"
-    );
+    assert!(combined > ideal - 0.25, "combined {combined} should be near ideal {ideal}");
+    assert!(combined > plain + 0.2, "combined {combined} should recover far above plain {plain}");
 }
 
 #[test]
@@ -130,15 +115,8 @@ fn combined_method_is_deterministic_per_seed() {
 fn zero_variation_keeps_every_method_near_ideal() {
     let (mut net, train_x, train_y, test_x, test_y, ideal) = trained_problem(3);
     for method in [Method::Plain, Method::VawoStar, Method::VawoStarPwt] {
-        let acc = accuracy_of(
-            &mut net,
-            method,
-            0.0,
-            16,
-            (&train_x, &train_y),
-            (&test_x, &test_y),
-            5,
-        );
+        let acc =
+            accuracy_of(&mut net, method, 0.0, 16, (&train_x, &train_y), (&test_x, &test_y), 5);
         assert!(
             acc > ideal - 0.05,
             "{method} at sigma 0: {acc} vs ideal {ideal} (only 8-bit quantization)"

@@ -25,8 +25,7 @@ fn trained_problem() -> (Sequential, Tensor, Vec<usize>, f32) {
     net.push(Linear::new(10, 24, &mut rng));
     net.push(Relu::new());
     net.push(Linear::new(24, 4, &mut rng));
-    fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
-        .unwrap();
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() }).unwrap();
     let ideal = evaluate(&mut net, &x, &labels, 64).unwrap();
     (net, x, labels, ideal)
 }
@@ -52,10 +51,9 @@ fn run(
         seed: 9,
         pwt: PwtConfig { epochs: 3, ..Default::default() },
         batch_size: 64,
+        threads: 1,
     };
-    evaluate_cycles(&mut mapped, Some((x, labels)), x, labels, &eval)
-        .unwrap()
-        .mean
+    evaluate_cycles(&mut mapped, Some((x, labels)), x, labels, &eval).unwrap().mean
 }
 
 #[test]
@@ -64,10 +62,7 @@ fn plain_degrades_with_sigma() {
     assert!(ideal > 0.9);
     let lo = run(&mut net, Method::Plain, CellKind::Slc, 0.1, &x, &labels);
     let hi = run(&mut net, Method::Plain, CellKind::Slc, 0.8, &x, &labels);
-    assert!(
-        lo > hi + 0.1,
-        "plain accuracy must fall sharply with sigma: {lo} vs {hi}"
-    );
+    assert!(lo > hi + 0.1, "plain accuracy must fall sharply with sigma: {lo} vs {hi}");
 }
 
 #[test]
@@ -77,10 +72,7 @@ fn combined_method_tracks_sigma_gracefully() {
     for (sigma, max_drop) in [(0.2f64, 0.15), (0.5, 0.3), (1.0, 0.55)] {
         let plain = run(&mut net, Method::Plain, CellKind::Mlc2, sigma, &x, &labels);
         let full = run(&mut net, Method::VawoStarPwt, CellKind::Mlc2, sigma, &x, &labels);
-        assert!(
-            full >= plain,
-            "combined ({full}) below plain ({plain}) at sigma {sigma}"
-        );
+        assert!(full >= plain, "combined ({full}) below plain ({plain}) at sigma {sigma}");
         // the tolerable drop grows with sigma; a small MLP has little
         // redundancy, so the budget is looser than Fig. 5(c)'s ResNet
         assert!(
