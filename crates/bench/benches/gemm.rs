@@ -1,0 +1,57 @@
+//! GEMM kernel benchmark: the tiled microkernel against the legacy
+//! scalar-blocked kernel on the shapes the training stack actually runs
+//! (square 256³ plus the two LeNet conv im2col products at batch 32).
+//!
+//! For the committed machine-readable numbers see `results/BENCH_gemm.json`,
+//! regenerated with `cargo run --release -p rdo-bench --bin perf_report`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdo_tensor::{available_threads, matmul_into_scalar, matmul_into_serial, matmul_into_threads};
+
+/// (label, m, k, n) — mirrors `perf_report::SHAPES`.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("square_256", 256, 256, 256),
+    ("lenet_conv1_b32", 18432, 25, 6),
+    ("lenet_conv2_b32", 3200, 150, 16),
+];
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len).map(|i| ((i as u64).wrapping_mul(seed) % 23) as f32 * 0.37 - 4.0).collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(label, m, k, n) in SHAPES {
+        let a = fill(m * k, 0x9e37);
+        let b = fill(k * n, 0x85eb);
+        let mut out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", label), &m, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_into_scalar(&a, &b, &mut out, m, k, n);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_serial", label), &m, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_into_serial(&a, &b, &mut out, m, k, n);
+            });
+        });
+        let threads = available_threads();
+        group.bench_with_input(
+            BenchmarkId::new(format!("tiled_threaded_{threads}"), label),
+            &m,
+            |bench, _| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    matmul_into_threads(&a, &b, &mut out, m, k, n, threads);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Perf-report pipeline: machine-readable kernel and engine timings.
+//!
+//! Writes two JSON records under `results/` so the repository tracks its
+//! performance trajectory PR over PR:
+//!
+//! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
+//!   the register-tiled microkernel on the canonical GEMM shapes
+//!   (256×256×256 and the LeNet im2col shapes), serial and threaded.
+//! - `BENCH_cycles.json` — wall-clock of the §IV multi-cycle evaluation
+//!   engine at several worker-thread counts.
+//!
+//! Timings are best-of-N wall clock (minimum over repetitions), which is
+//! the standard noise-robust point estimate for short kernels. Run with
+//! `--quick` for the CI smoke mode (fewer repetitions, fewer cycles);
+//! regenerate the committed records with:
+//!
+//! ```text
+//! cargo run --release -p rdo-bench --bin perf_report
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rdo_bench::{BenchError, Result};
+use rdo_core::{evaluate_cycles, CycleEvalConfig, MappedNetwork, Method, OffsetConfig, PwtConfig};
+use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::{randn, seeded_rng};
+use rdo_tensor::{available_threads, matmul_into_scalar, matmul_into_serial, matmul_into_threads};
+
+/// One GEMM shape measured by the report. The LeNet rows are the exact
+/// im2col products of the §IV LeNet at batch 32: conv1 lowers 28×28×1
+/// k5 → (32·24·24, 25, 6), conv2 lowers 14×14×6 k5 → (32·10·10, 150, 16).
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("square_256", 256, 256, 256),
+    ("lenet_conv1_b32", 18432, 25, 6),
+    ("lenet_conv2_b32", 3200, 150, 16),
+];
+
+fn main() -> Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 12 };
+
+    let gemm = gemm_report(reps, quick)?;
+    write_raw("BENCH_gemm", &gemm)?;
+
+    let cycles = cycles_report(quick)?;
+    write_raw("BENCH_cycles", &cycles)?;
+    Ok(())
+}
+
+/// Minimum wall-clock over `reps` invocations, in nanoseconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u128 {
+    f(); // warm-up: page in buffers, warm the scratch pool
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn gemm_report(reps: usize, quick: bool) -> Result<String> {
+    let threads = available_threads();
+    let mut rows = Vec::new();
+    for &(name, m, k, n) in SHAPES {
+        let mut rng = seeded_rng(42);
+        let a = randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = randn(&[k, n], 0.0, 1.0, &mut rng);
+        let mut c = vec![0.0f32; m * n];
+
+        let scalar_ns = best_of(reps, || {
+            c.fill(0.0);
+            matmul_into_scalar(a.data(), b.data(), &mut c, m, k, n);
+        });
+        let micro_ns = best_of(reps, || {
+            c.fill(0.0);
+            matmul_into_serial(a.data(), b.data(), &mut c, m, k, n);
+        });
+        let threaded_ns = best_of(reps, || {
+            c.fill(0.0);
+            matmul_into_threads(a.data(), b.data(), &mut c, m, k, n, threads);
+        });
+
+        let speedup = scalar_ns as f64 / micro_ns as f64;
+        let gflops = 2.0 * (m * k * n) as f64 / micro_ns as f64; // ns → GFLOP/s
+        eprintln!(
+            "[gemm] {name} ({m}x{k}x{n}): scalar {:.3} ms, microkernel {:.3} ms \
+             ({speedup:.2}x, {gflops:.2} GFLOP/s), threaded({threads}) {:.3} ms",
+            scalar_ns as f64 / 1e6,
+            micro_ns as f64 / 1e6,
+            threaded_ns as f64 / 1e6,
+        );
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\n      \"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n},\n      \
+             \"scalar_ns\": {scalar_ns}, \"microkernel_ns\": {micro_ns}, \
+             \"microkernel_threaded_ns\": {threaded_ns},\n      \
+             \"speedup_vs_scalar\": {speedup:.3}, \"gflops_microkernel\": {gflops:.3}\n    }}"
+        )
+        .expect("write to String cannot fail");
+        rows.push(row);
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"gemm\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"threads\": {threads},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    ))
+}
+
+fn cycles_report(quick: bool) -> Result<String> {
+    // Same workload as `benches/cycles.rs`: a small trained MLP mapped
+    // with PWT, evaluated over the multi-cycle variation protocol.
+    let mut rng = seeded_rng(24);
+    let x = randn(&[256, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..256).map(|i| usize::from(x.data()[i * 16] + x.data()[i * 16 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(16, 32, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(32, 2, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 10, lr: 0.1, ..Default::default() })?;
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).map_err(BenchError::from)?;
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None)?;
+
+    let cycles = if quick { 2 } else { 8 };
+    let reps = if quick { 1 } else { 5 };
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4].into_iter().filter(|&t| t == 1 || t <= max) {
+        let ns = best_of(reps, || {
+            let mut m = mapped.clone();
+            evaluate_cycles(
+                &mut m,
+                Some((&x, &labels)),
+                &x,
+                &labels,
+                &CycleEvalConfig {
+                    cycles,
+                    seed: 7,
+                    pwt: PwtConfig { epochs: 1, ..Default::default() },
+                    batch_size: 64,
+                    threads,
+                },
+            )
+            .expect("evaluate_cycles");
+        });
+        eprintln!("[cycles] threads={threads}: {:.3} ms", ns as f64 / 1e6);
+        rows.push(format!("    {{ \"threads\": {threads}, \"wall_ns\": {ns} }}"));
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"evaluate_cycles\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"cycles\": {cycles},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    ))
+}
+
+/// Writes a pre-formatted JSON document under `results/`, mirroring
+/// [`rdo_bench::write_results`] but without a serializer round-trip (the
+/// report is hand-formatted so numbers keep their exact printed form).
+fn write_raw(name: &str, json: &str) -> Result<()> {
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json)?;
+    eprintln!("[{name}] wrote {}", path.display());
+    Ok(())
+}

@@ -14,7 +14,9 @@
 //! per-parameter normalization makes one learning rate work across layers
 //! with very different `Δ` scales (documented engineering deviation).
 
-use rdo_nn::{batch_gather, train::recalibrate_batchnorm, Layer, SoftmaxCrossEntropy};
+use rdo_nn::{
+    batch_gather_buf, batch_slice_buf, train::recalibrate_batchnorm, Layer, SoftmaxCrossEntropy,
+};
 use rdo_tensor::rng::{permutation, seeded_rng};
 use rdo_tensor::Tensor;
 
@@ -58,7 +60,7 @@ pub struct PwtConfig {
 impl Default for PwtConfig {
     fn default() -> Self {
         PwtConfig {
-            epochs: 4,
+            epochs: 5,
             batch_size: 32,
             optimizer: PwtOptimizer::Adam { lr: 1.0 },
             lr_decay: 0.75,
@@ -128,14 +130,16 @@ pub fn tune(
         let mut total = 0.0f32;
         let mut batches = 0usize;
         let mut start = 0usize;
+        let mut buf: Vec<f32> = Vec::new();
         while start < n {
             let end = (start + cfg.batch_size).min(n);
-            let x = rdo_nn::batch_slice(images, start, end)?;
+            let x = batch_slice_buf(images, start, end, &mut buf)?;
             let logits = net.forward(&x, false)?;
             let (l, _) = loss_fn.compute(&logits, &labels[start..end])?;
             total += l;
             batches += 1;
             start = end;
+            buf = x.into_vec();
         }
         Ok(total / batches.max(1) as f32)
     };
@@ -154,17 +158,20 @@ pub fn tune(
     let mut adam = AdamState { m: vec![0.0; total_groups], v: vec![0.0; total_groups], t: 0 };
     let mut lr_scale = 1.0f32;
 
+    let mut xbuf: Vec<f32> = Vec::new();
+    let mut ybuf: Vec<usize> = Vec::new();
     for epoch in 0..cfg.epochs {
         let order = permutation(n, &mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let x = batch_gather(images, chunk)?;
-            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let x = batch_gather_buf(images, chunk, &mut xbuf)?;
+            ybuf.clear();
+            ybuf.extend(chunk.iter().map(|&i| labels[i]));
             // eval-mode forward: batch-norm statistics stay frozen, but
             // every layer still caches what backward needs
             let logits = net.forward(&x, false)?;
-            let (l, grad) = loss_fn.compute(&logits, &y)?;
+            let (l, grad) = loss_fn.compute(&logits, &ybuf)?;
             net.zero_grad();
             net.backward(&grad)?;
             let core_grads = extract_core_gradients(&mut net);
@@ -204,6 +211,7 @@ pub fn tune(
             mapped.refresh_effective(&mut net)?;
             epoch_loss += l;
             batches += 1;
+            xbuf = x.into_vec(); // hand the batch storage back for reuse
         }
         let mean = epoch_loss / batches.max(1) as f32;
         if cfg.verbose {
@@ -329,6 +337,17 @@ mod tests {
                 assert!((-128.0..=127.0).contains(&b));
             }
         }
+    }
+
+    #[test]
+    fn default_config_matches_documented_values() {
+        // BenchConfig and the README document 5 tuning epochs; keep the
+        // library default pinned to that so env-less runs agree with docs
+        let cfg = PwtConfig::default();
+        assert_eq!(cfg.epochs, 5);
+        assert_eq!(cfg.batch_size, 32);
+        assert_eq!(cfg.optimizer, PwtOptimizer::Adam { lr: 1.0 });
+        assert!((cfg.lr_decay - 0.75).abs() < f32::EPSILON);
     }
 
     #[test]

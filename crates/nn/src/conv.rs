@@ -1,7 +1,10 @@
 //! 2-D convolution layer (im2col-lowered).
 
 use rand::Rng;
-use rdo_tensor::{col2im, im2col, matmul, rng::kaiming, Conv2dGeometry, Tensor};
+use rdo_tensor::microkernel::{gemm_nn, gemm_nt, gemm_tn};
+use rdo_tensor::{
+    auto_threads, col2im_into, im2col_into, rng::kaiming, Conv2dGeometry, Scratch, Tensor,
+};
 
 use crate::error::{NnError, Result};
 use crate::layer::{Layer, Param, ParamKind};
@@ -33,11 +36,17 @@ pub struct Conv2d {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cache: Option<ConvCache>,
+    // im2col / GEMM-packing buffers, reused across batches (clones start
+    // with an empty pool and warm up their own)
+    scratch: Scratch,
 }
 
 #[derive(Debug, Clone)]
 struct ConvCache {
-    cols: Tensor,
+    /// im2col patch matrix `(rows × patch_len)` as a raw buffer; returned
+    /// to the scratch pool when the next forward pass replaces it.
+    cols: Vec<f32>,
+    rows: usize,
     n: usize,
     h: usize,
     w: usize,
@@ -62,6 +71,7 @@ impl Conv2d {
             weight_grad: Tensor::zeros(&[out_channels, patch]),
             bias_grad: Tensor::zeros(&[out_channels]),
             cache: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -94,9 +104,8 @@ impl Conv2d {
 }
 
 /// Reorders a patch-major matrix `(n·oh·ow, c)` into an NCHW tensor.
-fn patches_to_nchw(p: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+fn patches_to_nchw(data: &[f32], n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     let mut out = vec![0.0f32; n * c * oh * ow];
-    let data = p.data();
     for b in 0..n {
         for y in 0..oh {
             for x in 0..ow {
@@ -110,10 +119,11 @@ fn patches_to_nchw(p: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tens
     Tensor::from_vec(out, &[n, c, oh, ow]).expect("consistent by construction")
 }
 
-/// Reorders an NCHW tensor into a patch-major matrix `(n·oh·ow, c)`.
-fn nchw_to_patches(t: &Tensor) -> Tensor {
+/// Reorders an NCHW tensor into a patch-major matrix `(n·oh·ow, c)`,
+/// writing every element of `out` (no zeroing required).
+fn nchw_to_patches_into(t: &Tensor, out: &mut [f32]) {
     let [n, c, oh, ow] = [t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]];
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    debug_assert_eq!(out.len(), n * c * oh * ow);
     let data = t.data();
     for b in 0..n {
         for ch in 0..c {
@@ -124,24 +134,43 @@ fn nchw_to_patches(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, c]).expect("consistent by construction")
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let cols = im2col(input, &self.geom)?;
+        if let Some(stale) = self.cache.take() {
+            // the previous batch's patch matrix becomes this batch's buffer
+            self.scratch.recycle(stale.cols);
+        }
         let [n, _, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
         let (oh, ow) = self.geom.output_hw(h, w);
-        let mut yp = matmul(&cols, &self.weight.transpose2()?)?;
+        let (rows, patch) = (n * oh * ow, self.geom.patch_len());
+        let mut cols = self.scratch.take_zeroed(rows * patch);
+        im2col_into(input, &self.geom, &mut cols)?;
+
+        // yp = cols · Wᵀ — the kernel matrix is consumed in its stored
+        // (out_channels, patch) orientation; no transposed copy is made
         let oc = self.geom.out_channels;
-        for r in 0..yp.dims()[0] {
-            let row = &mut yp.data_mut()[r * oc..(r + 1) * oc];
+        let mut yp = self.scratch.take_zeroed(rows * oc);
+        gemm_nt(
+            &cols,
+            self.weight.data(),
+            &mut yp,
+            rows,
+            patch,
+            oc,
+            auto_threads(rows, patch, oc),
+            &mut self.scratch,
+        );
+        for row in yp.chunks_exact_mut(oc) {
             for (v, &b) in row.iter_mut().zip(self.bias.data()) {
                 *v += b;
             }
         }
-        self.cache = Some(ConvCache { cols, n, h, w });
-        Ok(patches_to_nchw(&yp, n, oc, oh, ow))
+        let out = patches_to_nchw(&yp, n, oc, oh, ow);
+        self.scratch.recycle(yp);
+        self.cache = Some(ConvCache { cols, rows, n, h, w });
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -149,17 +178,44 @@ impl Layer for Conv2d {
             .cache
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        let gp = nchw_to_patches(grad_output); // (n·oh·ow, oc)
-        let gw = matmul(&gp.transpose2()?, &cache.cols)?;
-        self.weight_grad.axpy(1.0, &gw)?;
-        for r in 0..gp.dims()[0] {
-            let row = gp.row(r)?;
+        let (rows, patch) = (cache.rows, self.geom.patch_len());
+        let oc = self.geom.out_channels;
+        let mut gp = self.scratch.take(rows * oc); // (n·oh·ow, oc)
+        nchw_to_patches_into(grad_output, &mut gp);
+
+        // dW += gpᵀ · cols — the TN kernel reads gp as stored and
+        // accumulates straight into the gradient; no transpose, no temp
+        gemm_tn(
+            &gp,
+            &cache.cols,
+            self.weight_grad.data_mut(),
+            oc,
+            rows,
+            patch,
+            auto_threads(oc, rows, patch),
+            &mut self.scratch,
+        );
+        for row in gp.chunks_exact(oc) {
             for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
                 *b += g;
             }
         }
-        let dcols = matmul(&gp, &self.weight)?;
-        Ok(col2im(&dcols, &self.geom, cache.n, cache.h, cache.w)?)
+        let mut dcols = self.scratch.take_zeroed(rows * patch);
+        gemm_nn(
+            &gp,
+            self.weight.data(),
+            &mut dcols,
+            rows,
+            oc,
+            patch,
+            auto_threads(rows, oc, patch),
+            &mut self.scratch,
+        );
+        let mut dx = vec![0.0f32; cache.n * self.geom.in_channels * cache.h * cache.w];
+        col2im_into(&dcols, &self.geom, cache.n, cache.h, cache.w, &mut dx)?;
+        self.scratch.recycle(gp);
+        self.scratch.recycle(dcols);
+        Ok(Tensor::from_vec(dx, &[cache.n, self.geom.in_channels, cache.h, cache.w])?)
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {
@@ -208,9 +264,33 @@ mod tests {
     #[test]
     fn patches_nchw_roundtrip() {
         let t = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
-        let p = nchw_to_patches(&t);
+        let mut p = vec![0.0f32; 2 * 3 * 4 * 5];
+        nchw_to_patches_into(&t, &mut p);
         let back = patches_to_nchw(&p, 2, 3, 4, 5);
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn scratch_reaches_steady_state_across_batches() {
+        // repeated forward/backward must stop allocating once warm
+        let mut rng = seeded_rng(3);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = randn(&[2, 2, 6, 6], 0.0, 1.0, &mut rng);
+        for _ in 0..2 {
+            let y = conv.forward(&x, true).unwrap();
+            conv.backward(&y).unwrap();
+        }
+        let warm = conv.scratch.pooled_capacity();
+        assert!(warm > 0, "conv should have pooled its buffers");
+        for _ in 0..3 {
+            let y = conv.forward(&x, true).unwrap();
+            conv.backward(&y).unwrap();
+        }
+        assert_eq!(
+            conv.scratch.pooled_capacity(),
+            warm,
+            "steady-state batches must not grow the pool"
+        );
     }
 
     #[test]

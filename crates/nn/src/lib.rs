@@ -67,5 +67,8 @@ pub use optim::Sgd;
 pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use resnet::ResNetConfig;
 pub use sequential::{Residual, Sequential};
-pub use train::{batch_gather, batch_slice, evaluate, fit, TrainConfig, TrainReport};
+pub use train::{
+    batch_gather, batch_gather_buf, batch_slice, batch_slice_buf, evaluate, fit, TrainConfig,
+    TrainReport,
+};
 pub use vgg::{VggConfig, VggItem};

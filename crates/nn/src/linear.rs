@@ -1,7 +1,8 @@
 //! Fully-connected layer.
 
 use rand::Rng;
-use rdo_tensor::{matmul, rng::kaiming, Tensor};
+use rdo_tensor::microkernel::{gemm_nn, gemm_nt, gemm_tn};
+use rdo_tensor::{auto_threads, rng::kaiming, Scratch, Tensor};
 
 use crate::error::{NnError, Result};
 use crate::layer::{Layer, Param, ParamKind};
@@ -35,6 +36,8 @@ pub struct Linear {
     cached_input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    // GEMM packing scratch, reused across batches (clones start empty)
+    scratch: Scratch,
 }
 
 impl Linear {
@@ -48,6 +51,7 @@ impl Linear {
             cached_input: None,
             in_features,
             out_features,
+            scratch: Scratch::new(),
         }
     }
 
@@ -95,15 +99,26 @@ impl Layer for Linear {
             }));
         }
         self.cached_input = Some(input.clone());
-        let mut y = matmul(input, &self.weight.transpose2()?)?;
-        let n = input.dims()[0];
-        for r in 0..n {
-            let row = &mut y.data_mut()[r * self.out_features..(r + 1) * self.out_features];
+        // y = x · Wᵀ — the weight is consumed in its stored (out, in)
+        // orientation by the NT kernel; no transposed copy is made.
+        let (m, k, n) = (input.dims()[0], self.in_features, self.out_features);
+        let mut y = vec![0.0f32; m * n];
+        gemm_nt(
+            input.data(),
+            self.weight.data(),
+            &mut y,
+            m,
+            k,
+            n,
+            auto_threads(m, k, n),
+            &mut self.scratch,
+        );
+        for row in y.chunks_exact_mut(n) {
             for (v, &b) in row.iter_mut().zip(self.bias.data()) {
                 *v += b;
             }
         }
-        Ok(y)
+        Ok(Tensor::from_vec(y, &[m, n])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -112,16 +127,38 @@ impl Layer for Linear {
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
         // dW += gᵀ · x ; db += Σ_batch g ; dx = g · W
-        let gw = matmul(&grad_output.transpose2()?, input)?;
-        self.weight_grad.axpy(1.0, &gw)?;
-        let n = grad_output.dims()[0];
-        for r in 0..n {
+        let batch = grad_output.dims()[0];
+        // the TN kernel reads g in its stored (batch, out) orientation and
+        // accumulates straight into the gradient — no transpose, no temp
+        gemm_tn(
+            grad_output.data(),
+            input.data(),
+            self.weight_grad.data_mut(),
+            self.out_features,
+            batch,
+            self.in_features,
+            auto_threads(self.out_features, batch, self.in_features),
+            &mut self.scratch,
+        );
+        for r in 0..batch {
             let row = grad_output.row(r)?;
             for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
                 *b += g;
             }
         }
-        Ok(matmul(grad_output, &self.weight)?)
+        let (m, k, n) = (batch, self.out_features, self.in_features);
+        let mut dx = vec![0.0f32; m * n];
+        gemm_nn(
+            grad_output.data(),
+            self.weight.data(),
+            &mut dx,
+            m,
+            k,
+            n,
+            auto_threads(m, k, n),
+            &mut self.scratch,
+        );
+        Ok(Tensor::from_vec(dx, &[m, n])?)
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {

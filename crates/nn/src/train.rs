@@ -72,6 +72,19 @@ pub struct TrainReport {
 ///
 /// Returns an index error if `start > end` or `end` exceeds the batch size.
 pub fn batch_slice(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    batch_slice_buf(t, start, end, &mut Vec::new())
+}
+
+/// [`batch_slice`] through a reusable buffer: `buf`'s storage (not its
+/// contents) becomes the new tensor's backing memory, so a caller that
+/// hands the storage back after use (`*buf = x.into_vec()`) slices every
+/// batch of a loop with zero allocation. The training loops here use
+/// exactly that round-trip.
+///
+/// # Errors
+///
+/// Returns an index error if `start > end` or `end` exceeds the batch size.
+pub fn batch_slice_buf(t: &Tensor, start: usize, end: usize, buf: &mut Vec<f32>) -> Result<Tensor> {
     let dims = t.dims();
     if dims.is_empty() || start > end || end > dims[0] {
         return Err(NnError::Tensor(rdo_tensor::TensorError::IndexOutOfBounds {
@@ -80,9 +93,11 @@ pub fn batch_slice(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
         }));
     }
     let stride: usize = dims[1..].iter().product();
+    buf.clear();
+    buf.extend_from_slice(&t.data()[start * stride..end * stride]);
     let mut new_dims = dims.to_vec();
     new_dims[0] = end - start;
-    Ok(Tensor::from_vec(t.data()[start * stride..end * stride].to_vec(), &new_dims)?)
+    Ok(Tensor::from_vec(std::mem::take(buf), &new_dims)?)
 }
 
 /// Gathers the samples at `indices` along the batch axis.
@@ -91,6 +106,16 @@ pub fn batch_slice(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
 ///
 /// Returns an index error if any index exceeds the batch size.
 pub fn batch_gather(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    batch_gather_buf(t, indices, &mut Vec::new())
+}
+
+/// [`batch_gather`] through a reusable buffer — same storage round-trip
+/// contract as [`batch_slice_buf`].
+///
+/// # Errors
+///
+/// Returns an index error if any index exceeds the batch size.
+pub fn batch_gather_buf(t: &Tensor, indices: &[usize], buf: &mut Vec<f32>) -> Result<Tensor> {
     let dims = t.dims();
     if dims.is_empty() {
         return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
@@ -100,7 +125,8 @@ pub fn batch_gather(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
         }));
     }
     let stride: usize = dims[1..].iter().product();
-    let mut data = Vec::with_capacity(indices.len() * stride);
+    buf.clear();
+    buf.reserve(indices.len() * stride);
     for &i in indices {
         if i >= dims[0] {
             return Err(NnError::Tensor(rdo_tensor::TensorError::IndexOutOfBounds {
@@ -108,11 +134,11 @@ pub fn batch_gather(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
                 shape: dims.to_vec(),
             }));
         }
-        data.extend_from_slice(&t.data()[i * stride..(i + 1) * stride]);
+        buf.extend_from_slice(&t.data()[i * stride..(i + 1) * stride]);
     }
     let mut new_dims = dims.to_vec();
     new_dims[0] = indices.len();
-    Ok(Tensor::from_vec(data, &new_dims)?)
+    Ok(Tensor::from_vec(std::mem::take(buf), &new_dims)?)
 }
 
 /// Trains `net` on `(images, labels)` with softmax cross-entropy.
@@ -140,18 +166,21 @@ pub fn fit(
     let mut rng = seeded_rng(cfg.seed);
     let mut report = TrainReport::default();
 
+    let mut xbuf: Vec<f32> = Vec::new();
+    let mut ybuf: Vec<usize> = Vec::new();
     for epoch in 0..cfg.epochs {
         let order = permutation(n, &mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let x = batch_gather(images, chunk)?;
-            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let x = batch_gather_buf(images, chunk, &mut xbuf)?;
+            ybuf.clear();
+            ybuf.extend(chunk.iter().map(|&i| labels[i]));
 
             let snapshot = cfg.noise_sigma.map(|sigma| perturb_core_weights(net, sigma, &mut rng));
 
             let logits = net.forward(&x, true)?;
-            let (l, grad) = loss_fn.compute(&logits, &y)?;
+            let (l, grad) = loss_fn.compute(&logits, &ybuf)?;
             net.zero_grad();
             net.backward(&grad)?;
 
@@ -162,6 +191,7 @@ pub fn fit(
             opt.step(net)?;
             epoch_loss += l;
             batches += 1;
+            xbuf = x.into_vec(); // hand the batch storage back for reuse
         }
         let mean = epoch_loss / batches.max(1) as f32;
         report.epoch_losses.push(mean);
@@ -197,13 +227,15 @@ pub fn recalibrate_batchnorm(
     let bs = batch_size.max(1);
     // two passes so the exponential running averages converge toward the
     // new statistics regardless of their starting point
+    let mut buf: Vec<f32> = Vec::new();
     for _ in 0..2 {
         let mut start = 0usize;
         while start < n {
             let end = (start + bs).min(n);
-            let x = batch_slice(images, start, end)?;
+            let x = batch_slice_buf(images, start, end, &mut buf)?;
             let _ = net.forward(&x, true)?;
             start = end;
+            buf = x.into_vec();
         }
     }
     Ok(())
@@ -231,12 +263,14 @@ pub fn evaluate(
     let bs = batch_size.max(1);
     let mut correct = 0.0f32;
     let mut start = 0usize;
+    let mut buf: Vec<f32> = Vec::new();
     while start < n {
         let end = (start + bs).min(n);
-        let x = batch_slice(images, start, end)?;
+        let x = batch_slice_buf(images, start, end, &mut buf)?;
         let logits = net.infer(&x)?;
         correct += accuracy(&logits, &labels[start..end])? * (end - start) as f32;
         start = end;
+        buf = x.into_vec();
     }
     Ok(correct / n as f32)
 }

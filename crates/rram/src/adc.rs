@@ -122,6 +122,11 @@ impl BitSerialEvaluator {
         let wcols = crossbar.used_weight_cols();
         let cell_floor = codec.cell().floor();
         let mut y = vec![0.0f64; wcols];
+        // one drive and one current buffer for the whole pipeline — the
+        // inner loop runs input_bits × ⌈rows/active_rows⌉ times and must
+        // not allocate per cycle
+        let mut drive: Vec<f32> = Vec::with_capacity(self.active_rows);
+        let mut currents = vec![0.0f64; crossbar.spec().cols];
 
         for bit in 0..self.input_bits {
             let weight_of_bit = (1u64 << bit) as f64;
@@ -129,10 +134,11 @@ impl BitSerialEvaluator {
             while start < rows {
                 let end = (start + self.active_rows).min(rows);
                 // drive active wordlines with this input bit (0/1 volts)
-                let drive: Vec<f32> =
-                    x[start..end].iter().map(|&v| ((v >> bit) & 1) as f32).collect();
+                drive.clear();
+                drive.extend(x[start..end].iter().map(|&v| ((v >> bit) & 1) as f32));
                 let ones = drive.iter().filter(|&&d| d > 0.0).count() as f64;
-                let currents = crossbar.bitline_currents(&drive, start, end)?;
+                currents.fill(0.0);
+                crossbar.bitline_currents_into(&drive, start, end, &mut currents)?;
                 // per weight column: S+A over cell slices, floor calibration
                 for (wc, yv) in y.iter_mut().enumerate() {
                     let mut acc = 0.0f64;

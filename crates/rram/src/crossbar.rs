@@ -11,7 +11,7 @@
 //!   bit-serial ADC pipeline in [`crate::adc`].
 
 use rand::Rng;
-use rdo_tensor::Tensor;
+use rdo_tensor::{microkernel, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::WeightCodec;
@@ -293,24 +293,45 @@ impl Crossbar {
         row_start: usize,
         row_end: usize,
     ) -> Result<Vec<f64>> {
+        let mut currents = vec![0.0f64; self.spec.cols];
+        self.bitline_currents_into(x, row_start, row_end, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// [`bitline_currents`](Self::bitline_currents) into a caller-owned
+    /// buffer, **accumulating** onto whatever is already there — pass a
+    /// zeroed buffer for plain currents. This is the allocation-free entry
+    /// the bit-serial ADC uses once per wordline group per input bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] if the input length does not
+    /// equal the active row count, the range is invalid, or `out` is not
+    /// one element per cell column.
+    pub fn bitline_currents_into(
+        &self,
+        x: &[f32],
+        row_start: usize,
+        row_end: usize,
+        out: &mut [f64],
+    ) -> Result<()> {
         if row_start > row_end || row_end > self.spec.rows || x.len() != row_end - row_start {
             return Err(RramError::ShapeMismatch(format!(
                 "active rows {row_start}..{row_end} with {} inputs",
                 x.len()
             )));
         }
-        let mut currents = vec![0.0f64; self.spec.cols];
-        for (i, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            let row = row_start + i;
-            let base = row * self.spec.cols;
-            for (c, cur) in currents.iter_mut().enumerate() {
-                *cur += xv as f64 * self.conductance[base + c];
-            }
+        if out.len() != self.spec.cols {
+            return Err(RramError::ShapeMismatch(format!(
+                "bitline buffer holds {} columns, crossbar has {}",
+                out.len(),
+                self.spec.cols
+            )));
         }
-        Ok(currents)
+        let cols = self.spec.cols;
+        let block = &self.conductance[row_start * cols..row_end * cols];
+        microkernel::gevm_into_f64(x, block, out, x.len(), cols);
+        Ok(())
     }
 
     /// Total relative read power of the used block: the sum of nominal

@@ -91,6 +91,45 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let (oh, ow) = geom.output_hw(h, w);
     let patch = geom.patch_len();
     let mut out = vec![0.0f32; n * oh * ow * patch];
+    im2col_into(input, geom, &mut out)?;
+    Tensor::from_vec(out, &[n * oh * ow, patch])
+}
+
+/// [`im2col`] into a caller-provided buffer of `n · oh · ow · patch_len`
+/// elements, which **must be zeroed** (padding positions are skipped, not
+/// written). Lets `Conv2d` reuse one patch buffer across batches instead
+/// of allocating per forward pass — pair with
+/// [`Scratch::take_zeroed`](crate::Scratch::take_zeroed).
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`im2col`], plus a
+/// [`TensorError::ShapeMismatch`] if `out` has the wrong length.
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut [f32]) -> Result<()> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col_into",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    let [n, c, h, w] = [input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]];
+    if c != geom.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into",
+            lhs: input.dims().to_vec(),
+            rhs: vec![geom.in_channels],
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w);
+    let patch = geom.patch_len();
+    if out.len() != n * oh * ow * patch {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into",
+            lhs: vec![out.len()],
+            rhs: vec![n * oh * ow * patch],
+        });
+    }
     let k = geom.kernel;
     let data = input.data();
     for b in 0..n {
@@ -117,7 +156,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, patch])
+    Ok(())
 }
 
 /// Adjoint of [`im2col`]: scatters a patch-matrix gradient of shape
@@ -146,10 +185,46 @@ pub fn col2im(
             rhs: vec![n * oh * ow, patch],
         });
     }
+    let mut out = vec![0.0f32; n * geom.in_channels * h * w];
+    col2im_into(cols.data(), geom, n, h, w, &mut out)?;
+    Tensor::from_vec(out, &[n, geom.in_channels, h, w])
+}
+
+/// [`col2im`] from a raw patch-gradient slice into a caller-provided
+/// `(n · c · h · w)` buffer. Overlapping patches **accumulate into**
+/// `out`, so zero it first for a pure adjoint.
+///
+/// # Errors
+///
+/// Returns a shape error if either slice length disagrees with the
+/// geometry implied by `geom` and `(n, h, w)`.
+pub fn col2im_into(
+    cols: &[f32],
+    geom: &Conv2dGeometry,
+    n: usize,
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    let (oh, ow) = geom.output_hw(h, w);
+    let patch = geom.patch_len();
+    if cols.len() != n * oh * ow * patch {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_into",
+            lhs: vec![cols.len()],
+            rhs: vec![n * oh * ow * patch],
+        });
+    }
     let c = geom.in_channels;
+    if out.len() != n * c * h * w {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_into",
+            lhs: vec![out.len()],
+            rhs: vec![n * c * h * w],
+        });
+    }
     let k = geom.kernel;
-    let mut out = vec![0.0f32; n * c * h * w];
-    let data = cols.data();
+    let data = cols;
     for b in 0..n {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -174,7 +249,7 @@ pub fn col2im(
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, h, w])
+    Ok(())
 }
 
 #[cfg(test)]

@@ -4,10 +4,12 @@
 //! RRAM-based Neuromorphic Computing"* (DATE 2021).
 //!
 //! The crate deliberately implements only what the rest of the workspace
-//! needs — shapes, elementwise math, blocked [`matmul()`], im2col convolution
-//! lowering and seeded random construction — with no `unsafe` and no
-//! external math dependencies, so the full stack (NN training, crossbar
-//! simulation, VAWO/PWT optimization) is auditable end to end.
+//! needs — shapes, elementwise math, a register-tiled [`matmul()`] built on
+//! the [`microkernel`] module, im2col convolution lowering and seeded
+//! random construction — with no `unsafe` and no external math
+//! dependencies, so the full stack (NN training, crossbar simulation,
+//! VAWO/PWT optimization) is auditable end to end. Hot paths reuse
+//! buffers through a [`Scratch`] pool instead of allocating per call.
 //!
 //! # Examples
 //!
@@ -32,14 +34,18 @@ mod tensor;
 
 pub mod conv;
 pub mod matmul;
+pub mod microkernel;
 pub mod parallel;
 pub mod rng;
+pub mod scratch;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use error::{Result, TensorError};
 pub use matmul::{
-    matmul, matmul_into, matmul_into_serial, matmul_into_threads, matvec, outer, vecmat,
+    auto_threads, matmul, matmul_into, matmul_into_scalar, matmul_into_serial, matmul_into_threads,
+    matmul_nt_into, matmul_tn_into, matvec, outer, vecmat,
 };
 pub use parallel::{available_threads, parallel_map_indexed, resolve_threads};
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,27 +1,61 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! The whole stack funnels its heavy math through these two functions:
-//! convolution lowers to [`matmul`] via im2col, and the crossbar simulator's
-//! "effective weight" fast path is a plain matrix product. The kernel is a
-//! cache-blocked ikj loop — no SIMD intrinsics, but good enough to train the
-//! scaled networks on one CPU core.
+//! The whole stack funnels its heavy math through this module:
+//! convolution lowers to [`matmul`] via im2col, the crossbar simulator's
+//! "effective weight" fast path is a plain matrix product, and the
+//! trainer's backward passes are `NT`/`TN` products. Since PR 2 the
+//! arithmetic itself lives in [`crate::microkernel`] — a register-tiled,
+//! panel-packed kernel family that the compiler autovectorizes — and this
+//! module provides the shape-checked [`Tensor`] API plus slice entry
+//! points over it.
 //!
-//! Above [`PAR_MIN_MACS`] multiply–accumulates, [`matmul_into`] partitions
-//! the output rows over scoped worker threads (`RDO_THREADS` controls the
-//! count; see [`crate::parallel`]). Each row is accumulated in exactly the
-//! serial kernel's operation order, so the parallel product is bitwise
-//! identical to the serial one.
+//! Above [`PAR_MIN_MACS`] multiply–accumulates, [`matmul_into`] engages
+//! worker threads (`RDO_THREADS` controls the count; see
+//! [`crate::parallel`]). The microkernel partitions output rows into
+//! whole register tiles, so the product is **bitwise identical at every
+//! thread count**. The retired cache-blocked scalar kernel is kept as
+//! [`matmul_into_scalar`] for reference and benchmarking; its operation
+//! order differs from the microkernel's, so absolute values may differ
+//! from it within normal f32 tolerance.
+
+use std::cell::RefCell;
 
 use crate::error::{Result, TensorError};
+use crate::microkernel::{gemm_nn, gemm_nt, gemm_tn};
 use crate::parallel::available_threads;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
-/// Cache block size (elements). 64×64 f32 tiles fit comfortably in L1/L2.
+/// Cache block size (elements) of the legacy scalar kernel.
 const BLOCK: usize = 64;
 
-/// Multiply–accumulate count (`m·k·n`) above which [`matmul_into`] uses
-/// worker threads. Below it, thread spawn/join overhead dominates.
+/// Multiply–accumulate count (`m·k·n`) above which the auto-threaded
+/// entry points use worker threads. Below it, thread spawn/join overhead
+/// dominates.
 pub const PAR_MIN_MACS: usize = 1 << 21;
+
+thread_local! {
+    /// Packing scratch for the convenience entry points, so repeated
+    /// [`matmul`]/[`matmul_into`] calls are allocation-free after warm-up.
+    /// Callers that manage buffers long-term (layers, trainers) hold
+    /// their own [`Scratch`] and call the `microkernel` API directly.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The worker-thread count the auto-threaded entry points use for an
+/// `m·k·n` product: `RDO_THREADS` (via [`available_threads`]) once the
+/// product exceeds [`PAR_MIN_MACS`] multiply–accumulates, serial below.
+pub fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_MACS {
+        available_threads()
+    } else {
+        1
+    }
+}
 
 /// Multiplies two rank-2 tensors: `C = A (m×k) · B (k×n)`.
 ///
@@ -57,37 +91,90 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// Raw blocked matmul on slices: `c += a (m×k) · b (k×n)`.
+/// Raw microkernel matmul on slices: `c += a (m×k) · b (k×n)`.
 ///
 /// `c` must be zero-initialized by the caller if a pure product is wanted.
 /// Exposed so callers that manage their own buffers (the trainer's backward
 /// pass) avoid reallocation.
 ///
-/// Products above [`PAR_MIN_MACS`] multiply–accumulates are partitioned by
-/// output row over worker threads (thread count from [`available_threads`],
-/// i.e. the `RDO_THREADS` knob); results are bitwise identical to the
-/// serial kernel either way. Use [`matmul_into_serial`] or
-/// [`matmul_into_threads`] to force a specific path.
+/// Products above [`PAR_MIN_MACS`] multiply–accumulates are partitioned
+/// over worker threads (thread count from [`available_threads`], i.e. the
+/// `RDO_THREADS` knob); results are bitwise identical to the serial kernel
+/// either way. Use [`matmul_into_serial`] or [`matmul_into_threads`] to
+/// force a specific path.
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let threads = if m >= 2 && m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_MACS {
-        available_threads()
-    } else {
-        1
-    };
-    matmul_into_threads(a, b, c, m, k, n, threads);
+    matmul_into_threads(a, b, c, m, k, n, auto_threads(m, k, n));
 }
 
-/// The serial cache-blocked kernel behind [`matmul_into`]: `c += a · b`,
-/// always on the calling thread.
+/// The serial path of the microkernel: `c += a · b`, always on the
+/// calling thread, bitwise identical to every threaded invocation.
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
 pub fn matmul_into_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_into_threads(a, b, c, m, k, n, 1);
+}
+
+/// Microkernel matmul on up to `threads` scoped worker threads (`0` and
+/// `1` both mean serial): `c += a (m×k) · b (k×n)`.
+///
+/// The output rows are partitioned into whole register tiles anchored at
+/// row 0, so every tile is computed in exactly the same operation order
+/// whichever worker runs it — the result is **bitwise identical for any
+/// thread count** (see [`crate::microkernel`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    with_scratch(|s| gemm_nn(a, b, c, m, k, n, threads.max(1), s));
+}
+
+/// `c += a (m×k) · bt (n×k)ᵀ` — the right operand supplied transposed,
+/// auto-threaded. This is the layer-forward orientation (`y = x·Wᵀ` with
+/// `W` stored `(out, in)`); packing reads `bt` directly, so no transposed
+/// copy of the weights is ever materialized.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `n*k` and `m*n`.
+pub fn matmul_nt_into(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    with_scratch(|s| gemm_nt(a, bt, c, m, k, n, auto_threads(m, k, n), s));
+}
+
+/// `c += at (k×m)ᵀ · b (k×n)` — the left operand supplied transposed,
+/// auto-threaded. This is the weight-gradient orientation
+/// (`dW += gᵀ·x`), accumulating straight into the gradient buffer.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `k*m`, `k*n` and `m*n`.
+pub fn matmul_tn_into(at: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    with_scratch(|s| gemm_tn(at, b, c, m, k, n, auto_threads(m, k, n), s));
+}
+
+/// The pre-microkernel cache-blocked scalar kernel: `c += a · b` in ikj
+/// order, always serial. Retained as the reference point for the
+/// `BENCH_gemm.json` speedup trajectory and for cross-checking the
+/// microkernel in tests; not used by any production path.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
+pub fn matmul_into_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -112,48 +199,9 @@ pub fn matmul_into_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     }
 }
 
-/// Row-partitioned parallel matmul: `c += a (m×k) · b (k×n)` on up to
-/// `threads` scoped worker threads (`0` and `1` both mean serial).
-///
-/// The output rows are split into contiguous chunks, one worker per chunk;
-/// every row is accumulated by the same blocked kernel in the same
-/// operation order as [`matmul_into_serial`], so the result is bitwise
-/// identical for any thread count.
-///
-/// # Panics
-///
-/// Panics if the slice lengths do not match `m*k`, `k*n` and `m*n`.
-pub fn matmul_into_threads(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    threads: usize,
-) {
-    assert_eq!(a.len(), m * k, "lhs length");
-    assert_eq!(b.len(), k * n, "rhs length");
-    assert_eq!(c.len(), m * n, "out length");
-    let threads = threads.clamp(1, m.max(1));
-    if threads == 1 || n == 0 || k == 0 {
-        // k == 0 adds nothing; n == 0 has no output. Either way the serial
-        // kernel handles the degenerate shape without chunking by zero.
-        matmul_into_serial(a, b, c, m, k, n);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            let r0 = t * rows_per;
-            let rows = c_chunk.len() / n;
-            let a_part = &a[r0 * k..(r0 + rows) * k];
-            s.spawn(move || matmul_into_serial(a_part, b, c_chunk, rows, k, n));
-        }
-    });
-}
-
-/// Matrix–vector product `y = A (m×k) · x (k)`.
+/// Matrix–vector product `y = A (m×k) · x (k)`, through the microkernel's
+/// `n == 1` path (per-row lane-blocked dot products, threaded above
+/// [`PAR_MIN_MACS`]).
 ///
 /// # Errors
 ///
@@ -169,15 +217,13 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m];
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &a.data()[i * k..(i + 1) * k];
-        *o = row.iter().zip(x.data()).map(|(&w, &v)| w * v).sum();
-    }
+    matmul_into(a.data(), x.data(), &mut out, m, k, 1);
     Tensor::from_vec(out, &[m])
 }
 
 /// Vector–matrix product `y = x (m) · A (m×n)` — the orientation RRAM
-/// crossbars compute natively (inputs on wordlines, weights in the array).
+/// crossbars compute natively (inputs on wordlines, weights in the
+/// array) — through the microkernel's `m == 1` path.
 ///
 /// # Errors
 ///
@@ -193,27 +239,16 @@ pub fn vecmat(x: &Tensor, a: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; n];
-    for (i, &xv) in x.data().iter().enumerate() {
-        if xv == 0.0 {
-            continue;
-        }
-        let row = &a.data()[i * n..(i + 1) * n];
-        for (o, &w) in out.iter_mut().zip(row) {
-            *o += xv * w;
-        }
-    }
+    matmul_into(x.data(), a.data(), &mut out, 1, m, n);
     Tensor::from_vec(out, &[n])
 }
 
-/// Outer product `A = x (m) ⊗ y (n)`, an `m×n` matrix.
+/// Outer product `A = x (m) ⊗ y (n)`, an `m×n` matrix, through the
+/// microkernel's rank-1 (`k == 1`) path.
 pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
     let (m, n) = (x.len(), y.len());
     let mut out = vec![0.0f32; m * n];
-    for (i, &xv) in x.data().iter().enumerate() {
-        for (j, &yv) in y.data().iter().enumerate() {
-            out[i * n + j] = xv * yv;
-        }
-    }
+    matmul_into(x.data(), y.data(), &mut out, m, 1, n);
     Tensor::from_vec(out, &[m, n]).expect("outer: shape is consistent by construction")
 }
 
@@ -258,6 +293,20 @@ mod tests {
     }
 
     #[test]
+    fn microkernel_matches_legacy_scalar_kernel() {
+        let (m, k, n) = (33, 129, 21);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 * 0.37 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 * 0.21 - 1.0).collect();
+        let mut new = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut new, m, k, n);
+        let mut old = vec![0.0f32; m * n];
+        matmul_into_scalar(&a, &b, &mut old, m, k, n);
+        for (x, y) in new.iter().zip(&old) {
+            assert!((x - y).abs() < 1e-3 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn inner_dim_mismatch_rejected() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
@@ -271,15 +320,54 @@ mod tests {
         let y = matvec(&a, &x).unwrap();
         let xm = x.reshape(&[5, 1]).unwrap();
         let y2 = matmul(&a, &xm).unwrap();
-        assert_eq!(y.data(), y2.data());
+        assert_eq!(y.data(), y2.data(), "matvec must share the kernel's n==1 path");
 
         let v = Tensor::from_fn(&[4], |i| 1.0 + i as f32);
         let z = vecmat(&v, &a).unwrap();
         let vm = v.reshape(&[1, 4]).unwrap();
         let z2 = matmul(&vm, &a).unwrap();
-        for (p, q) in z.data().iter().zip(z2.data()) {
-            assert!((p - q).abs() < 1e-4);
-        }
+        assert_eq!(z.data(), z2.data(), "vecmat must share the kernel's m==1 path");
+    }
+
+    #[test]
+    fn matvec_vecmat_degenerate_shapes() {
+        // single row / single column / single element matrices
+        let a1 = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap();
+        let y = matvec(&a1, &Tensor::from_vec(vec![4.0, 5.0], &[2]).unwrap()).unwrap();
+        assert_eq!(y.data(), &[23.0]);
+        let a2 = Tensor::from_vec(vec![2.0, 3.0], &[2, 1]).unwrap();
+        let y = matvec(&a2, &Tensor::from_vec(vec![4.0], &[1]).unwrap()).unwrap();
+        assert_eq!(y.data(), &[8.0, 12.0]);
+        let z = vecmat(&Tensor::from_vec(vec![4.0], &[1]).unwrap(), &a1).unwrap();
+        assert_eq!(z.data(), &[8.0, 12.0]);
+        let z = vecmat(&Tensor::from_vec(vec![4.0, 5.0], &[2]).unwrap(), &a2).unwrap();
+        assert_eq!(z.data(), &[23.0]);
+        let one = Tensor::from_vec(vec![3.0], &[1, 1]).unwrap();
+        assert_eq!(
+            matvec(&one, &Tensor::from_vec(vec![2.0], &[1]).unwrap()).unwrap().data(),
+            &[6.0]
+        );
+        // shape mismatches still rejected
+        assert!(matvec(&a1, &Tensor::zeros(&[3])).is_err());
+        assert!(vecmat(&Tensor::zeros(&[3]), &a1).is_err());
+    }
+
+    #[test]
+    fn nt_and_tn_entry_points_match_explicit_transpose() {
+        let (m, k, n) = (7, 11, 5);
+        let a = Tensor::from_fn(&[m, k], |i| (i % 9) as f32 * 0.4 - 1.5);
+        let b = Tensor::from_fn(&[k, n], |i| (i % 7) as f32 * 0.3 - 0.9);
+        let want = matmul(&a, &b).unwrap();
+
+        let bt = b.transpose2().unwrap();
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt_into(a.data(), bt.data(), &mut c, m, k, n);
+        assert_eq!(c, want.data(), "NT packing must not change values");
+
+        let at = a.transpose2().unwrap();
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn_into(at.data(), b.data(), &mut c, m, k, n);
+        assert_eq!(c, want.data(), "TN packing must not change values");
     }
 
     #[test]

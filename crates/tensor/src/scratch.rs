@@ -1,0 +1,189 @@
+//! Reusable scratch buffers for the hot numeric paths.
+//!
+//! The GEMM microkernel packs operand panels, convolution lowers through
+//! im2col patch matrices, and the trainers build per-batch activation
+//! tensors — all of which used to allocate a fresh `Vec` per call. A
+//! [`Scratch`] pool checks buffers out and back in so steady-state
+//! workloads (training epochs, multi-cycle evaluation, benchmark loops)
+//! stop hitting the allocator entirely after warm-up.
+//!
+//! The pool hands out plain owned `Vec<f32>`s, so a caller can hold any
+//! number of buffers simultaneously without fighting the borrow checker;
+//! returning them with [`Scratch::recycle`] is what makes the next
+//! checkout allocation-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdo_tensor::Scratch;
+//!
+//! let mut scratch = Scratch::new();
+//! let buf = scratch.take_zeroed(1024);
+//! assert!(buf.iter().all(|&v| v == 0.0));
+//! scratch.recycle(buf);
+//! // the second checkout reuses the first buffer's storage
+//! let again = scratch.take_zeroed(512);
+//! assert!(again.capacity() >= 1024);
+//! ```
+
+/// A pool of reusable `f32` buffers (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f32>>,
+}
+
+/// How many idle buffers a pool retains. More than this many concurrent
+/// checkouts work fine; the excess is simply freed on recycle.
+const MAX_POOLED: usize = 16;
+
+impl Scratch {
+    /// Creates an empty pool. No memory is held until buffers are
+    /// recycled into it.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Checks out a buffer of exactly `len` elements, all zero.
+    ///
+    /// Reuses the pooled buffer whose capacity fits best; allocates only
+    /// when no pooled buffer is large enough.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_storage(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Checks out a buffer of exactly `len` elements with unspecified
+    /// (but initialized) contents — for callers that overwrite every
+    /// element anyway, e.g. packing routines.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_storage(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.free.len() < MAX_POOLED {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity (in elements) of the idle pooled buffers.
+    pub fn pooled_capacity(&self) -> usize {
+        self.free.iter().map(Vec::capacity).sum()
+    }
+
+    /// Picks the pooled buffer whose capacity fits `len` best (smallest
+    /// sufficient capacity; otherwise the largest available, which will
+    /// grow once and then stick around at the new size).
+    fn take_storage(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    let bc = self.free[j].capacity();
+                    let better =
+                        if cap >= len { bc < len || cap < bc } else { bc < len && cap > bc };
+                    if better {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
+        }
+        match best {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::with_capacity(len),
+        }
+    }
+}
+
+impl Clone for Scratch {
+    /// Cloning yields an *empty* pool: scratch storage is per-owner
+    /// working memory, not data, so clones (e.g. of a layer) warm up
+    /// their own buffers instead of duplicating megabytes of scratch.
+    fn clone(&self) -> Self {
+        Scratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_is_zero_and_reuses_storage() {
+        let mut s = Scratch::new();
+        let mut a = s.take_zeroed(100);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        let ptr = a.as_ptr();
+        s.recycle(a);
+        let b = s.take_zeroed(50);
+        assert_eq!(b.as_ptr(), ptr, "storage not reused");
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(b.len(), 50);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut s = Scratch::new();
+        s.recycle(Vec::with_capacity(1000));
+        s.recycle(Vec::with_capacity(64));
+        let b = s.take(60);
+        assert!(b.capacity() < 1000, "should have picked the 64-cap buffer");
+        assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn grows_largest_when_nothing_fits() {
+        let mut s = Scratch::new();
+        s.recycle(Vec::with_capacity(8));
+        s.recycle(Vec::with_capacity(64));
+        let b = s.take(128);
+        assert_eq!(b.len(), 128);
+        assert_eq!(s.pooled(), 1, "one (the smaller) buffer left pooled");
+    }
+
+    #[test]
+    fn multiple_simultaneous_checkouts() {
+        let mut s = Scratch::new();
+        let a = s.take_zeroed(10);
+        let b = s.take_zeroed(20);
+        let c = s.take_zeroed(30);
+        assert_eq!((a.len(), b.len(), c.len()), (10, 20, 30));
+        s.recycle(a);
+        s.recycle(b);
+        s.recycle(c);
+        assert_eq!(s.pooled(), 3);
+        assert!(s.pooled_capacity() >= 60);
+    }
+
+    #[test]
+    fn clone_is_empty() {
+        let mut s = Scratch::new();
+        s.recycle(Vec::with_capacity(100));
+        assert_eq!(s.clone().pooled(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut s = Scratch::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            s.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(s.pooled(), MAX_POOLED);
+    }
+}

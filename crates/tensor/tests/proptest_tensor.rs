@@ -1,9 +1,17 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
+use rdo_tensor::microkernel::{KC, MR, NR};
 use rdo_tensor::{
     col2im, im2col, matmul, matmul_into_serial, matmul_into_threads, Conv2dGeometry, Tensor,
 };
+
+/// Dimensions that straddle the microkernel tile and panel boundaries:
+/// one below, exactly on, and one above each multiple of the tile size.
+fn around_multiples_of(tile: usize, max_mult: usize) -> impl Strategy<Value = usize> {
+    (1..=max_mult, prop_oneof![Just(-1i64), Just(0), Just(1)])
+        .prop_map(move |(mult, off)| ((mult * tile) as i64 + off).max(1) as usize)
+}
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -131,5 +139,62 @@ proptest! {
         matmul_into_serial(&a, &b, &mut serial, m, k, n);
         matmul_into_threads(&a, &b, &mut parallel, m, k, n, threads);
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// The tiled microkernel agrees with a naive f64-accumulated reference
+    /// on shapes chosen to straddle the MR/NR register-tile and KC panel
+    /// boundaries — the edge-tile and remainder paths, not just the happy
+    /// full-tile interior.
+    #[test]
+    fn microkernel_matches_naive_at_tile_boundaries(
+        m in around_multiples_of(MR, 5),
+        k in around_multiples_of(KC, 2),
+        n in around_multiples_of(NR, 3),
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(seed + 17) % 23) as f32 * 0.37 - 4.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 19) % 29) as f32 * 0.29 - 4.0)
+            .collect();
+        let mut c = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let want: f64 = (0..k)
+                    .map(|p| f64::from(a[i * k + p]) * f64::from(b[p * n + j]))
+                    .sum();
+                let got = f64::from(c[i * n + j]);
+                prop_assert!(
+                    (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "({}, {}): {} vs {}", i, j, got, want
+                );
+            }
+        }
+    }
+
+    /// Bitwise serial/threaded agreement at the documented thread counts,
+    /// including 0 (auto) and counts far beyond the row-tile count.
+    #[test]
+    fn thread_count_never_changes_bits(
+        m in 1usize..30,
+        k in 1usize..20,
+        n in 1usize..20,
+        tidx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let threads = [0usize, 1, 2, 3, 8, 64][tidx];
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(seed + 23) % 31) as f32 - 15.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 29) % 37) as f32 - 18.0)
+            .collect();
+        let mut serial = vec![0.0f32; m * n];
+        let mut threaded = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut serial, m, k, n);
+        matmul_into_threads(&a, &b, &mut threaded, m, k, n, threads);
+        prop_assert_eq!(serial, threaded);
     }
 }

@@ -16,4 +16,10 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "==> perf_report --quick (smoke: writes results/BENCH_gemm.json)"
+cargo run --release -p rdo-bench --bin perf_report -- --quick
+
 echo "ci: all gates passed"
