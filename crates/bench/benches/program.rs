@@ -1,0 +1,44 @@
+//! Device programming throughput: bulk `program_matrix` against the
+//! scalar per-entry reference, at SLC and MLC codecs and both variation
+//! kinds. The bulk path is the per-cycle hot loop of every experiment
+//! binary, so regressions here surface directly in sweep wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdo_rram::{
+    program_matrix, program_matrix_scalar, CellKind, CellTechnology, VariationKind, VariationModel,
+    WeightCodec,
+};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+fn bench_program(c: &mut Criterion) {
+    let (rows, cols) = (128usize, 128usize);
+    let ctw = Tensor::from_fn(&[rows, cols], |i| ((i * 53) % 256) as f32);
+
+    let mut group = c.benchmark_group("program_128x128");
+    for cell in [CellKind::Slc, CellKind::Mlc2] {
+        let codec = WeightCodec::paper(CellTechnology::paper(cell));
+        for kind in [VariationKind::PerWeight, VariationKind::PerCell] {
+            let model = VariationModel::new(0.5, kind);
+            let label = format!("{cell:?}_{kind:?}").to_lowercase();
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &cell, |b, _| {
+                let mut rng = seeded_rng(7);
+                b.iter(|| program_matrix(&ctw, &codec, &model, &mut rng).expect("in range"));
+            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{label}_scalar")),
+                &cell,
+                |b, _| {
+                    let mut rng = seeded_rng(7);
+                    b.iter(|| {
+                        program_matrix_scalar(&ctw, &codec, &model, &mut rng).expect("in range")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_program);
+criterion_main!(benches);

@@ -1,25 +1,26 @@
 //! VAWO optimization kernel: runtime per mapped matrix, across sharing
 //! granularities and with/without the weight complement — supports the
-//! paper's §III-B claim that VAWO's one-time cost is small.
+//! paper's §III-B claim that VAWO's one-time cost is small. The fast
+//! table-driven search is benchmarked against the naive per-triple
+//! reference so the speedup is visible in one report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rdo_core::{optimize_matrix, GroupLayout, OffsetConfig};
+use rdo_core::{optimize_matrix, optimize_matrix_reference, GroupLayout, OffsetConfig};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 use rdo_tensor::Tensor;
 
 fn bench_vawo(c: &mut Criterion) {
     let sigma = 0.5;
-    let (rows, cols) = (128usize, 64usize);
+    let (rows, cols) = (128usize, 128usize);
     let ntw = Tensor::from_fn(&[rows, cols], |i| ((i * 37) % 256) as f32);
     let g2 = Tensor::from_fn(&[rows, cols], |i| 1e-4 * (1.0 + (i % 7) as f32));
 
-    let mut group = c.benchmark_group("vawo_128x64");
+    let mut group = c.benchmark_group("vawo_128x128");
     for &m in &[16usize, 64, 128] {
+        let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).expect("valid m");
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+        let layout = GroupLayout::new(rows, cols, &cfg).expect("layout");
         for complement in [false, true] {
-            let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).expect("valid m");
-            let lut =
-                DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
-            let layout = GroupLayout::new(rows, cols, &cfg).expect("layout");
             let label = format!("m{m}{}", if complement { "_star" } else { "" });
             group.bench_with_input(BenchmarkId::from_parameter(label), &m, |b, _| {
                 b.iter(|| {
@@ -28,6 +29,16 @@ fn bench_vawo(c: &mut Criterion) {
                 });
             });
         }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_reference")),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, true)
+                        .expect("consistent shapes")
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,13 +1,17 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes two JSON records under `results/` so the repository tracks its
-//! performance trajectory PR over PR:
+//! Writes four JSON records under `results/` (mirrored to the repo root)
+//! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
 //!   the register-tiled microkernel on the canonical GEMM shapes
 //!   (256×256×256 and the LeNet im2col shapes), serial and threaded.
 //! - `BENCH_cycles.json` — wall-clock of the §IV multi-cycle evaluation
 //!   engine at several worker-thread counts.
+//! - `BENCH_vawo.json` — the table-driven VAWO search (serial and
+//!   threaded) versus the naive per-triple reference on a 128×128 layer.
+//! - `BENCH_program.json` — bulk device programming versus the scalar
+//!   per-entry path at SLC/MLC and both variation kinds.
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -19,14 +23,23 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::Instant;
 
 use rdo_bench::{BenchError, Result};
-use rdo_core::{evaluate_cycles, CycleEvalConfig, MappedNetwork, Method, OffsetConfig, PwtConfig};
+use rdo_core::{
+    evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, CycleEvalConfig,
+    GroupLayout, MappedNetwork, Method, OffsetConfig, PwtConfig,
+};
 use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
-use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_rram::{
+    program_matrix, program_matrix_scalar, CellKind, CellTechnology, DeviceLut, VariationKind,
+    VariationModel, WeightCodec,
+};
 use rdo_tensor::rng::{randn, seeded_rng};
-use rdo_tensor::{available_threads, matmul_into_scalar, matmul_into_serial, matmul_into_threads};
+use rdo_tensor::{
+    available_threads, matmul_into_scalar, matmul_into_serial, matmul_into_threads, Tensor,
+};
 
 /// One GEMM shape measured by the report. The LeNet rows are the exact
 /// im2col products of the §IV LeNet at batch 32: conv1 lowers 28×28×1
@@ -46,6 +59,12 @@ fn main() -> Result<()> {
 
     let cycles = cycles_report(quick)?;
     write_raw("BENCH_cycles", &cycles)?;
+
+    let vawo = vawo_report(quick)?;
+    write_raw("BENCH_vawo", &vawo)?;
+
+    let program = program_report(reps, quick)?;
+    write_raw("BENCH_program", &program)?;
     Ok(())
 }
 
@@ -160,14 +179,112 @@ fn cycles_report(quick: bool) -> Result<String> {
     ))
 }
 
-/// Writes a pre-formatted JSON document under `results/`, mirroring
-/// [`rdo_bench::write_results`] but without a serializer round-trip (the
-/// report is hand-formatted so numbers keep their exact printed form).
+fn vawo_report(quick: bool) -> Result<String> {
+    // The canonical mapped-layer shape of the §IV sweeps: one 128×128
+    // weight matrix, complemented formulations enabled (the VAWO* upper
+    // bound on search cost).
+    let sigma = 0.5;
+    let (rows, cols) = (128usize, 128usize);
+    let ntw = Tensor::from_fn(&[rows, cols], |i| ((i * 37) % 256) as f32);
+    let g2 = Tensor::from_fn(&[rows, cols], |i| 1e-4 * (1.0 + (i % 7) as f32));
+    let reps = if quick { 1 } else { 5 };
+    let threads = available_threads();
+
+    let mut out_rows = Vec::new();
+    for m in [16usize, 64, 128] {
+        let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).map_err(BenchError::from)?;
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+        let layout = GroupLayout::new(rows, cols, &cfg).map_err(BenchError::from)?;
+
+        let reference_ns = best_of(reps, || {
+            black_box(
+                optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, true)
+                    .expect("consistent shapes"),
+            );
+        });
+        let fast_ns = best_of(reps, || {
+            black_box(
+                optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, true, 1)
+                    .expect("consistent shapes"),
+            );
+        });
+        let fast_threaded_ns = best_of(reps, || {
+            black_box(
+                optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, true, threads)
+                    .expect("consistent shapes"),
+            );
+        });
+        let speedup = reference_ns as f64 / fast_ns as f64;
+        eprintln!(
+            "[vawo] 128x128 m={m}: reference {:.3} ms, table {:.3} ms ({speedup:.2}x), \
+             table threaded({threads}) {:.3} ms",
+            reference_ns as f64 / 1e6,
+            fast_ns as f64 / 1e6,
+            fast_threaded_ns as f64 / 1e6,
+        );
+        out_rows.push(format!(
+            "    {{\n      \"m\": {m}, \"reference_ns\": {reference_ns}, \"fast_ns\": {fast_ns}, \
+             \"fast_threaded_ns\": {fast_threaded_ns},\n      \
+             \"speedup_vs_reference\": {speedup:.3}\n    }}"
+        ));
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"vawo\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"complement\": true,\n  \
+         \"threads\": {threads},\n  \"granularities\": [\n{}\n  ]\n}}\n",
+        out_rows.join(",\n")
+    ))
+}
+
+fn program_report(reps: usize, quick: bool) -> Result<String> {
+    let (rows, cols) = (128usize, 128usize);
+    let ctw = Tensor::from_fn(&[rows, cols], |i| ((i * 53) % 256) as f32);
+    let sigma = 0.5;
+
+    let mut out_rows = Vec::new();
+    for cell in [CellKind::Slc, CellKind::Mlc2] {
+        let codec = WeightCodec::paper(CellTechnology::paper(cell));
+        for kind in [VariationKind::PerWeight, VariationKind::PerCell] {
+            let model = VariationModel::new(sigma, kind);
+            let mut rng = seeded_rng(7);
+            let scalar_ns = best_of(reps, || {
+                black_box(program_matrix_scalar(&ctw, &codec, &model, &mut rng).expect("in range"));
+            });
+            let bulk_ns = best_of(reps, || {
+                black_box(program_matrix(&ctw, &codec, &model, &mut rng).expect("in range"));
+            });
+            let speedup = scalar_ns as f64 / bulk_ns as f64;
+            let label = format!("{cell:?}_{kind:?}").to_lowercase();
+            eprintln!(
+                "[program] {label}: scalar {:.3} ms, bulk {:.3} ms ({speedup:.2}x)",
+                scalar_ns as f64 / 1e6,
+                bulk_ns as f64 / 1e6,
+            );
+            out_rows.push(format!(
+                "    {{\n      \"config\": \"{label}\", \"scalar_ns\": {scalar_ns}, \
+                 \"bulk_ns\": {bulk_ns},\n      \"speedup_vs_scalar\": {speedup:.3}\n    }}"
+            ));
+        }
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"program\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"sigma\": {sigma},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        out_rows.join(",\n")
+    ))
+}
+
+/// Writes a pre-formatted JSON document under `results/` and mirrors it
+/// to the repo root, like [`rdo_bench::write_results`] but without a
+/// serializer round-trip (the report is hand-formatted so numbers keep
+/// their exact printed form).
 fn write_raw(name: &str, json: &str) -> Result<()> {
     let dir = std::path::PathBuf::from("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, json)?;
-    eprintln!("[{name}] wrote {}", path.display());
+    let mirror = std::path::PathBuf::from(format!("{name}.json"));
+    std::fs::write(&mirror, json)?;
+    eprintln!("[{name}] wrote {} (mirrored to {})", path.display(), mirror.display());
     Ok(())
 }

@@ -19,14 +19,20 @@
 //! Independent (method, cell, σ, m) grid points run concurrently through
 //! [`run_method_grid`] / [`run_grid`]; per-point results are identical to
 //! a serial run for every thread count. Trained checkpoints are cached
-//! under `target/rdo-cache/`.
+//! under `target/rdo-cache/`, and within a process trained models and
+//! analytic device LUTs are additionally shared through keyed in-memory
+//! caches ([`prepare_lenet`] & friends return `Arc<TrainedModel>`,
+//! [`shared_lut`] hands out `Arc<DeviceLut>`), so grid points with
+//! identical keys never rebuild an artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
 use rdo_baselines::BaselineError;
@@ -40,7 +46,7 @@ use rdo_datasets::{
 use rdo_nn::{
     evaluate, fit, Layer, LeNetConfig, NnError, ResNetConfig, Sequential, TrainConfig, VggConfig,
 };
-use rdo_rram::{CellKind, DeviceLut, RramError, VariationModel};
+use rdo_rram::{CellKind, CellTechnology, DeviceLut, RramError, VariationModel, WeightCodec};
 use rdo_tensor::parallel::{parallel_map_indexed, resolve_threads};
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::{Tensor, TensorError};
@@ -318,6 +324,58 @@ fn cache_dir() -> PathBuf {
     dir
 }
 
+/// Per-process cache of trained models, keyed by the same string that
+/// names the on-disk checkpoint. Grid sweeps and the `all` driver call
+/// `prepare_*` once per binary; within a process every further call for
+/// the same (scale, seed) configuration is a map lookup.
+static MODEL_CACHE: LazyLock<Mutex<HashMap<String, Arc<TrainedModel>>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Per-process cache of analytic device LUTs. The paper codec is a pure
+/// function of the cell kind and the analytic LUT a pure function of
+/// (codec, σ), so `(cell, σ.to_bits())` identifies the table exactly;
+/// grid points sharing a (cell, σ) pair — every m-sweep in Fig. 5 —
+/// reuse one table instead of rebuilding it per point.
+type LutCache = Mutex<HashMap<(CellKind, u64), Arc<DeviceLut>>>;
+
+static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Returns the analytic per-weight [`DeviceLut`] for `(cell, sigma)`,
+/// building it at most once per process per key.
+///
+/// Concurrent first calls for the same key may both build the table; the
+/// race is benign because the analytic construction is deterministic and
+/// `or_insert` keeps exactly one copy.
+///
+/// # Errors
+///
+/// Propagates LUT construction errors.
+pub fn shared_lut(cell: CellKind, sigma: f64) -> Result<Arc<DeviceLut>> {
+    let key = (cell, sigma.to_bits());
+    if let Some(lut) = LUT_CACHE.lock().expect("lut cache poisoned").get(&key) {
+        return Ok(Arc::clone(lut));
+    }
+    let codec = WeightCodec::paper(CellTechnology::paper(cell));
+    let lut = Arc::new(DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec)?);
+    let mut cache = LUT_CACHE.lock().expect("lut cache poisoned");
+    Ok(Arc::clone(cache.entry(key).or_insert(lut)))
+}
+
+/// Looks up `cache_key` in the in-process model cache, running `build`
+/// (training or checkpoint load) only on a miss. Same benign-race
+/// contract as [`shared_lut`]: `build` is deterministic for a fixed key.
+fn cached_model<F>(cache_key: &str, build: F) -> Result<Arc<TrainedModel>>
+where
+    F: FnOnce() -> Result<TrainedModel>,
+{
+    if let Some(model) = MODEL_CACHE.lock().expect("model cache poisoned").get(cache_key) {
+        return Ok(Arc::clone(model));
+    }
+    let model = Arc::new(build()?);
+    let mut cache = MODEL_CACHE.lock().expect("model cache poisoned");
+    Ok(Arc::clone(cache.entry(cache_key.to_string()).or_insert(model)))
+}
+
 /// Saves every state tensor of a network as JSON.
 fn save_checkpoint(net: &mut Sequential, path: &PathBuf) -> Result<()> {
     let state: Vec<Vec<f32>> = net.state().into_iter().map(|t| t.data().to_vec()).collect();
@@ -369,17 +427,20 @@ fn train_or_load(
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_lenet(cfg: &BenchConfig) -> Result<TrainedModel> {
+pub fn prepare_lenet(cfg: &BenchConfig) -> Result<Arc<TrainedModel>> {
     let seed = cfg.seed;
     let (per_class, epochs) = match cfg.scale {
         Scale::Fast => (120, 12),
         Scale::Paper => (300, 20),
     };
-    let ds = generate_digits(&DigitsConfig { per_class, seed, ..Default::default() })?;
-    let (train, test) = ds.split(2.0 / 3.0)?;
-    let net = LeNetConfig::classic().build(&mut seeded_rng(seed.wrapping_add(1)))?;
-    let tc = TrainConfig { epochs, lr: 0.08, weight_decay: 0.0, seed, ..Default::default() };
-    train_or_load("LeNet", &format!("lenet_{per_class}_{epochs}_{seed}"), net, train, test, &tc)
+    let cache_key = format!("lenet_{per_class}_{epochs}_{seed}");
+    cached_model(&cache_key, || {
+        let ds = generate_digits(&DigitsConfig { per_class, seed, ..Default::default() })?;
+        let (train, test) = ds.split(2.0 / 3.0)?;
+        let net = LeNetConfig::classic().build(&mut seeded_rng(seed.wrapping_add(1)))?;
+        let tc = TrainConfig { epochs, lr: 0.08, weight_decay: 0.0, seed, ..Default::default() };
+        train_or_load("LeNet", &cache_key, net, train, test, &tc)
+    })
 }
 
 /// Prepares the ResNet-18 + textures workload (the paper's ResNet-18 +
@@ -388,24 +449,21 @@ pub fn prepare_lenet(cfg: &BenchConfig) -> Result<TrainedModel> {
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_resnet(cfg: &BenchConfig) -> Result<TrainedModel> {
+pub fn prepare_resnet(cfg: &BenchConfig) -> Result<Arc<TrainedModel>> {
     let seed = cfg.seed;
     let (per_class, hw, width, epochs) = match cfg.scale {
         Scale::Fast => (120, 16, 8, 6),
         Scale::Paper => (300, 32, 16, 10),
     };
-    let ds = generate_textures(&TexturesConfig { per_class, hw, seed, ..Default::default() })?;
-    let (train, test) = ds.split(2.0 / 3.0)?;
-    let net = ResNetConfig::resnet18_scaled(width).build(&mut seeded_rng(seed.wrapping_add(2)))?;
-    let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
-    train_or_load(
-        "ResNet-18",
-        &format!("resnet_{per_class}_{hw}_{width}_{epochs}_{seed}"),
-        net,
-        train,
-        test,
-        &tc,
-    )
+    let cache_key = format!("resnet_{per_class}_{hw}_{width}_{epochs}_{seed}");
+    cached_model(&cache_key, || {
+        let ds = generate_textures(&TexturesConfig { per_class, hw, seed, ..Default::default() })?;
+        let (train, test) = ds.split(2.0 / 3.0)?;
+        let net =
+            ResNetConfig::resnet18_scaled(width).build(&mut seeded_rng(seed.wrapping_add(2)))?;
+        let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
+        train_or_load("ResNet-18", &cache_key, net, train, test, &tc)
+    })
 }
 
 /// Prepares the VGG-16 + textures workload (the paper's Table III
@@ -414,29 +472,26 @@ pub fn prepare_resnet(cfg: &BenchConfig) -> Result<TrainedModel> {
 /// # Errors
 ///
 /// Propagates dataset/training errors.
-pub fn prepare_vgg(cfg: &BenchConfig) -> Result<TrainedModel> {
+pub fn prepare_vgg(cfg: &BenchConfig) -> Result<Arc<TrainedModel>> {
     let seed = cfg.seed;
     let (per_class, hw, divisor, epochs) = match cfg.scale {
         Scale::Fast => (120, 16, 8, 6),
         Scale::Paper => (300, 32, 4, 10),
     };
-    let ds = generate_textures(&TexturesConfig {
-        per_class,
-        hw,
-        seed: seed.wrapping_add(7),
-        ..Default::default()
-    })?;
-    let (train, test) = ds.split(2.0 / 3.0)?;
-    let net = VggConfig::vgg16_scaled(divisor, hw).build(&mut seeded_rng(seed.wrapping_add(3)))?;
-    let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
-    train_or_load(
-        "VGG-16",
-        &format!("vgg_{per_class}_{hw}_{divisor}_{epochs}_{seed}"),
-        net,
-        train,
-        test,
-        &tc,
-    )
+    let cache_key = format!("vgg_{per_class}_{hw}_{divisor}_{epochs}_{seed}");
+    cached_model(&cache_key, || {
+        let ds = generate_textures(&TexturesConfig {
+            per_class,
+            hw,
+            seed: seed.wrapping_add(7),
+            ..Default::default()
+        })?;
+        let (train, test) = ds.split(2.0 / 3.0)?;
+        let net =
+            VggConfig::vgg16_scaled(divisor, hw).build(&mut seeded_rng(seed.wrapping_add(3)))?;
+        let tc = TrainConfig { epochs, lr: 0.05, seed, ..Default::default() };
+        train_or_load("VGG-16", &cache_key, net, train, test, &tc)
+    })
 }
 
 /// Maps and evaluates one (method, cell, σ, m) point over programming
@@ -536,7 +591,7 @@ pub fn map_only(
     m: usize,
 ) -> Result<MappedNetwork> {
     let cfg = OffsetConfig::paper(cell, sigma, m)?;
-    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let lut = shared_lut(cell, sigma)?;
     let grads = if method.uses_vawo() { Some(model.grads.as_slice()) } else { None };
     Ok(MappedNetwork::map(&model.net, method, &cfg, &lut, grads)?)
 }
@@ -638,6 +693,54 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.9137), "91.37%");
+    }
+
+    #[test]
+    fn shared_lut_caches_and_matches_direct() {
+        let a = shared_lut(CellKind::Slc, 0.37).unwrap();
+        let b = shared_lut(CellKind::Slc, 0.37).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (cell, σ) key must share one LUT");
+        let other_cell = shared_lut(CellKind::Mlc2, 0.37).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_cell));
+        let other_sigma = shared_lut(CellKind::Slc, 0.38).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_sigma));
+        let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
+        let direct = DeviceLut::analytic(&VariationModel::per_weight(0.37), &codec).unwrap();
+        for v in 0..256u32 {
+            assert_eq!(a.mean(v).to_bits(), direct.mean(v).to_bits());
+            assert_eq!(a.var(v).to_bits(), direct.var(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_model_builds_once_per_key() {
+        use rdo_nn::Linear;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let tiny = |builds: &AtomicUsize| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            let mut net = Sequential::new();
+            net.push(Linear::new(4, 2, &mut seeded_rng(5)));
+            let images = Tensor::from_fn(&[2, 1, 2, 2], |i| 0.1 * i as f32);
+            let train = Dataset::new(images.clone(), vec![0, 1], 2)?;
+            let test = Dataset::new(images, vec![0, 1], 2)?;
+            Ok(TrainedModel {
+                name: "tiny".to_string(),
+                net,
+                train,
+                test,
+                ideal_accuracy: 0.5,
+                grads: Vec::new(),
+                train_time: Duration::ZERO,
+            })
+        };
+        let a = cached_model("test_cached_model_key", || tiny(&builds)).unwrap();
+        let b = cached_model("test_cached_model_key", || tiny(&builds)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one model");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "builder must run once per key");
+        let c = cached_model("test_cached_model_key_2", || tiny(&builds)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -59,4 +59,7 @@ pub use gradient::{
 pub use mapping::{MappedLayer, MappedNetwork};
 pub use offsets::{GroupLayout, OffsetState};
 pub use pwt::{tune, PwtConfig, PwtOptimizer, PwtReport};
-pub use vawo::{complement_weight, optimize_matrix, VawoOutput};
+pub use vawo::{
+    complement_weight, optimize_matrix, optimize_matrix_reference, optimize_matrix_with_threads,
+    VawoOutput,
+};

@@ -19,7 +19,7 @@
 //! digitally, so the group solves a second optimization against the
 //! complemented targets and keeps the better of the two.
 
-use rdo_tensor::Tensor;
+use rdo_tensor::{parallel_map_indexed, resolve_threads, Tensor};
 
 use crate::config::OffsetConfig;
 use crate::error::{CoreError, Result};
@@ -71,6 +71,56 @@ impl TargetTable {
     fn idx(&self, target: i64) -> usize {
         (target - self.t0) as usize
     }
+
+    /// Expands the per-target terms into a dense `(maxw+1) × n_b` matrix
+    /// `contrib[w̃][bi] = Var[R(v(w̃−b))] (+ bias²)`, so the group search
+    /// becomes per-row axpys into an offset-indexed objective vector. The
+    /// complemented formulation reuses row `maxw − w̃` for free.
+    fn contrib_matrix(&self, cfg: &OffsetConfig, maxw: i64, n_b: usize) -> Vec<f64> {
+        let b_min = cfg.offset_min() as i64;
+        let mut contrib = vec![0.0f64; (maxw as usize + 1) * n_b];
+        for w in 0..=maxw {
+            let row = &mut contrib[w as usize * n_b..(w as usize + 1) * n_b];
+            for (bi, slot) in row.iter_mut().enumerate() {
+                let e = self.idx(w - (b_min + bi as i64));
+                // precomputing the sum reuses the exact operands the
+                // per-triple search adds, so the f64 result is identical
+                *slot =
+                    if cfg.vawo_bias_term { self.var[e] + self.bias_sq[e] } else { self.var[e] };
+            }
+        }
+        contrib
+    }
+}
+
+/// Shared argument validation for the three `optimize_matrix*` entry
+/// points.
+fn validate_inputs(
+    ntw_q: &Tensor,
+    grads_sq: &Tensor,
+    layout: &GroupLayout,
+    lut: &DeviceLut,
+    cfg: &OffsetConfig,
+) -> Result<()> {
+    cfg.validate()?;
+    let (fan_in, fan_out) = (layout.fan_in(), layout.fan_out());
+    if ntw_q.dims() != [fan_in, fan_out] || grads_sq.dims() != [fan_in, fan_out] {
+        return Err(CoreError::InvalidConfig(format!(
+            "NTW {:?} / grads {:?} do not match layout {}×{}",
+            ntw_q.dims(),
+            grads_sq.dims(),
+            fan_in,
+            fan_out
+        )));
+    }
+    if lut.len() != cfg.codec.weight_levels() as usize {
+        return Err(CoreError::InvalidConfig(format!(
+            "LUT has {} entries but codec supports {}",
+            lut.len(),
+            cfg.codec.weight_levels()
+        )));
+    }
+    Ok(())
 }
 
 /// Runs VAWO (optionally with the weight complement) over one mapped
@@ -93,26 +143,118 @@ pub fn optimize_matrix(
     cfg: &OffsetConfig,
     use_complement: bool,
 ) -> Result<VawoOutput> {
-    cfg.validate()?;
+    optimize_matrix_with_threads(ntw_q, grads_sq, layout, lut, cfg, use_complement, 0)
+}
+
+/// [`optimize_matrix`] with an explicit worker-thread count (`0` defers
+/// to `RDO_THREADS`/available parallelism, matching the engine-wide
+/// convention). Output columns are independent, the per-group search is
+/// identical code whichever worker owns the column, and the total
+/// objective is reduced serially in the fixed (row-range, column) order
+/// — so the result is **bitwise identical for every thread count**.
+pub fn optimize_matrix_with_threads(
+    ntw_q: &Tensor,
+    grads_sq: &Tensor,
+    layout: &GroupLayout,
+    lut: &DeviceLut,
+    cfg: &OffsetConfig,
+    use_complement: bool,
+    threads: usize,
+) -> Result<VawoOutput> {
+    validate_inputs(ntw_q, grads_sq, layout, lut, cfg)?;
     let (fan_in, fan_out) = (layout.fan_in(), layout.fan_out());
-    if ntw_q.dims() != [fan_in, fan_out] || grads_sq.dims() != [fan_in, fan_out] {
-        return Err(CoreError::InvalidConfig(format!(
-            "NTW {:?} / grads {:?} do not match layout {}×{}",
-            ntw_q.dims(),
-            grads_sq.dims(),
-            fan_in,
-            fan_out
-        )));
-    }
-    if lut.len() != cfg.codec.weight_levels() as usize {
-        return Err(CoreError::InvalidConfig(format!(
-            "LUT has {} entries but codec supports {}",
-            lut.len(),
-            cfg.codec.weight_levels()
-        )));
-    }
     let maxw = cfg.codec.max_weight() as i64;
     let table = TargetTable::build(lut, cfg);
+    let (b_min, b_max) = (cfg.offset_min() as i64, cfg.offset_max() as i64);
+    let n_b = (b_max - b_min + 1) as usize;
+    let contrib = table.contrib_matrix(cfg, maxw, n_b);
+    let forms: &[bool] = if use_complement { &[false, true] } else { &[false] };
+    let row_bounds = layout.row_bounds();
+
+    let threads = resolve_threads(threads).min(fan_out.max(1));
+    // per column: the winning (objective, offset, complemented) of every
+    // row-range group plus the materialized CTW column
+    let columns = parallel_map_indexed(fan_out, threads, |c| {
+        let mut winners = Vec::with_capacity(row_bounds.len());
+        let mut col_ctw = vec![0.0f32; fan_in];
+        let mut obj_vec = vec![0.0f64; n_b];
+        for &(r0, r1) in row_bounds {
+            let mut best: Option<(f64, i64, bool)> = None;
+            for &comp in forms {
+                obj_vec.iter_mut().for_each(|o| *o = 0.0);
+                for r in r0..r1 {
+                    let w = ntw_q.data()[r * fan_out + c].round() as i64;
+                    let wt = if comp { maxw - w } else { w };
+                    // floor the weighting at a tiny epsilon so zero-gradient
+                    // groups still get unbiased, low-variance CTWs
+                    let g = (grads_sq.data()[r * fan_out + c] as f64).max(1e-20);
+                    let row = &contrib[wt as usize * n_b..(wt as usize + 1) * n_b];
+                    // ascending-row axpy: every obj_vec[bi] accumulates the
+                    // same f64 terms in the same order as the per-triple
+                    // search at offset b_min+bi
+                    for (o, &t) in obj_vec.iter_mut().zip(row) {
+                        *o += g * t;
+                    }
+                }
+                for (bi, &obj) in obj_vec.iter().enumerate() {
+                    if best.is_none_or(|(bo, _, _)| obj < bo) {
+                        best = Some((obj, b_min + bi as i64, comp));
+                    }
+                }
+            }
+            let win = best.expect("offset range is never empty");
+            let (_, b, comp) = win;
+            // materialize the CTWs for the winning formulation
+            for (slot, r) in col_ctw[r0..r1].iter_mut().zip(r0..r1) {
+                let w = ntw_q.data()[r * fan_out + c].round() as i64;
+                let wt = if comp { maxw - w } else { w };
+                *slot = table.v[table.idx(wt - b)] as f32;
+            }
+            winners.push(win);
+        }
+        (winners, col_ctw)
+    });
+
+    let mut ctw = Tensor::zeros(&[fan_in, fan_out]);
+    let n_groups = layout.group_count();
+    let mut offsets = vec![0.0f32; n_groups];
+    let mut complemented = vec![false; n_groups];
+    let mut total_objective = 0.0f64;
+    for ri in 0..row_bounds.len() {
+        for (c, (winners, _)) in columns.iter().enumerate() {
+            let (obj, b, comp) = winners[ri];
+            let gi = layout.group_index(ri, c);
+            offsets[gi] = b as f32;
+            complemented[gi] = comp;
+            total_objective += obj;
+        }
+    }
+    for (c, (_, col_ctw)) in columns.iter().enumerate() {
+        for (r, &v) in col_ctw.iter().enumerate() {
+            ctw.data_mut()[r * fan_out + c] = v;
+        }
+    }
+
+    let state = OffsetState::from_parts(layout.clone(), offsets, complemented)?;
+    Ok(VawoOutput { ctw, state, objective: total_objective })
+}
+
+/// The naive VAWO search kept as the bitwise oracle for the table-driven
+/// fast path: every `(weight, offset, formulation)` triple probes the
+/// device LUT directly, with no precomputation beyond the LUT itself.
+/// Property tests pin `optimize_matrix` to this function bit for bit;
+/// `perf_report`/`BENCH_vawo.json` quantify the speedup.
+pub fn optimize_matrix_reference(
+    ntw_q: &Tensor,
+    grads_sq: &Tensor,
+    layout: &GroupLayout,
+    lut: &DeviceLut,
+    cfg: &OffsetConfig,
+    use_complement: bool,
+) -> Result<VawoOutput> {
+    validate_inputs(ntw_q, grads_sq, layout, lut, cfg)?;
+    let (fan_in, fan_out) = (layout.fan_in(), layout.fan_out());
+    let maxw = cfg.codec.max_weight() as i64;
     let (b_min, b_max) = (cfg.offset_min() as i64, cfg.offset_max() as i64);
 
     let mut ctw = Tensor::zeros(&[fan_in, fan_out]);
@@ -137,17 +279,17 @@ pub fn optimize_matrix(
                 for r in r0..r1 {
                     let w = ntw_q.data()[r * fan_out + c].round() as i64;
                     w_tilde.push(if comp { maxw - w } else { w });
-                    // floor the weighting at a tiny epsilon so zero-gradient
-                    // groups still get unbiased, low-variance CTWs
                     g2.push((grads_sq.data()[r * fan_out + c] as f64).max(1e-20));
                 }
                 for b in b_min..=b_max {
                     let mut obj = 0.0f64;
                     for (w, g) in w_tilde.iter().zip(&g2) {
-                        let e = table.idx(w - b);
-                        let mut term = table.var[e];
+                        let t = (w - b) as f64;
+                        let v = lut.inverse_mean(t);
+                        let mut term = lut.var(v);
                         if cfg.vawo_bias_term {
-                            term += table.bias_sq[e];
+                            let bias = lut.mean(v) - t;
+                            term += bias * bias;
                         }
                         obj += g * term;
                     }
@@ -164,8 +306,7 @@ pub fn optimize_matrix(
             for r in r0..r1 {
                 let w = ntw_q.data()[r * fan_out + c].round() as i64;
                 let wt = if comp { maxw - w } else { w };
-                let v = table.v[table.idx(wt - b)];
-                ctw.data_mut()[r * fan_out + c] = v as f32;
+                ctw.data_mut()[r * fan_out + c] = lut.inverse_mean((wt - b) as f64) as f32;
             }
         }
     }
@@ -359,5 +500,79 @@ mod tests {
         let ntw = Tensor::zeros(&[16, 1]);
         let g2 = Tensor::zeros(&[16, 1]);
         assert!(optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, false).is_err());
+        assert!(optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, false).is_err());
+    }
+
+    fn assert_bitwise_eq(a: &VawoOutput, b: &VawoOutput, label: &str) {
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{label}: objective differs");
+        for (i, (x, y)) in a.ctw.data().iter().zip(b.ctw.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: CTW {i} differs ({x} vs {y})");
+        }
+        let n = a.state.layout().group_count();
+        for g in 0..n {
+            assert_eq!(
+                a.state.offset(g).to_bits(),
+                b.state.offset(g).to_bits(),
+                "{label}: offset {g} differs"
+            );
+            assert_eq!(
+                a.state.is_complemented(g),
+                b.state.is_complemented(g),
+                "{label}: complement flag {g} differs"
+            );
+        }
+    }
+
+    /// Fixed-case twin of the `fast_vawo_matches_reference` proptest:
+    /// the table-driven search (serial and threaded) must be bitwise
+    /// identical to the naive per-triple reference.
+    #[test]
+    fn fast_matches_reference_fixed_cases() {
+        use rdo_rram::CellKind;
+        for (case, &(cell, m, sigma, comp, fan_in, fan_out, seed)) in [
+            (CellKind::Slc, 16usize, 0.5f64, true, 40usize, 3usize, 1u64),
+            (CellKind::Slc, 64, 0.3, true, 70, 2, 2),
+            (CellKind::Slc, 128, 0.8, false, 128, 2, 3),
+            (CellKind::Slc, 16, 0.2, true, 16, 1, 4),
+            (CellKind::Slc, 16, 0.0, true, 24, 2, 5),
+            (CellKind::Mlc2, 64, 0.5, true, 64, 2, 6),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let cfg = OffsetConfig::paper(cell, sigma, m).unwrap();
+            let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+            let layout = GroupLayout::new(fan_in, fan_out, &cfg).unwrap();
+            let ntw = Tensor::from_fn(&[fan_in, fan_out], |i| {
+                ((i as u64 * (seed * 31 + 7) + seed) % 256) as f32
+            });
+            let g2 = Tensor::from_fn(&[fan_in, fan_out], |i| {
+                ((i as u64 * (seed + 11)) % 17) as f32 * 0.25
+            });
+            let reference =
+                optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, comp).unwrap();
+            let fast = optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, comp).unwrap();
+            let serial =
+                optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, comp, 1).unwrap();
+            let threaded =
+                optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, comp, 3).unwrap();
+            assert_bitwise_eq(&fast, &reference, &format!("case {case} fast"));
+            assert_bitwise_eq(&serial, &reference, &format!("case {case} serial"));
+            assert_bitwise_eq(&threaded, &reference, &format!("case {case} threads=3"));
+        }
+    }
+
+    /// The bias-term flag must flow through the contrib table exactly as
+    /// it flows through the naive search.
+    #[test]
+    fn fast_matches_reference_without_bias_term() {
+        let (mut cfg, lut) = setup(16, 0.6);
+        cfg.vawo_bias_term = false;
+        let layout = GroupLayout::new(48, 2, &cfg).unwrap();
+        let ntw = Tensor::from_fn(&[48, 2], |i| ((i * 91 + 17) % 256) as f32);
+        let g2 = Tensor::from_fn(&[48, 2], |i| 1.0 + (i % 5) as f32);
+        let reference = optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, true).unwrap();
+        let fast = optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, true).unwrap();
+        assert_bitwise_eq(&fast, &reference, "no bias term");
     }
 }

@@ -1,7 +1,10 @@
 //! Property-based tests for offset groups and VAWO invariants.
 
 use proptest::prelude::*;
-use rdo_core::{complement_weight, optimize_matrix, GroupLayout, OffsetConfig, OffsetState};
+use rdo_core::{
+    complement_weight, optimize_matrix, optimize_matrix_reference, optimize_matrix_with_threads,
+    GroupLayout, OffsetConfig, OffsetState,
+};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 use rdo_tensor::Tensor;
 
@@ -133,5 +136,47 @@ proptest! {
             })
             .sum();
         prop_assert!(out.objective <= plain + 1e-6);
+    }
+
+    /// The table-driven fast path is bitwise identical to the naive
+    /// per-triple reference search: same CTWs, offsets, complement flags
+    /// and objective bits — serial and threaded alike.
+    #[test]
+    fn fast_vawo_matches_reference(
+        m in prop_oneof![Just(16usize), Just(64), Just(128)],
+        sigma in 0.2f64..1.0,
+        fan_in in 1usize..80,
+        fan_out in 1usize..6,
+        use_complement in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let cfg = OffsetConfig::paper(CellKind::Slc, sigma, m).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+        let layout = GroupLayout::new(fan_in, fan_out, &cfg).unwrap();
+        let ntw = Tensor::from_fn(&[fan_in, fan_out], |i| {
+            ((i as u64 * (seed * 31 + 7) + seed) % 256) as f32
+        });
+        let g2 = Tensor::from_fn(&[fan_in, fan_out], |i| {
+            ((i as u64 * (seed + 11)) % 17) as f32 * 0.25
+        });
+        let reference =
+            optimize_matrix_reference(&ntw, &g2, &layout, &lut, &cfg, use_complement).unwrap();
+        let fast = optimize_matrix(&ntw, &g2, &layout, &lut, &cfg, use_complement).unwrap();
+        let threaded =
+            optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, use_complement, 4)
+                .unwrap();
+        for out in [&fast, &threaded] {
+            prop_assert_eq!(out.objective.to_bits(), reference.objective.to_bits());
+            for (a, b) in out.ctw.data().iter().zip(reference.ctw.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for g in 0..layout.group_count() {
+                prop_assert_eq!(
+                    out.state.offset(g).to_bits(),
+                    reference.state.offset(g).to_bits()
+                );
+                prop_assert_eq!(out.state.is_complemented(g), reference.state.is_complemented(g));
+            }
+        }
     }
 }

@@ -10,13 +10,22 @@
 //!   conductances, supporting partial-wordline analog VMMs for the
 //!   bit-serial ADC pipeline in [`crate::adc`].
 
+use std::cell::RefCell;
+
 use rand::Rng;
-use rdo_tensor::{microkernel, Tensor};
+use rand_distr::{Distribution, Normal};
+use rdo_tensor::{microkernel, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::WeightCodec;
 use crate::error::{Result, RramError};
 use crate::variation::{VariationKind, VariationModel};
+
+thread_local! {
+    /// Per-thread buffer pool for the bulk programming θ streams, so the
+    /// per-cycle hot loop stops allocating after warm-up.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
 
 /// Physical dimensions of one crossbar array (the paper simulates
 /// 128×128).
@@ -52,17 +61,151 @@ impl CrossbarSpec {
     }
 }
 
+/// Validates and rounds every CTW entry to its integer level, up front,
+/// so the bulk sampling loops below can be panic-free and branch-light.
+fn validate_levels(ctw: &Tensor, codec: &WeightCodec) -> Result<Vec<u32>> {
+    if ctw.shape().rank() != 2 {
+        return Err(RramError::ShapeMismatch(format!(
+            "CTW matrix must be rank 2, got {:?}",
+            ctw.dims()
+        )));
+    }
+    let mut levels = Vec::with_capacity(ctw.data().len());
+    for &q in ctw.data() {
+        let v = q.round();
+        if v < 0.0 || v > codec.max_weight() as f32 {
+            return Err(RramError::WeightOutOfRange {
+                value: v.max(0.0) as u32,
+                levels: codec.weight_levels(),
+            });
+        }
+        levels.push(v as u32);
+    }
+    Ok(levels)
+}
+
+/// The level → total nominal conductance table (`v + floor` in weight
+/// units), one entry per representable level.
+fn nominal_table(codec: &WeightCodec) -> Result<Vec<f64>> {
+    (0..codec.weight_levels()).map(|v| codec.nominal_conductance(v)).collect()
+}
+
+/// Per-level, per-slice contributions `place(j)·(s_j + cell_floor)` plus
+/// their ascending-`j` sums — the precomputed halves of the per-cell
+/// write formula. The sums are accumulated in the same order the scalar
+/// path adds its terms, so the σ = 0 shortcut stays bitwise identical.
+fn per_cell_tables(codec: &WeightCodec) -> Result<(Vec<f64>, Vec<f64>, usize)> {
+    let cpw = codec.cells_per_weight();
+    let cell_floor = codec.cell().floor();
+    let levels = codec.weight_levels() as usize;
+    let mut contrib = Vec::with_capacity(levels * cpw);
+    let mut sums = Vec::with_capacity(levels);
+    for v in 0..levels {
+        let slices = codec.encode(v as u32)?;
+        let mut sum = 0.0f64;
+        for (j, &s) in slices.iter().enumerate() {
+            let c = codec.place_value(j) as f64 * (s as f64 + cell_floor);
+            contrib.push(c);
+            sum += c;
+        }
+        sums.push(sum);
+    }
+    Ok((contrib, sums, cpw))
+}
+
 /// Samples CRWs for a whole integer weight matrix: the fast path.
 ///
 /// `ctw` holds integer levels (as whole-valued `f32`) of shape
 /// `(fan_in, fan_out)`; the result has the same shape with one sampled
 /// crossbar real weight per entry.
 ///
+/// This is the bulk path of the per-cycle hot loop: entries are
+/// validated up front, the `Normal(0, σ)` distribution is hoisted out of
+/// the loop (it is a pure parameter struct, so this leaves the RNG
+/// stream untouched), the θ stream is sampled into a pooled scratch
+/// buffer in exactly the per-entry order of the scalar path, and the
+/// precomputed level → conductance table is applied in one fused pass —
+/// making the result **bitwise identical** to [`program_matrix_scalar`]
+/// at any seed (property-tested). The paths only differ on invalid
+/// input, where the bulk path errors before consuming any RNG draws.
+///
 /// # Errors
 ///
 /// Returns [`RramError::WeightOutOfRange`] if any entry does not fit the
 /// codec, or [`RramError::ShapeMismatch`] for a non-matrix tensor.
 pub fn program_matrix(
+    ctw: &Tensor,
+    codec: &WeightCodec,
+    model: &VariationModel,
+    rng: &mut impl Rng,
+) -> Result<Tensor> {
+    let levels = validate_levels(ctw, codec)?;
+    let floor = codec.total_floor();
+    let sigma = model.sigma();
+    let mut out = Tensor::zeros(ctw.dims());
+    match model.kind() {
+        VariationKind::PerWeight => {
+            let nominal = nominal_table(codec)?;
+            if sigma == 0.0 {
+                // the scalar path multiplies by an undrawn 1.0 here;
+                // x·1.0 ≡ x bitwise, so skipping it is exact
+                for (o, &v) in out.data_mut().iter_mut().zip(&levels) {
+                    *o = (nominal[v as usize] - floor) as f32;
+                }
+            } else {
+                let normal = Normal::new(0.0, sigma).expect("sigma validated at construction");
+                SCRATCH.with(|s| {
+                    let mut scratch = s.borrow_mut();
+                    let mut theta = scratch.take_f64(levels.len());
+                    for t in theta.iter_mut() {
+                        *t = normal.sample(rng);
+                    }
+                    for ((o, &v), t) in out.data_mut().iter_mut().zip(&levels).zip(&theta) {
+                        *o = (nominal[v as usize] * t.exp() - floor) as f32;
+                    }
+                    scratch.recycle_f64(theta);
+                });
+            }
+        }
+        VariationKind::PerCell => {
+            let (contrib, sums, cpw) = per_cell_tables(codec)?;
+            if sigma == 0.0 {
+                for (o, &v) in out.data_mut().iter_mut().zip(&levels) {
+                    *o = (sums[v as usize] - floor) as f32;
+                }
+            } else {
+                let normal = Normal::new(0.0, sigma).expect("sigma validated at construction");
+                SCRATCH.with(|s| {
+                    let mut scratch = s.borrow_mut();
+                    let mut theta = scratch.take_f64(levels.len() * cpw);
+                    for t in theta.iter_mut() {
+                        *t = normal.sample(rng);
+                    }
+                    for (i, (o, &v)) in out.data_mut().iter_mut().zip(&levels).enumerate() {
+                        let row = &contrib[v as usize * cpw..(v as usize + 1) * cpw];
+                        let th = &theta[i * cpw..(i + 1) * cpw];
+                        let mut total = 0.0f64;
+                        for (c, t) in row.iter().zip(th) {
+                            total += c * t.exp();
+                        }
+                        *o = (total - floor) as f32;
+                    }
+                    scratch.recycle_f64(theta);
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The per-entry reference implementation of [`program_matrix`], kept as
+/// the bitwise oracle for the bulk path (and for
+/// `BENCH_program.json` / `--bench program`, which quantify the gap).
+///
+/// # Errors
+///
+/// Same contract as [`program_matrix`].
+pub fn program_matrix_scalar(
     ctw: &Tensor,
     codec: &WeightCodec,
     model: &VariationModel,
@@ -127,6 +270,59 @@ pub fn program_matrix_with_ddv(
             ddv_factors.dims()
         )));
     }
+    let levels = validate_levels(ctw, codec)?;
+    let floor = codec.total_floor();
+    let nominal = nominal_table(codec)?;
+    let sigma = ccv.sigma();
+    let mut out = Tensor::zeros(ctw.dims());
+    if sigma == 0.0 {
+        for ((o, &v), &d) in out.data_mut().iter_mut().zip(&levels).zip(ddv_factors.data()) {
+            *o = (nominal[v as usize] * d as f64 - floor) as f32;
+        }
+    } else {
+        // one CCV draw per weight regardless of the model's kind — the
+        // same contract as the scalar path's `sample_factor`
+        let normal = Normal::new(0.0, sigma).expect("sigma validated at construction");
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let mut theta = scratch.take_f64(levels.len());
+            for t in theta.iter_mut() {
+                *t = normal.sample(rng);
+            }
+            for (((o, &v), &d), t) in
+                out.data_mut().iter_mut().zip(&levels).zip(ddv_factors.data()).zip(&theta)
+            {
+                // write the nominal conductance through both factors,
+                // calibrate the floor out afterwards (same convention as
+                // VariationModel)
+                *o = (nominal[v as usize] * d as f64 * t.exp() - floor) as f32;
+            }
+            scratch.recycle_f64(theta);
+        });
+    }
+    Ok(out)
+}
+
+/// The per-entry reference implementation of [`program_matrix_with_ddv`]
+/// (bitwise oracle for the bulk path, same contract).
+///
+/// # Errors
+///
+/// Same contract as [`program_matrix_with_ddv`].
+pub fn program_matrix_with_ddv_scalar(
+    ctw: &Tensor,
+    codec: &WeightCodec,
+    ddv_factors: &Tensor,
+    ccv: &VariationModel,
+    rng: &mut impl Rng,
+) -> Result<Tensor> {
+    if ctw.shape().rank() != 2 || ddv_factors.dims() != ctw.dims() {
+        return Err(RramError::ShapeMismatch(format!(
+            "CTW {:?} vs DDV factors {:?}",
+            ctw.dims(),
+            ddv_factors.dims()
+        )));
+    }
     let floor = codec.total_floor();
     let mut out = Tensor::zeros(ctw.dims());
     for ((o, &q), &d) in out.data_mut().iter_mut().zip(ctw.data()).zip(ddv_factors.data()) {
@@ -137,8 +333,6 @@ pub fn program_matrix_with_ddv(
                 levels: codec.weight_levels(),
             });
         }
-        // write the nominal conductance through both factors, calibrate
-        // the floor out afterwards (same convention as VariationModel)
         let nominal = codec.nominal_conductance(v as u32)?;
         *o = (nominal * d as f64 * ccv.sample_factor(rng) - floor) as f32;
     }
@@ -397,6 +591,65 @@ mod tests {
             &mut seeded_rng(0)
         )
         .is_err());
+        // the scalar reference enforces the same contract
+        assert!(program_matrix_scalar(
+            &neg,
+            &codec(),
+            &VariationModel::per_weight(0.1),
+            &mut seeded_rng(0)
+        )
+        .is_err());
+    }
+
+    /// Fixed-case twin of the `bulk_program_matches_scalar` proptest:
+    /// the bulk path must reproduce the scalar path bit for bit.
+    #[test]
+    fn bulk_matches_scalar_fixed_cases() {
+        for cell in [CellKind::Slc, CellKind::Mlc2] {
+            let c = WeightCodec::paper(CellTechnology::paper(cell));
+            for kind in [VariationKind::PerWeight, VariationKind::PerCell] {
+                for sigma in [0.0, 0.3, 0.8] {
+                    let model = VariationModel::new(sigma, kind);
+                    let ctw = Tensor::from_fn(&[17, 9], |i| ((i * 41 + 3) % 256) as f32);
+                    let bulk = program_matrix(&ctw, &c, &model, &mut seeded_rng(11)).unwrap();
+                    let scalar =
+                        program_matrix_scalar(&ctw, &c, &model, &mut seeded_rng(11)).unwrap();
+                    for (i, (a, b)) in bulk.data().iter().zip(scalar.data()).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{cell:?}/{kind:?} σ={sigma} entry {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed-case twin of the `bulk_ddv_program_matches_scalar` proptest.
+    #[test]
+    fn bulk_ddv_matches_scalar_fixed_cases() {
+        for cell in [CellKind::Slc, CellKind::Mlc2] {
+            let c = WeightCodec::paper(CellTechnology::paper(cell));
+            for (ddv_sigma, ccv_sigma) in [(0.0, 0.5), (0.3, 0.0), (0.35, 0.35)] {
+                let ctw = Tensor::from_fn(&[13, 7], |i| ((i * 29 + 5) % 256) as f32);
+                let ddv = VariationModel::per_weight(ddv_sigma);
+                let ccv = VariationModel::per_weight(ccv_sigma);
+                let factors = sample_ddv_factors(ctw.dims(), &ddv, &mut seeded_rng(21));
+                let bulk =
+                    program_matrix_with_ddv(&ctw, &c, &factors, &ccv, &mut seeded_rng(22)).unwrap();
+                let scalar =
+                    program_matrix_with_ddv_scalar(&ctw, &c, &factors, &ccv, &mut seeded_rng(22))
+                        .unwrap();
+                for (i, (a, b)) in bulk.data().iter().zip(scalar.data()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{cell:?} ddv={ddv_sigma} ccv={ccv_sigma} entry {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,12 +21,37 @@ use crate::variation::VariationModel;
 /// Lookup table of write-statistics per CTW: `E[R(v)]` and `Var[R(v)]`
 /// for every representable `v`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "LutData")]
 pub struct DeviceLut {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+    /// Whether the means are strictly increasing, recorded once at
+    /// construction: it licenses the binary-search mean inverse and is
+    /// re-derived (never trusted) when deserializing.
+    #[serde(skip)]
+    monotone: bool,
+}
+
+/// Wire form of [`DeviceLut`]: only the tables travel; the monotone flag
+/// is derived on the way in.
+#[derive(Deserialize)]
+struct LutData {
     mean: Vec<f64>,
     var: Vec<f64>,
 }
 
+impl From<LutData> for DeviceLut {
+    fn from(d: LutData) -> Self {
+        DeviceLut::from_tables(d.mean, d.var)
+    }
+}
+
 impl DeviceLut {
+    /// Assembles a LUT from its columns, deriving the monotone flag.
+    fn from_tables(mean: Vec<f64>, var: Vec<f64>) -> Self {
+        let monotone = mean.windows(2).all(|w| w[0] < w[1]);
+        DeviceLut { mean, var, monotone }
+    }
     /// Builds the LUT in closed form from the lognormal variation model.
     ///
     /// # Errors
@@ -41,7 +66,7 @@ impl DeviceLut {
             mean.push(m);
             var.push(s2);
         }
-        Ok(DeviceLut { mean, var })
+        Ok(DeviceLut::from_tables(mean, var))
     }
 
     /// Builds the LUT by the paper's statistical-testing procedure:
@@ -81,7 +106,7 @@ impl DeviceLut {
             mean.push(m);
             var.push(s2.max(0.0));
         }
-        Ok(DeviceLut { mean, var })
+        Ok(DeviceLut::from_tables(mean, var))
     }
 
     /// Number of entries (`2^weight_bits`).
@@ -114,9 +139,15 @@ impl DeviceLut {
 
     /// Solves the VAWO constraint `E[R(v)] = target` for the integer CTW
     /// `v` minimizing `|E[R(v)] − target|` (Eq. 6 of the paper, inverted
-    /// through the LUT). The means are monotone in `v`, so this is a
-    /// binary search with boundary clamping.
+    /// through the LUT). When the means are strictly increasing (always
+    /// true for the analytic LUT, checked once at construction) this is
+    /// a binary search with boundary clamping; a noisy measured table
+    /// that lost monotonicity falls back to [`Self::inverse_mean_linear`]
+    /// so the nearest-entry contract holds unconditionally.
     pub fn inverse_mean(&self, target: f64) -> u32 {
+        if !self.monotone {
+            return self.inverse_mean_linear(target);
+        }
         let n = self.mean.len();
         // partition point: first index with mean >= target
         let idx = self.mean.partition_point(|&m| m < target);
@@ -126,7 +157,8 @@ impl DeviceLut {
         if idx >= n {
             return (n - 1) as u32;
         }
-        // choose the closer of idx-1 and idx
+        // choose the closer of idx-1 and idx; ties take the lower index,
+        // matching the linear scan's first-minimum rule
         let lo = (target - self.mean[idx - 1]).abs();
         let hi = (self.mean[idx] - target).abs();
         if lo <= hi {
@@ -136,11 +168,29 @@ impl DeviceLut {
         }
     }
 
-    /// Returns `true` if means are strictly increasing — a sanity check the
-    /// binary search relies on (always true for the analytic LUT; holds
-    /// for the measured LUT with enough samples).
+    /// Exhaustive nearest-entry scan: the reference implementation of
+    /// [`Self::inverse_mean`] (and its fallback on non-monotone measured
+    /// tables). First minimum wins, so on monotone tables the two agree
+    /// exactly — a test pins this.
+    pub fn inverse_mean_linear(&self, target: f64) -> u32 {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &m) in self.mean.iter().enumerate() {
+            let d = (m - target).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Returns `true` if means are strictly increasing — recorded at
+    /// construction; it decides whether [`Self::inverse_mean`] may
+    /// binary-search (always true for the analytic LUT; holds for the
+    /// measured LUT with enough samples).
     pub fn is_monotone(&self) -> bool {
-        self.mean.windows(2).all(|w| w[0] < w[1])
+        self.monotone
     }
 }
 
@@ -211,6 +261,59 @@ mod tests {
         let bias_large = lut.mean(200) - 200.0;
         assert!(bias_small > 0.0);
         assert!(bias_large > 10.0 * bias_small);
+    }
+
+    #[test]
+    fn binary_inverse_agrees_with_linear_scan() {
+        // a non-trivial LUT: floor calibration + lognormal mean inflation
+        // make the means nonlinear in v
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &codec()).unwrap();
+        assert!(lut.is_monotone());
+        let lo = lut.mean(0) - 10.0;
+        let hi = lut.mean(255) + 10.0;
+        let steps = 4096;
+        for k in 0..=steps {
+            let t = lo + (hi - lo) * k as f64 / steps as f64;
+            assert_eq!(lut.inverse_mean(t), lut.inverse_mean_linear(t), "target {t}");
+        }
+        // exactly on every entry, and exactly between adjacent entries
+        // (the tie case: both must keep the lower index)
+        for v in 0..255u32 {
+            let m = lut.mean(v);
+            assert_eq!(lut.inverse_mean(m), lut.inverse_mean_linear(m));
+            let mid = m + (lut.mean(v + 1) - m) / 2.0;
+            assert_eq!(lut.inverse_mean(mid), lut.inverse_mean_linear(mid));
+        }
+    }
+
+    #[test]
+    fn measured_lut_inverse_agrees_with_linear_scan() {
+        // whatever monotonicity the noisy table ends up with, the public
+        // inverse must keep the nearest-entry contract
+        let lut = DeviceLut::measure(
+            &VariationModel::per_weight(0.4),
+            &codec(),
+            30,
+            30,
+            &mut seeded_rng(9),
+        )
+        .unwrap();
+        for k in 0..=2048 {
+            let t = -20.0 + 340.0 * k as f64 / 2048.0;
+            assert_eq!(lut.inverse_mean(t), lut.inverse_mean_linear(t), "target {t}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_lut_falls_back_to_linear_scan() {
+        let lut = DeviceLut::from_tables(vec![0.0, 2.0, 1.5, 3.0, 2.5, 4.0], vec![0.1; 6]);
+        assert!(!lut.is_monotone());
+        for t in [-1.0, 0.4, 1.4, 1.9, 2.2, 2.7, 3.4, 9.0] {
+            assert_eq!(lut.inverse_mean(t), lut.inverse_mean_linear(t));
+        }
+        // nearest-entry semantics hold where a binary search would lose:
+        // 1.45 is closest to the out-of-order entry 1.5 at index 2
+        assert_eq!(lut.inverse_mean(1.45), 2);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Property-based tests for the device, codec and LUT layers.
 
 use proptest::prelude::*;
-use rdo_rram::{CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel, WeightCodec};
+use rdo_rram::{
+    program_matrix, program_matrix_scalar, program_matrix_with_ddv, program_matrix_with_ddv_scalar,
+    sample_ddv_factors, CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel,
+    WeightCodec,
+};
 use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
 
 fn codec_strategy() -> impl Strategy<Value = WeightCodec> {
     prop_oneof![
@@ -112,5 +117,67 @@ proptest! {
         let p1 = codec.read_power(v).unwrap();
         let p2 = codec.read_power(rotated).unwrap();
         prop_assert!((p1 - p2).abs() < 1e-9, "{} vs {}", p1, p2);
+    }
+
+    /// The bulk programming path is bitwise identical to the scalar
+    /// per-entry path for any σ (including 0), either variation kind
+    /// and either cell kind, at any matching seed.
+    #[test]
+    fn bulk_program_matches_scalar(
+        codec in codec_strategy(),
+        sigma in prop_oneof![Just(0.0f64), 0.05f64..1.0],
+        per_cell in proptest::bool::ANY,
+        seed in 0u64..1000,
+        rows in 1usize..12,
+        cols in 1usize..12,
+    ) {
+        let kind = if per_cell { VariationKind::PerCell } else { VariationKind::PerWeight };
+        let model = VariationModel::new(sigma, kind);
+        let ctw = Tensor::from_fn(&[rows, cols], |i| {
+            ((i as u64 * (seed * 13 + 5) + seed) % 256) as f32
+        });
+        let bulk = program_matrix(&ctw, &codec, &model, &mut seeded_rng(seed)).unwrap();
+        let scalar = program_matrix_scalar(&ctw, &codec, &model, &mut seeded_rng(seed)).unwrap();
+        for (a, b) in bulk.data().iter().zip(scalar.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Same bitwise guarantee for the DDV + CCV programming path.
+    #[test]
+    fn bulk_ddv_program_matches_scalar(
+        codec in codec_strategy(),
+        ddv_sigma in prop_oneof![Just(0.0f64), 0.05f64..0.5],
+        ccv_sigma in prop_oneof![Just(0.0f64), 0.05f64..0.5],
+        seed in 0u64..1000,
+        rows in 1usize..10,
+        cols in 1usize..10,
+    ) {
+        let ctw = Tensor::from_fn(&[rows, cols], |i| {
+            ((i as u64 * (seed * 17 + 3) + seed) % 256) as f32
+        });
+        let ddv = VariationModel::per_weight(ddv_sigma);
+        let ccv = VariationModel::per_weight(ccv_sigma);
+        let factors = sample_ddv_factors(&[rows, cols], &ddv, &mut seeded_rng(seed ^ 0xD0));
+        let bulk =
+            program_matrix_with_ddv(&ctw, &codec, &factors, &ccv, &mut seeded_rng(seed)).unwrap();
+        let scalar =
+            program_matrix_with_ddv_scalar(&ctw, &codec, &factors, &ccv, &mut seeded_rng(seed))
+                .unwrap();
+        for (a, b) in bulk.data().iter().zip(scalar.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The binary-search mean inverse agrees with an exhaustive linear
+    /// scan over the whole table, for any target.
+    #[test]
+    fn inverse_mean_matches_linear_scan(
+        codec in codec_strategy(),
+        sigma in 0.05f64..1.0,
+        target in -80.0f64..500.0,
+    ) {
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec).unwrap();
+        prop_assert_eq!(lut.inverse_mean(target), lut.inverse_mean_linear(target));
     }
 }

@@ -26,10 +26,13 @@
 //! assert!(again.capacity() >= 1024);
 //! ```
 
-/// A pool of reusable `f32` buffers (see the [module docs](self)).
+/// A pool of reusable `f32` (and `f64`) buffers (see the
+/// [module docs](self)). The two element types are pooled separately so
+/// an f64 checkout never evicts packed f32 panels or vice versa.
 #[derive(Debug, Default)]
 pub struct Scratch {
     free: Vec<Vec<f32>>,
+    free64: Vec<Vec<f64>>,
 }
 
 /// How many idle buffers a pool retains. More than this many concurrent
@@ -73,9 +76,39 @@ impl Scratch {
         }
     }
 
+    /// `f64` twin of [`Scratch::take_zeroed`].
+    pub fn take_zeroed_f64(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = best_fit(&mut self.free64, len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// `f64` twin of [`Scratch::take`].
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = best_fit(&mut self.free64, len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// `f64` twin of [`Scratch::recycle`].
+    pub fn recycle_f64(&mut self, buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.free64.len() < MAX_POOLED {
+            self.free64.push(buf);
+        }
+    }
+
     /// Number of idle buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.free.len()
+    }
+
+    /// Number of idle `f64` buffers currently pooled.
+    pub fn pooled_f64(&self) -> usize {
+        self.free64.len()
     }
 
     /// Total capacity (in elements) of the idle pooled buffers.
@@ -83,31 +116,34 @@ impl Scratch {
         self.free.iter().map(Vec::capacity).sum()
     }
 
-    /// Picks the pooled buffer whose capacity fits `len` best (smallest
-    /// sufficient capacity; otherwise the largest available, which will
-    /// grow once and then stick around at the new size).
     fn take_storage(&mut self, len: usize) -> Vec<f32> {
-        let mut best: Option<usize> = None;
-        for (i, buf) in self.free.iter().enumerate() {
-            let cap = buf.capacity();
-            best = Some(match best {
-                None => i,
-                Some(j) => {
-                    let bc = self.free[j].capacity();
-                    let better =
-                        if cap >= len { bc < len || cap < bc } else { bc < len && cap > bc };
-                    if better {
-                        i
-                    } else {
-                        j
-                    }
+        best_fit(&mut self.free, len)
+    }
+}
+
+/// Picks the pooled buffer whose capacity fits `len` best (smallest
+/// sufficient capacity; otherwise the largest available, which will
+/// grow once and then stick around at the new size).
+fn best_fit<T>(free: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
+    let mut best: Option<usize> = None;
+    for (i, buf) in free.iter().enumerate() {
+        let cap = buf.capacity();
+        best = Some(match best {
+            None => i,
+            Some(j) => {
+                let bc = free[j].capacity();
+                let better = if cap >= len { bc < len || cap < bc } else { bc < len && cap > bc };
+                if better {
+                    i
+                } else {
+                    j
                 }
-            });
-        }
-        match best {
-            Some(i) => self.free.swap_remove(i),
-            None => Vec::with_capacity(len),
-        }
+            }
+        });
+    }
+    match best {
+        Some(i) => free.swap_remove(i),
+        None => Vec::with_capacity(len),
     }
 }
 
@@ -169,6 +205,24 @@ mod tests {
         s.recycle(c);
         assert_eq!(s.pooled(), 3);
         assert!(s.pooled_capacity() >= 60);
+    }
+
+    #[test]
+    fn f64_pool_is_independent_and_reuses_storage() {
+        let mut s = Scratch::new();
+        let mut a = s.take_zeroed_f64(100);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        let ptr = a.as_ptr();
+        s.recycle_f64(a);
+        assert_eq!((s.pooled(), s.pooled_f64()), (0, 1));
+        let b = s.take_zeroed_f64(50);
+        assert_eq!(b.as_ptr(), ptr, "f64 storage not reused");
+        assert!(b.iter().all(|&v| v == 0.0));
+        // the f32 pool is untouched by f64 traffic
+        let c = s.take_zeroed(10);
+        s.recycle(c);
+        s.recycle_f64(b);
+        assert_eq!((s.pooled(), s.pooled_f64()), (1, 1));
     }
 
     #[test]

@@ -19,7 +19,21 @@ cargo fmt --check
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
-echo "==> perf_report --quick (smoke: writes results/BENCH_gemm.json)"
+echo "==> perf_report --quick (smoke: rewrites every results/BENCH_*.json)"
 cargo run --release -p rdo-bench --bin perf_report -- --quick
+
+echo "==> BENCH records present and well-formed"
+for name in gemm cycles vawo program; do
+  f="results/BENCH_${name}.json"
+  if [ ! -s "$f" ]; then
+    echo "ci: missing or empty $f" >&2
+    exit 1
+  fi
+  if command -v jq > /dev/null 2>&1; then
+    jq empty "$f" || { echo "ci: malformed $f" >&2; exit 1; }
+  else
+    python3 -m json.tool "$f" > /dev/null || { echo "ci: malformed $f" >&2; exit 1; }
+  fi
+done
 
 echo "ci: all gates passed"
