@@ -48,6 +48,7 @@ pub fn tile_overhead(
     m: usize,
     relative_read_power: f64,
 ) -> TileOverhead {
+    let _span = rdo_obs::span("arch.tile_overhead");
     assert!(m > 0 && tile.rows.is_multiple_of(m), "m must divide the crossbar rows");
     let regs = tile.offset_registers_per_crossbar(m);
     let per_crossbar = datapath_cost(m, tile.weight_cols, regs, costs);

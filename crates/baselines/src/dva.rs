@@ -45,6 +45,7 @@ pub fn train_dva(
     labels: &[usize],
     cfg: &DvaConfig,
 ) -> Result<TrainReport> {
+    let _span = rdo_obs::span("baseline.dva.train");
     let mut tc = cfg.train.clone();
     tc.noise_sigma = Some(cfg.sigma as f32);
     fit(net, images, labels, &tc).map_err(BaselineError::from)

@@ -136,6 +136,7 @@ pub fn evaluate_pm_cycles(
     seed: u64,
     calibration_images: Option<&Tensor>,
 ) -> Result<f32> {
+    let _span = rdo_obs::span("baseline.pm.eval");
     let mut total = 0.0f32;
     for c in 0..cycles.max(1) {
         let mut rng = seeded_rng(seed.wrapping_add(c as u64));

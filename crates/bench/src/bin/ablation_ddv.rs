@@ -64,5 +64,6 @@ fn main() -> Result<()> {
         );
     }
     println!("\nstale compensation survives DDV but not CCV; per-cycle PWT survives both.");
+    rdo_obs::flush();
     Ok(())
 }

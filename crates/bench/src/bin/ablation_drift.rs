@@ -51,5 +51,6 @@ fn main() -> Result<()> {
     }
     println!("\ndrift degrades stale compensation gradually; re-tuning the digital");
     println!("offsets (no device reprogramming) recovers most of it.");
+    rdo_obs::flush();
     Ok(())
 }

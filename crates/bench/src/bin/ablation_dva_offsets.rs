@@ -73,5 +73,6 @@ fn main() -> Result<()> {
 
     let plain_only = map_only(&model, Method::Plain, CellKind::Slc, sigma, m)?;
     drop(plain_only);
+    rdo_obs::flush();
     Ok(())
 }

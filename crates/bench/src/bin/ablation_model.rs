@@ -8,7 +8,7 @@
 //! 3. the analytic device LUT versus the paper's K×J statistical-testing
 //!    LUT (ablation 3).
 
-use rdo_bench::{pct, prepare_lenet, run_grid, BenchConfig, Result};
+use rdo_bench::prelude::*;
 use rdo_core::{evaluate_cycles, MappedNetwork, Method, OffsetConfig};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 use rdo_tensor::parallel::resolve_threads;
@@ -36,7 +36,7 @@ fn main() -> Result<()> {
         ("per-weight noise (§IV)", VariationModel::per_weight(sigma)),
         ("per-cell noise (Fig. 3)", VariationModel::per_cell(sigma)),
     ];
-    let accs = run_grid(&granularity, bench.threads, |(_, variation)| {
+    let accs = run_items(&granularity, bench.threads, |(_, variation)| {
         let mut cfg = OffsetConfig::paper(CellKind::Slc, sigma, m)?;
         cfg.variation = *variation;
         let lut = DeviceLut::analytic(variation, &cfg.codec)?;
@@ -84,7 +84,7 @@ fn main() -> Result<()> {
             DeviceLut::measure(&cfg.variation, &cfg.codec, 20, 20, &mut seeded_rng(5))?,
         ),
     ];
-    let accs = run_grid(&luts, bench.threads, |(_, lut)| {
+    let accs = run_items(&luts, bench.threads, |(_, lut)| {
         let mut mapped =
             MappedNetwork::map(&model.net, Method::VawoStarPwt, &cfg, lut, Some(&model.grads))?;
         let acc = evaluate_cycles(
@@ -99,5 +99,6 @@ fn main() -> Result<()> {
     for ((name, _), acc) in luts.iter().zip(&accs) {
         println!("{name:<28} {}", pct(*acc));
     }
+    rdo_obs::flush();
     Ok(())
 }

@@ -95,5 +95,6 @@ fn main() -> Result<()> {
         let e = run_method(&model, Method::VawoStarPwt, CellKind::Slc, s, m, &eval)?;
         println!("VAWO*+PWT sigma {s}: {}", pct(e.mean));
     }
+    rdo_obs::flush();
     Ok(())
 }

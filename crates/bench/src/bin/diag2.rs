@@ -38,5 +38,6 @@ fn main() -> Result<()> {
             );
         }
     }
+    rdo_obs::flush();
     Ok(())
 }

@@ -1,19 +1,15 @@
 //! Fig. 5(a): LeNet accuracies of plain / VAWO / VAWO\* / PWT /
 //! VAWO\*+PWT for sharing granularities m ∈ {16, 64, 128}, SLC cells,
-//! σ = 0.5.
+//! σ = 0.5 (override with `RDO_SIGMA`).
 
 use std::time::Instant;
 
-use rdo_bench::{
-    pct, prepare_lenet, run_method_grid, write_results, BenchConfig, GridPoint, Result,
-};
-use rdo_core::Method;
-use rdo_rram::CellKind;
+use rdo_bench::prelude::*;
 
 fn main() -> Result<()> {
     let cfg = BenchConfig::from_env();
     let model = prepare_lenet(&cfg)?;
-    let sigma = 0.5;
+    let sigma = cfg.sigma;
     let ms = [16usize, 64, 128];
 
     println!();
@@ -22,15 +18,10 @@ fn main() -> Result<()> {
     println!("{:<12} {:>10} {:>10} {:>10}", "method", "m=16", "m=64", "m=128");
 
     let methods = Method::all();
-    let points: Vec<GridPoint> = methods
-        .iter()
-        .flat_map(|&method| {
-            ms.iter().map(move |&m| GridPoint { method, cell: CellKind::Slc, sigma, m })
-        })
-        .collect();
+    let spec = GridSpec::product(&methods, &[CellKind::Slc], &[sigma], &ms);
 
     let grid_start = Instant::now();
-    let evals = run_method_grid(&model, &points, &cfg)?;
+    let evals = run_grid(&model, spec, &cfg)?;
     let grid_time = grid_start.elapsed();
 
     let mut rows = serde_json::Map::new();
@@ -65,5 +56,6 @@ fn main() -> Result<()> {
     }
 
     write_results("fig5a", &serde_json::Value::Object(rows))?;
+    rdo_obs::flush();
     Ok(())
 }

@@ -1,17 +1,13 @@
 //! Fig. 5(b): ResNet-18 accuracies of plain / VAWO / VAWO\* / PWT /
 //! VAWO\*+PWT for sharing granularities m ∈ {16, 64, 128}, SLC cells,
-//! σ = 0.5.
+//! σ = 0.5 (override with `RDO_SIGMA`).
 
-use rdo_bench::{
-    pct, prepare_resnet, run_method_grid, write_results, BenchConfig, GridPoint, Result,
-};
-use rdo_core::Method;
-use rdo_rram::CellKind;
+use rdo_bench::prelude::*;
 
 fn main() -> Result<()> {
     let cfg = BenchConfig::from_env();
     let model = prepare_resnet(&cfg)?;
-    let sigma = 0.5;
+    let sigma = cfg.sigma;
     let ms = [16usize, 64, 128];
 
     println!();
@@ -20,13 +16,8 @@ fn main() -> Result<()> {
     println!("{:<12} {:>10} {:>10} {:>10}", "method", "m=16", "m=64", "m=128");
 
     let methods = Method::all();
-    let points: Vec<GridPoint> = methods
-        .iter()
-        .flat_map(|&method| {
-            ms.iter().map(move |&m| GridPoint { method, cell: CellKind::Slc, sigma, m })
-        })
-        .collect();
-    let evals = run_method_grid(&model, &points, &cfg)?;
+    let spec = GridSpec::product(&methods, &[CellKind::Slc], &[sigma], &ms);
+    let evals = run_grid(&model, spec, &cfg)?;
 
     let mut rows = serde_json::Map::new();
     rows.insert("ideal".into(), serde_json::json!(model.ideal_accuracy));
@@ -47,5 +38,6 @@ fn main() -> Result<()> {
     }
 
     write_results("fig5b", &serde_json::Value::Object(rows))?;
+    rdo_obs::flush();
     Ok(())
 }

@@ -1,11 +1,7 @@
 //! Fig. 5(c): ResNet-18 with 2-bit MLC cells, VAWO\*+PWT, accuracy versus
 //! σ ∈ {0.2, 0.4, 0.5, 0.7, 1.0} for m ∈ {16, 64, 128}.
 
-use rdo_bench::{
-    pct, prepare_resnet, run_method_grid, write_results, BenchConfig, GridPoint, Result,
-};
-use rdo_core::Method;
-use rdo_rram::CellKind;
+use rdo_bench::prelude::*;
 
 fn main() -> Result<()> {
     let cfg = BenchConfig::from_env();
@@ -22,18 +18,8 @@ fn main() -> Result<()> {
     }
     println!();
 
-    let points: Vec<GridPoint> = sigmas
-        .iter()
-        .flat_map(|&sigma| {
-            ms.iter().map(move |&m| GridPoint {
-                method: Method::VawoStarPwt,
-                cell: CellKind::Mlc2,
-                sigma,
-                m,
-            })
-        })
-        .collect();
-    let evals = run_method_grid(&model, &points, &cfg)?;
+    let spec = GridSpec::product(&[Method::VawoStarPwt], &[CellKind::Mlc2], &sigmas, &ms);
+    let evals = run_grid(&model, spec, &cfg)?;
 
     let mut rows = serde_json::Map::new();
     rows.insert("ideal".into(), serde_json::json!(model.ideal_accuracy));
@@ -51,5 +37,6 @@ fn main() -> Result<()> {
     }
 
     write_results("fig5c", &serde_json::Value::Object(rows))?;
+    rdo_obs::flush();
     Ok(())
 }

@@ -1,0 +1,54 @@
+//! Obs-report pipeline: folds an `rdo_obs` JSONL run log into a
+//! per-stage timing table (stdout) and a machine-readable
+//! `BENCH_obs.json` record under `results/` (mirrored to the repo root).
+//!
+//! The log path is resolved in order of precedence:
+//!
+//! 1. the first command-line argument,
+//! 2. the `RDO_OBS` environment variable, when its value names a path
+//!    (anything other than the on/off/mem switches),
+//! 3. the default sink location `target/rdo-obs/run.jsonl`.
+//!
+//! Generate a log with any figure or table binary, then fold it:
+//!
+//! ```text
+//! RDO_OBS=1 cargo run --release -p rdo-bench --bin fig5a
+//! cargo run --release -p rdo-bench --bin obs_report
+//! ```
+
+use rdo_bench::{write_bench_record, BenchError, Result};
+use rdo_obs::report::fold;
+
+/// Resolves the JSONL log path from argv / `RDO_OBS` / the default.
+fn log_path() -> String {
+    if let Some(arg) = std::env::args().nth(1) {
+        return arg;
+    }
+    if let Ok(v) = std::env::var("RDO_OBS") {
+        let switch = matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "1" | "true" | "on" | "mem"
+        );
+        if !switch {
+            return v;
+        }
+    }
+    rdo_obs::DEFAULT_SINK_PATH.to_string()
+}
+
+fn main() -> Result<()> {
+    let path = log_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        BenchError::Io(std::io::Error::new(
+            e.kind(),
+            format!("cannot read obs log {path}: {e} (run a binary with RDO_OBS=1 first)"),
+        ))
+    })?;
+    let report = fold(text.lines());
+    if report.events == 0 {
+        eprintln!("[obs_report] {path} holds no parsable events");
+    }
+    println!("{}", report.to_table());
+    write_bench_record("BENCH_obs", &report.to_json())?;
+    Ok(())
+}

@@ -24,14 +24,14 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
-use rdo_bench::{BenchError, Result};
+use rdo_bench::{write_bench_record, BenchError, Result};
 use rdo_core::{
     evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, CycleEvalConfig,
     GroupLayout, MappedNetwork, Method, OffsetConfig, PwtConfig,
 };
 use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_obs::best_of_ns as best_of;
 use rdo_rram::{
     program_matrix, program_matrix_scalar, CellKind, CellTechnology, DeviceLut, VariationKind,
     VariationModel, WeightCodec,
@@ -55,29 +55,18 @@ fn main() -> Result<()> {
     let reps = if quick { 3 } else { 12 };
 
     let gemm = gemm_report(reps, quick)?;
-    write_raw("BENCH_gemm", &gemm)?;
+    write_bench_record("BENCH_gemm", &gemm)?;
 
     let cycles = cycles_report(quick)?;
-    write_raw("BENCH_cycles", &cycles)?;
+    write_bench_record("BENCH_cycles", &cycles)?;
 
     let vawo = vawo_report(quick)?;
-    write_raw("BENCH_vawo", &vawo)?;
+    write_bench_record("BENCH_vawo", &vawo)?;
 
     let program = program_report(reps, quick)?;
-    write_raw("BENCH_program", &program)?;
+    write_bench_record("BENCH_program", &program)?;
+    rdo_obs::flush();
     Ok(())
-}
-
-/// Minimum wall-clock over `reps` invocations, in nanoseconds.
-fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u128 {
-    f(); // warm-up: page in buffers, warm the scratch pool
-    let mut best = u128::MAX;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_nanos());
-    }
-    best
 }
 
 fn gemm_report(reps: usize, quick: bool) -> Result<String> {
@@ -272,19 +261,4 @@ fn program_report(reps: usize, quick: bool) -> Result<String> {
          \"configs\": [\n{}\n  ]\n}}\n",
         out_rows.join(",\n")
     ))
-}
-
-/// Writes a pre-formatted JSON document under `results/` and mirrors it
-/// to the repo root, like [`rdo_bench::write_results`] but without a
-/// serializer round-trip (the report is hand-formatted so numbers keep
-/// their exact printed form).
-fn write_raw(name: &str, json: &str) -> Result<()> {
-    let dir = std::path::PathBuf::from("results");
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, json)?;
-    let mirror = std::path::PathBuf::from(format!("{name}.json"));
-    std::fs::write(&mirror, json)?;
-    eprintln!("[{name}] wrote {} (mirrored to {})", path.display(), mirror.display());
-    Ok(())
 }

@@ -34,5 +34,6 @@ fn main() -> Result<()> {
     println!("(paper: LeNet 68.87% / 79.95%; ResNet 57.61% / 72.24%)");
 
     write_results("table1", &serde_json::Value::Object(rows))?;
+    rdo_obs::flush();
     Ok(())
 }

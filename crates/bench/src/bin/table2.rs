@@ -59,5 +59,6 @@ fn main() -> Result<()> {
     println!("Sum+Multi fits the 100 ns ISAAC pipeline at every m — §IV-B2 claim holds.");
 
     write_results("table2", &serde_json::Value::Object(rows))?;
+    rdo_obs::flush();
     Ok(())
 }

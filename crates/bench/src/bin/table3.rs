@@ -12,7 +12,7 @@
 
 use rdo_arch::CrossbarBudget;
 use rdo_baselines::{evaluate_dva, evaluate_pm_cycles, train_dva, DvaConfig, PmConfig};
-use rdo_bench::{prepare_vgg, run_grid, run_method, write_results, BenchConfig, Result};
+use rdo_bench::prelude::*;
 use rdo_core::Method;
 use rdo_nn::{Sequential, TrainConfig};
 use rdo_rram::CellKind;
@@ -67,7 +67,7 @@ fn main() -> Result<()> {
     // Rows 2 & 3: PM (two-crossbar, 10 2-bit MLC unary) on the clean and
     // the DVA-trained networks — two independent grid points.
     let pm_points: [(&Sequential, u64); 2] = [(&model.net, cfg.seed), (&dva_net, cfg.seed + 17)];
-    let pm_accs = run_grid(&pm_points, cfg.threads, |&(net, seed)| {
+    let pm_accs = run_items(&pm_points, cfg.threads, |&(net, seed)| {
         Ok(evaluate_pm_cycles(
             net,
             model.test.images(),
@@ -114,5 +114,6 @@ fn main() -> Result<()> {
     println!("(paper: DVA 13% @2.0; PM 12.02% @2.5; DVA+PM 5.48% @2.5; this work 4.94% @1.0)");
 
     write_results("table3", &serde_json::Value::Object(json))?;
+    rdo_obs::flush();
     Ok(())
 }

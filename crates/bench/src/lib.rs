@@ -12,18 +12,38 @@
 //! | `table2` | Table II: tile area/power overhead |
 //! | `table3` | Table III: comparison with DVA / PM / DVA+PM |
 //! | `all` | everything above, sequentially |
+//! | `perf_report` | `BENCH_*.json` kernel/engine timings |
+//! | `obs_report` | folds an `RDO_OBS` JSONL log into `BENCH_obs.json` |
 //!
 //! All experiment knobs flow through one [`BenchConfig`], read once from
 //! the environment (`RDO_SCALE`, `RDO_CYCLES`, `RDO_SEED`,
-//! `RDO_PWT_EPOCHS`, `RDO_THREADS`) and threaded explicitly from there.
-//! Independent (method, cell, σ, m) grid points run concurrently through
-//! [`run_method_grid`] / [`run_grid`]; per-point results are identical to
-//! a serial run for every thread count. Trained checkpoints are cached
-//! under `target/rdo-cache/`, and within a process trained models and
-//! analytic device LUTs are additionally shared through keyed in-memory
-//! caches ([`prepare_lenet`] & friends return `Arc<TrainedModel>`,
+//! `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`, `RDO_CELL`) and threaded
+//! explicitly from there; programmatic callers assemble one with
+//! [`BenchConfig::builder()`]. Independent (method, cell, σ, m) grid
+//! points run concurrently through [`run_grid`] (which takes anything
+//! convertible [`Into`] a [`GridSpec`]) or the generic [`run_items`]
+//! engine; per-point results are identical to a serial run for every
+//! thread count. Trained checkpoints are cached under
+//! `target/rdo-cache/`, and within a process trained models and analytic
+//! device LUTs are additionally shared through keyed in-memory caches
+//! ([`prepare_lenet`] & friends return `Arc<TrainedModel>`,
 //! [`shared_lut`] hands out `Arc<DeviceLut>`), so grid points with
-//! identical keys never rebuild an artifact.
+//! identical keys never rebuild an artifact. Cache traffic, per-point
+//! spans and device/kernel counters are reported through [`rdo_obs`]
+//! when `RDO_OBS` is set; the default is off and observation never
+//! changes stdout or sampled randomness.
+//!
+//! The one-stop import for binaries and downstream code is
+//! [`prelude`]:
+//!
+//! ```
+//! use rdo_bench::prelude::*;
+//!
+//! let cfg = BenchConfig::builder().cycles(2).threads(1).build();
+//! assert_eq!(cfg.cycles, 2);
+//! let spec = GridSpec::product(&[Method::Plain], &[CellKind::Slc], &[0.5], &[16, 64]);
+//! assert_eq!(spec.points().len(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -166,25 +186,13 @@ pub enum Scale {
     Paper,
 }
 
-impl Scale {
-    /// Reads `RDO_SCALE` (`fast` / `paper`), defaulting to [`Scale::Fast`].
-    #[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().scale`")]
-    pub fn from_env() -> Self {
-        match std::env::var("RDO_SCALE").as_deref() {
-            Ok("paper") => Scale::Paper,
-            _ => Scale::Fast,
-        }
-    }
-}
-
 /// All environment-driven experiment knobs, read once and passed
 /// explicitly.
 ///
-/// This replaces the four scattered free functions (`Scale::from_env`,
-/// `cycles_from_env`, `seed_from_env`, `pwt_epochs_from_env`) that every
-/// binary used to call piecemeal; those remain as thin deprecated
-/// wrappers for one release.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Construct via [`BenchConfig::from_env()`] (binaries),
+/// [`BenchConfig::builder()`] (programmatic callers/tests) or
+/// [`BenchConfig::default()`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchConfig {
     /// Dataset/network size preset (`RDO_SCALE`).
     pub scale: Scale,
@@ -199,18 +207,40 @@ pub struct BenchConfig {
     /// 0 = available parallelism, 1 = fully serial). Results are
     /// identical for every setting.
     pub threads: usize,
+    /// Default lognormal variation σ for experiments that don't sweep it
+    /// (`RDO_SIGMA`, default 0.5 — the Fig. 5(a)/(b) setting).
+    pub sigma: f64,
+    /// Default cell kind for experiments that don't pin one
+    /// (`RDO_CELL` = `slc`/`mlc2`, default SLC).
+    pub cell: CellKind,
+    /// Observability override: `Some(on)` forces [`rdo_obs`] on/off when
+    /// the config is [built](BenchConfigBuilder::build); `None` (the
+    /// default, and what [`BenchConfig::from_env()`] produces) defers to
+    /// the `RDO_OBS` environment variable.
+    pub obs: Option<bool>,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { scale: Scale::Fast, cycles: 5, seed: 0, pwt_epochs: 5, threads: 0 }
+        BenchConfig {
+            scale: Scale::Fast,
+            cycles: 5,
+            seed: 0,
+            pwt_epochs: 5,
+            threads: 0,
+            sigma: 0.5,
+            cell: CellKind::Slc,
+            obs: None,
+        }
     }
 }
 
 impl BenchConfig {
     /// Reads every knob from the environment (`RDO_SCALE`, `RDO_CYCLES`,
-    /// `RDO_SEED`, `RDO_PWT_EPOCHS`, `RDO_THREADS`), falling back to the
-    /// defaults above for unset or unparsable values.
+    /// `RDO_SEED`, `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`,
+    /// `RDO_CELL`), falling back to the defaults above for unset or
+    /// unparsable values. The observability switch is *not* read here —
+    /// [`rdo_obs`] resolves `RDO_OBS` itself on first use.
     pub fn from_env() -> Self {
         fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
             std::env::var(key).ok().and_then(|s| s.parse().ok())
@@ -224,42 +254,18 @@ impl BenchConfig {
             seed: parsed::<u64>("RDO_SEED").unwrap_or(0),
             pwt_epochs: parsed::<usize>("RDO_PWT_EPOCHS").filter(|&e| e > 0).unwrap_or(5),
             threads: parsed::<usize>("RDO_THREADS").unwrap_or(0),
+            sigma: parsed::<f64>("RDO_SIGMA").filter(|s| s.is_finite() && *s >= 0.0).unwrap_or(0.5),
+            cell: match std::env::var("RDO_CELL").as_deref() {
+                Ok("mlc2") => CellKind::Mlc2,
+                _ => CellKind::Slc,
+            },
+            obs: None,
         }
     }
 
-    /// Returns `self` with the given scale preset.
-    #[must_use]
-    pub fn with_scale(mut self, scale: Scale) -> Self {
-        self.scale = scale;
-        self
-    }
-
-    /// Returns `self` with the given number of programming cycles.
-    #[must_use]
-    pub fn with_cycles(mut self, cycles: usize) -> Self {
-        self.cycles = cycles;
-        self
-    }
-
-    /// Returns `self` with the given base seed.
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Returns `self` with the given number of PWT epochs.
-    #[must_use]
-    pub fn with_pwt_epochs(mut self, pwt_epochs: usize) -> Self {
-        self.pwt_epochs = pwt_epochs;
-        self
-    }
-
-    /// Returns `self` with the given worker-thread cap (0 = auto).
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
+    /// Starts a builder from the defaults.
+    pub fn builder() -> BenchConfigBuilder {
+        BenchConfigBuilder { cfg: BenchConfig::default() }
     }
 
     /// The multi-cycle evaluation configuration these knobs describe.
@@ -274,28 +280,84 @@ impl BenchConfig {
     }
 }
 
-/// Reads `RDO_CYCLES`, defaulting to the paper's 5 programming cycles.
-#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().cycles`")]
-pub fn cycles_from_env() -> usize {
-    BenchConfig::from_env().cycles
+/// Builder for [`BenchConfig`] — the programmatic twin of
+/// [`BenchConfig::from_env()`].
+///
+/// ```
+/// use rdo_bench::prelude::*;
+///
+/// let cfg = BenchConfig::builder()
+///     .scale(Scale::Fast)
+///     .sigma(0.8)
+///     .cell(CellKind::Mlc2)
+///     .threads(1)
+///     .build();
+/// assert_eq!(cfg.sigma, 0.8);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct BenchConfigBuilder {
+    cfg: BenchConfig,
 }
 
-/// Reads `RDO_SEED`, defaulting to 0.
-#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().seed`")]
-pub fn seed_from_env() -> u64 {
-    BenchConfig::from_env().seed
-}
+impl BenchConfigBuilder {
+    /// Sets the dataset/network size preset.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
 
-/// Reads `RDO_PWT_EPOCHS`, defaulting to 5 tuning epochs.
-#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().pwt_epochs`")]
-pub fn pwt_epochs_from_env() -> usize {
-    BenchConfig::from_env().pwt_epochs
-}
+    /// Sets the number of programming cycles.
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.cfg.cycles = cycles;
+        self
+    }
 
-/// The default multi-cycle evaluation configuration from the environment.
-#[deprecated(since = "0.2.0", note = "use `BenchConfig::from_env().eval_cfg()`")]
-pub fn default_eval_cfg() -> CycleEvalConfig {
-    BenchConfig::from_env().eval_cfg()
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the number of PWT tuning epochs.
+    pub fn pwt_epochs(mut self, pwt_epochs: usize) -> Self {
+        self.cfg.pwt_epochs = pwt_epochs;
+        self
+    }
+
+    /// Sets the worker-thread cap (0 = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Sets the default variation σ.
+    pub fn sigma(mut self, sigma: f64) -> Self {
+        self.cfg.sigma = sigma;
+        self
+    }
+
+    /// Sets the default cell kind.
+    pub fn cell(mut self, cell: CellKind) -> Self {
+        self.cfg.cell = cell;
+        self
+    }
+
+    /// Forces the observability layer on or off for this run (overrides
+    /// `RDO_OBS`; applied by [`build`](Self::build)).
+    pub fn obs(mut self, on: bool) -> Self {
+        self.cfg.obs = Some(on);
+        self
+    }
+
+    /// Finalizes the config. A pending [`obs`](Self::obs) override is
+    /// applied to the global [`rdo_obs`] switch here.
+    pub fn build(self) -> BenchConfig {
+        if let Some(on) = self.cfg.obs {
+            rdo_obs::set_enabled(on);
+        }
+        self.cfg
+    }
 }
 
 /// A trained model bundled with its data and the artifacts the
@@ -353,8 +415,10 @@ static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new(
 pub fn shared_lut(cell: CellKind, sigma: f64) -> Result<Arc<DeviceLut>> {
     let key = (cell, sigma.to_bits());
     if let Some(lut) = LUT_CACHE.lock().expect("lut cache poisoned").get(&key) {
+        rdo_obs::counter_add("bench.lut.hit", 1);
         return Ok(Arc::clone(lut));
     }
+    rdo_obs::counter_add("bench.lut.miss", 1);
     let codec = WeightCodec::paper(CellTechnology::paper(cell));
     let lut = Arc::new(DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec)?);
     let mut cache = LUT_CACHE.lock().expect("lut cache poisoned");
@@ -369,8 +433,10 @@ where
     F: FnOnce() -> Result<TrainedModel>,
 {
     if let Some(model) = MODEL_CACHE.lock().expect("model cache poisoned").get(cache_key) {
+        rdo_obs::counter_add("bench.model_cache.hit", 1);
         return Ok(Arc::clone(model));
     }
+    rdo_obs::counter_add("bench.model_cache.miss", 1);
     let model = Arc::new(build()?);
     let mut cache = MODEL_CACHE.lock().expect("model cache poisoned");
     Ok(Arc::clone(cache.entry(cache_key.to_string()).or_insert(model)))
@@ -405,6 +471,7 @@ fn train_or_load(
     test: Dataset,
     tc: &TrainConfig,
 ) -> Result<TrainedModel> {
+    let _span = rdo_obs::span_with("bench.train_or_load", || cache_key.to_string());
     let path = cache_dir().join(format!("{cache_key}.json"));
     let start = Instant::now();
     let mut train_time = Duration::ZERO;
@@ -532,49 +599,130 @@ pub struct GridPoint {
     pub m: usize,
 }
 
+/// An ordered set of [`GridPoint`]s — what [`run_grid`] sweeps.
+///
+/// Build one from an explicit point list (`Vec<GridPoint>`,
+/// `&[GridPoint]` and iterators all convert [`Into`] it) or as the
+/// cartesian [`product`](GridSpec::product) of per-axis values. Order is
+/// load-bearing: results come back in point order and the figure binaries
+/// index them positionally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GridSpec {
+    points: Vec<GridPoint>,
+}
+
+impl GridSpec {
+    /// Wraps an explicit point list.
+    pub fn new(points: Vec<GridPoint>) -> Self {
+        GridSpec { points }
+    }
+
+    /// The cartesian product of the four axes, nested method → cell →
+    /// σ → m (m innermost — the row-major layout every Fig. 5 binary
+    /// indexes into).
+    pub fn product(methods: &[Method], cells: &[CellKind], sigmas: &[f64], ms: &[usize]) -> Self {
+        let mut points = Vec::with_capacity(methods.len() * cells.len() * sigmas.len() * ms.len());
+        for &method in methods {
+            for &cell in cells {
+                for &sigma in sigmas {
+                    for &m in ms {
+                        points.push(GridPoint { method, cell, sigma, m });
+                    }
+                }
+            }
+        }
+        GridSpec { points }
+    }
+
+    /// The points, in sweep order.
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+}
+
+impl From<Vec<GridPoint>> for GridSpec {
+    fn from(points: Vec<GridPoint>) -> Self {
+        GridSpec { points }
+    }
+}
+
+impl From<&[GridPoint]> for GridSpec {
+    fn from(points: &[GridPoint]) -> Self {
+        GridSpec { points: points.to_vec() }
+    }
+}
+
+impl<const N: usize> From<[GridPoint; N]> for GridSpec {
+    fn from(points: [GridPoint; N]) -> Self {
+        GridSpec { points: points.to_vec() }
+    }
+}
+
+impl FromIterator<GridPoint> for GridSpec {
+    fn from_iter<T: IntoIterator<Item = GridPoint>>(iter: T) -> Self {
+        GridSpec { points: iter.into_iter().collect() }
+    }
+}
+
 /// Runs `f` over `items` on up to `threads` worker threads (0 = the
 /// `RDO_THREADS` knob / available parallelism), returning results in item
 /// order and the first error (by item order within each worker batch) if
 /// any point fails.
 ///
-/// This is the generic engine behind [`run_method_grid`]; the ablation
-/// binaries use it directly for sweeps whose points are not plain
-/// (method, cell, σ, m) tuples.
+/// This is the generic engine behind [`run_grid`]; the ablation binaries
+/// use it directly for sweeps whose points are not plain
+/// (method, cell, σ, m) tuples. Each item runs under a
+/// `bench.grid_item` span labelled with its index.
 ///
 /// # Errors
 ///
 /// Propagates the first failing point's error.
-pub fn run_grid<I, O, F>(items: &[I], threads: usize, f: F) -> Result<Vec<O>>
+pub fn run_items<I, O, F>(items: &[I], threads: usize, f: F) -> Result<Vec<O>>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> Result<O> + Sync,
 {
     let threads = resolve_threads(threads).clamp(1, items.len().max(1));
-    parallel_map_indexed(items.len(), threads, |i| f(&items[i])).into_iter().collect()
+    parallel_map_indexed(items.len(), threads, |i| {
+        let _span = rdo_obs::span_with("bench.grid_item", || format!("item{i}"));
+        f(&items[i])
+    })
+    .into_iter()
+    .collect()
 }
 
-/// Evaluates every grid point concurrently (§IV protocol per point).
+/// Evaluates every point of `spec` concurrently (§IV protocol per
+/// point), returning one [`CycleEvaluation`] per point in spec order.
 ///
-/// When more than one worker is available the per-point cycle loop is
-/// forced serial (`threads = 1`) so the grid level owns the parallelism —
-/// points outnumber cycles in every Fig. 5 sweep and never contend for the
-/// same caches. Results are identical to a serial sweep either way.
+/// Accepts anything convertible into a [`GridSpec`] — a point list, an
+/// iterator of points, or a [`GridSpec::product`]. When more than one
+/// worker is available the per-point cycle loop is forced serial
+/// (`threads = 1`) so the grid level owns the parallelism — points
+/// outnumber cycles in every Fig. 5 sweep and never contend for the same
+/// caches. Results are identical to a serial sweep either way.
 ///
 /// # Errors
 ///
 /// Propagates the first failing point's error.
-pub fn run_method_grid(
+pub fn run_grid(
     model: &TrainedModel,
-    points: &[GridPoint],
+    spec: impl Into<GridSpec>,
     cfg: &BenchConfig,
 ) -> Result<Vec<CycleEvaluation>> {
+    let spec = spec.into();
+    let points = spec.points();
     let threads = resolve_threads(cfg.threads).clamp(1, points.len().max(1));
     let mut eval = cfg.eval_cfg();
     if threads > 1 {
         eval.threads = 1;
     }
-    run_grid(points, cfg.threads, |p| run_method(model, p.method, p.cell, p.sigma, p.m, &eval))
+    run_items(points, cfg.threads, |p| {
+        let _span = rdo_obs::span_with("bench.grid_point", || {
+            format!("{}/{:?}/s{}/m{}", p.method, p.cell, p.sigma, p.m)
+        });
+        run_method(model, p.method, p.cell, p.sigma, p.m, &eval)
+    })
 }
 
 /// Builds a mapped (unprogrammed) network for read-power and similar
@@ -610,9 +758,42 @@ pub fn write_results(name: &str, value: &serde_json::Value) -> Result<()> {
     Ok(())
 }
 
+/// Writes a pre-formatted JSON document to `results/<name>.json` and
+/// mirrors it to `<name>.json` in the repo root — the layout the
+/// committed `BENCH_*.json` performance records use. The report binaries
+/// hand-format their JSON so numbers keep their exact printed form;
+/// use [`write_results`] for serializer-built documents.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bench_record(name: &str, json: &str) -> Result<()> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json)?;
+    let mirror = PathBuf::from(format!("{name}.json"));
+    fs::write(&mirror, json)?;
+    eprintln!("[{name}] wrote {} (mirrored to {})", path.display(), mirror.display());
+    Ok(())
+}
+
 /// Formats an accuracy as the paper prints them.
 pub fn pct(a: f32) -> String {
     format!("{:.2}%", 100.0 * a)
+}
+
+/// One-stop import for the figure/table binaries and downstream code:
+/// every harness type and entry point plus the method/cell enums the
+/// grid axes are made of.
+pub mod prelude {
+    pub use crate::{
+        map_only, pct, prepare_lenet, prepare_resnet, prepare_vgg, run_grid, run_items, run_method,
+        shared_lut, write_bench_record, write_results, BenchConfig, BenchConfigBuilder, BenchError,
+        GridPoint, GridSpec, Result, Scale, TrainedModel,
+    };
+    pub use rdo_core::Method;
+    pub use rdo_rram::CellKind;
 }
 
 #[cfg(test)]
@@ -627,21 +808,29 @@ mod tests {
         assert_eq!(cfg.seed, 0);
         assert_eq!(cfg.pwt_epochs, 5);
         assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg.sigma, 0.5);
+        assert_eq!(cfg.cell, CellKind::Slc);
+        assert_eq!(cfg.obs, None);
     }
 
     #[test]
-    fn config_builders_chain() {
-        let cfg = BenchConfig::default()
-            .with_scale(Scale::Paper)
-            .with_cycles(3)
-            .with_seed(7)
-            .with_pwt_epochs(2)
-            .with_threads(4);
+    fn config_builder_chains() {
+        let cfg = BenchConfig::builder()
+            .scale(Scale::Paper)
+            .cycles(3)
+            .seed(7)
+            .pwt_epochs(2)
+            .threads(4)
+            .sigma(0.8)
+            .cell(CellKind::Mlc2)
+            .build();
         assert_eq!(cfg.scale, Scale::Paper);
         assert_eq!(cfg.cycles, 3);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.pwt_epochs, 2);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.sigma, 0.8);
+        assert_eq!(cfg.cell, CellKind::Mlc2);
         let eval = cfg.eval_cfg();
         assert_eq!(eval.cycles, 3);
         assert_eq!(eval.seed, 7);
@@ -650,16 +839,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_agree_with_config() {
-        let cfg = BenchConfig::from_env();
-        assert_eq!(cycles_from_env(), cfg.cycles);
-        assert_eq!(seed_from_env(), cfg.seed);
-        assert_eq!(pwt_epochs_from_env(), cfg.pwt_epochs);
-        let eval = default_eval_cfg();
-        assert_eq!(eval.cycles, cfg.cycles);
-        assert_eq!(eval.pwt.epochs, cfg.pwt_epochs);
-        assert!(cfg.cycles >= 1);
+    fn grid_spec_product_nests_m_innermost() {
+        let spec = GridSpec::product(
+            &[Method::Plain, Method::Vawo],
+            &[CellKind::Slc],
+            &[0.3, 0.5],
+            &[16, 64],
+        );
+        let p = spec.points();
+        assert_eq!(p.len(), 8);
+        // row-major: method outermost, then σ, then m
+        assert_eq!((p[0].method, p[0].sigma, p[0].m), (Method::Plain, 0.3, 16));
+        assert_eq!((p[1].method, p[1].sigma, p[1].m), (Method::Plain, 0.3, 64));
+        assert_eq!((p[2].method, p[2].sigma, p[2].m), (Method::Plain, 0.5, 16));
+        assert_eq!((p[4].method, p[4].sigma, p[4].m), (Method::Vawo, 0.3, 16));
+        // conversions agree
+        let from_vec: GridSpec = p.to_vec().into();
+        assert_eq!(from_vec, spec);
+        let from_iter: GridSpec = p.iter().copied().collect();
+        assert_eq!(from_iter, spec);
     }
 
     #[test]
@@ -676,11 +874,11 @@ mod tests {
     }
 
     #[test]
-    fn run_grid_preserves_order_and_propagates_errors() {
+    fn run_items_preserves_order_and_propagates_errors() {
         let items = [1usize, 2, 3, 4, 5];
-        let out = run_grid(&items, 3, |&i| Ok(i * 10)).unwrap();
+        let out = run_items(&items, 3, |&i| Ok(i * 10)).unwrap();
         assert_eq!(out, vec![10, 20, 30, 40, 50]);
-        let err = run_grid(&items, 3, |&i| {
+        let err = run_items(&items, 3, |&i| {
             if i == 3 {
                 Err(BenchError::Core(CoreError::InvalidConfig("bad point".into())))
             } else {
@@ -741,6 +939,50 @@ mod tests {
         let c = cached_model("test_cached_model_key_2", || tiny(&builds)).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(builds.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cache_counters_account_hits_and_misses() {
+        use rdo_nn::Linear;
+        rdo_obs::set_enabled(true);
+        // Unique keys so concurrent tests can only inflate the deltas,
+        // never deflate them: a fresh key must miss, a repeat must hit.
+        let sigma = 0.123_456_789_f64;
+        let misses0 = rdo_obs::snapshot().counters.get("bench.lut.miss").copied().unwrap_or(0);
+        let a = shared_lut(CellKind::Slc, sigma).unwrap();
+        let misses1 = rdo_obs::snapshot().counters.get("bench.lut.miss").copied().unwrap_or(0);
+        assert!(misses1 > misses0, "first shared_lut call must count a miss");
+        let hits0 = rdo_obs::snapshot().counters.get("bench.lut.hit").copied().unwrap_or(0);
+        let b = shared_lut(CellKind::Slc, sigma).unwrap();
+        let hits1 = rdo_obs::snapshot().counters.get("bench.lut.hit").copied().unwrap_or(0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(hits1 > hits0, "repeated shared_lut call must count a hit");
+
+        let tiny = || {
+            let mut net = Sequential::new();
+            net.push(Linear::new(4, 2, &mut seeded_rng(5)));
+            let images = Tensor::from_fn(&[2, 1, 2, 2], |i| 0.1 * i as f32);
+            let train = Dataset::new(images.clone(), vec![0, 1], 2)?;
+            let test = Dataset::new(images, vec![0, 1], 2)?;
+            Ok(TrainedModel {
+                name: "tiny".to_string(),
+                net,
+                train,
+                test,
+                ideal_accuracy: 0.5,
+                grads: Vec::new(),
+                train_time: Duration::ZERO,
+            })
+        };
+        let m0 = rdo_obs::snapshot().counters.get("bench.model_cache.miss").copied().unwrap_or(0);
+        let a = cached_model("test_counter_key", tiny).unwrap();
+        let m1 = rdo_obs::snapshot().counters.get("bench.model_cache.miss").copied().unwrap_or(0);
+        assert!(m1 > m0, "first cached_model call must count a miss");
+        let h0 = rdo_obs::snapshot().counters.get("bench.model_cache.hit").copied().unwrap_or(0);
+        let b = cached_model("test_counter_key", tiny).unwrap();
+        let h1 = rdo_obs::snapshot().counters.get("bench.model_cache.hit").copied().unwrap_or(0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(h1 > h0, "repeated cached_model call must count a hit");
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub fn evaluate_cycles(
     test_labels: &[usize],
     cfg: &CycleEvalConfig,
 ) -> Result<CycleEvaluation> {
+    let _span = rdo_obs::span("core.eval_cycles");
     if mapped.method().uses_pwt() && tune_data.is_none() {
         return Err(crate::error::CoreError::InvalidConfig(format!(
             "method {} requires tuning data for PWT",
@@ -186,6 +187,7 @@ fn run_cycle(
     test_labels: &[usize],
     cfg: &CycleEvalConfig,
 ) -> Result<f32> {
+    let _span = rdo_obs::span("core.cycle");
     let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
     mapped.program(&mut rng)?;
     if mapped.method().uses_pwt() {
@@ -195,6 +197,7 @@ fn run_cycle(
         tune(mapped, xs, ys, &pwt_cfg)?;
     }
     let mut net = mapped.effective_network()?;
+    let _eval = rdo_obs::span("core.eval");
     Ok(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?)
 }
 

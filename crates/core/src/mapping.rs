@@ -108,6 +108,7 @@ impl MappedNetwork {
         lut: &DeviceLut,
         grads: Option<&[Tensor]>,
     ) -> Result<Self> {
+        let _span = rdo_obs::span("core.map");
         cfg.validate()?;
         let mut base = net.clone();
         let infos = core_weight_infos(&mut base);
@@ -222,6 +223,7 @@ impl MappedNetwork {
     ///
     /// Propagates device-range errors (none occur for valid CTWs).
     pub fn program(&mut self, rng: &mut impl Rng) -> Result<()> {
+        let _span = rdo_obs::span("core.program");
         for (i, layer) in self.layers.iter_mut().enumerate() {
             layer.crw = Some(match &self.ddv {
                 None => program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?,
@@ -252,6 +254,7 @@ impl MappedNetwork {
     ///
     /// Propagates device-range errors (none occur for valid CTWs).
     pub fn reprogram_devices(&mut self, rng: &mut impl Rng) -> Result<()> {
+        let _span = rdo_obs::span("core.program");
         for (i, layer) in self.layers.iter_mut().enumerate() {
             layer.crw = Some(match &self.ddv {
                 None => program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?,

@@ -102,6 +102,7 @@ pub fn tune(
     labels: &[usize],
     cfg: &PwtConfig,
 ) -> Result<PwtReport> {
+    let _span = rdo_obs::span("core.pwt");
     if cfg.epochs == 0 || cfg.batch_size == 0 {
         return Err(CoreError::InvalidConfig(
             "PWT epochs and batch size must be positive".to_string(),

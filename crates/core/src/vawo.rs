@@ -161,7 +161,14 @@ pub fn optimize_matrix_with_threads(
     use_complement: bool,
     threads: usize,
 ) -> Result<VawoOutput> {
+    let _span = rdo_obs::span("core.vawo");
     validate_inputs(ntw_q, grads_sq, layout, lut, cfg)?;
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add(
+            "core.vawo.groups_searched",
+            (layout.group_count() * layout.fan_out()) as u64,
+        );
+    }
     let (fan_in, fan_out) = (layout.fan_in(), layout.fan_out());
     let maxw = cfg.codec.max_weight() as i64;
     let table = TargetTable::build(lut, cfg);

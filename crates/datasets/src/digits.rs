@@ -145,6 +145,7 @@ fn render_digit(
 /// # Ok::<(), rdo_datasets::DatasetError>(())
 /// ```
 pub fn generate_digits(cfg: &DigitsConfig) -> Result<Dataset> {
+    let _span = rdo_obs::span("data.digits");
     if cfg.per_class == 0 || cfg.hw < 12 {
         return Err(DatasetError::InvalidConfig("need per_class ≥ 1 and hw ≥ 12".to_string()));
     }

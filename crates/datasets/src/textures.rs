@@ -136,6 +136,7 @@ fn field(family: Family, x: f32, y: f32, freq: f32, phase: f32, cx: f32, cy: f32
 /// # Ok::<(), rdo_datasets::DatasetError>(())
 /// ```
 pub fn generate_textures(cfg: &TexturesConfig) -> Result<Dataset> {
+    let _span = rdo_obs::span("data.textures");
     if cfg.per_class == 0 || cfg.hw < 8 {
         return Err(DatasetError::InvalidConfig("need per_class ≥ 1 and hw ≥ 8".to_string()));
     }

@@ -153,6 +153,7 @@ pub fn fit(
     labels: &[usize],
     cfg: &TrainConfig,
 ) -> Result<TrainReport> {
+    let _span = rdo_obs::span("nn.fit");
     let n = images.dims()[0];
     if labels.len() != n {
         return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
@@ -253,6 +254,7 @@ pub fn evaluate(
     labels: &[usize],
     batch_size: usize,
 ) -> Result<f32> {
+    let _span = rdo_obs::span("nn.evaluate");
     let n = images.dims()[0];
     if labels.len() != n {
         return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });

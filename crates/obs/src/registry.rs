@@ -1,0 +1,152 @@
+//! Global in-memory aggregation: counters, high-water marks, log2
+//! histograms and per-path span statistics behind one mutex.
+//!
+//! Every entry point is reached only when the crate-level enable flag is
+//! set, so the mutex is never contended on the disabled path. Names are
+//! `&'static str` at the call sites (no per-event allocation); span paths
+//! are owned strings because they are composed at runtime.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans with this path.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observation, nanoseconds.
+    pub min_ns: u64,
+    /// Longest observation, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Summary of one log2-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `buckets[i]` counts values whose floor(log2) is `i` (bucket 0 also
+    /// holds zeros).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+/// Copy of the full aggregated state, as returned by
+/// [`snapshot()`](crate::snapshot()).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Additive counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// High-water marks by name.
+    pub maxima: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Span statistics by hierarchical path (`a>b>c`).
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    maxima: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn counter_add(name: &'static str, delta: u64) {
+    let mut r = registry();
+    *r.counters.entry(name).or_insert(0) += delta;
+}
+
+pub(crate) fn counter_max(name: &'static str, value: u64) {
+    let mut r = registry();
+    let e = r.maxima.entry(name).or_insert(0);
+    *e = (*e).max(value);
+}
+
+pub(crate) fn observe(name: &'static str, value: u64) {
+    let mut r = registry();
+    let h = r.hists.entry(name).or_default();
+    if h.count == 0 {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+    h.count += 1;
+    h.sum += value;
+    let bucket = if value == 0 { 0 } else { value.ilog2() };
+    *h.buckets.entry(bucket).or_insert(0) += 1;
+}
+
+pub(crate) fn span_close(path: &str, ns: u64) {
+    let mut r = registry();
+    let s = r.spans.entry(path.to_string()).or_default();
+    if s.count == 0 {
+        s.min_ns = ns;
+        s.max_ns = ns;
+    } else {
+        s.min_ns = s.min_ns.min(ns);
+        s.max_ns = s.max_ns.max(ns);
+    }
+    s.count += 1;
+    s.total_ns += ns;
+}
+
+pub(crate) fn snapshot() -> Snapshot {
+    let r = registry();
+    Snapshot {
+        counters: r.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        maxima: r.maxima.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        hists: r
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.to_string(),
+                    HistSummary {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        buckets: h.buckets.iter().map(|(b, c)| (*b, *c)).collect(),
+                    },
+                )
+            })
+            .collect(),
+        spans: r.spans.clone(),
+    }
+}
+
+pub(crate) fn reset() {
+    let mut r = registry();
+    r.counters.clear();
+    r.maxima.clear();
+    r.hists.clear();
+    r.spans.clear();
+}

@@ -1,0 +1,409 @@
+//! Folding a JSONL event log back into per-stage statistics.
+//!
+//! The sink's event grammar is flat and fixed (see [`crate::sink`]'s
+//! module docs), so this module ships a small hand-rolled scanner for it
+//! instead of pulling a JSON dependency into the zero-dep crate: objects
+//! of string keys mapped to string literals, unsigned integers, or nested
+//! arrays (which the scanner skips). Unknown events and malformed lines
+//! are counted, not fatal — a truncated log from a crashed run still
+//! folds.
+
+use std::collections::BTreeMap;
+
+use crate::registry::SpanStat;
+
+/// One parsed JSONL event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `run_start` header.
+    RunStart,
+    /// A closed span: hierarchical path and elapsed nanoseconds.
+    Span {
+        /// `>`-joined hierarchical path.
+        path: String,
+        /// Elapsed wall-clock nanoseconds.
+        ns: u64,
+    },
+    /// An additive counter summary.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A high-water-mark summary.
+    Max {
+        /// Mark name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// Aggregated span statistics emitted at flush.
+    SpanStat {
+        /// `>`-joined hierarchical path.
+        path: String,
+        /// Pre-aggregated statistics.
+        stat: SpanStat,
+    },
+    /// Any other well-formed event (`hist`, `flush`, future kinds).
+    Other,
+}
+
+/// Scanned top-level value of one object field.
+enum Field {
+    Str(String),
+    Num(u64),
+    Skipped,
+}
+
+/// Parses one JSONL line of the sink grammar. Returns `None` for blank
+/// or malformed lines.
+pub fn parse_line(line: &str) -> Option<Event> {
+    let fields = scan_object(line.trim())?;
+    let get_str = |k: &str| {
+        fields.iter().find_map(|(key, v)| match v {
+            Field::Str(s) if key == k => Some(s.clone()),
+            _ => None,
+        })
+    };
+    let get_num = |k: &str| {
+        fields.iter().find_map(|(key, v)| match v {
+            Field::Num(n) if key == k => Some(*n),
+            _ => None,
+        })
+    };
+    match get_str("ev")?.as_str() {
+        "run_start" => Some(Event::RunStart),
+        "span" => Some(Event::Span { path: get_str("path")?, ns: get_num("ns")? }),
+        "counter" => Some(Event::Counter { name: get_str("name")?, value: get_num("value")? }),
+        "max" => Some(Event::Max { name: get_str("name")?, value: get_num("value")? }),
+        "span_stat" => Some(Event::SpanStat {
+            path: get_str("path")?,
+            stat: SpanStat {
+                count: get_num("count")?,
+                total_ns: get_num("total_ns")?,
+                min_ns: get_num("min_ns")?,
+                max_ns: get_num("max_ns")?,
+            },
+        }),
+        _ => Some(Event::Other),
+    }
+}
+
+/// Scans a flat JSON object into key → field pairs. Nested arrays are
+/// skipped structurally; anything else malformed aborts the line.
+fn scan_object(line: &str) -> Option<Vec<(String, Field)>> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Some(fields);
+        }
+        let key = scan_string(line, &mut i)?;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i)? {
+            b'"' => Field::Str(scan_string(line, &mut i)?),
+            b'[' => {
+                skip_array(bytes, &mut i)?;
+                Field::Skipped
+            }
+            b'0'..=b'9' => Field::Num(scan_number(bytes, &mut i)?),
+            _ => return None,
+        };
+        fields.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Some(fields),
+            _ => return None,
+        }
+    }
+}
+
+fn scan_string(line: &str, i: &mut usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    if bytes.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    let mut chars = line[*i..].char_indices();
+    while let Some((off, c)) = chars.next() {
+        match c {
+            '"' => {
+                *i += off + 1;
+                return Some(out);
+            }
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next()?;
+                            code = code * 16 + h.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn scan_number(bytes: &[u8], i: &mut usize) -> Option<u64> {
+    let start = *i;
+    while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+        *i += 1;
+    }
+    std::str::from_utf8(&bytes[start..*i]).ok()?.parse().ok()
+}
+
+fn skip_array(bytes: &[u8], i: &mut usize) -> Option<()> {
+    let mut depth = 0usize;
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return Some(());
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    None
+}
+
+/// Folded view of a run log: per-stage span statistics plus final
+/// counter and high-water-mark values.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Span statistics by hierarchical path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Final additive counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final high-water marks.
+    pub maxima: BTreeMap<String, u64>,
+    /// Well-formed events seen.
+    pub events: u64,
+    /// Lines that failed to parse.
+    pub malformed: u64,
+}
+
+/// Folds the lines of a JSONL log into a [`Report`].
+///
+/// Per-event `span` records are aggregated directly; `span_stat` summary
+/// events only fill paths that had no streamed records (so a log with
+/// both is not double-counted). Later `counter`/`max` summaries replace
+/// earlier ones (last flush wins).
+pub fn fold<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Report {
+    let mut report = Report::default();
+    let mut stat_only: BTreeMap<String, SpanStat> = BTreeMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(ev) = parse_line(line) else {
+            report.malformed += 1;
+            continue;
+        };
+        report.events += 1;
+        match ev {
+            Event::Span { path, ns } => {
+                let s = report.spans.entry(path).or_default();
+                if s.count == 0 {
+                    s.min_ns = ns;
+                    s.max_ns = ns;
+                } else {
+                    s.min_ns = s.min_ns.min(ns);
+                    s.max_ns = s.max_ns.max(ns);
+                }
+                s.count += 1;
+                s.total_ns += ns;
+            }
+            Event::SpanStat { path, stat } => {
+                stat_only.insert(path, stat);
+            }
+            Event::Counter { name, value } => {
+                report.counters.insert(name, value);
+            }
+            Event::Max { name, value } => {
+                report.maxima.insert(name, value);
+            }
+            Event::RunStart | Event::Other => {}
+        }
+    }
+    for (path, stat) in stat_only {
+        report.spans.entry(path).or_insert(stat);
+    }
+    report
+}
+
+impl Report {
+    /// Renders the per-stage table (stages by descending total time, then
+    /// counters and high-water marks) as printed by `obs_report`.
+    pub fn to_table(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<56} {:>8} {:>12} {:>10} {:>10}\n",
+            "stage", "count", "total_ms", "mean_ms", "max_ms"
+        ));
+        let mut stages: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+        stages.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+        for (path, s) in stages {
+            out.push_str(&format!(
+                "{:<56} {:>8} {:>12.3} {:>10.3} {:>10.3}\n",
+                path,
+                s.count,
+                ms(s.total_ns),
+                ms(s.total_ns) / s.count.max(1) as f64,
+                ms(s.max_ns),
+            ));
+        }
+        if !self.counters.is_empty() || !self.maxima.is_empty() {
+            out.push_str(&format!("\n{:<56} {:>20}\n", "counter", "value"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<56} {value:>20}\n"));
+            }
+            for (name, value) in &self.maxima {
+                out.push_str(&format!("{:<56} {:>20}\n", format!("{name} (max)"), value));
+            }
+        }
+        out
+    }
+
+    /// Renders the `BENCH_obs.json` document: stage rows sorted by
+    /// descending total time plus the final counter values.
+    pub fn to_json(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::from("{\n  \"bench\": \"obs\",\n  \"schema\": 1,\n");
+        out.push_str(&format!(
+            "  \"events\": {},\n  \"malformed\": {},\n  \"stages\": [\n",
+            self.events, self.malformed
+        ));
+        let mut stages: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+        stages.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+        for (i, (path, s)) in stages.iter().enumerate() {
+            let mut row = String::from("    {\"path\": ");
+            crate::json::push_str_escaped(&mut row, path);
+            row.push_str(&format!(
+                ", \"count\": {}, \"total_ms\": {:.3}, \"mean_ms\": {:.3}, \
+                 \"min_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                s.count,
+                ms(s.total_ns),
+                ms(s.total_ns) / s.count.max(1) as f64,
+                ms(s.min_ns),
+                ms(s.max_ns),
+            ));
+            if i + 1 < stages.len() {
+                row.push(',');
+            }
+            row.push('\n');
+            out.push_str(&row);
+        }
+        out.push_str("  ],\n  \"counters\": {\n");
+        let entries: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .chain(self.maxima.iter().map(|(k, v)| (format!("{k}.max"), *v)))
+            .collect();
+        for (i, (name, value)) in entries.iter().enumerate() {
+            let mut row = String::from("    ");
+            crate::json::push_str_escaped(&mut row, name);
+            row.push_str(&format!(": {value}"));
+            if i + 1 < entries.len() {
+                row.push(',');
+            }
+            row.push('\n');
+            out.push_str(&row);
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_span_and_counter_lines() {
+        let ev =
+            parse_line("{\"ev\":\"span\",\"name\":\"x\",\"path\":\"a>x\",\"ns\":42,\"thread\":0}");
+        assert_eq!(ev, Some(Event::Span { path: "a>x".into(), ns: 42 }));
+        let ev = parse_line("{\"ev\":\"counter\",\"name\":\"c\",\"value\":7}");
+        assert_eq!(ev, Some(Event::Counter { name: "c".into(), value: 7 }));
+        assert_eq!(parse_line("not json"), None);
+    }
+
+    #[test]
+    fn parses_escapes_and_skips_arrays() {
+        let ev = parse_line("{\"ev\":\"counter\",\"name\":\"a\\\"b\\\\c\",\"value\":1}");
+        assert_eq!(ev, Some(Event::Counter { name: "a\"b\\c".into(), value: 1 }));
+        let ev = parse_line(
+            "{\"ev\":\"hist\",\"name\":\"h\",\"count\":2,\"sum\":3,\"min\":1,\"max\":2,\
+             \"buckets\":[[0,1],[1,1]]}",
+        );
+        assert_eq!(ev, Some(Event::Other));
+    }
+
+    #[test]
+    fn fold_aggregates_spans_and_keeps_last_counter() {
+        let log = [
+            "{\"ev\":\"run_start\",\"schema\":1,\"pid\":1}",
+            "{\"ev\":\"span\",\"name\":\"s\",\"path\":\"s\",\"ns\":10,\"thread\":0}",
+            "{\"ev\":\"span\",\"name\":\"s\",\"path\":\"s\",\"ns\":30,\"thread\":0}",
+            "{\"ev\":\"counter\",\"name\":\"c\",\"value\":1}",
+            "{\"ev\":\"counter\",\"name\":\"c\",\"value\":5}",
+            "{\"ev\":\"span_stat\",\"path\":\"s\",\"count\":9,\"total_ns\":99,\
+             \"min_ns\":1,\"max_ns\":50}",
+            "{\"ev\":\"span_stat\",\"path\":\"t\",\"count\":1,\"total_ns\":7,\
+             \"min_ns\":7,\"max_ns\":7}",
+            "garbage",
+        ];
+        let r = fold(log);
+        assert_eq!(r.malformed, 1);
+        // streamed span records win over the flush summary for "s" ...
+        assert_eq!(r.spans["s"], SpanStat { count: 2, total_ns: 40, min_ns: 10, max_ns: 30 });
+        // ... while "t" (summary only) is taken from the summary
+        assert_eq!(r.spans["t"].total_ns, 7);
+        assert_eq!(r.counters["c"], 5);
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"obs\""));
+        assert!(json.contains("\"path\": \"s\""));
+        let table = r.to_table();
+        assert!(table.contains("stage"));
+        assert!(table.contains('s'));
+    }
+}

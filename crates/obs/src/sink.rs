@@ -1,0 +1,145 @@
+//! JSONL event sink.
+//!
+//! One line per event, written through a [`BufWriter`] behind a mutex.
+//! Event kinds (field `ev`): `run_start`, `span`, `counter`, `max`,
+//! `hist`, `span_stat`, `flush`. Sink failures are reported once on
+//! stderr and then swallowed — observability must never fail a run.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::json::push_str_escaped;
+use crate::registry::Snapshot;
+
+#[derive(Default)]
+struct Sink {
+    writer: Option<BufWriter<File>>,
+    seq: u64,
+}
+
+fn sink() -> MutexGuard<'static, Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default())).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn open_default() {
+    open_path(crate::DEFAULT_SINK_PATH);
+}
+
+pub(crate) fn open_path(path: &str) {
+    let p = Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match File::create(p) {
+        Ok(f) => {
+            let mut s = sink();
+            s.writer = Some(BufWriter::new(f));
+            s.seq = 0;
+            drop(s);
+            let mut line = String::from("{\"ev\":\"run_start\",\"schema\":1,\"pid\":");
+            line.push_str(&std::process::id().to_string());
+            line.push('}');
+            write_line(&line);
+        }
+        Err(e) => {
+            eprintln!("[rdo-obs] cannot open sink {path}: {e}");
+        }
+    }
+}
+
+fn write_line(line: &str) {
+    let mut s = sink();
+    s.seq += 1;
+    if let Some(w) = s.writer.as_mut() {
+        if writeln!(w, "{line}").is_err() {
+            eprintln!("[rdo-obs] sink write failed; disabling sink");
+            s.writer = None;
+        }
+    }
+}
+
+fn has_writer() -> bool {
+    sink().writer.is_some()
+}
+
+pub(crate) fn emit_span(name: &str, path: &str, ns: u64, thread: u64, label: Option<&str>) {
+    if !has_writer() {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ev\":\"span\",\"name\":");
+    push_str_escaped(&mut line, name);
+    line.push_str(",\"path\":");
+    push_str_escaped(&mut line, path);
+    line.push_str(",\"ns\":");
+    line.push_str(&ns.to_string());
+    line.push_str(",\"thread\":");
+    line.push_str(&thread.to_string());
+    if let Some(l) = label {
+        line.push_str(",\"label\":");
+        push_str_escaped(&mut line, l);
+    }
+    line.push('}');
+    write_line(&line);
+}
+
+pub(crate) fn emit_summary(snap: &Snapshot) {
+    if !has_writer() {
+        return;
+    }
+    for (name, value) in &snap.counters {
+        let mut line = String::from("{\"ev\":\"counter\",\"name\":");
+        push_str_escaped(&mut line, name);
+        line.push_str(",\"value\":");
+        line.push_str(&value.to_string());
+        line.push('}');
+        write_line(&line);
+    }
+    for (name, value) in &snap.maxima {
+        let mut line = String::from("{\"ev\":\"max\",\"name\":");
+        push_str_escaped(&mut line, name);
+        line.push_str(",\"value\":");
+        line.push_str(&value.to_string());
+        line.push('}');
+        write_line(&line);
+    }
+    for (name, h) in &snap.hists {
+        let mut line = String::from("{\"ev\":\"hist\",\"name\":");
+        push_str_escaped(&mut line, name);
+        line.push_str(&format!(
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            h.count, h.sum, h.min, h.max
+        ));
+        for (i, (bucket, count)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("[{bucket},{count}]"));
+        }
+        line.push_str("]}");
+        write_line(&line);
+    }
+    for (path, s) in &snap.spans {
+        let mut line = String::from("{\"ev\":\"span_stat\",\"path\":");
+        push_str_escaped(&mut line, path);
+        line.push_str(&format!(
+            ",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+            s.count, s.total_ns, s.min_ns, s.max_ns
+        ));
+        line.push('}');
+        write_line(&line);
+    }
+    write_line("{\"ev\":\"flush\"}");
+}
+
+pub(crate) fn flush() {
+    let mut s = sink();
+    if let Some(w) = s.writer.as_mut() {
+        let _ = w.flush();
+    }
+}

@@ -1,0 +1,81 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is an RAII guard: it notes [`Instant::now()`] at construction
+//! and, on drop, records its elapsed time both in the in-memory registry
+//! (keyed by the `>`-joined path of enclosing span names on the same
+//! thread) and as a JSONL `span` event when a sink is configured.
+//!
+//! The path stack is thread-local, so spans opened on worker threads form
+//! their own hierarchies; the guard is intentionally `!Send` (it holds a
+//! position in its thread's stack).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::{registry, sink};
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// RAII guard returned by [`span()`]; records the elapsed wall-clock on
+/// drop. Deliberately `!Send`.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    label: Option<String>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a wall-clock span named `name`. While instrumentation is
+/// disabled this is a branch and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None, label: None, _not_send: PhantomData };
+    }
+    open(name, None)
+}
+
+/// Opens a span with a lazily-computed free-form label (e.g. the grid
+/// point being evaluated). The closure only runs when instrumentation is
+/// enabled; the label is attached to the JSONL event, not the path.
+#[inline]
+pub fn span_with<F: FnOnce() -> String>(name: &'static str, label: F) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None, label: None, _not_send: PhantomData };
+    }
+    open(name, Some(label()))
+}
+
+fn open(name: &'static str, label: Option<String>) -> SpanGuard {
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { start: Some(Instant::now()), label, _not_send: PhantomData }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (path, name) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let name = stack.pop().unwrap_or("?");
+            let mut path = String::new();
+            for frame in stack.iter() {
+                path.push_str(frame);
+                path.push('>');
+            }
+            path.push_str(name);
+            (path, name)
+        });
+        registry::span_close(&path, ns);
+        let thread = THREAD_ID.with(|t| *t);
+        sink::emit_span(name, &path, ns, thread, self.label.as_deref());
+    }
+}

@@ -1,0 +1,44 @@
+//! End-to-end: events streamed to a JSONL sink fold back into the same
+//! statistics. Runs in its own process, so the global sink is private to
+//! the test.
+
+use rdo_obs::{fold, Event};
+
+#[test]
+fn sink_roundtrip_folds_back() {
+    let path = std::env::temp_dir().join(format!("rdo-obs-roundtrip-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    rdo_obs::set_sink(path_str);
+    rdo_obs::set_enabled(true);
+    rdo_obs::reset();
+
+    {
+        let _outer = rdo_obs::span("test.outer");
+        for _ in 0..3 {
+            let _inner = rdo_obs::span_with("test.inner", || "label with \"quotes\"".to_string());
+        }
+    }
+    rdo_obs::counter_add("test.count", 11);
+    rdo_obs::counter_max("test.hwm", 4096);
+    rdo_obs::observe("test.hist", 1000);
+    rdo_obs::flush();
+
+    let text = std::fs::read_to_string(&path).expect("sink file readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 6, "expected several events, got {}", lines.len());
+    // every line parses under the crate's own grammar
+    for line in &lines {
+        assert!(rdo_obs::parse_line(line).is_some(), "unparseable event line: {line}");
+    }
+    assert_eq!(rdo_obs::parse_line(lines[0]), Some(Event::RunStart));
+
+    let report = fold(lines.iter().copied());
+    assert_eq!(report.malformed, 0);
+    assert_eq!(report.spans["test.outer"].count, 1);
+    assert_eq!(report.spans["test.outer>test.inner"].count, 3);
+    assert_eq!(report.counters["test.count"], 11);
+    assert_eq!(report.maxima["test.hwm"], 4096);
+    assert!(report.to_json().contains("\"test.count\": 11"));
+
+    let _ = std::fs::remove_file(&path);
+}

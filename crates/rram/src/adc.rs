@@ -117,6 +117,10 @@ impl BitSerialEvaluator {
         if let Some(&bad) = x.iter().find(|&&v| v > max_input) {
             return Err(RramError::WeightOutOfRange { value: bad, levels: max_input + 1 });
         }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("rram.adc.evals", 1);
+            rdo_obs::counter_add("rram.adc.bit_cycles", self.cycles(rows) as u64);
+        }
         let codec = crossbar.codec();
         let cpw = codec.cells_per_weight();
         let wcols = crossbar.used_weight_cols();

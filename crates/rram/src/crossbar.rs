@@ -142,6 +142,16 @@ pub fn program_matrix(
     let levels = validate_levels(ctw, codec)?;
     let floor = codec.total_floor();
     let sigma = model.sigma();
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("rram.program.calls", 1);
+        rdo_obs::counter_add("rram.program.weights", levels.len() as u64);
+        let draws = match (sigma == 0.0, model.kind()) {
+            (true, _) => 0,
+            (false, VariationKind::PerWeight) => levels.len(),
+            (false, VariationKind::PerCell) => levels.len() * codec.cells_per_weight(),
+        };
+        rdo_obs::counter_add("rram.theta.samples", draws as u64);
+    }
     let mut out = Tensor::zeros(ctw.dims());
     match model.kind() {
         VariationKind::PerWeight => {
@@ -274,6 +284,12 @@ pub fn program_matrix_with_ddv(
     let floor = codec.total_floor();
     let nominal = nominal_table(codec)?;
     let sigma = ccv.sigma();
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("rram.program.calls", 1);
+        rdo_obs::counter_add("rram.program.weights", levels.len() as u64);
+        let draws = if sigma == 0.0 { 0 } else { levels.len() };
+        rdo_obs::counter_add("rram.theta.samples", draws as u64);
+    }
     let mut out = Tensor::zeros(ctw.dims());
     if sigma == 0.0 {
         for ((o, &v), &d) in out.data_mut().iter_mut().zip(&levels).zip(ddv_factors.data()) {
@@ -389,6 +405,13 @@ impl Crossbar {
                 spec.rows,
                 spec.weight_cols(&codec)
             )));
+        }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("rram.crossbar.program.calls", 1);
+            rdo_obs::counter_add(
+                "rram.crossbar.program.cells",
+                (used_rows * used_weight_cols * cpw) as u64,
+            );
         }
         let cell_floor = codec.cell().floor();
         let mut levels = vec![0u32; spec.rows * spec.cols];

@@ -162,6 +162,10 @@ fn gemm_dispatch(
     if k == 0 {
         return; // nothing to accumulate
     }
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.gemm.calls", 1);
+        rdo_obs::counter_add("tensor.gemm.flops", 2 * (m * k * n) as u64);
+    }
     let threads = threads.clamp(1, m.max(1));
     match (m, k, n) {
         (1, _, _) => gevm(a, a_layout, b, b_layout, c, k, n, threads),
@@ -349,6 +353,9 @@ fn gemm_tiled(
     pack_b(b, b_layout, k, n, &mut bpack);
 
     let tiles = m.div_ceil(MR);
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.gemm.tiles", (tiles * panels(n)) as u64);
+    }
     let threads = threads.min(tiles);
     let tiles_per = tiles.div_ceil(threads);
     let rows_per = tiles_per * MR;

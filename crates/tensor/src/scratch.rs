@@ -74,11 +74,12 @@ impl Scratch {
         if self.free.len() < MAX_POOLED {
             self.free.push(buf);
         }
+        self.note_pooled_bytes();
     }
 
     /// `f64` twin of [`Scratch::take_zeroed`].
     pub fn take_zeroed_f64(&mut self, len: usize) -> Vec<f64> {
-        let mut buf = best_fit(&mut self.free64, len);
+        let mut buf = self.take_storage_f64(len);
         buf.clear();
         buf.resize(len, 0.0);
         buf
@@ -86,7 +87,7 @@ impl Scratch {
 
     /// `f64` twin of [`Scratch::take`].
     pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
-        let mut buf = best_fit(&mut self.free64, len);
+        let mut buf = self.take_storage_f64(len);
         buf.resize(len, 0.0);
         buf
     }
@@ -99,6 +100,7 @@ impl Scratch {
         if self.free64.len() < MAX_POOLED {
             self.free64.push(buf);
         }
+        self.note_pooled_bytes();
     }
 
     /// Number of idle buffers currently pooled.
@@ -117,7 +119,33 @@ impl Scratch {
     }
 
     fn take_storage(&mut self, len: usize) -> Vec<f32> {
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("tensor.scratch.takes", 1);
+            if self.free.iter().all(|b| b.capacity() < len) {
+                rdo_obs::counter_add("tensor.scratch.allocs", 1);
+            }
+        }
         best_fit(&mut self.free, len)
+    }
+
+    fn take_storage_f64(&mut self, len: usize) -> Vec<f64> {
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("tensor.scratch.takes", 1);
+            if self.free64.iter().all(|b| b.capacity() < len) {
+                rdo_obs::counter_add("tensor.scratch.allocs", 1);
+            }
+        }
+        best_fit(&mut self.free64, len)
+    }
+
+    /// High-water mark of this pool's idle bytes (both element types);
+    /// pools are per owner, so the mark tracks the largest single pool.
+    fn note_pooled_bytes(&self) {
+        if rdo_obs::enabled() {
+            let bytes = self.free.iter().map(Vec::capacity).sum::<usize>() * 4
+                + self.free64.iter().map(Vec::capacity).sum::<usize>() * 8;
+            rdo_obs::counter_max("tensor.scratch.pooled_bytes", bytes as u64);
+        }
     }
 }
 

@@ -22,8 +22,36 @@ cargo bench --no-run
 echo "==> perf_report --quick (smoke: rewrites every results/BENCH_*.json)"
 cargo run --release -p rdo-bench --bin perf_report -- --quick
 
+echo "==> obs smoke: fig5a with RDO_OBS, then obs_report"
+OBS_LOG="target/rdo-obs/ci.jsonl"
+RDO_OBS="$OBS_LOG" RDO_SCALE=fast RDO_THREADS=1 RDO_CYCLES=1 \
+  cargo run --release -p rdo-bench --bin fig5a > /dev/null
+if [ ! -s "$OBS_LOG" ]; then
+  echo "ci: missing or empty $OBS_LOG" >&2
+  exit 1
+fi
+# Every sink line must be a JSON object, and the stream must contain the
+# run header plus at least one span and one counter event.
+python3 - "$OBS_LOG" <<'PYEOF'
+import json, sys
+evs = set()
+with open(sys.argv[1]) as fh:
+    for i, line in enumerate(fh, 1):
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            sys.exit(f"ci: {sys.argv[1]}:{i} is not valid JSON: {line!r}")
+        if not isinstance(obj, dict) or "ev" not in obj:
+            sys.exit(f"ci: {sys.argv[1]}:{i} lacks an 'ev' field")
+        evs.add(obj["ev"])
+missing = {"run_start", "span", "counter"} - evs
+if missing:
+    sys.exit(f"ci: obs log lacks event kinds: {sorted(missing)}")
+PYEOF
+cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
+
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program; do
+for name in gemm cycles vawo program obs; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
