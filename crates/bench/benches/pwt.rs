@@ -1,8 +1,13 @@
 //! PWT kernel: cost of one post-writing tuning epoch on a small MLP,
-//! for both the Eq. 8 SGD rule and the Adam variant.
+//! for both the Eq. 8 SGD rule and the Adam variant, plus the
+//! incremental fast path against the retained full-rebuild reference on
+//! the 128×128 layer stack of `BENCH_pwt.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rdo_core::{tune, MappedNetwork, Method, OffsetConfig, PwtConfig, PwtOptimizer};
+use rdo_core::{
+    tune, tune_reference, tune_with_scratch, MappedNetwork, Method, OffsetConfig, PwtConfig,
+    PwtOptimizer, PwtScratch,
+};
 use rdo_nn::{Linear, Relu, Sequential};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
 use rdo_tensor::rng::{randn, seeded_rng};
@@ -43,5 +48,44 @@ fn bench_pwt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pwt);
+fn bench_pwt_fast_vs_reference(c: &mut Criterion) {
+    // The `BENCH_pwt.json` workload: a 128-wide hidden stack tuned at a
+    // small batch, where the per-batch refresh/reduction overhead is the
+    // dominant cost and the two implementations separate cleanly.
+    let mut rng = seeded_rng(11);
+    let mut net = Sequential::new();
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 10, &mut rng));
+    let x = randn(&[96, 128], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..96).map(|i| (i * 7) % 10).collect();
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).expect("valid config");
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).expect("map");
+    mapped.program(&mut seeded_rng(5)).expect("program");
+    let pwt_cfg = PwtConfig { epochs: 1, batch_size: 4, seed: 3, ..Default::default() };
+
+    let mut group = c.benchmark_group("pwt_fast_vs_reference");
+    group.sample_size(10);
+    // tune* re-initializes the offsets on entry, so iterating on the same
+    // mapped network times identical work every sample
+    group.bench_function("reference", |b| {
+        b.iter(|| tune_reference(&mut mapped, &x, &labels, &pwt_cfg).expect("tune_reference"));
+    });
+    let mut scratch = PwtScratch::new();
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            tune_with_scratch(&mut mapped, &x, &labels, &pwt_cfg, &mut scratch).expect("tune")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pwt, bench_pwt_fast_vs_reference);
 criterion_main!(benches);

@@ -1,17 +1,21 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes four JSON records under `results/` (mirrored to the repo root)
+//! Writes five JSON records under `results/` (mirrored to the repo root)
 //! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
 //!   the register-tiled microkernel on the canonical GEMM shapes
 //!   (256×256×256 and the LeNet im2col shapes), serial and threaded.
 //! - `BENCH_cycles.json` — wall-clock of the §IV multi-cycle evaluation
-//!   engine at several worker-thread counts.
+//!   engine at worker-thread counts 1, half the machine and the full
+//!   machine.
 //! - `BENCH_vawo.json` — the table-driven VAWO search (serial and
 //!   threaded) versus the naive per-triple reference on a 128×128 layer.
 //! - `BENCH_program.json` — bulk device programming versus the scalar
 //!   per-entry path at SLC/MLC and both variation kinds.
+//! - `BENCH_pwt.json` — the incremental post-writing-tuning fast path
+//!   (scratch arena + in-place refresh + fused reduction) versus the
+//!   retained full-rebuild reference tuner on a 128×128 layer stack.
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -27,8 +31,9 @@ use std::hint::black_box;
 
 use rdo_bench::{write_bench_record, BenchError, Result};
 use rdo_core::{
-    evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, CycleEvalConfig,
-    GroupLayout, MappedNetwork, Method, OffsetConfig, PwtConfig,
+    evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, tune_reference,
+    tune_with_scratch, CycleEvalConfig, GroupLayout, MappedNetwork, Method, OffsetConfig,
+    PwtConfig, PwtScratch,
 };
 use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
 use rdo_obs::best_of_ns as best_of;
@@ -65,6 +70,9 @@ fn main() -> Result<()> {
 
     let program = program_report(reps, quick)?;
     write_bench_record("BENCH_program", &program)?;
+
+    let pwt = pwt_report(quick)?;
+    write_bench_record("BENCH_pwt", &pwt)?;
     rdo_obs::flush();
     Ok(())
 }
@@ -138,9 +146,19 @@ fn cycles_report(quick: bool) -> Result<String> {
 
     let cycles = if quick { 2 } else { 8 };
     let reps = if quick { 1 } else { 5 };
+    // sweep serial, half the machine and the whole machine — the three
+    // points that show whether the engine scales and where it saturates
     let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut sweep = vec![1usize];
+    let half = (max / 2).max(1);
+    if half > 1 {
+        sweep.push(half);
+    }
+    if max > 1 && max != half {
+        sweep.push(max);
+    }
     let mut rows = Vec::new();
-    for threads in [1usize, 2, 4].into_iter().filter(|&t| t == 1 || t <= max) {
+    for threads in sweep {
         let ns = best_of(reps, || {
             let mut m = mapped.clone();
             evaluate_cycles(
@@ -260,5 +278,65 @@ fn program_report(reps: usize, quick: bool) -> Result<String> {
          \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"sigma\": {sigma},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         out_rows.join(",\n")
+    ))
+}
+
+fn pwt_report(quick: bool) -> Result<String> {
+    // The PR contract's 128×128-scale stack: three hidden 128-wide layers
+    // plus a classifier head, tuned at a small batch so the per-batch
+    // refresh/reduction overhead (what the fast path removes) is the
+    // dominant term rather than the GEMMs. No pre-training: PWT only
+    // reads gradients, so random trained weights time identically.
+    let mut rng = seeded_rng(11);
+    let n = if quick { 48 } else { 96 };
+    let x = randn(&[n, 128], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|i| (i * 7) % 10).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(128, 10, &mut rng));
+
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).map_err(BenchError::from)?;
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec)?;
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None)?;
+    mapped.program(&mut seeded_rng(5))?;
+
+    let pwt_cfg = PwtConfig {
+        epochs: if quick { 1 } else { 2 },
+        batch_size: 4,
+        seed: 3,
+        ..Default::default()
+    };
+    let reps = if quick { 1 } else { 5 };
+
+    // `tune*` re-initializes the offsets from the CRWs on entry, so
+    // repeated calls on the same mapped network time identical work
+    let reference_ns = best_of(reps, || {
+        black_box(tune_reference(&mut mapped, &x, &labels, &pwt_cfg).expect("tune_reference"));
+    });
+    let mut scratch = PwtScratch::new();
+    let fast_ns = best_of(reps, || {
+        black_box(
+            tune_with_scratch(&mut mapped, &x, &labels, &pwt_cfg, &mut scratch).expect("tune"),
+        );
+    });
+    let speedup = reference_ns as f64 / fast_ns as f64;
+    eprintln!(
+        "[pwt] 128x128 stack, batch {}: reference {:.3} ms, fast {:.3} ms ({speedup:.2}x)",
+        pwt_cfg.batch_size,
+        reference_ns as f64 / 1e6,
+        fast_ns as f64 / 1e6,
+    );
+    Ok(format!(
+        "{{\n  \"bench\": \"pwt\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \"quick\": {quick},\n  \
+         \"stack\": \"128x128x3+10\",\n  \"samples\": {n}, \"batch_size\": {}, \"epochs\": {},\n  \
+         \"reference_ns\": {reference_ns}, \"fast_ns\": {fast_ns},\n  \
+         \"speedup_vs_reference\": {speedup:.3}\n}}\n",
+        pwt_cfg.batch_size, pwt_cfg.epochs,
     ))
 }

@@ -21,7 +21,8 @@ use rdo_tensor::Tensor;
 
 use crate::error::Result;
 use crate::mapping::MappedNetwork;
-use crate::pwt::{tune, PwtConfig};
+use crate::pwt::{tune_with_scratch, PwtConfig};
+use crate::scratch::PwtScratch;
 
 /// Configuration of a multi-cycle evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,8 +108,19 @@ pub fn evaluate_cycles(
     let threads = resolve_threads(cfg.threads).min(cfg.cycles).max(1);
     if threads <= 1 {
         let mut per_cycle = Vec::with_capacity(cfg.cycles);
+        // one scratch arena for the whole run: PWT rebinds it per cycle,
+        // recycling the buffers instead of re-warming a fresh pool
+        let mut scratch = PwtScratch::new();
         for c in 0..cfg.cycles {
-            per_cycle.push(run_cycle(mapped, c, tune_data, test_images, test_labels, cfg)?);
+            per_cycle.push(run_cycle(
+                mapped,
+                c,
+                tune_data,
+                test_images,
+                test_labels,
+                cfg,
+                &mut scratch,
+            )?);
         }
         return Ok(CycleEvaluation::from_cycles(per_cycle));
     }
@@ -127,6 +139,8 @@ pub fn evaluate_cycles(
                 s.spawn(|| -> Result<CycleBatch> {
                     let mut accs = Vec::new();
                     let mut last = None;
+                    // per-worker scratch arena, reused across its cycles
+                    let mut scratch = PwtScratch::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= cfg.cycles || failed.load(Ordering::Relaxed) {
@@ -140,6 +154,7 @@ pub fn evaluate_cycles(
                             test_images,
                             test_labels,
                             cfg,
+                            &mut scratch,
                         ) {
                             Ok(a) => a,
                             Err(e) => {
@@ -186,6 +201,7 @@ fn run_cycle(
     test_images: &Tensor,
     test_labels: &[usize],
     cfg: &CycleEvalConfig,
+    scratch: &mut PwtScratch,
 ) -> Result<f32> {
     let _span = rdo_obs::span("core.cycle");
     let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
@@ -194,7 +210,7 @@ fn run_cycle(
         let (xs, ys) = tune_data.expect("validated by evaluate_cycles");
         let mut pwt_cfg = cfg.pwt;
         pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
-        tune(mapped, xs, ys, &pwt_cfg)?;
+        tune_with_scratch(mapped, xs, ys, &pwt_cfg, scratch)?;
     }
     let mut net = mapped.effective_network()?;
     let _eval = rdo_obs::span("core.eval");
@@ -207,23 +223,8 @@ mod tests {
     use crate::config::{Method, OffsetConfig};
     use crate::gradient::mean_core_gradients;
     use crate::mapping::MappedNetwork;
-    use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+    use crate::testutil::trained_problem_2class as trained_problem;
     use rdo_rram::{CellKind, DeviceLut, VariationModel};
-    use rdo_tensor::rng::randn;
-
-    fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
-        let mut rng = seeded_rng(24);
-        let x = randn(&[160, 5], 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> =
-            (0..160).map(|i| usize::from(x.data()[i * 5] + x.data()[i * 5 + 2] > 0.0)).collect();
-        let mut net = Sequential::new();
-        net.push(Linear::new(5, 16, &mut rng));
-        net.push(Relu::new());
-        net.push(Linear::new(16, 2, &mut rng));
-        fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
-            .unwrap();
-        (net, x, labels)
-    }
 
     #[test]
     fn cycle_statistics_are_computed() {
@@ -284,6 +285,4 @@ mod tests {
         let mut pwt = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
         assert!(evaluate_cycles(&mut pwt, None, &x, &labels, &CycleEvalConfig::default()).is_err());
     }
-
-    use rdo_tensor::rng::seeded_rng;
 }

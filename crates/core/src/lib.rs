@@ -47,6 +47,8 @@ mod gradient;
 mod mapping;
 mod offsets;
 mod pwt;
+mod scratch;
+pub mod testutil;
 mod vawo;
 
 pub use config::{Method, OffsetConfig};
@@ -58,7 +60,8 @@ pub use gradient::{
 };
 pub use mapping::{MappedLayer, MappedNetwork};
 pub use offsets::{GroupLayout, OffsetState};
-pub use pwt::{tune, PwtConfig, PwtOptimizer, PwtReport};
+pub use pwt::{tune, tune_reference, tune_with_scratch, PwtConfig, PwtOptimizer, PwtReport};
+pub use scratch::PwtScratch;
 pub use vawo::{
     complement_weight, optimize_matrix, optimize_matrix_reference, optimize_matrix_with_threads,
     VawoOutput,

@@ -15,7 +15,7 @@
 
 use rand::Rng;
 use rdo_nn::quant::{quantize_weights, QuantParams};
-use rdo_nn::Sequential;
+use rdo_nn::{Layer, Sequential};
 use rdo_rram::{program_matrix, program_matrix_with_ddv, sample_ddv_factors, DeviceLut};
 use rdo_tensor::Tensor;
 
@@ -25,7 +25,23 @@ use crate::gradient::{
     core_weight_infos, extract_core_weights, inject_core_weights, CoreWeightInfo,
 };
 use crate::offsets::{GroupLayout, OffsetState};
+use crate::scratch::PwtScratch;
 use crate::vawo::optimize_matrix;
+
+/// Below this many weights a layer's refresh/reduction stays serial —
+/// spawning scoped workers costs more than the pass itself. Thresholding
+/// on size (not data) keeps results bitwise independent of the choice.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Worker threads for one layer's refresh/reduction: the `RDO_THREADS`
+/// environment answer for large layers, serial below [`PAR_MIN_ELEMS`].
+pub(crate) fn refresh_threads(elems: usize) -> usize {
+    if elems >= PAR_MIN_ELEMS {
+        rdo_tensor::parallel::available_threads()
+    } else {
+        1
+    }
+}
 
 /// One core layer's complete mapping state.
 #[derive(Debug, Clone)]
@@ -320,13 +336,109 @@ impl MappedNetwork {
     /// network (used by PWT between offset updates, avoiding a full
     /// network clone per batch).
     ///
+    /// Delegates to [`MappedNetwork::refresh_effective_reference`]; the
+    /// tuning loop itself uses the incremental
+    /// [`MappedNetwork::refresh_effective_with`] fast path.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`MappedNetwork::effective_network`].
     pub fn refresh_effective(&self, net: &mut Sequential) -> Result<()> {
+        self.refresh_effective_reference(net)
+    }
+
+    /// The reference refresh: rebuilds every layer's full effective
+    /// weight matrix (`apply` → `map(dequantize)` → `transpose2`) and
+    /// injects the clones. Retained verbatim as the equivalence oracle
+    /// for [`MappedNetwork::refresh_effective_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MappedNetwork::effective_network`].
+    pub fn refresh_effective_reference(&self, net: &mut Sequential) -> Result<()> {
         let weights: Result<Vec<Tensor>> =
             self.layers.iter().map(|l| l.effective_weight(&self.cfg)).collect();
         inject_core_weights(net, &weights?)
+    }
+
+    /// The incremental fast refresh: writes effective weights for the
+    /// groups whose offsets changed since the last refresh **in place**
+    /// into the evaluation network's weight tensors, reading the
+    /// transposed-CRW cache held by `scratch` — no allocation, no
+    /// transpose, no full-matrix rebuild, and bitwise identical to
+    /// [`MappedNetwork::refresh_effective_reference`] (the per-element
+    /// operation chain is unchanged; see
+    /// [`crate::OffsetState::refresh_network_weights`]).
+    ///
+    /// Large layers are column-parallelized under the `RDO_THREADS`
+    /// determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `scratch` is not bound to
+    /// this network's current programming (see [`PwtScratch::bind`]), and
+    /// [`CoreError::GradientMismatch`] if `net`'s core layers do not
+    /// match the mapping.
+    pub fn refresh_effective_with(
+        &self,
+        net: &mut Sequential,
+        scratch: &mut PwtScratch,
+    ) -> Result<()> {
+        if !scratch.is_bound_to(self) {
+            return Err(CoreError::InvalidConfig(
+                "PWT scratch is not bound to this network's programming cycle".to_string(),
+            ));
+        }
+        let maxw = self.cfg.codec.max_weight() as f32;
+        let expected = self.layers.len();
+        let scratch_layers = scratch.layers_mut();
+        let mut li = 0usize;
+        for p in net.params() {
+            if !p.kind.is_core_weight() {
+                continue;
+            }
+            let layer = self
+                .layers
+                .get(li)
+                .ok_or(CoreError::GradientMismatch { expected, actual: li + 1 })?;
+            if p.value.dims() != [layer.info.rows, layer.info.cols] {
+                return Err(CoreError::InvalidConfig(format!(
+                    "layer {} weight shape {:?} does not match mapping {:?}",
+                    li,
+                    p.value.dims(),
+                    (layer.info.rows, layer.info.cols)
+                )));
+            }
+            let ls = &mut scratch_layers[li];
+            let threads = refresh_threads(layer.info.rows * layer.info.cols);
+            let last = ls.refreshed.then_some(ls.last.as_slice());
+            let q = layer.quant;
+            let updated = layer.state.refresh_network_weights(
+                &ls.crw_t,
+                last,
+                q.delta,
+                q.shift as f32,
+                maxw,
+                threads,
+                p.value.data_mut(),
+            )?;
+            if rdo_obs::enabled() {
+                let kind = if ls.refreshed {
+                    "core.pwt.refresh_incremental"
+                } else {
+                    "core.pwt.refresh_full"
+                };
+                rdo_obs::counter_add(kind, 1);
+                rdo_obs::counter_add("core.pwt.groups_updated", updated as u64);
+            }
+            ls.last.copy_from_slice(layer.state.offsets());
+            ls.refreshed = true;
+            li += 1;
+        }
+        if li != expected {
+            return Err(CoreError::GradientMismatch { expected, actual: li });
+        }
+        Ok(())
     }
 
     /// Initializes every offset in closed form from the measured CRWs:

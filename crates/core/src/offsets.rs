@@ -213,6 +213,190 @@ impl OffsetState {
         Ok(out)
     }
 
+    /// Writes the effective float weights directly in **network
+    /// orientation** (`(fan_out, fan_in)` row-major), fusing
+    /// [`OffsetState::apply`], dequantization and the transpose into a
+    /// single pass over a transposed-CRW cache.
+    ///
+    /// `crw_t` must hold the CRW transposed into network orientation (its
+    /// row `c` is crossbar column `c`), `delta`/`shift` are the layer's
+    /// affine quantization, and `max_weight` the complement pivot. When
+    /// `last` is `Some`, only groups whose offset **bits** differ from
+    /// `last` are rewritten (the incremental path — complement flags are
+    /// fixed at mapping time, so the offsets are the only per-group state
+    /// that can go stale); `None` forces a full rebuild.
+    ///
+    /// Every rewritten element runs the reference operation chain
+    /// `v = CRW + b`, `NRW = v` (or `maxw − v`), `w = Δ·(NRW − shift)`,
+    /// so the result is bitwise identical to
+    /// `apply` → `map(dequantize)` → `transpose2` for any `threads`:
+    /// columns are partitioned contiguously and each group lives wholly
+    /// inside one partition, so threads only choose *who* computes a
+    /// group, never *how* (the `RDO_THREADS` determinism contract).
+    ///
+    /// Returns the number of groups rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `crw_t`, `out` or `last`
+    /// do not match the layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refresh_network_weights(
+        &self,
+        crw_t: &[f32],
+        last: Option<&[f32]>,
+        delta: f32,
+        shift: f32,
+        max_weight: f32,
+        threads: usize,
+        out: &mut [f32],
+    ) -> Result<usize> {
+        let (rows, cols) = (self.layout.fan_in, self.layout.fan_out);
+        let elems = rows * cols;
+        if crw_t.len() != elems || out.len() != elems {
+            return Err(CoreError::InvalidConfig(format!(
+                "refresh buffers ({} CRW / {} out) do not match layout {rows}×{cols}",
+                crw_t.len(),
+                out.len()
+            )));
+        }
+        if last.is_some_and(|l| l.len() != self.offsets.len()) {
+            return Err(CoreError::InvalidConfig(
+                "stale-offset buffer does not match the group count".to_string(),
+            ));
+        }
+        let worker = |c0: usize, crw_chunk: &[f32], out_chunk: &mut [f32]| -> usize {
+            let mut updated = 0usize;
+            for cl in 0..out_chunk.len() / rows {
+                let c = c0 + cl;
+                let base = cl * rows;
+                for (ri, &(r0, r1)) in self.layout.bounds.iter().enumerate() {
+                    let g = self.layout.group_index(ri, c);
+                    let b = self.offsets[g];
+                    if last.is_some_and(|l| l[g].to_bits() == b.to_bits()) {
+                        continue;
+                    }
+                    updated += 1;
+                    // slice-based loops so the bounds checks hoist and the
+                    // group body vectorizes; the arithmetic chain is the
+                    // reference one (`v = CRW + b`, complement, `Δ·(·−shift)`)
+                    // operation for operation
+                    let src = &crw_chunk[base + r0..base + r1];
+                    let dst = &mut out_chunk[base + r0..base + r1];
+                    if self.complemented[g] {
+                        for (o, &crw) in dst.iter_mut().zip(src) {
+                            let v = crw + b;
+                            *o = delta * ((max_weight - v) - shift);
+                        }
+                    } else {
+                        for (o, &crw) in dst.iter_mut().zip(src) {
+                            let v = crw + b;
+                            *o = delta * (v - shift);
+                        }
+                    }
+                }
+            }
+            updated
+        };
+        let threads = threads.clamp(1, cols);
+        if threads <= 1 {
+            return Ok(worker(0, crw_t, out));
+        }
+        let per = cols.div_ceil(threads);
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = crw_t
+                .chunks(per * rows)
+                .zip(out.chunks_mut(per * rows))
+                .enumerate()
+                .map(|(i, (crw_chunk, out_chunk))| {
+                    let w = &worker;
+                    s.spawn(move || w(i * per, crw_chunk, out_chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("refresh worker panicked")).collect()
+        });
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Fused twin of [`OffsetState::reduce_gradient`]: reads the
+    /// per-weight loss gradient in **network orientation** (`(fan_out,
+    /// fan_in)` row-major, straight out of the backward pass) and folds
+    /// the chain-rule `Δ`-scaling into the reduction, so neither the
+    /// transposed nor the scaled temporary is materialized.
+    ///
+    /// `col_major` is caller-provided scratch of `group_count()` elements
+    /// that keeps the parallel partition contiguous; `out` receives the
+    /// group-major gradients. Each group is reduced in the same row order
+    /// and with the same per-element `g·Δ` rounding as the reference, so
+    /// the result is bitwise identical for any `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a length mismatch.
+    pub fn reduce_gradient_network_into(
+        &self,
+        grad_net: &[f32],
+        delta: f32,
+        threads: usize,
+        col_major: &mut [f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let (rows, cols) = (self.layout.fan_in, self.layout.fan_out);
+        let groups = self.layout.group_count();
+        if grad_net.len() != rows * cols || col_major.len() != groups || out.len() != groups {
+            return Err(CoreError::InvalidConfig(format!(
+                "reduction buffers ({} grad / {} scratch / {} out) do not match layout {rows}×{cols}",
+                grad_net.len(),
+                col_major.len(),
+                out.len()
+            )));
+        }
+        let nr = self.layout.bounds.len();
+        let worker = |c0: usize, grad_chunk: &[f32], cm_chunk: &mut [f32]| {
+            for cl in 0..cm_chunk.len() / nr {
+                let c = c0 + cl;
+                let base = cl * rows;
+                for (ri, &(r0, r1)) in self.layout.bounds.iter().enumerate() {
+                    let g = self.layout.group_index(ri, c);
+                    let mut acc = 0.0f32;
+                    // slice loop (not indexed) so the bounds checks hoist;
+                    // the sum stays strictly sequential in row order
+                    for &gv in &grad_chunk[base + r0..base + r1] {
+                        acc += gv * delta;
+                    }
+                    cm_chunk[cl * nr + ri] = if self.complemented[g] { -acc } else { acc };
+                }
+            }
+        };
+        let threads = threads.clamp(1, cols);
+        if threads <= 1 {
+            worker(0, grad_net, col_major);
+        } else {
+            let per = cols.div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = grad_net
+                    .chunks(per * rows)
+                    .zip(col_major.chunks_mut(per * nr))
+                    .enumerate()
+                    .map(|(i, (grad_chunk, cm_chunk))| {
+                        let w = &worker;
+                        s.spawn(move || w(i * per, grad_chunk, cm_chunk))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("reduction worker panicked");
+                }
+            });
+        }
+        // cheap serial permute back to group-major
+        for c in 0..cols {
+            for ri in 0..nr {
+                out[self.layout.group_index(ri, c)] = col_major[c * nr + ri];
+            }
+        }
+        Ok(())
+    }
+
     /// Snaps every offset to the signed integer register grid of `cfg`.
     pub fn quantize(&mut self, cfg: &OffsetConfig) {
         let (lo, hi) = (cfg.offset_min() as f32, cfg.offset_max() as f32);
@@ -319,5 +503,133 @@ mod tests {
         let st = OffsetState::zeros(layout);
         assert!(st.apply(&Tensor::zeros(&[2, 4]), 255.0).is_err());
         assert!(st.reduce_gradient(&Tensor::zeros(&[4, 3])).is_err());
+    }
+
+    /// Deterministic pseudo-random state exercising both signs, the
+    /// complement flag and offsets beyond the register range.
+    fn synthetic_state(fan_in: usize, fan_out: usize, m: usize) -> (OffsetState, Tensor) {
+        let layout = GroupLayout::new(fan_in, fan_out, &cfg(m)).unwrap();
+        let n = layout.group_count();
+        let offsets: Vec<f32> =
+            (0..n).map(|i| ((i * 37 + 11) % 700) as f32 * 0.73 - 250.0).collect();
+        let complemented: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+        let st = OffsetState::from_parts(layout, offsets, complemented).unwrap();
+        let crw = Tensor::from_fn(&[fan_in, fan_out], |i| ((i * 53 + 7) % 256) as f32 * 1.007);
+        (st, crw)
+    }
+
+    fn reference_network_weights(st: &OffsetState, crw: &Tensor, dq: (f32, f32, f32)) -> Vec<f32> {
+        let (delta, shift, maxw) = dq;
+        let nrw = st.apply(crw, maxw).unwrap();
+        nrw.map(|v| delta * (v - shift)).transpose2().unwrap().into_vec()
+    }
+
+    #[test]
+    fn fast_refresh_matches_reference_for_any_shape_and_thread_count() {
+        let dq = (0.01337f32, 120.0f32, 255.0f32);
+        for (fan_in, fan_out, m) in
+            [(1, 1, 16), (5, 3, 16), (64, 10, 64), (128, 4, 128), (200, 7, 64), (300, 9, 16)]
+        {
+            let (mut st, crw) = synthetic_state(fan_in, fan_out, m);
+            let crw_t = crw.transpose2().unwrap().into_vec();
+            let reference = reference_network_weights(&st, &crw, dq);
+            for threads in [1usize, 2, 3, 8] {
+                let mut out = vec![0.0f32; fan_in * fan_out];
+                let updated = st
+                    .refresh_network_weights(&crw_t, None, dq.0, dq.1, dq.2, threads, &mut out)
+                    .unwrap();
+                assert_eq!(updated, st.layout().group_count());
+                assert_eq!(out, reference, "full refresh, threads={threads}");
+            }
+            // incremental: change a subset (including a clamp-snap), leave
+            // the rest bit-identical, refresh in place on a stale buffer
+            let previous = st.offsets().to_vec();
+            for (i, b) in st.offsets_mut().iter_mut().enumerate() {
+                if i % 4 == 0 {
+                    *b += 1.5;
+                }
+            }
+            st.quantize(&cfg(m)); // clamp regime: every offset snaps
+            let reference = reference_network_weights(&st, &crw, dq);
+            for threads in [1usize, 2, 3, 8] {
+                let mut out = reference_network_weights(
+                    &OffsetState::from_parts(
+                        st.layout().clone(),
+                        previous.clone(),
+                        st.complemented().to_vec(),
+                    )
+                    .unwrap(),
+                    &crw,
+                    dq,
+                );
+                let updated = st
+                    .refresh_network_weights(
+                        &crw_t,
+                        Some(&previous),
+                        dq.0,
+                        dq.1,
+                        dq.2,
+                        threads,
+                        &mut out,
+                    )
+                    .unwrap();
+                assert!(updated <= st.layout().group_count());
+                assert_eq!(out, reference, "incremental refresh, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_skips_unchanged_groups() {
+        let (st, crw) = synthetic_state(64, 5, 16);
+        let crw_t = crw.transpose2().unwrap().into_vec();
+        let mut out = vec![0.0f32; 64 * 5];
+        st.refresh_network_weights(&crw_t, None, 0.1, 10.0, 255.0, 1, &mut out).unwrap();
+        let same = st.offsets().to_vec();
+        let updated =
+            st.refresh_network_weights(&crw_t, Some(&same), 0.1, 10.0, 255.0, 1, &mut out).unwrap();
+        assert_eq!(updated, 0, "bit-identical offsets must be skipped");
+    }
+
+    #[test]
+    fn fused_reduction_matches_reference_for_any_thread_count() {
+        for (fan_in, fan_out, m) in [(1, 1, 16), (5, 3, 16), (128, 4, 128), (300, 9, 64)] {
+            let (st, _) = synthetic_state(fan_in, fan_out, m);
+            let delta = 0.0421f32;
+            // network-orientation gradient, (fan_out, fan_in) row-major
+            let g_net =
+                Tensor::from_fn(&[fan_out, fan_in], |i| ((i * 31 + 5) % 97) as f32 * 0.013 - 0.6);
+            let reference = st.reduce_gradient(&g_net.transpose2().unwrap().scale(delta)).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let mut cm = vec![0.0f32; st.layout().group_count()];
+                let mut out = vec![0.0f32; st.layout().group_count()];
+                st.reduce_gradient_network_into(g_net.data(), delta, threads, &mut cm, &mut out)
+                    .unwrap();
+                assert_eq!(out, reference, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_buffer_mismatches_rejected() {
+        let (st, crw) = synthetic_state(8, 2, 16);
+        let crw_t = crw.transpose2().unwrap().into_vec();
+        let mut out = vec![0.0f32; 16];
+        assert!(st
+            .refresh_network_weights(&crw_t[..8], None, 0.1, 0.0, 255.0, 1, &mut out)
+            .is_err());
+        assert!(st
+            .refresh_network_weights(&crw_t, None, 0.1, 0.0, 255.0, 1, &mut out[..4])
+            .is_err());
+        let bad_last = vec![0.0f32; 1];
+        assert!(st
+            .refresh_network_weights(&crw_t, Some(&bad_last), 0.1, 0.0, 255.0, 1, &mut out)
+            .is_err());
+        let mut cm = vec![0.0f32; st.layout().group_count()];
+        let mut db = vec![0.0f32; st.layout().group_count()];
+        assert!(st.reduce_gradient_network_into(&[0.0; 3], 0.1, 1, &mut cm, &mut db).is_err());
+        assert!(st
+            .reduce_gradient_network_into(&vec![0.0; 16], 0.1, 1, &mut cm[..1], &mut db)
+            .is_err());
     }
 }

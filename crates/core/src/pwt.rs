@@ -13,16 +13,25 @@
 //! [`PwtOptimizer::Sgd`]; the default is [`PwtOptimizer::Adam`], whose
 //! per-parameter normalization makes one learning rate work across layers
 //! with very different `Δ` scales (documented engineering deviation).
+//!
+//! Two implementations produce bitwise-identical results: [`tune`] runs
+//! the incremental fast path (in-place group refresh from a
+//! transposed-CRW cache, fused gradient reduction, a [`PwtScratch`]
+//! arena — no steady-state allocation), while [`tune_reference`] retains
+//! the original full-rebuild loop as the equivalence oracle and
+//! benchmark baseline.
 
 use rdo_nn::{
-    batch_gather_buf, batch_slice_buf, train::recalibrate_batchnorm, Layer, SoftmaxCrossEntropy,
+    batch_gather_buf, batch_slice_buf, train::recalibrate_batchnorm, Layer, Sequential,
+    SoftmaxCrossEntropy,
 };
 use rdo_tensor::rng::{permutation, seeded_rng};
 use rdo_tensor::Tensor;
 
 use crate::error::{CoreError, Result};
 use crate::gradient::extract_core_gradients;
-use crate::mapping::MappedNetwork;
+use crate::mapping::{refresh_threads, MappedNetwork};
+use crate::scratch::PwtScratch;
 
 /// Update rule for the offsets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,21 +97,58 @@ struct AdamState {
     t: i32,
 }
 
-/// Trains the offsets of a programmed [`MappedNetwork`] on the given data,
-/// then snaps them to the offset-register grid.
-///
-/// # Errors
-///
-/// Returns [`CoreError::InvalidConfig`] if the network has not been
-/// programmed or the configuration is degenerate, and propagates layer
-/// errors.
-pub fn tune(
+impl AdamState {
+    fn for_groups(mapped: &MappedNetwork) -> Self {
+        // flat state across all groups of all layers
+        let total: usize = mapped.layers().iter().map(|l| l.state.layout().group_count()).sum();
+        AdamState { m: vec![0.0; total], v: vec![0.0; total], t: 0 }
+    }
+}
+
+/// One optimizer step on one layer's offsets — shared verbatim by the
+/// fast and reference paths so their offset trajectories agree bit for
+/// bit.
+fn apply_update(
+    optimizer: PwtOptimizer,
+    lr_scale: f32,
+    adam: &mut AdamState,
+    group_base: usize,
+    offsets: &mut [f32],
+    db: &[f32],
+) {
+    match optimizer {
+        PwtOptimizer::Sgd { lr } => {
+            let lr = lr * lr_scale;
+            for (b, g) in offsets.iter_mut().zip(db) {
+                *b -= lr * g;
+            }
+        }
+        PwtOptimizer::Adam { lr } => {
+            let lr = lr * lr_scale;
+            let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+            let bc1 = 1.0 - b1.powi(adam.t);
+            let bc2 = 1.0 - b2.powi(adam.t);
+            for (k, (b, g)) in offsets.iter_mut().zip(db).enumerate() {
+                let idx = group_base + k;
+                adam.m[idx] = b1 * adam.m[idx] + (1.0 - b1) * g;
+                adam.v[idx] = b2 * adam.v[idx] + (1.0 - b2) * g * g;
+                let mh = adam.m[idx] / bc1;
+                let vh = adam.v[idx] / bc2;
+                *b -= lr * mh / (vh.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Validates the run and performs the shared zeroth step: least-squares
+/// mean-matching from the measured CRWs, building the evaluation network
+/// and re-estimating batch-norm statistics against the perturbed weights.
+fn validate_and_prepare(
     mapped: &mut MappedNetwork,
     images: &Tensor,
     labels: &[usize],
     cfg: &PwtConfig,
-) -> Result<PwtReport> {
-    let _span = rdo_obs::span("core.pwt");
+) -> Result<(usize, Sequential)> {
     if cfg.epochs == 0 || cfg.batch_size == 0 {
         return Err(CoreError::InvalidConfig(
             "PWT epochs and batch size must be positive".to_string(),
@@ -115,19 +161,240 @@ pub fn tune(
             labels: labels.len(),
         }));
     }
-    // zeroth step: least-squares mean-matching from the measured CRWs
     mapped.init_offsets_mean_matching()?;
     let mut net = mapped.effective_network()?;
     // batch norm is digital: re-estimate its running statistics against
     // the perturbed weights before training the offsets
     recalibrate_batchnorm(&mut net, images, cfg.batch_size)?;
+    Ok((n, net))
+}
+
+/// Dataset loss of the current offsets (forward only), on the fast path:
+/// incremental refresh, one whole-dataset forward and a reused softmax
+/// buffer.
+///
+/// The forward runs over all `n` rows at once instead of per batch; the
+/// loss is still averaged per `batch_size` chunk of the (unshuffled)
+/// dataset so the value matches the reference loop bit for bit. Rows are
+/// independent in every layer — the GEMM accumulates each output element
+/// over `k` in a fixed order regardless of how many rows are in flight —
+/// so chunking only the softmax, not the forward, is a pure win.
+#[allow(clippy::too_many_arguments)]
+fn dataset_loss(
+    mapped: &MappedNetwork,
+    net: &mut Sequential,
+    scratch: &mut PwtScratch,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    loss_fn: &SoftmaxCrossEntropy,
+    xbuf: &mut Vec<f32>,
+) -> Result<f32> {
+    mapped.refresh_effective_with(net, scratch)?;
+    let n = images.dims()[0];
+    let logits = net.forward(images, false)?;
+    let mut total = 0.0f32;
+    let mut batches = 0usize;
+    let mut start = 0usize;
+    let mut buf = std::mem::take(xbuf);
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let chunk = batch_slice_buf(&logits, start, end, &mut buf)?;
+        let l = loss_fn.loss_with_buf(&chunk, &labels[start..end], scratch.probs_mut())?;
+        total += l;
+        batches += 1;
+        start = end;
+        buf = chunk.into_vec();
+    }
+    *xbuf = buf;
+    Ok(total / batches.max(1) as f32)
+}
+
+/// Trains the offsets of a programmed [`MappedNetwork`] on the given data,
+/// then snaps them to the offset-register grid.
+///
+/// Runs the incremental fast path with a run-local [`PwtScratch`]; use
+/// [`tune_with_scratch`] to reuse the arena across programming cycles.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if the network has not been
+/// programmed or the configuration is degenerate, and propagates layer
+/// errors.
+pub fn tune(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+) -> Result<PwtReport> {
+    let mut scratch = PwtScratch::new();
+    tune_with_scratch(mapped, images, labels, cfg, &mut scratch)
+}
+
+/// [`tune`] with a caller-owned scratch arena, so repeated runs (the §IV
+/// multi-cycle protocol) reuse the same buffers instead of re-warming a
+/// fresh pool every cycle. The arena is (re)bound to `mapped`'s current
+/// programming automatically.
+///
+/// # Errors
+///
+/// Same conditions as [`tune`].
+pub fn tune_with_scratch(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+    scratch: &mut PwtScratch,
+) -> Result<PwtReport> {
+    let _span = rdo_obs::span("core.pwt");
+    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg)?;
+    scratch.bind(mapped)?;
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut rng = seeded_rng(cfg.seed);
+    let mut report = PwtReport::default();
+    let mut xbuf: Vec<f32> = Vec::new();
+
+    // safeguard: remember the best offsets seen, starting from the
+    // mean-matching initialization — PWT must never end up worse
+    let mut best_loss = dataset_loss(
+        mapped,
+        &mut net,
+        scratch,
+        images,
+        labels,
+        cfg.batch_size,
+        &loss_fn,
+        &mut xbuf,
+    )?;
+    scratch.save_best(mapped);
+    report.initial_loss = best_loss;
+
+    let mut adam = AdamState::for_groups(mapped);
+    let mut lr_scale = 1.0f32;
+    let mut ybuf: Vec<usize> = Vec::new();
+    for epoch in 0..cfg.epochs {
+        let order = permutation(n, &mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let x = batch_gather_buf(images, chunk, &mut xbuf)?;
+            ybuf.clear();
+            ybuf.extend(chunk.iter().map(|&i| labels[i]));
+            // eval-mode forward: batch-norm statistics stay frozen, but
+            // every layer still caches what backward needs
+            let logits = net.forward(&x, false)?;
+            let (l, grad) = loss_fn.compute(&logits, &ybuf)?;
+            net.zero_grad();
+            // weights-only backward: the first layer's input gradient
+            // feeds nothing, so its dX product is skipped outright
+            net.backward_weights_only(&grad)?;
+
+            // fused Eq. 8: read each core layer's gradient in place
+            // (network orientation, no clone, no transpose) and reduce it
+            // over offset groups with the chain-rule Δ folded in
+            adam.t += 1;
+            let mut group_base = 0usize;
+            let expected = mapped.layers().len();
+            let mut li = 0usize;
+            for p in net.params() {
+                if !p.kind.is_core_weight() {
+                    continue;
+                }
+                let layer = mapped
+                    .layers_mut()
+                    .get_mut(li)
+                    .ok_or(CoreError::GradientMismatch { expected, actual: li + 1 })?;
+                let ls = &mut scratch.layers_mut()[li];
+                let delta = layer.quant.delta;
+                let threads = refresh_threads(layer.info.rows * layer.info.cols);
+                layer.state.reduce_gradient_network_into(
+                    p.grad.data(),
+                    delta,
+                    threads,
+                    &mut ls.db_cm,
+                    &mut ls.db,
+                )?;
+                apply_update(
+                    cfg.optimizer,
+                    lr_scale,
+                    &mut adam,
+                    group_base,
+                    layer.state.offsets_mut(),
+                    &ls.db,
+                );
+                group_base += layer.state.layout().group_count();
+                li += 1;
+            }
+            if li != expected {
+                return Err(CoreError::GradientMismatch { expected, actual: li });
+            }
+            mapped.refresh_effective_with(&mut net, scratch)?;
+            epoch_loss += l;
+            batches += 1;
+            xbuf = x.into_vec(); // hand the batch storage back for reuse
+        }
+        let mean = epoch_loss / batches.max(1) as f32;
+        if cfg.verbose {
+            eprintln!("pwt epoch {:>2}: loss {:.4}", epoch + 1, mean);
+        }
+        report.epoch_losses.push(mean);
+        lr_scale *= cfg.lr_decay;
+        let current = dataset_loss(
+            mapped,
+            &mut net,
+            scratch,
+            images,
+            labels,
+            cfg.batch_size,
+            &loss_fn,
+            &mut xbuf,
+        )?;
+        if current < best_loss {
+            best_loss = current;
+            scratch.save_best(mapped);
+        }
+    }
+
+    // restore the best offsets observed
+    scratch.restore_best(mapped);
+    report.best_loss = best_loss;
+
+    // offsets live in 8-bit registers: snap to the grid
+    let arch = *mapped.config();
+    for layer in mapped.layers_mut() {
+        layer.state.quantize(&arch);
+    }
+    // hand the tuned network (with recalibrated batch-norm statistics)
+    // back for evaluation; its weights are refreshed on clone
+    mapped.refresh_effective_with(&mut net, scratch)?;
+    mapped.set_tuned_network(net);
+    Ok(report)
+}
+
+/// The original full-rebuild tuning loop, retained verbatim: per batch it
+/// clones every core gradient, materializes the transposed `Δ`-scaled
+/// temporary, and rebuilds each layer's entire effective weight matrix.
+/// Kept as the equivalence oracle for [`tune`] (their results are bitwise
+/// identical) and as the baseline the `pwt` benchmarks measure against.
+///
+/// # Errors
+///
+/// Same conditions as [`tune`].
+pub fn tune_reference(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+) -> Result<PwtReport> {
+    let _span = rdo_obs::span("core.pwt");
+    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg)?;
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut rng = seeded_rng(cfg.seed);
     let mut report = PwtReport::default();
 
     // dataset loss of the current offsets (forward only)
-    let eval_loss = |mapped: &MappedNetwork, net: &mut rdo_nn::Sequential| -> Result<f32> {
-        mapped.refresh_effective(net)?;
+    let eval_loss = |mapped: &MappedNetwork, net: &mut Sequential| -> Result<f32> {
+        mapped.refresh_effective_reference(net)?;
         let mut total = 0.0f32;
         let mut batches = 0usize;
         let mut start = 0usize;
@@ -154,9 +421,7 @@ pub fn tune(
     let mut best_offsets = snapshot(mapped);
     report.initial_loss = best_loss;
 
-    // flat Adam state across all groups of all layers
-    let total_groups: usize = mapped.layers().iter().map(|l| l.state.layout().group_count()).sum();
-    let mut adam = AdamState { m: vec![0.0; total_groups], v: vec![0.0; total_groups], t: 0 };
+    let mut adam = AdamState::for_groups(mapped);
     let mut lr_scale = 1.0f32;
 
     let mut xbuf: Vec<f32> = Vec::new();
@@ -184,32 +449,17 @@ pub fn tune(
                 let delta = layer.quant.delta;
                 let g_nrw = g_w.transpose2()?.scale(delta);
                 let db = layer.state.reduce_gradient(&g_nrw)?;
-                let offsets = layer.state.offsets_mut();
-                match cfg.optimizer {
-                    PwtOptimizer::Sgd { lr } => {
-                        let lr = lr * lr_scale;
-                        for (b, g) in offsets.iter_mut().zip(&db) {
-                            *b -= lr * g;
-                        }
-                    }
-                    PwtOptimizer::Adam { lr } => {
-                        let lr = lr * lr_scale;
-                        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
-                        let bc1 = 1.0 - b1.powi(adam.t);
-                        let bc2 = 1.0 - b2.powi(adam.t);
-                        for (k, (b, g)) in offsets.iter_mut().zip(&db).enumerate() {
-                            let idx = group_base + k;
-                            adam.m[idx] = b1 * adam.m[idx] + (1.0 - b1) * g;
-                            adam.v[idx] = b2 * adam.v[idx] + (1.0 - b2) * g * g;
-                            let mh = adam.m[idx] / bc1;
-                            let vh = adam.v[idx] / bc2;
-                            *b -= lr * mh / (vh.sqrt() + eps);
-                        }
-                    }
-                }
+                apply_update(
+                    cfg.optimizer,
+                    lr_scale,
+                    &mut adam,
+                    group_base,
+                    layer.state.offsets_mut(),
+                    &db,
+                );
                 group_base += layer.state.layout().group_count();
             }
-            mapped.refresh_effective(&mut net)?;
+            mapped.refresh_effective_reference(&mut net)?;
             epoch_loss += l;
             batches += 1;
             xbuf = x.into_vec(); // hand the batch storage back for reuse
@@ -240,7 +490,7 @@ pub fn tune(
     }
     // hand the tuned network (with recalibrated batch-norm statistics)
     // back for evaluation; its weights are refreshed on clone
-    mapped.refresh_effective(&mut net)?;
+    mapped.refresh_effective_reference(&mut net)?;
     mapped.set_tuned_network(net);
     Ok(report)
 }
@@ -250,29 +500,10 @@ mod tests {
     use super::*;
     use crate::config::{Method, OffsetConfig};
     use crate::mapping::MappedNetwork;
-    use rdo_nn::{evaluate, fit, Linear, Relu, Sequential, TrainConfig};
+    use crate::testutil::trained_problem_4class as trained_problem;
+    use rdo_nn::evaluate;
     use rdo_rram::{CellKind, DeviceLut, VariationModel};
-    use rdo_tensor::rng::{randn, seeded_rng};
-
-    /// A small trained classification problem.
-    fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
-        let mut rng = seeded_rng(42);
-        let x = randn(&[192, 6], 0.0, 1.0, &mut rng);
-        let labels: Vec<usize> = (0..192)
-            .map(|i| {
-                let a = x.data()[i * 6] > 0.0;
-                let b = x.data()[i * 6 + 1] > 0.0;
-                (a as usize) * 2 + b as usize
-            })
-            .collect();
-        let mut net = Sequential::new();
-        net.push(Linear::new(6, 24, &mut rng));
-        net.push(Relu::new());
-        net.push(Linear::new(24, 4, &mut rng));
-        fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
-            .unwrap();
-        (net, x, labels)
-    }
+    use rdo_tensor::rng::seeded_rng;
 
     #[test]
     fn pwt_recovers_accuracy_under_variation() {

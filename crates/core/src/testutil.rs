@@ -1,0 +1,55 @@
+//! Shared test fixtures: small trained networks on synthetic separable
+//! data, used by the unit tests of this crate and its integration tests
+//! (which is why the module is public — `#[cfg(test)]` modules are not
+//! visible to `tests/*.rs`).
+//!
+//! Both fixtures train a tiny MLP to convergence on a fixed-seed problem,
+//! giving deterministic weights that quantize and map non-trivially. They
+//! are deliberately *not* behind a feature gate: they hold no test-only
+//! dependencies and compile in a few milliseconds.
+
+use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_tensor::rng::{randn, seeded_rng};
+use rdo_tensor::Tensor;
+
+/// A 2-class problem (seed 24): 160 samples of 5 features, labelled by the
+/// sign of `x₀ + x₂`, fitted by a `5→16→2` ReLU MLP for 25 epochs.
+///
+/// Returns `(trained_network, inputs, labels)`.
+pub fn trained_problem_2class() -> (Sequential, Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(24);
+    let x = randn(&[160, 5], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..160).map(|i| usize::from(x.data()[i * 5] + x.data()[i * 5 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(5, 16, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(16, 2, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() })
+        .expect("fixture training cannot fail");
+    (net, x, labels)
+}
+
+/// A 4-class problem (seed 42): 192 samples of 6 features, labelled by the
+/// sign pattern of `(x₀, x₁)`, fitted by a `6→24→4` ReLU MLP for 30
+/// epochs.
+///
+/// Returns `(trained_network, inputs, labels)`.
+pub fn trained_problem_4class() -> (Sequential, Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(42);
+    let x = randn(&[192, 6], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..192)
+        .map(|i| {
+            let a = usize::from(x.data()[i * 6] > 0.0);
+            let b = usize::from(x.data()[i * 6 + 1] > 0.0);
+            a * 2 + b
+        })
+        .collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(6, 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, 4, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 30, lr: 0.1, ..Default::default() })
+        .expect("fixture training cannot fail");
+    (net, x, labels)
+}

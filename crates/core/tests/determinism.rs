@@ -6,27 +6,12 @@
 //! runs and (b) for every thread count, including the serial
 //! `threads = 1` path.
 
+use rdo_core::testutil::trained_problem_2class as trained_problem;
 use rdo_core::{
     evaluate_cycles, mean_core_gradients, CycleEvalConfig, CycleEvaluation, MappedNetwork, Method,
     OffsetConfig, PwtConfig,
 };
-use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
-use rdo_tensor::rng::{randn, seeded_rng};
-use rdo_tensor::Tensor;
-
-fn trained_problem() -> (Sequential, Tensor, Vec<usize>) {
-    let mut rng = seeded_rng(24);
-    let x = randn(&[160, 5], 0.0, 1.0, &mut rng);
-    let labels: Vec<usize> =
-        (0..160).map(|i| usize::from(x.data()[i * 5] + x.data()[i * 5 + 2] > 0.0)).collect();
-    let mut net = Sequential::new();
-    net.push(Linear::new(5, 16, &mut rng));
-    net.push(Relu::new());
-    net.push(Linear::new(16, 2, &mut rng));
-    fit(&mut net, &x, &labels, &TrainConfig { epochs: 25, lr: 0.1, ..Default::default() }).unwrap();
-    (net, x, labels)
-}
 
 fn run_with_threads(method: Method, threads: usize) -> (CycleEvaluation, f64) {
     let (mut net, x, labels) = trained_problem();

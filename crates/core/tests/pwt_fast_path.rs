@@ -1,0 +1,188 @@
+//! Fast-path ≡ reference-path guarantees of post-writing tuning.
+//!
+//! `tune` (incremental refresh + fused reduction + scratch arena) and
+//! `tune_reference` (the original full-rebuild loop) must produce bitwise
+//! identical offsets, losses and downstream accuracies — for both cell
+//! kinds, for clamping-heavy variation, for both optimizers and for every
+//! thread count.
+
+use rdo_core::testutil::{trained_problem_2class, trained_problem_4class};
+use rdo_core::{
+    evaluate_cycles, tune, tune_reference, tune_with_scratch, CycleEvalConfig, MappedNetwork,
+    Method, OffsetConfig, PwtConfig, PwtOptimizer, PwtScratch,
+};
+use rdo_nn::evaluate;
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::seeded_rng;
+
+fn mapped_problem(
+    kind: CellKind,
+    sigma: f64,
+    program_seed: u64,
+) -> (MappedNetwork, rdo_tensor::Tensor, Vec<usize>) {
+    let (net, x, labels) = trained_problem_4class();
+    let cfg = OffsetConfig::paper(kind, sigma, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+    mapped.program(&mut seeded_rng(program_seed)).unwrap();
+    (mapped, x, labels)
+}
+
+fn offsets_bits(mapped: &MappedNetwork) -> Vec<Vec<u32>> {
+    mapped
+        .layers()
+        .iter()
+        .map(|l| l.state.offsets().iter().map(|b| b.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn tune_matches_reference_bitwise() {
+    // σ=1.0 drives many offsets into the ±register clamp, exercising the
+    // full-recompute fallback of the incremental refresh
+    for (kind, sigma) in
+        [(CellKind::Slc, 0.5), (CellKind::Slc, 1.0), (CellKind::Mlc2, 0.5), (CellKind::Mlc2, 1.0)]
+    {
+        for optimizer in [PwtOptimizer::Adam { lr: 1.0 }, PwtOptimizer::Sgd { lr: 0.05 }] {
+            let cfg = PwtConfig { epochs: 3, seed: 11, optimizer, ..Default::default() };
+
+            let (mut fast, x, labels) = mapped_problem(kind, sigma, 7);
+            let fast_report = tune(&mut fast, &x, &labels, &cfg).unwrap();
+
+            let (mut reference, _, _) = mapped_problem(kind, sigma, 7);
+            let ref_report = tune_reference(&mut reference, &x, &labels, &cfg).unwrap();
+
+            let tag = format!("{kind:?} sigma={sigma} {optimizer:?}");
+            assert_eq!(
+                fast_report.initial_loss.to_bits(),
+                ref_report.initial_loss.to_bits(),
+                "{tag}: initial loss diverged"
+            );
+            assert_eq!(
+                fast_report.best_loss.to_bits(),
+                ref_report.best_loss.to_bits(),
+                "{tag}: best loss diverged"
+            );
+            let fast_bits: Vec<u32> =
+                fast_report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+            let ref_bits: Vec<u32> = ref_report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(fast_bits, ref_bits, "{tag}: epoch losses diverged");
+            assert_eq!(offsets_bits(&fast), offsets_bits(&reference), "{tag}: offsets diverged");
+
+            // the evaluation networks the two paths hand back agree too
+            let mut fast_net = fast.effective_network().unwrap();
+            let mut ref_net = reference.effective_network().unwrap();
+            let fa = evaluate(&mut fast_net, &x, &labels, 64).unwrap();
+            let ra = evaluate(&mut ref_net, &x, &labels, 64).unwrap();
+            assert_eq!(fa.to_bits(), ra.to_bits(), "{tag}: accuracy diverged");
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_across_cycles_is_transparent() {
+    // one arena reused across programming cycles (the evaluate_cycles
+    // pattern) gives the same result as a fresh arena per cycle
+    let cfg = PwtConfig { epochs: 2, seed: 3, ..Default::default() };
+    let mut shared_scratch = PwtScratch::new();
+    for cycle_seed in [1u64, 2, 3] {
+        let (mut reused, x, labels) = mapped_problem(CellKind::Slc, 0.5, cycle_seed);
+        tune_with_scratch(&mut reused, &x, &labels, &cfg, &mut shared_scratch).unwrap();
+
+        let (mut fresh, _, _) = mapped_problem(CellKind::Slc, 0.5, cycle_seed);
+        tune_with_scratch(&mut fresh, &x, &labels, &cfg, &mut PwtScratch::new()).unwrap();
+
+        assert_eq!(offsets_bits(&reused), offsets_bits(&fresh), "cycle seed {cycle_seed}");
+    }
+}
+
+/// Pins the §IV protocol output (satellite of the fast-path PR): the
+/// `per_cycle` accuracies of `evaluate_cycles` must equal a hand-rolled
+/// loop that programs with `seed + c`, runs the *reference* tuner with
+/// `seed + 1000 + c` and evaluates — i.e. the fast path changes nothing
+/// observable, cell kind and clamp regime notwithstanding.
+#[test]
+fn protocol_accuracies_pinned_to_reference_tuner() {
+    for (kind, sigma) in
+        [(CellKind::Slc, 0.5), (CellKind::Mlc2, 0.5), (CellKind::Slc, 1.0), (CellKind::Mlc2, 1.0)]
+    {
+        let (net, x, labels) = trained_problem_2class();
+        let cfg = OffsetConfig::paper(kind, sigma, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).unwrap();
+        let eval_cfg = CycleEvalConfig {
+            cycles: 3,
+            seed: 21,
+            pwt: PwtConfig { epochs: 2, ..Default::default() },
+            batch_size: 64,
+            threads: 1,
+        };
+
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        let engine =
+            evaluate_cycles(&mut mapped, Some((&x, &labels)), &x, &labels, &eval_cfg).unwrap();
+
+        let mut manual = Vec::new();
+        let mut fresh = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        for c in 0..eval_cfg.cycles {
+            fresh.program(&mut seeded_rng(eval_cfg.seed.wrapping_add(c as u64))).unwrap();
+            let mut pwt_cfg = eval_cfg.pwt;
+            pwt_cfg.seed = eval_cfg.seed.wrapping_add(1000 + c as u64);
+            tune_reference(&mut fresh, &x, &labels, &pwt_cfg).unwrap();
+            let mut net = fresh.effective_network().unwrap();
+            manual.push(evaluate(&mut net, &x, &labels, eval_cfg.batch_size).unwrap());
+        }
+
+        let engine_bits: Vec<u32> = engine.per_cycle.iter().map(|a| a.to_bits()).collect();
+        let manual_bits: Vec<u32> = manual.iter().map(|a| a.to_bits()).collect();
+        assert_eq!(engine_bits, manual_bits, "{kind:?} sigma={sigma}: per_cycle diverged");
+    }
+}
+
+#[test]
+fn protocol_is_thread_count_invariant_with_fast_path() {
+    let (net, x, labels) = trained_problem_2class();
+    let cfg = OffsetConfig::paper(CellKind::Slc, 1.0, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(1.0), &cfg.codec).unwrap();
+    let run = |threads: usize| {
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+        let eval_cfg = CycleEvalConfig {
+            cycles: 3,
+            seed: 5,
+            pwt: PwtConfig { epochs: 2, ..Default::default() },
+            batch_size: 64,
+            threads,
+        };
+        evaluate_cycles(&mut mapped, Some((&x, &labels)), &x, &labels, &eval_cfg).unwrap().per_cycle
+    };
+    let serial = run(1);
+    for threads in [2usize, 3, 8] {
+        assert_eq!(serial, run(threads), "threads={threads}");
+    }
+}
+
+// Property form of the refresh/reduction equivalence. The shape and seed
+// spaces here are tiny by proptest standards because every case runs a
+// full mapping + programming pipeline; the dense fixed-shape sweeps live
+// in crates/core/src/offsets.rs.
+#[cfg(test)]
+mod properties {
+    #[allow(unused_imports)]
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn tune_equivalence_holds_for_sampled_seeds(
+            program_seed in 0u64..32,
+            shuffle_seed in 0u64..32,
+        ) {
+            let cfg = PwtConfig { epochs: 1, seed: shuffle_seed, ..Default::default() };
+            let (mut fast, x, labels) = mapped_problem(CellKind::Slc, 0.7, program_seed);
+            tune(&mut fast, &x, &labels, &cfg).unwrap();
+            let (mut reference, _, _) = mapped_problem(CellKind::Slc, 0.7, program_seed);
+            tune_reference(&mut reference, &x, &labels, &cfg).unwrap();
+            prop_assert_eq!(offsets_bits(&fast), offsets_bits(&reference));
+        }
+    }
+}

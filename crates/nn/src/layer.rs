@@ -86,6 +86,21 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// has been cached, or a shape error if `grad_output` is inconsistent.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
 
+    /// [`Layer::backward`] for a layer whose input gradient nobody will
+    /// consume — the first layer of a network. Accumulates parameter
+    /// gradients exactly as `backward` would (bit for bit) but may skip
+    /// computing the input gradient. The default falls back to the full
+    /// backward pass and discards its result; layers where the input
+    /// gradient is a separate product (e.g. [`crate::Linear`]) override
+    /// it to save that work.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward`].
+    fn backward_params_only(&mut self, grad_output: &Tensor) -> Result<()> {
+        self.backward(grad_output).map(|_| ())
+    }
+
     /// Mutable views of every trainable parameter, in a stable order.
     ///
     /// Parameter-free layers return an empty vector (the default).
@@ -96,7 +111,10 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Clears all accumulated gradients.
     fn zero_grad(&mut self) {
         for p in self.params() {
-            p.grad.map_inplace(|_| 0.0);
+            // plain fill, not map_inplace: a write-only memset instead of
+            // a read-modify-write pass (this runs once per batch over
+            // every gradient in the network)
+            p.grad.data_mut().fill(0.0);
         }
     }
 

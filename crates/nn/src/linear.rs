@@ -87,6 +87,35 @@ impl Linear {
         self.weight = w;
         Ok(())
     }
+
+    /// Shared half of the backward pass: `dW += gᵀ · x` and
+    /// `db += Σ_batch g`. Returns the batch size.
+    fn accumulate_param_grads(&mut self, grad_output: &Tensor) -> Result<usize> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
+        let batch = grad_output.dims()[0];
+        // the TN kernel reads g in its stored (batch, out) orientation and
+        // accumulates straight into the gradient — no transpose, no temp
+        gemm_tn(
+            grad_output.data(),
+            input.data(),
+            self.weight_grad.data_mut(),
+            self.out_features,
+            batch,
+            self.in_features,
+            auto_threads(self.out_features, batch, self.in_features),
+            &mut self.scratch,
+        );
+        for r in 0..batch {
+            let row = grad_output.row(r)?;
+            for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        Ok(batch)
+    }
 }
 
 impl Layer for Linear {
@@ -122,30 +151,8 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        // dW += gᵀ · x ; db += Σ_batch g ; dx = g · W
-        let batch = grad_output.dims()[0];
-        // the TN kernel reads g in its stored (batch, out) orientation and
-        // accumulates straight into the gradient — no transpose, no temp
-        gemm_tn(
-            grad_output.data(),
-            input.data(),
-            self.weight_grad.data_mut(),
-            self.out_features,
-            batch,
-            self.in_features,
-            auto_threads(self.out_features, batch, self.in_features),
-            &mut self.scratch,
-        );
-        for r in 0..batch {
-            let row = grad_output.row(r)?;
-            for (b, &g) in self.bias_grad.data_mut().iter_mut().zip(row) {
-                *b += g;
-            }
-        }
+        let batch = self.accumulate_param_grads(grad_output)?;
+        // dx = g · W
         let (m, k, n) = (batch, self.out_features, self.in_features);
         let mut dx = vec![0.0f32; m * n];
         gemm_nn(
@@ -159,6 +166,12 @@ impl Layer for Linear {
             &mut self.scratch,
         );
         Ok(Tensor::from_vec(dx, &[m, n])?)
+    }
+
+    fn backward_params_only(&mut self, grad_output: &Tensor) -> Result<()> {
+        // first layer of the network: dx = g · W would feed nothing, so
+        // only the parameter gradients are accumulated
+        self.accumulate_param_grads(grad_output).map(|_| ())
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {

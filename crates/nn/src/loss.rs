@@ -16,8 +16,15 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
     }
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.clone();
+    softmax_rows(out.data_mut(), n, c);
+    Ok(out)
+}
+
+/// Row-wise softmax over a `(n, c)` matrix already holding the logits —
+/// the shared kernel of [`softmax`] and the buffer-reusing loss path.
+fn softmax_rows(data: &mut [f32], n: usize, c: usize) {
     for r in 0..n {
-        let row = &mut out.data_mut()[r * c..(r + 1) * c];
+        let row = &mut data[r * c..(r + 1) * c];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut z = 0.0f32;
         for v in row.iter_mut() {
@@ -28,7 +35,6 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
             *v /= z;
         }
     }
-    Ok(out)
 }
 
 /// Softmax cross-entropy loss — the paper's training objective for all
@@ -73,6 +79,50 @@ impl SoftmaxCrossEntropy {
         let scale = 1.0 / n as f32;
         grad.map_inplace(|g| g * scale);
         Ok((loss * scale, grad))
+    }
+
+    /// Forward-only loss: the same value as
+    /// [`SoftmaxCrossEntropy::compute`]`.0` (bitwise — the probability
+    /// and accumulation arithmetic is shared), but the softmax lands in
+    /// the caller's reusable buffer and no gradient tensor is allocated.
+    /// This is the dataset-loss path of `rdo_core`'s post-writing tuning,
+    /// which evaluates the loss once per epoch without backpropagating.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SoftmaxCrossEntropy::compute`].
+    pub fn loss_with_buf(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+        probs: &mut Vec<f32>,
+    ) -> Result<f32> {
+        if logits.shape().rank() != 2 {
+            return Err(NnError::Tensor(rdo_tensor::TensorError::RankMismatch {
+                op: "softmax",
+                expected: 2,
+                actual: logits.shape().rank(),
+            }));
+        }
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        if labels.len() != n {
+            return Err(NnError::LabelMismatch { batch: n, labels: labels.len() });
+        }
+        probs.clear();
+        probs.extend_from_slice(logits.data());
+        softmax_rows(probs, n, c);
+        let mut loss = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            if label >= c {
+                return Err(NnError::InvalidConfig(format!(
+                    "label {label} out of range for {c} classes"
+                )));
+            }
+            let p = probs[r * c + label].max(1e-12);
+            loss -= p.ln();
+        }
+        let scale = 1.0 / n as f32;
+        Ok(loss * scale)
     }
 }
 
@@ -133,6 +183,35 @@ mod tests {
             let fd = (fp - fm) / (2.0 * eps);
             assert!((fd - grad.data()[idx]).abs() < 1e-3, "{fd} vs {}", grad.data()[idx]);
         }
+    }
+
+    #[test]
+    fn loss_with_buf_matches_compute_bitwise() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.5, 1.2, 0.1, 2.0, -1.7], &[3, 2]).unwrap();
+        let labels = [1usize, 0, 1];
+        let (reference, _) = loss.compute(&logits, &labels).unwrap();
+        let mut probs = Vec::new();
+        let fast = loss.loss_with_buf(&logits, &labels, &mut probs).unwrap();
+        assert_eq!(fast.to_bits(), reference.to_bits());
+        // the buffer holds the softmax probabilities, reusable next call
+        assert_eq!(probs.len(), 6);
+        let p = softmax(&logits).unwrap();
+        assert_eq!(probs.as_slice(), p.data());
+        let cap = probs.capacity();
+        let again = loss.loss_with_buf(&logits, &labels, &mut probs).unwrap();
+        assert_eq!(again.to_bits(), reference.to_bits());
+        assert_eq!(probs.capacity(), cap);
+    }
+
+    #[test]
+    fn loss_with_buf_validates_inputs() {
+        let loss = SoftmaxCrossEntropy::new();
+        let mut probs = Vec::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(loss.loss_with_buf(&logits, &[0], &mut probs).is_err());
+        assert!(loss.loss_with_buf(&logits, &[0, 5], &mut probs).is_err());
+        assert!(loss.loss_with_buf(&Tensor::zeros(&[4]), &[0], &mut probs).is_err());
     }
 
     #[test]

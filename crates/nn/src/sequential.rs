@@ -82,6 +82,26 @@ impl Sequential {
     pub fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
         self.forward(input, false)
     }
+
+    /// Backward pass for a top-level network: identical parameter-gradient
+    /// accumulation to [`Layer::backward`] (bit for bit), but the first
+    /// layer runs [`Layer::backward_params_only`] since nothing consumes
+    /// the gradient with respect to the network input. Training loops that
+    /// only step parameters should prefer this over `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error.
+    pub fn backward_weights_only(&mut self, grad_output: &Tensor) -> Result<()> {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return Ok(());
+        };
+        let mut g = grad_output.clone();
+        for layer in rest.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        first.backward_params_only(&g)
+    }
 }
 
 impl Layer for Sequential {
@@ -99,6 +119,10 @@ impl Layer for Sequential {
             g = layer.backward(&g)?;
         }
         Ok(g)
+    }
+
+    fn backward_params_only(&mut self, grad_output: &Tensor) -> Result<()> {
+        self.backward_weights_only(grad_output)
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {
@@ -250,6 +274,31 @@ mod tests {
             let lm = net.forward(&xm, false).unwrap().norm_sq() / 2.0;
             let fd = (lp - lm) / (2.0 * eps);
             assert!((fd - dx.data()[idx]).abs() < 3e-2 * fd.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn backward_weights_only_matches_full_backward_bitwise() {
+        let mut rng = seeded_rng(5);
+        let mut full = Sequential::new();
+        full.push(Linear::new(6, 8, &mut rng));
+        full.push(Relu::new());
+        full.push(Linear::new(8, 3, &mut rng));
+        let mut weights_only = full.clone();
+
+        let x = randn(&[4, 6], 0.0, 1.0, &mut rng);
+        let g = randn(&[4, 3], 0.0, 1.0, &mut rng);
+        full.forward(&x, true).unwrap();
+        full.backward(&g).unwrap();
+        weights_only.forward(&x, true).unwrap();
+        weights_only.backward_weights_only(&g).unwrap();
+
+        for (a, b) in full.params().iter().zip(weights_only.params().iter()) {
+            assert_eq!(
+                a.grad.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.grad.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "parameter gradients must be bitwise identical"
+            );
         }
     }
 

@@ -224,6 +224,16 @@ pub fn recalibrate_batchnorm(
     images: &Tensor,
     batch_size: usize,
 ) -> Result<()> {
+    // nothing to re-estimate without normalization layers, and the
+    // train-mode forwards below would have no lasting effect — skip the
+    // two dataset passes entirely
+    let has_norm = net
+        .params()
+        .iter()
+        .any(|p| matches!(p.kind, crate::ParamKind::NormGamma | crate::ParamKind::NormBeta));
+    if !has_norm {
+        return Ok(());
+    }
     let n = images.dims()[0];
     let bs = batch_size.max(1);
     // two passes so the exponential running averages converge toward the

@@ -27,9 +27,12 @@ impl Adc {
     ///
     /// # Panics
     ///
-    /// Panics if `bits == 0` or `full_scale <= 0`.
+    /// Panics if `bits == 0`, `bits > 32` (the level count `2^bits − 1`
+    /// must fit the `u64` shift in [`Adc::convert`], and no realistic
+    /// converter exceeds 32 bits) or `full_scale <= 0`.
     pub fn new(bits: u32, full_scale: f64) -> Self {
         assert!(bits > 0, "ADC needs at least 1 bit");
+        assert!(bits <= 32, "ADC resolution capped at 32 bits, got {bits}");
         assert!(full_scale > 0.0, "full scale must be positive");
         Adc { bits: Some(bits), full_scale }
     }
@@ -253,6 +256,23 @@ mod tests {
         assert_eq!(adc.convert(0.6), 1.0);
         assert_eq!(adc.convert(9.0), 3.0);
         assert_eq!(Adc::ideal().convert(1.234), 1.234);
+    }
+
+    #[test]
+    fn adc_accepts_the_full_supported_resolution_range() {
+        // 32 bits is the cap: convert must not overflow its level count
+        let adc = Adc::new(32, 1.0);
+        assert_eq!(adc.bits(), Some(32));
+        assert_eq!(adc.convert(1.0), 1.0);
+        assert_eq!(adc.convert(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 32 bits")]
+    fn adc_rejects_resolutions_that_overflow_convert() {
+        // 1u64 << 64 would panic deep inside convert; new() rejects it up
+        // front instead
+        let _ = Adc::new(64, 1.0);
     }
 
     #[test]

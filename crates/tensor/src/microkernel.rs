@@ -287,6 +287,54 @@ fn micro_tile(apanel: &[f32], bpanel: &[f32], kc: usize) -> [[f32; NR]; MR] {
     acc
 }
 
+/// [`micro_tile`] reading `B` straight from the caller's row-major matrix
+/// (leading dimension `n`) instead of a packed panel. Step `p` multiplies
+/// exactly the values `B[(k0+p) * n + j0 ..][..NR]` that [`pack_b`] would
+/// have copied into panel offset `p * NR`, in the same ascending-`k`
+/// order, so the accumulators match the packed path bit for bit.
+#[inline]
+fn micro_tile_direct(
+    apanel: &[f32],
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    j0: usize,
+    kc: usize,
+) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (p, ap) in apanel.chunks_exact(MR).take(kc).enumerate() {
+        let brow = &b[(k0 + p) * n + j0..(k0 + p) * n + j0 + NR];
+        let bv: &[f32; NR] = brow.try_into().expect("exact NR chunk");
+        let a: &[f32; MR] = ap.try_into().expect("exact MR chunk");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+    acc
+}
+
+/// How [`gemm_rows`] reads the right-hand operand.
+#[derive(Clone, Copy)]
+enum BSource<'a> {
+    /// `B` repacked into `NR`-column panels by [`pack_b`].
+    Packed(&'a [f32]),
+    /// `B` read in place from the caller's row-major storage — only legal
+    /// when `n` is a whole number of `NR` panels (no zero-padded columns).
+    Direct(&'a [f32]),
+}
+
+/// Row-major `B` operands up to this many elements skip [`pack_b`] and
+/// stream straight from the source matrix: below it the whole matrix
+/// stays cache-resident across row tiles, so packing is pure copy
+/// overhead (it dominates the runtime of the small-batch products the
+/// PWT tuning loop issues). Larger operands keep the packed layout for
+/// its contiguity. Purely a throughput knob — both paths multiply the
+/// same values in the same order.
+const DIRECT_B_MAX: usize = 1 << 16;
+
 /// Computes the tiles covering `c_rows` (a contiguous row range starting
 /// at absolute row `r0`, tile grid anchored at row 0 of the full
 /// product). One invocation per worker; also called directly when
@@ -295,7 +343,7 @@ fn micro_tile(apanel: &[f32], bpanel: &[f32], kc: usize) -> [[f32; NR]; MR] {
 fn gemm_rows(
     a: &[f32],
     a_layout: Layout,
-    bpack: &[f32],
+    bsrc: BSource<'_>,
     c_rows: &mut [f32],
     r0: usize,
     m: usize,
@@ -311,16 +359,20 @@ fn gemm_rows(
     while k0 < k {
         let kc = KC.min(k - k0);
         pack_a_block(a, a_layout, m, k, r0..r0 + rows, k0, kc, &mut apack[..tiles * MR * kc]);
-        let bblock = &bpack[k0 * n_pad..k0 * n_pad + kc * n_pad];
         for jp in 0..n_panels {
             let j0 = jp * NR;
             let width = NR.min(n - j0);
-            let bpanel = &bblock[jp * kc * NR..(jp + 1) * kc * NR];
             for t in 0..tiles {
                 let i0 = t * MR;
                 let height = MR.min(rows - i0);
                 let apanel = &apack[t * MR * kc..(t + 1) * MR * kc];
-                let acc = micro_tile(apanel, bpanel, kc);
+                let acc = match bsrc {
+                    BSource::Packed(bpack) => {
+                        let bblock = &bpack[k0 * n_pad..k0 * n_pad + kc * n_pad];
+                        micro_tile(apanel, &bblock[jp * kc * NR..(jp + 1) * kc * NR], kc)
+                    }
+                    BSource::Direct(b) => micro_tile_direct(apanel, b, n, k0, j0, kc),
+                };
                 for (i, acc_row) in acc.iter().enumerate().take(height) {
                     let crow = &mut c_rows[(i0 + i) * n + j0..(i0 + i) * n + j0 + width];
                     for (cv, av) in crow.iter_mut().zip(acc_row) {
@@ -333,8 +385,9 @@ fn gemm_rows(
     }
 }
 
-/// The general tiled path: pack `B` once, then partition the output rows
-/// into whole-`MR`-tile chunks across workers.
+/// The general tiled path: pack `B` once (unless a small row-major `B`
+/// can be read in place), then partition the output rows into
+/// whole-`MR`-tile chunks across workers.
 #[allow(clippy::too_many_arguments)]
 fn gemm_tiled(
     a: &[f32],
@@ -348,9 +401,16 @@ fn gemm_tiled(
     threads: usize,
     scratch: &mut Scratch,
 ) {
-    let n_pad = panels(n) * NR;
-    let mut bpack = scratch.take(k * n_pad);
-    pack_b(b, b_layout, k, n, &mut bpack);
+    let direct_b = b_layout == Layout::RowMajor && n.is_multiple_of(NR) && k * n <= DIRECT_B_MAX;
+    let mut bpack = if direct_b {
+        Vec::new()
+    } else {
+        let n_pad = panels(n) * NR;
+        let mut buf = scratch.take(k * n_pad);
+        pack_b(b, b_layout, k, n, &mut buf);
+        buf
+    };
+    let bsrc = if direct_b { BSource::Direct(b) } else { BSource::Packed(&bpack) };
 
     let tiles = m.div_ceil(MR);
     if rdo_obs::enabled() {
@@ -363,7 +423,7 @@ fn gemm_tiled(
 
     if threads <= 1 {
         let mut apack = scratch.take(tiles * MR * kc_max);
-        gemm_rows(a, a_layout, &bpack, c, 0, m, k, n, &mut apack);
+        gemm_rows(a, a_layout, bsrc, c, 0, m, k, n, &mut apack);
         scratch.recycle(apack);
     } else {
         let mut apacks: Vec<Vec<f32>> =
@@ -373,15 +433,17 @@ fn gemm_tiled(
                 c.chunks_mut(rows_per * n).enumerate().zip(apacks.iter_mut())
             {
                 let r0 = t * rows_per;
-                let bpack = &bpack[..];
-                s.spawn(move || gemm_rows(a, a_layout, bpack, c_chunk, r0, m, k, n, apack));
+                s.spawn(move || gemm_rows(a, a_layout, bsrc, c_chunk, r0, m, k, n, apack));
             }
         });
         for apack in apacks {
             scratch.recycle(apack);
         }
     }
-    scratch.recycle(bpack);
+    if !direct_b {
+        let pack = std::mem::take(&mut bpack);
+        scratch.recycle(pack);
+    }
 }
 
 /// Lane count of the blocked reductions in the vector kernels.
@@ -592,6 +654,36 @@ mod tests {
             let mut s = Scratch::new();
             gemm_nn(&a, &b, &mut c, m, k, n, 1, &mut s);
             assert_close(&c, &naive(&a, &b, m, k, n), 1e-4);
+        }
+    }
+
+    #[test]
+    fn direct_b_read_is_bitwise_packed() {
+        // `n` a whole number of NR panels and `k·n` under DIRECT_B_MAX, so
+        // gemm_nn streams B in place; the NT call on the explicitly
+        // transposed operand always packs. Exact equality proves the
+        // in-place read multiplies the same values in the same order,
+        // including across the KC block boundary.
+        for &(m, k, n) in &[(4, 128, NR * 8), (9, KC + 3, NR), (33, 40, NR * 2)] {
+            assert!(
+                k * n <= DIRECT_B_MAX && n.is_multiple_of(NR),
+                "case must take the direct path"
+            );
+            let a = fill(m * k, 43);
+            let b = fill(k * n, 71);
+            let mut s = Scratch::new();
+            let mut c_direct = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut c_direct, m, k, n, 1, &mut s);
+
+            let mut bt = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut c_packed = vec![0.0f32; m * n];
+            gemm_nt(&a, &bt, &mut c_packed, m, k, n, 1, &mut s);
+            assert_eq!(c_direct, c_packed, "({m},{k},{n})");
         }
     }
 

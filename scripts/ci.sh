@@ -19,6 +19,9 @@ cargo fmt --check
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> pwt criterion bench compiles (fast-vs-reference harness)"
+cargo bench -p rdo-bench --bench pwt --no-run
+
 echo "==> perf_report --quick (smoke: rewrites every results/BENCH_*.json)"
 cargo run --release -p rdo-bench --bin perf_report -- --quick
 
@@ -51,7 +54,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs; do
+for name in gemm cycles vawo program obs pwt; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -63,5 +66,20 @@ for name in gemm cycles vawo program obs; do
     python3 -m json.tool "$f" > /dev/null || { echo "ci: malformed $f" >&2; exit 1; }
   fi
 done
+
+echo "==> BENCH_pwt.json carries the fast-vs-reference schema"
+python3 - results/BENCH_pwt.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for key in ("reference_ns", "fast_ns", "speedup_vs_reference", "stack",
+            "samples", "batch_size", "epochs"):
+    if key not in rec:
+        sys.exit(f"ci: BENCH_pwt.json lacks required key {key!r}")
+for key in ("reference_ns", "fast_ns"):
+    if not (isinstance(rec[key], int) and rec[key] > 0):
+        sys.exit(f"ci: BENCH_pwt.json {key} must be a positive integer")
+if rec["speedup_vs_reference"] <= 0:
+    sys.exit("ci: BENCH_pwt.json speedup_vs_reference must be positive")
+PYEOF
 
 echo "ci: all gates passed"
