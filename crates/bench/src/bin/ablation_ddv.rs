@@ -8,7 +8,7 @@
 //! not take CCV into consideration". Per-cycle PWT (the paper's protocol)
 //! is shown alongside as the fix.
 
-use rdo_bench::{map_only, pct, prepare_lenet, BenchConfig, Result};
+use rdo_bench::{map_point, pct, prepare_lenet, BenchConfig, GridPoint, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
@@ -29,7 +29,8 @@ fn main() -> Result<()> {
     );
 
     for (name, ddv_fraction) in [("pure DDV", 1.0f64), ("50/50", 0.5), ("pure CCV", 0.0)] {
-        let mut mapped = map_only(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m)?;
+        let mut mapped =
+            map_point(&model, GridPoint::new(Method::VawoStarPwt, CellKind::Slc, sigma, m))?;
         mapped.split_ddv(ddv_fraction, &mut seeded_rng(900))?;
         mapped.program(&mut seeded_rng(0))?;
         tune(&mut mapped, model.train.images(), model.train.labels(), &pwt)?;

@@ -7,7 +7,7 @@
 //! they can be re-tuned in place without reprogramming a single device —
 //! the same PWT machinery the paper runs per programming cycle.
 
-use rdo_bench::{map_only, pct, prepare_lenet, BenchConfig, Result};
+use rdo_bench::{map_point, pct, prepare_lenet, BenchConfig, GridPoint, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::{CellKind, DriftModel};
@@ -19,7 +19,8 @@ fn main() -> Result<()> {
     let pwt = PwtConfig { epochs: 4, ..Default::default() };
     let drift = DriftModel::typical();
 
-    let mut mapped = map_only(&model, Method::VawoStarPwt, CellKind::Slc, sigma, 16)?;
+    let mut mapped =
+        map_point(&model, GridPoint::new(Method::VawoStarPwt, CellKind::Slc, sigma, 16))?;
     mapped.program(&mut seeded_rng(0))?;
     tune(&mut mapped, model.train.images(), model.train.labels(), &pwt)?;
     let mut eff = mapped.effective_network()?;

@@ -4,7 +4,7 @@
 //! alone.
 
 use rdo_baselines::{train_dva, DvaConfig};
-use rdo_bench::{map_only, pct, prepare_lenet, run_method, BenchConfig, Result};
+use rdo_bench::{map_point, pct, prepare_lenet, run_point, BenchConfig, GridPoint, Result};
 use rdo_core::{evaluate_cycles, mean_core_gradients, MappedNetwork, Method, OffsetConfig};
 use rdo_nn::TrainConfig;
 use rdo_rram::{CellKind, DeviceLut, VariationModel};
@@ -49,7 +49,8 @@ fn main() -> Result<()> {
         evaluate_cycles(&mut dva_plain, None, model.test.images(), model.test.labels(), &eval)?;
 
     // offsets alone (VAWO*+PWT on the vanilla network)
-    let offsets_alone = run_method(&model, Method::VawoStarPwt, CellKind::Slc, sigma, m, &eval)?;
+    let offsets_alone =
+        run_point(&model, GridPoint::new(Method::VawoStarPwt, CellKind::Slc, sigma, m), &eval)?;
 
     // combined: DVA-trained network, VAWO*+PWT mapping
     let mut dva_for_grads = dva_net.clone();
@@ -71,7 +72,7 @@ fn main() -> Result<()> {
     println!("\nthe techniques are orthogonal: the combination should be at least as");
     println!("good as the better of the two (§V of the paper).");
 
-    let plain_only = map_only(&model, Method::Plain, CellKind::Slc, sigma, m)?;
+    let plain_only = map_point(&model, GridPoint::new(Method::Plain, CellKind::Slc, sigma, m))?;
     drop(plain_only);
     rdo_obs::flush();
     Ok(())

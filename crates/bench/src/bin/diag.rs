@@ -1,7 +1,7 @@
 //! Diagnostic: per-layer weight statistics, NRW error and accuracy of
 //! each method on LeNet, to understand where accuracy is lost.
 
-use rdo_bench::{map_only, pct, prepare_lenet, run_method, BenchConfig, Result};
+use rdo_bench::{map_point, pct, prepare_lenet, run_point, BenchConfig, GridPoint, Result};
 use rdo_core::{tune, Method, PwtConfig, PwtOptimizer};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
@@ -14,7 +14,7 @@ fn main() -> Result<()> {
     let m = 16;
 
     // per-layer quantized-weight statistics
-    let plain = map_only(&model, Method::Plain, CellKind::Slc, sigma, m)?;
+    let plain = map_point(&model, GridPoint::new(Method::Plain, CellKind::Slc, sigma, m))?;
     println!("\nper-layer NTW statistics (integer domain):");
     for (i, layer) in plain.layers().iter().enumerate() {
         let d = layer.ntw_q.data();
@@ -47,7 +47,7 @@ fn main() -> Result<()> {
 
     // NRW RMS error (integer units) for each method, averaged over cycles
     for method in [Method::Plain, Method::Vawo, Method::VawoStar] {
-        let mut mapped = map_only(&model, method, CellKind::Slc, sigma, m)?;
+        let mut mapped = map_point(&model, GridPoint::new(method, CellKind::Slc, sigma, m))?;
         let n: usize = mapped.layers().iter().map(|l| l.ntw_q.len()).sum();
         let (mut rms, mut acc) = (0.0, 0.0);
         let cycles = 3;
@@ -72,7 +72,7 @@ fn main() -> Result<()> {
         ("adam lr3 e8 d0.6", 8, 0.6, PwtOptimizer::Adam { lr: 3.0 }),
         ("sgd lr500 e6 d0.7", 6, 0.7, PwtOptimizer::Sgd { lr: 500.0 }),
     ] {
-        let mut mapped = map_only(&model, Method::Pwt, CellKind::Slc, sigma, m)?;
+        let mut mapped = map_point(&model, GridPoint::new(Method::Pwt, CellKind::Slc, sigma, m))?;
         mapped.program(&mut seeded_rng(1))?;
         let report = tune(
             &mut mapped,
@@ -92,7 +92,7 @@ fn main() -> Result<()> {
     // combined at several sigmas
     let eval = bench.eval_cfg();
     for s in [0.2, 0.5] {
-        let e = run_method(&model, Method::VawoStarPwt, CellKind::Slc, s, m, &eval)?;
+        let e = run_point(&model, GridPoint::new(Method::VawoStarPwt, CellKind::Slc, s, m), &eval)?;
         println!("VAWO*+PWT sigma {s}: {}", pct(e.mean));
     }
     rdo_obs::flush();

@@ -1,7 +1,7 @@
 //! Diagnostic: why does VAWO*+PWT trail PWT-alone on ResNet at m=16?
 //! Compares NRW error, offset saturation and PWT losses of both inits.
 
-use rdo_bench::{map_only, pct, prepare_resnet, BenchConfig, Result};
+use rdo_bench::{map_point, pct, prepare_resnet, BenchConfig, GridPoint, Result};
 use rdo_core::{tune, Method, PwtConfig};
 use rdo_nn::evaluate;
 use rdo_rram::CellKind;
@@ -14,7 +14,7 @@ fn main() -> Result<()> {
 
     for method in [Method::Pwt, Method::VawoStarPwt] {
         for lr in [0.3f32, 0.5, 1.0, 2.0] {
-            let mut mapped = map_only(&model, method, CellKind::Slc, sigma, m)?;
+            let mut mapped = map_point(&model, GridPoint::new(method, CellKind::Slc, sigma, m))?;
             mapped.program(&mut seeded_rng(1))?;
             let report = tune(
                 &mut mapped,

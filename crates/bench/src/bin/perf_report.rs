@@ -1,6 +1,6 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes five JSON records under `results/` (mirrored to the repo root)
+//! Writes six JSON records under `results/` (mirrored to the repo root)
 //! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
@@ -16,6 +16,9 @@
 //! - `BENCH_pwt.json` — the incremental post-writing-tuning fast path
 //!   (scratch arena + in-place refresh + fused reduction) versus the
 //!   retained full-rebuild reference tuner on a 128×128 layer stack.
+//! - `BENCH_devicezoo.json` — each device-model zoo member's bulk
+//!   programming path versus its per-entry reference oracle on a
+//!   128×128 weight block.
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -38,8 +41,9 @@ use rdo_core::{
 use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
 use rdo_obs::best_of_ns as best_of;
 use rdo_rram::{
-    program_matrix, program_matrix_scalar, CellKind, CellTechnology, DeviceLut, VariationKind,
-    VariationModel, WeightCodec,
+    program_matrix, program_matrix_model, program_matrix_model_scalar, program_matrix_scalar,
+    CellKind, CellTechnology, DeviceLut, DeviceModelSpec, VariationKind, VariationModel,
+    WeightCodec,
 };
 use rdo_tensor::rng::{randn, seeded_rng};
 use rdo_tensor::{
@@ -73,6 +77,9 @@ fn main() -> Result<()> {
 
     let pwt = pwt_report(quick)?;
     write_bench_record("BENCH_pwt", &pwt)?;
+
+    let devicezoo = devicezoo_report(reps, quick)?;
+    write_bench_record("BENCH_devicezoo", &devicezoo)?;
     rdo_obs::flush();
     Ok(())
 }
@@ -277,6 +284,50 @@ fn program_report(reps: usize, quick: bool) -> Result<String> {
         "{{\n  \"bench\": \"program\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
          \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"sigma\": {sigma},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
+        out_rows.join(",\n")
+    ))
+}
+
+fn devicezoo_report(reps: usize, quick: bool) -> Result<String> {
+    // Every zoo member on the same 128×128 CTW block at the sweep's
+    // central σ: the bulk path each model actually ships versus the
+    // per-entry reference oracle it is bitwise-pinned against.
+    let (rows, cols) = (128usize, 128usize);
+    let ctw = Tensor::from_fn(&[rows, cols], |i| ((i * 53) % 256) as f32);
+    let sigma = 0.5;
+    let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Mlc2));
+    let weights = rows * cols;
+
+    let mut out_rows = Vec::new();
+    for spec in DeviceModelSpec::all() {
+        let model = spec.build(sigma);
+        let mut rng = seeded_rng(7);
+        let reference_ns = best_of(reps, || {
+            black_box(
+                program_matrix_model_scalar(&ctw, &codec, &*model, &mut rng).expect("in range"),
+            );
+        });
+        let bulk_ns = best_of(reps, || {
+            black_box(program_matrix_model(&ctw, &codec, &*model, &mut rng).expect("in range"));
+        });
+        let speedup = reference_ns as f64 / bulk_ns as f64;
+        let name = model.name();
+        let fingerprint = model.fingerprint();
+        eprintln!(
+            "[devicezoo] {name}: reference {:.3} ms, bulk {:.3} ms ({speedup:.2}x)",
+            reference_ns as f64 / 1e6,
+            bulk_ns as f64 / 1e6,
+        );
+        out_rows.push(format!(
+            "    {{\n      \"name\": \"{name}\", \"fingerprint\": \"{fingerprint:016x}\", \
+             \"weights\": {weights},\n      \"bulk_ns\": {bulk_ns}, \
+             \"reference_ns\": {reference_ns}, \"speedup_vs_reference\": {speedup:.3}\n    }}"
+        ));
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"devicezoo\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"cell\": \"mlc2\",\n  \
+         \"sigma\": {sigma},\n  \"models\": [\n{}\n  ]\n}}\n",
         out_rows.join(",\n")
     ))
 }

@@ -3,14 +3,15 @@
 //! matching §IV-B's cost setting).
 
 use rdo_bench::{
-    map_only, prepare_lenet, prepare_resnet, write_results, BenchConfig, Result, TrainedModel,
+    map_point, prepare_lenet, prepare_resnet, write_results, BenchConfig, GridPoint, Result,
+    TrainedModel,
 };
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
 fn relative_power(model: &TrainedModel, m: usize, sigma: f64) -> Result<f64> {
-    let plain = map_only(model, Method::Plain, CellKind::Mlc2, sigma, m)?;
-    let star = map_only(model, Method::VawoStar, CellKind::Mlc2, sigma, m)?;
+    let plain = map_point(model, GridPoint::new(Method::Plain, CellKind::Mlc2, sigma, m))?;
+    let star = map_point(model, GridPoint::new(Method::VawoStar, CellKind::Mlc2, sigma, m))?;
     Ok(star.read_power()? / plain.read_power()?)
 }
 

@@ -6,7 +6,7 @@
 //! rather than hard-coding the paper's 57.61% / 72.24%.
 
 use rdo_arch::{tile_overhead, IsaacTile, UnitCosts};
-use rdo_bench::{map_only, prepare_resnet, write_results, BenchConfig, Result};
+use rdo_bench::{map_point, prepare_resnet, write_results, BenchConfig, GridPoint, Result};
 use rdo_core::Method;
 use rdo_rram::CellKind;
 
@@ -28,8 +28,8 @@ fn main() -> Result<()> {
 
     let mut rows = serde_json::Map::new();
     for m in [16usize, 128] {
-        let plain = map_only(&model, Method::Plain, CellKind::Mlc2, sigma, m)?;
-        let star = map_only(&model, Method::VawoStar, CellKind::Mlc2, sigma, m)?;
+        let plain = map_point(&model, GridPoint::new(Method::Plain, CellKind::Mlc2, sigma, m))?;
+        let star = map_point(&model, GridPoint::new(Method::VawoStar, CellKind::Mlc2, sigma, m))?;
         let rel = star.read_power()? / plain.read_power()?;
         let o = tile_overhead(&tile, &costs, m, rel);
         println!(

@@ -80,7 +80,8 @@ fn main() -> Result<()> {
     })?;
     let (pm_acc, dva_pm_acc) = (pm_accs[0], pm_accs[1]);
     // Row 4: this work (VAWO*+PWT, 2-bit MLC, m = 16)
-    let ours = run_method(&model, Method::VawoStarPwt, CellKind::Mlc2, sigma, 16, &eval)?;
+    let ours =
+        run_point(&model, GridPoint::new(Method::VawoStarPwt, CellKind::Mlc2, sigma, 16), &eval)?;
 
     println!();
     println!("Table III — VGG-16, sigma = {sigma} (ideal {:.2}%)", 100.0 * ideal);

@@ -17,17 +17,24 @@
 //!
 //! All experiment knobs flow through one [`BenchConfig`], read once from
 //! the environment (`RDO_SCALE`, `RDO_CYCLES`, `RDO_SEED`,
-//! `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`, `RDO_CELL`) and threaded
-//! explicitly from there; programmatic callers assemble one with
-//! [`BenchConfig::builder()`]. Independent (method, cell, σ, m) grid
-//! points run concurrently through [`run_grid`] (which takes anything
-//! convertible [`Into`] a [`GridSpec`]) or the generic [`run_items`]
-//! engine; per-point results are identical to a serial run for every
-//! thread count. Trained checkpoints are cached under
-//! `target/rdo-cache/`, and within a process trained models and analytic
-//! device LUTs are additionally shared through keyed in-memory caches
-//! ([`prepare_lenet`] & friends return `Arc<TrainedModel>`,
-//! [`shared_lut`] hands out `Arc<DeviceLut>`), so grid points with
+//! `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`, `RDO_CELL`,
+//! `RDO_DEVICE_MODEL`) and threaded explicitly from there; programmatic
+//! callers assemble one with [`BenchConfig::builder()`]. Which
+//! device-model zoo member programs the crossbars is part of the grid:
+//! every [`GridPoint`] optionally pins a
+//! [`DeviceModelSpec`](rdo_rram::DeviceModelSpec) (inheriting
+//! [`BenchConfig::device_model`] otherwise), so the same sweep runs under
+//! the paper's lognormal model, stuck-at-fault injection, drift-relax or
+//! differential-pair cells by flipping one knob. Independent
+//! (method, model, cell, σ, m) grid points run concurrently through
+//! [`run_grid`] (which takes anything convertible [`Into`] a
+//! [`GridSpec`]) or the generic [`run_items`] engine; per-point results
+//! are identical to a serial run for every thread count. Trained
+//! checkpoints are cached under `target/rdo-cache/`, and within a
+//! process trained models and analytic device LUTs are additionally
+//! shared through keyed in-memory caches ([`prepare_lenet`] & friends
+//! return `Arc<TrainedModel>`, [`shared_lut_model`] hands out
+//! `Arc<DeviceLut>` keyed by the model fingerprint), so grid points with
 //! identical keys never rebuild an artifact. Cache traffic, per-point
 //! spans and device/kernel counters are reported through [`rdo_obs`]
 //! when `RDO_OBS` is set; the default is off and observation never
@@ -66,7 +73,7 @@ use rdo_datasets::{
 use rdo_nn::{
     evaluate, fit, Layer, LeNetConfig, NnError, ResNetConfig, Sequential, TrainConfig, VggConfig,
 };
-use rdo_rram::{CellKind, CellTechnology, DeviceLut, RramError, VariationModel, WeightCodec};
+use rdo_rram::{CellKind, CellTechnology, DeviceLut, DeviceModelSpec, RramError, WeightCodec};
 use rdo_tensor::parallel::{parallel_map_indexed, resolve_threads};
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::{Tensor, TensorError};
@@ -213,6 +220,11 @@ pub struct BenchConfig {
     /// Default cell kind for experiments that don't pin one
     /// (`RDO_CELL` = `slc`/`mlc2`, default SLC).
     pub cell: CellKind,
+    /// Device-model zoo member programming the crossbars
+    /// (`RDO_DEVICE_MODEL`, e.g. `paper`, `level:stuck=0.01`,
+    /// `driftrelax`, `diffpair:paper`; default the paper's lognormal
+    /// model). Grid points that don't pin their own model inherit this.
+    pub device_model: DeviceModelSpec,
     /// Observability override: `Some(on)` forces [`rdo_obs`] on/off when
     /// the config is [built](BenchConfigBuilder::build); `None` (the
     /// default, and what [`BenchConfig::from_env()`] produces) defers to
@@ -230,6 +242,7 @@ impl Default for BenchConfig {
             threads: 0,
             sigma: 0.5,
             cell: CellKind::Slc,
+            device_model: DeviceModelSpec::PaperLognormal,
             obs: None,
         }
     }
@@ -238,9 +251,10 @@ impl Default for BenchConfig {
 impl BenchConfig {
     /// Reads every knob from the environment (`RDO_SCALE`, `RDO_CYCLES`,
     /// `RDO_SEED`, `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`,
-    /// `RDO_CELL`), falling back to the defaults above for unset or
-    /// unparsable values. The observability switch is *not* read here —
-    /// [`rdo_obs`] resolves `RDO_OBS` itself on first use.
+    /// `RDO_CELL`, `RDO_DEVICE_MODEL`), falling back to the defaults
+    /// above for unset or unparsable values. The observability switch is
+    /// *not* read here — [`rdo_obs`] resolves `RDO_OBS` itself on first
+    /// use.
     pub fn from_env() -> Self {
         fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
             std::env::var(key).ok().and_then(|s| s.parse().ok())
@@ -259,6 +273,7 @@ impl BenchConfig {
                 Ok("mlc2") => CellKind::Mlc2,
                 _ => CellKind::Slc,
             },
+            device_model: parsed::<DeviceModelSpec>("RDO_DEVICE_MODEL").unwrap_or_default(),
             obs: None,
         }
     }
@@ -343,6 +358,13 @@ impl BenchConfigBuilder {
         self
     }
 
+    /// Selects the device-model zoo member programming the crossbars
+    /// (grid points without their own model inherit it).
+    pub fn device_model(mut self, device_model: DeviceModelSpec) -> Self {
+        self.cfg.device_model = device_model;
+        self
+    }
+
     /// Forces the observability layer on or off for this run (overrides
     /// `RDO_OBS`; applied by [`build`](Self::build)).
     pub fn obs(mut self, on: bool) -> Self {
@@ -395,15 +417,18 @@ static MODEL_CACHE: LazyLock<Mutex<HashMap<String, Arc<TrainedModel>>>> =
 
 /// Per-process cache of analytic device LUTs. The paper codec is a pure
 /// function of the cell kind and the analytic LUT a pure function of
-/// (codec, σ), so `(cell, σ.to_bits())` identifies the table exactly;
-/// grid points sharing a (cell, σ) pair — every m-sweep in Fig. 5 —
-/// reuse one table instead of rebuilding it per point.
+/// (codec, device model), so `(cell, model fingerprint)` identifies the
+/// table exactly — the fingerprint covers the model's identity *and* its
+/// parameters, σ included. Grid points sharing a (cell, model, σ) triple
+/// — every m-sweep in Fig. 5 — reuse one table instead of rebuilding it
+/// per point.
 type LutCache = Mutex<HashMap<(CellKind, u64), Arc<DeviceLut>>>;
 
 static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new()));
 
-/// Returns the analytic per-weight [`DeviceLut`] for `(cell, sigma)`,
-/// building it at most once per process per key.
+/// Returns the analytic [`DeviceLut`] for the given device-model spec at
+/// `(cell, sigma)`, building it at most once per process per
+/// `(cell, fingerprint)` key.
 ///
 /// Concurrent first calls for the same key may both build the table; the
 /// race is benign because the analytic construction is deterministic and
@@ -412,17 +437,31 @@ static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new(
 /// # Errors
 ///
 /// Propagates LUT construction errors.
-pub fn shared_lut(cell: CellKind, sigma: f64) -> Result<Arc<DeviceLut>> {
-    let key = (cell, sigma.to_bits());
+pub fn shared_lut_model(
+    cell: CellKind,
+    sigma: f64,
+    spec: DeviceModelSpec,
+) -> Result<Arc<DeviceLut>> {
+    let model = spec.build(sigma);
+    let key = (cell, model.fingerprint());
     if let Some(lut) = LUT_CACHE.lock().expect("lut cache poisoned").get(&key) {
         rdo_obs::counter_add("bench.lut.hit", 1);
         return Ok(Arc::clone(lut));
     }
     rdo_obs::counter_add("bench.lut.miss", 1);
     let codec = WeightCodec::paper(CellTechnology::paper(cell));
-    let lut = Arc::new(DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec)?);
+    let lut = Arc::new(DeviceLut::analytic_model(&*model, &codec)?);
     let mut cache = LUT_CACHE.lock().expect("lut cache poisoned");
     Ok(Arc::clone(cache.entry(key).or_insert(lut)))
+}
+
+/// [`shared_lut_model`] for the default paper lognormal model.
+///
+/// # Errors
+///
+/// Propagates LUT construction errors.
+pub fn shared_lut(cell: CellKind, sigma: f64) -> Result<Arc<DeviceLut>> {
+    shared_lut_model(cell, sigma, DeviceModelSpec::PaperLognormal)
 }
 
 /// Looks up `cache_key` in the in-process model cache, running `build`
@@ -561,21 +600,18 @@ pub fn prepare_vgg(cfg: &BenchConfig) -> Result<Arc<TrainedModel>> {
     })
 }
 
-/// Maps and evaluates one (method, cell, σ, m) point over programming
-/// cycles — one bar of Fig. 5.
+/// Maps and evaluates one grid point over programming cycles — one bar
+/// of Fig. 5 (under whatever device model the point selects).
 ///
 /// # Errors
 ///
 /// Propagates mapping/evaluation errors.
-pub fn run_method(
+pub fn run_point(
     model: &TrainedModel,
-    method: Method,
-    cell: CellKind,
-    sigma: f64,
-    m: usize,
+    point: GridPoint,
     eval_cfg: &CycleEvalConfig,
 ) -> Result<CycleEvaluation> {
-    let mut mapped = map_only(model, method, cell, sigma, m)?;
+    let mut mapped = map_point(model, point)?;
     let tune = (model.train.images(), model.train.labels());
     Ok(evaluate_cycles(
         &mut mapped,
@@ -586,17 +622,54 @@ pub fn run_method(
     )?)
 }
 
-/// One point of a (method, cell, σ, m) sweep.
+/// Pre-[`GridPoint`] form of [`run_point`].
+///
+/// # Errors
+///
+/// Propagates mapping/evaluation errors.
+#[deprecated(note = "assemble a GridPoint (GridPoint::new / with_model) and call run_point")]
+pub fn run_method(
+    model: &TrainedModel,
+    method: Method,
+    cell: CellKind,
+    sigma: f64,
+    m: usize,
+    eval_cfg: &CycleEvalConfig,
+) -> Result<CycleEvaluation> {
+    run_point(model, GridPoint::new(method, cell, sigma, m), eval_cfg)
+}
+
+/// One point of a (method, model, cell, σ, m) sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridPoint {
     /// Mapping method.
     pub method: Method,
     /// Cell kind (SLC / 2-bit MLC).
     pub cell: CellKind,
-    /// Lognormal variation σ.
+    /// Variation σ (the paper's lognormal σ; other zoo members scale
+    /// their noise parameters from it).
     pub sigma: f64,
     /// Offset sharing granularity m.
     pub m: usize,
+    /// Device model for this point; `None` inherits
+    /// [`BenchConfig::device_model`] when run through [`run_grid`] (and
+    /// means the paper default when run directly via [`run_point`]).
+    pub model: Option<DeviceModelSpec>,
+}
+
+impl GridPoint {
+    /// A point with no pinned device model (inherits the config's).
+    pub fn new(method: Method, cell: CellKind, sigma: f64, m: usize) -> Self {
+        GridPoint { method, cell, sigma, m, model: None }
+    }
+
+    /// Pins a device-model zoo member on this point (overrides the
+    /// config's choice).
+    #[must_use]
+    pub fn with_model(mut self, model: DeviceModelSpec) -> Self {
+        self.model = Some(model);
+        self
+    }
 }
 
 /// An ordered set of [`GridPoint`]s — what [`run_grid`] sweeps.
@@ -619,14 +692,42 @@ impl GridSpec {
 
     /// The cartesian product of the four axes, nested method → cell →
     /// σ → m (m innermost — the row-major layout every Fig. 5 binary
-    /// indexes into).
+    /// indexes into). Points carry no pinned device model, so the sweep
+    /// follows [`BenchConfig::device_model`].
     pub fn product(methods: &[Method], cells: &[CellKind], sigmas: &[f64], ms: &[usize]) -> Self {
         let mut points = Vec::with_capacity(methods.len() * cells.len() * sigmas.len() * ms.len());
         for &method in methods {
             for &cell in cells {
                 for &sigma in sigmas {
                     for &m in ms {
-                        points.push(GridPoint { method, cell, sigma, m });
+                        points.push(GridPoint::new(method, cell, sigma, m));
+                    }
+                }
+            }
+        }
+        GridSpec { points }
+    }
+
+    /// [`GridSpec::product`] with an explicit device-model axis, nested
+    /// method → model → cell → σ → m (m still innermost, so existing
+    /// positional indexing generalizes: the model axis is one stride
+    /// outside the cell axis).
+    pub fn product_with_models(
+        methods: &[Method],
+        models: &[DeviceModelSpec],
+        cells: &[CellKind],
+        sigmas: &[f64],
+        ms: &[usize],
+    ) -> Self {
+        let n = methods.len() * models.len() * cells.len() * sigmas.len() * ms.len();
+        let mut points = Vec::with_capacity(n);
+        for &method in methods {
+            for &model in models {
+                for &cell in cells {
+                    for &sigma in sigmas {
+                        for &m in ms {
+                            points.push(GridPoint::new(method, cell, sigma, m).with_model(model));
+                        }
                     }
                 }
             }
@@ -718,19 +819,42 @@ pub fn run_grid(
         eval.threads = 1;
     }
     run_items(points, cfg.threads, |p| {
-        let _span = rdo_obs::span_with("bench.grid_point", || {
-            format!("{}/{:?}/s{}/m{}", p.method, p.cell, p.sigma, p.m)
+        // an explicit per-point model wins; otherwise the config's choice
+        // (so RDO_DEVICE_MODEL reaches four-axis sweeps too)
+        let resolved = p.model.unwrap_or(cfg.device_model);
+        let _span = rdo_obs::span_with("bench.grid_point", || match resolved {
+            DeviceModelSpec::PaperLognormal => {
+                format!("{}/{:?}/s{}/m{}", p.method, p.cell, p.sigma, p.m)
+            }
+            other => format!("{}/{:?}/s{}/m{}/{}", p.method, p.cell, p.sigma, p.m, other),
         });
-        run_method(model, p.method, p.cell, p.sigma, p.m, &eval)
+        run_point(model, p.with_model(resolved), &eval)
     })
 }
 
-/// Builds a mapped (unprogrammed) network for read-power and similar
-/// static studies.
+/// Builds a mapped (unprogrammed) network for one grid point — for
+/// read-power and similar static studies, and the mapping stage of
+/// [`run_point`]. The point's device model (default: paper lognormal)
+/// selects both the programming law and the analytic LUT that VAWO/PWT
+/// compensate against.
 ///
 /// # Errors
 ///
 /// Propagates mapping errors.
+pub fn map_point(model: &TrainedModel, point: GridPoint) -> Result<MappedNetwork> {
+    let spec = point.model.unwrap_or_default();
+    let cfg = OffsetConfig::with_device(point.cell, point.sigma, point.m, spec)?;
+    let lut = shared_lut_model(point.cell, point.sigma, spec)?;
+    let grads = if point.method.uses_vawo() { Some(model.grads.as_slice()) } else { None };
+    Ok(MappedNetwork::map(&model.net, point.method, &cfg, &lut, grads)?)
+}
+
+/// Pre-[`GridPoint`] form of [`map_point`].
+///
+/// # Errors
+///
+/// Propagates mapping errors.
+#[deprecated(note = "assemble a GridPoint (GridPoint::new / with_model) and call map_point")]
 pub fn map_only(
     model: &TrainedModel,
     method: Method,
@@ -738,10 +862,7 @@ pub fn map_only(
     sigma: f64,
     m: usize,
 ) -> Result<MappedNetwork> {
-    let cfg = OffsetConfig::paper(cell, sigma, m)?;
-    let lut = shared_lut(cell, sigma)?;
-    let grads = if method.uses_vawo() { Some(model.grads.as_slice()) } else { None };
-    Ok(MappedNetwork::map(&model.net, method, &cfg, &lut, grads)?)
+    map_point(model, GridPoint::new(method, cell, sigma, m))
 }
 
 /// Writes an experiment's JSON record under `results/`.
@@ -787,13 +908,15 @@ pub fn pct(a: f32) -> String {
 /// every harness type and entry point plus the method/cell enums the
 /// grid axes are made of.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::{map_only, run_method};
     pub use crate::{
-        map_only, pct, prepare_lenet, prepare_resnet, prepare_vgg, run_grid, run_items, run_method,
-        shared_lut, write_bench_record, write_results, BenchConfig, BenchConfigBuilder, BenchError,
-        GridPoint, GridSpec, Result, Scale, TrainedModel,
+        map_point, pct, prepare_lenet, prepare_resnet, prepare_vgg, run_grid, run_items, run_point,
+        shared_lut, shared_lut_model, write_bench_record, write_results, BenchConfig,
+        BenchConfigBuilder, BenchError, GridPoint, GridSpec, Result, Scale, TrainedModel,
     };
     pub use rdo_core::Method;
-    pub use rdo_rram::CellKind;
+    pub use rdo_rram::{CellKind, DeviceModelSpec, DiffBase};
 }
 
 #[cfg(test)]
@@ -810,6 +933,7 @@ mod tests {
         assert_eq!(cfg.threads, 0);
         assert_eq!(cfg.sigma, 0.5);
         assert_eq!(cfg.cell, CellKind::Slc);
+        assert_eq!(cfg.device_model, DeviceModelSpec::PaperLognormal);
         assert_eq!(cfg.obs, None);
     }
 
@@ -823,8 +947,10 @@ mod tests {
             .threads(4)
             .sigma(0.8)
             .cell(CellKind::Mlc2)
+            .device_model(DeviceModelSpec::drift_relax_default())
             .build();
         assert_eq!(cfg.scale, Scale::Paper);
+        assert_eq!(cfg.device_model, DeviceModelSpec::drift_relax_default());
         assert_eq!(cfg.cycles, 3);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.pwt_epochs, 2);
@@ -853,11 +979,37 @@ mod tests {
         assert_eq!((p[1].method, p[1].sigma, p[1].m), (Method::Plain, 0.3, 64));
         assert_eq!((p[2].method, p[2].sigma, p[2].m), (Method::Plain, 0.5, 16));
         assert_eq!((p[4].method, p[4].sigma, p[4].m), (Method::Vawo, 0.3, 16));
+        // four-axis products never pin a model (they inherit the config's)
+        assert!(p.iter().all(|pt| pt.model.is_none()));
         // conversions agree
         let from_vec: GridSpec = p.to_vec().into();
         assert_eq!(from_vec, spec);
         let from_iter: GridSpec = p.iter().copied().collect();
         assert_eq!(from_iter, spec);
+    }
+
+    #[test]
+    fn grid_spec_product_with_models_nests_model_second() {
+        let models = [DeviceModelSpec::PaperLognormal, DeviceModelSpec::drift_relax_default()];
+        let spec = GridSpec::product_with_models(
+            &[Method::Plain, Method::Pwt],
+            &models,
+            &[CellKind::Slc],
+            &[0.5],
+            &[16, 64],
+        );
+        let p = spec.points();
+        assert_eq!(p.len(), 8);
+        // method outermost, then model, m innermost
+        assert_eq!((p[0].method, p[0].model, p[0].m), (Method::Plain, Some(models[0]), 16));
+        assert_eq!((p[1].method, p[1].model, p[1].m), (Method::Plain, Some(models[0]), 64));
+        assert_eq!((p[2].method, p[2].model, p[2].m), (Method::Plain, Some(models[1]), 16));
+        assert_eq!((p[4].method, p[4].model, p[4].m), (Method::Pwt, Some(models[0]), 16));
+        // the explicit-point builders agree on the extended shape too
+        assert_eq!(
+            GridPoint::new(Method::Plain, CellKind::Slc, 0.5, 16).with_model(models[1]).model,
+            Some(models[1])
+        );
     }
 
     #[test]
@@ -902,8 +1054,12 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &other_cell));
         let other_sigma = shared_lut(CellKind::Slc, 0.38).unwrap();
         assert!(!Arc::ptr_eq(&a, &other_sigma));
+        let other_model =
+            shared_lut_model(CellKind::Slc, 0.37, DeviceModelSpec::level_default()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_model), "fingerprint must separate zoo members");
         let codec = WeightCodec::paper(CellTechnology::paper(CellKind::Slc));
-        let direct = DeviceLut::analytic(&VariationModel::per_weight(0.37), &codec).unwrap();
+        let direct =
+            DeviceLut::analytic(&rdo_rram::VariationModel::per_weight(0.37), &codec).unwrap();
         for v in 0..256u32 {
             assert_eq!(a.mean(v).to_bits(), direct.mean(v).to_bits());
             assert_eq!(a.var(v).to_bits(), direct.var(v).to_bits());

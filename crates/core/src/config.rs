@@ -1,6 +1,8 @@
 //! Configuration of the digital-offset architecture.
 
-use rdo_rram::{CellKind, CellTechnology, CrossbarSpec, VariationModel, WeightCodec};
+use rdo_rram::{
+    CellKind, CellTechnology, CrossbarSpec, DeviceModelSpec, VariationModel, WeightCodec,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
@@ -69,8 +71,15 @@ pub struct OffsetConfig {
     pub crossbar: CrossbarSpec,
     /// Weight bit-slicing over the cell technology.
     pub codec: WeightCodec,
-    /// The device variation model.
+    /// The device variation model. For paper-family device specs this is
+    /// the model itself; for other zoo members it carries the experiment σ
+    /// that [`OffsetConfig::device`] is instantiated at.
     pub variation: VariationModel,
+    /// Which device-model zoo member programs the crossbars. Defaults to
+    /// the paper's lognormal model, which keeps the legacy
+    /// (bitwise-pinned) programming path.
+    #[serde(default)]
+    pub device: DeviceModelSpec,
     /// Include the discretization-bias term `gᵢ²·biasᵢ²` in the VAWO
     /// objective (DESIGN.md ablation 4). The paper's Eq. 5 assumes the
     /// unbiasedness constraint (Eq. 6) holds exactly; integer CTWs make
@@ -88,16 +97,41 @@ impl OffsetConfig {
     /// Returns [`CoreError::InvalidConfig`] if `m` does not divide the
     /// crossbar rows.
     pub fn paper(cell: CellKind, sigma: f64, m: usize) -> Result<Self> {
+        OffsetConfig::with_device(cell, sigma, m, DeviceModelSpec::PaperLognormal)
+    }
+
+    /// [`OffsetConfig::paper`] with an explicit device-model zoo member.
+    /// The σ axis keeps its meaning across models: `variation` carries it,
+    /// and `device` is instantiated at that σ when programming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `m` does not divide the
+    /// crossbar rows.
+    pub fn with_device(
+        cell: CellKind,
+        sigma: f64,
+        m: usize,
+        device: DeviceModelSpec,
+    ) -> Result<Self> {
         let cfg = OffsetConfig {
             sharing_granularity: m,
             offset_bits: 8,
             crossbar: CrossbarSpec::default(),
             codec: WeightCodec::paper(CellTechnology::paper(cell)),
-            variation: VariationModel::per_weight(sigma),
+            variation: device
+                .as_variation(sigma)
+                .unwrap_or_else(|| VariationModel::per_weight(sigma)),
+            device,
             vawo_bias_term: true,
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// The device model instantiated at this config's σ.
+    pub fn device_model(&self) -> Box<dyn rdo_rram::DeviceModel> {
+        self.device.build(self.variation.sigma())
     }
 
     /// Validates internal consistency.

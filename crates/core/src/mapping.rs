@@ -16,7 +16,10 @@
 use rand::Rng;
 use rdo_nn::quant::{quantize_weights, QuantParams};
 use rdo_nn::{Layer, Sequential};
-use rdo_rram::{program_matrix, program_matrix_with_ddv, sample_ddv_factors, DeviceLut};
+use rdo_rram::{
+    program_matrix, program_matrix_model, program_matrix_with_ddv, sample_ddv_factors, DeviceLut,
+    DeviceModelSpec,
+};
 use rdo_tensor::Tensor;
 
 use crate::config::{Method, OffsetConfig};
@@ -213,12 +216,19 @@ impl MappedNetwork {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if the per-weight variation
-    /// model is not in use (the split is defined on whole-weight factors).
+    /// model is not in use (the split is defined on whole-weight factors)
+    /// or a non-paper device model is configured (the σ² decomposition is
+    /// specific to the paper's lognormal law).
     ///
     /// # Panics
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn split_ddv(&mut self, fraction: f64, rng: &mut impl Rng) -> Result<()> {
+        if self.cfg.device != DeviceModelSpec::PaperLognormal {
+            return Err(CoreError::InvalidConfig(
+                "DDV/CCV splitting is defined for the paper lognormal device model".to_string(),
+            ));
+        }
         if self.cfg.variation.kind() != rdo_rram::VariationKind::PerWeight {
             return Err(CoreError::InvalidConfig(
                 "DDV/CCV splitting requires the per-weight variation model".to_string(),
@@ -240,10 +250,18 @@ impl MappedNetwork {
     /// Propagates device-range errors (none occur for valid CTWs).
     pub fn program(&mut self, rng: &mut impl Rng) -> Result<()> {
         let _span = rdo_obs::span("core.program");
+        let zoo = self.zoo_model();
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            layer.crw = Some(match &self.ddv {
-                None => program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?,
-                Some(d) => program_matrix_with_ddv(
+            layer.crw = Some(match (&zoo, &self.ddv) {
+                // zoo members route through the trait; split_ddv rejects
+                // them, so DDV state cannot coexist with this arm
+                (Some(model), _) => {
+                    program_matrix_model(&layer.ctw, &self.cfg.codec, &**model, rng)?
+                }
+                (None, None) => {
+                    program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?
+                }
+                (None, Some(d)) => program_matrix_with_ddv(
                     &layer.ctw,
                     &self.cfg.codec,
                     &d.factors[i],
@@ -255,6 +273,15 @@ impl MappedNetwork {
         }
         self.tuned = None;
         Ok(())
+    }
+
+    /// The built device model when the config selects a non-paper-family
+    /// zoo member; `None` keeps the legacy (bitwise-pinned) paths.
+    fn zoo_model(&self) -> Option<Box<dyn rdo_rram::DeviceModel>> {
+        match self.cfg.device.as_variation(self.cfg.variation.sigma()) {
+            Some(_) => None,
+            None => Some(self.cfg.device_model()),
+        }
     }
 
     /// Resamples the device conductances like [`MappedNetwork::program`],
@@ -271,10 +298,16 @@ impl MappedNetwork {
     /// Propagates device-range errors (none occur for valid CTWs).
     pub fn reprogram_devices(&mut self, rng: &mut impl Rng) -> Result<()> {
         let _span = rdo_obs::span("core.program");
+        let zoo = self.zoo_model();
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            layer.crw = Some(match &self.ddv {
-                None => program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?,
-                Some(d) => program_matrix_with_ddv(
+            layer.crw = Some(match (&zoo, &self.ddv) {
+                (Some(model), _) => {
+                    program_matrix_model(&layer.ctw, &self.cfg.codec, &**model, rng)?
+                }
+                (None, None) => {
+                    program_matrix(&layer.ctw, &self.cfg.codec, &self.cfg.variation, rng)?
+                }
+                (None, Some(d)) => program_matrix_with_ddv(
                     &layer.ctw,
                     &self.cfg.codec,
                     &d.factors[i],
@@ -282,6 +315,27 @@ impl MappedNetwork {
                     rng,
                 )?,
             });
+        }
+        Ok(())
+    }
+
+    /// Evolves the programmed devices through the configured device
+    /// model's time hook ([`rdo_rram::DeviceModel::evolve`]):
+    /// deterministic retention behaviour such as the drift-relax model's
+    /// state-proportional decay. A no-op for drift-free models. Offsets
+    /// and the tuned network are kept, like [`MappedNetwork::age_devices`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] before the first programming,
+    /// and propagates the model's own validation (`time_ratio ≥ 1`).
+    pub fn evolve_devices(&mut self, time_ratio: f64) -> Result<()> {
+        let model = self.cfg.device_model();
+        for layer in &mut self.layers {
+            let crw = layer.crw.as_mut().ok_or_else(|| {
+                CoreError::InvalidConfig("layer has not been programmed".to_string())
+            })?;
+            model.evolve(crw, &self.cfg.codec, time_ratio)?;
         }
         Ok(())
     }
@@ -559,6 +613,99 @@ mod tests {
             .iter()
             .map(|w| Tensor::from_fn(w.dims(), |i| 0.01 * ((i % 13) as f32 - 6.0)))
             .collect()
+    }
+
+    fn setup_device(sigma: f64, device: DeviceModelSpec) -> (OffsetConfig, DeviceLut) {
+        let cfg = OffsetConfig::with_device(CellKind::Slc, sigma, 16, device).unwrap();
+        let lut = DeviceLut::analytic_model(&*cfg.device_model(), &cfg.codec).unwrap();
+        (cfg, lut)
+    }
+
+    /// The default-model pin: a config built with the device knob at its
+    /// default must program through the legacy path, bit for bit — so
+    /// every pre-existing fixed-seed result is untouched by the trait
+    /// refactor.
+    #[test]
+    fn default_device_spec_programs_bitwise_like_legacy() {
+        let (cfg, lut) = setup(0.5);
+        assert_eq!(cfg, setup_device(0.5, DeviceModelSpec::PaperLognormal).0);
+        let net = mlp(3);
+        let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(77)).unwrap();
+        for (layer, expected) in mapped.layers().iter().map(|l| {
+            let oracle =
+                rdo_rram::program_matrix(&l.ctw, &cfg.codec, &cfg.variation, &mut seeded_rng(77))
+                    .unwrap();
+            (l, oracle)
+        }) {
+            // the oracle restarts the seed per layer while program() draws
+            // layers from one stream, so only the first layer is a direct
+            // pin; it suffices to prove the legacy entry point is in use
+            assert_eq!(layer.crw.as_ref().unwrap(), &expected);
+            break;
+        }
+    }
+
+    #[test]
+    fn zoo_device_spec_programs_through_the_trait() {
+        let spec = DeviceModelSpec::level_default();
+        let (cfg, lut) = setup_device(0.5, spec);
+        let net = mlp(4);
+        let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        mapped.program(&mut seeded_rng(5)).unwrap();
+        // pins the zoo dispatch: layer 0 must equal the trait entry point
+        let oracle = rdo_rram::program_matrix_model(
+            &mapped.layers()[0].ctw,
+            &cfg.codec,
+            &*cfg.device_model(),
+            &mut seeded_rng(5),
+        )
+        .unwrap();
+        assert_eq!(mapped.layers()[0].crw.as_ref().unwrap(), &oracle);
+        // and reprogramming keeps working (fresh draws, same law)
+        mapped.reprogram_devices(&mut seeded_rng(6)).unwrap();
+        assert!(mapped.layers()[0].crw.is_some());
+    }
+
+    #[test]
+    fn split_ddv_rejects_zoo_device_specs() {
+        let (cfg, lut) = setup_device(0.5, DeviceModelSpec::drift_relax_default());
+        let net = mlp(5);
+        let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        assert!(matches!(
+            mapped.split_ddv(0.5, &mut seeded_rng(1)),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn evolve_devices_applies_the_model_hook() {
+        let spec = DeviceModelSpec::drift_relax_default();
+        let (cfg, lut) = setup_device(0.0, spec);
+        let net = mlp(6);
+        let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        // before programming: error
+        assert!(mapped.evolve_devices(10.0).is_err());
+        mapped.program(&mut seeded_rng(7)).unwrap();
+        let before: Vec<Tensor> = mapped.layers().iter().map(|l| l.crw.clone().unwrap()).collect();
+        mapped.evolve_devices(100.0).unwrap();
+        let decayed = mapped
+            .layers()
+            .iter()
+            .zip(&before)
+            .flat_map(|(l, b)| {
+                l.crw.as_ref().unwrap().data().iter().zip(b.data()).map(|(a, b)| (*a, *b))
+            })
+            .filter(|(a, b)| a < b)
+            .count();
+        assert!(decayed > 0, "drift must decay some conductances");
+        // paper default: evolve is the identity
+        let (cfg2, lut2) = setup(0.5);
+        let mut paper = MappedNetwork::map(&net, Method::Plain, &cfg2, &lut2, None).unwrap();
+        paper.program(&mut seeded_rng(8)).unwrap();
+        let b0 = paper.layers()[0].crw.clone().unwrap();
+        paper.evolve_devices(100.0).unwrap();
+        assert_eq!(paper.layers()[0].crw.as_ref().unwrap(), &b0);
     }
 
     #[test]

@@ -12,12 +12,13 @@
 
 use std::cell::RefCell;
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Normal};
 use rdo_tensor::{microkernel, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::WeightCodec;
+use crate::device_model::DeviceModel;
 use crate::error::{Result, RramError};
 use crate::variation::{VariationKind, VariationModel};
 
@@ -63,7 +64,7 @@ impl CrossbarSpec {
 
 /// Validates and rounds every CTW entry to its integer level, up front,
 /// so the bulk sampling loops below can be panic-free and branch-light.
-fn validate_levels(ctw: &Tensor, codec: &WeightCodec) -> Result<Vec<u32>> {
+pub(crate) fn validate_levels(ctw: &Tensor, codec: &WeightCodec) -> Result<Vec<u32>> {
     if ctw.shape().rank() != 2 {
         return Err(RramError::ShapeMismatch(format!(
             "CTW matrix must be rank 2, got {:?}",
@@ -442,6 +443,67 @@ impl Crossbar {
         Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows })
     }
 
+    /// [`Crossbar::program`] under any [`DeviceModel`]: each weight's
+    /// cells are realized by [`DeviceModel::write_cells`], weight by
+    /// weight in row-major order. For the paper model this reproduces
+    /// [`Crossbar::program`] bit for bit (same draw order); models
+    /// without a cell-level form (the differential pair) error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Crossbar::program`], plus [`RramError::InvalidGeometry`]
+    /// for models that decline cell-level programming.
+    pub fn program_model(
+        spec: CrossbarSpec,
+        codec: WeightCodec,
+        ctw_block: &Tensor,
+        model: &dyn DeviceModel,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if ctw_block.shape().rank() != 2 {
+            return Err(RramError::ShapeMismatch("CTW block must be rank 2".to_string()));
+        }
+        let (used_rows, used_weight_cols) = (ctw_block.dims()[0], ctw_block.dims()[1]);
+        let cpw = codec.cells_per_weight();
+        if used_rows > spec.rows || used_weight_cols * cpw > spec.cols {
+            return Err(RramError::ShapeMismatch(format!(
+                "block {used_rows}×{used_weight_cols} weights exceeds {}×{} array",
+                spec.rows,
+                spec.weight_cols(&codec)
+            )));
+        }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("rram.crossbar.program.calls", 1);
+            rdo_obs::counter_add(
+                "rram.crossbar.program.cells",
+                (used_rows * used_weight_cols * cpw) as u64,
+            );
+        }
+        let cell_floor = codec.cell().floor();
+        let mut levels = vec![0u32; spec.rows * spec.cols];
+        let mut conductance = vec![cell_floor; spec.rows * spec.cols];
+        let rng: &mut dyn RngCore = rng;
+        for r in 0..used_rows {
+            for wc in 0..used_weight_cols {
+                let q = ctw_block.at(&[r, wc])?.round();
+                if q < 0.0 || q > codec.max_weight() as f32 {
+                    return Err(RramError::WeightOutOfRange {
+                        value: q.max(0.0) as u32,
+                        levels: codec.weight_levels(),
+                    });
+                }
+                let slices = codec.encode(q as u32)?;
+                let cells = model.write_cells(&slices, &codec, &mut *rng)?;
+                let base = r * spec.cols + wc * cpw;
+                for (j, (&s, g)) in slices.iter().zip(cells).enumerate() {
+                    levels[base + j] = s;
+                    conductance[base + j] = g;
+                }
+            }
+        }
+        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows })
+    }
+
     /// The array dimensions.
     pub fn spec(&self) -> CrossbarSpec {
         self.spec
@@ -583,6 +645,40 @@ mod tests {
 
     fn codec() -> WeightCodec {
         WeightCodec::paper(CellTechnology::paper(CellKind::Slc))
+    }
+
+    #[test]
+    fn program_model_paper_is_bitwise_program() {
+        use crate::device_model::{DeviceModelSpec, LevelLognormalModel, PaperLognormalModel};
+        let spec = CrossbarSpec::new(8, 32);
+        let ctw = Tensor::from_fn(&[5, 3], |i| ((i * 53 + 11) % 256) as f32);
+        for kind in [VariationKind::PerWeight, VariationKind::PerCell] {
+            for sigma in [0.0, 0.6] {
+                let variation = VariationModel::new(sigma, kind);
+                let legacy =
+                    Crossbar::program(spec, codec(), &ctw, &variation, &mut seeded_rng(31))
+                        .unwrap();
+                let model = PaperLognormalModel::new(variation);
+                let via_trait =
+                    Crossbar::program_model(spec, codec(), &ctw, &model, &mut seeded_rng(31))
+                        .unwrap();
+                assert_eq!(via_trait, legacy, "{kind:?} σ={sigma}");
+            }
+        }
+        // zoo members run through the same entry…
+        let level = LevelLognormalModel::new(0.2, 0.4, 0.01);
+        let xb = Crossbar::program_model(spec, codec(), &ctw, &level, &mut seeded_rng(31)).unwrap();
+        assert_eq!(xb.used_rows(), 5);
+        // …except models without a cell-level form
+        let diff = DeviceModelSpec::DiffPair { base: crate::device_model::DiffBase::Paper };
+        assert!(Crossbar::program_model(
+            spec,
+            codec(),
+            &ctw,
+            &*diff.build(0.5),
+            &mut seeded_rng(31)
+        )
+        .is_err());
     }
 
     #[test]

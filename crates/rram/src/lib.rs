@@ -37,6 +37,7 @@ mod adc;
 mod codec;
 mod crossbar;
 mod device;
+mod device_model;
 mod drift;
 mod error;
 mod lut;
@@ -50,6 +51,10 @@ pub use crossbar::{
     sample_ddv_factors, Crossbar, CrossbarSpec,
 };
 pub use device::{CellKind, CellTechnology};
+pub use device_model::{
+    program_matrix_model, program_matrix_model_scalar, DeviceModel, DeviceModelSpec, DiffBase,
+    DifferentialPairModel, DriftRelaxModel, LevelLognormalModel, PaperLognormalModel,
+};
 pub use drift::DriftModel;
 pub use error::{Result, RramError};
 pub use lut::DeviceLut;

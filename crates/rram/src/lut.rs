@@ -15,6 +15,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::codec::WeightCodec;
+use crate::device_model::DeviceModel;
 use crate::error::{Result, RramError};
 use crate::variation::VariationModel;
 
@@ -58,6 +59,26 @@ impl DeviceLut {
     ///
     /// Propagates codec range errors (none occur for a consistent codec).
     pub fn analytic(model: &VariationModel, codec: &WeightCodec) -> Result<Self> {
+        let n = codec.weight_levels();
+        let mut mean = Vec::with_capacity(n as usize);
+        let mut var = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            let (m, s2) = model.moments(v, codec)?;
+            mean.push(m);
+            var.push(s2);
+        }
+        Ok(DeviceLut::from_tables(mean, var))
+    }
+
+    /// [`DeviceLut::analytic`] generalized to any [`DeviceModel`]: the
+    /// table of each zoo member's closed-form moments. For the paper
+    /// model this builds the exact same table as `analytic` (the adapter
+    /// delegates its moments to the variation model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec range errors (none occur for a consistent codec).
+    pub fn analytic_model(model: &dyn DeviceModel, codec: &WeightCodec) -> Result<Self> {
         let n = codec.weight_levels();
         let mut mean = Vec::with_capacity(n as usize);
         let mut var = Vec::with_capacity(n as usize);

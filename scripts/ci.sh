@@ -54,7 +54,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs pwt; do
+for name in gemm cycles vawo program obs pwt devicezoo; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -80,6 +80,30 @@ for key in ("reference_ns", "fast_ns"):
         sys.exit(f"ci: BENCH_pwt.json {key} must be a positive integer")
 if rec["speedup_vs_reference"] <= 0:
     sys.exit("ci: BENCH_pwt.json speedup_vs_reference must be positive")
+PYEOF
+
+echo "==> BENCH_devicezoo.json carries the per-model bulk-vs-reference schema"
+python3 - results/BENCH_devicezoo.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+models = rec.get("models")
+if not isinstance(models, list) or len(models) < 4:
+    sys.exit("ci: BENCH_devicezoo.json must report at least 4 zoo models")
+names = set()
+for row in models:
+    for key in ("name", "fingerprint", "weights", "bulk_ns", "reference_ns",
+                "speedup_vs_reference"):
+        if key not in row:
+            sys.exit(f"ci: BENCH_devicezoo.json model row lacks key {key!r}")
+    for key in ("bulk_ns", "reference_ns"):
+        if not (isinstance(row[key], int) and row[key] > 0):
+            sys.exit(f"ci: BENCH_devicezoo.json {key} must be a positive integer")
+    if row["speedup_vs_reference"] <= 0:
+        sys.exit("ci: BENCH_devicezoo.json speedup_vs_reference must be positive")
+    names.add(row["name"])
+for required in ("paper", "level_lognormal", "drift_relax", "diff_pair"):
+    if required not in names:
+        sys.exit(f"ci: BENCH_devicezoo.json lacks the {required!r} model")
 PYEOF
 
 echo "ci: all gates passed"
