@@ -1,0 +1,142 @@
+//! Data-dependent wordline activity: exact popcount accounting for the
+//! bit-serial readout.
+//!
+//! [`PipelineModel::plan_layer`](crate::PipelineModel::plan_layer)
+//! charges the full tile read budget for every array cycle, as if all
+//! `m` wordlines of the active group were driven high. Real drive
+//! vectors are sparser: in cycle `(bit, group)` only the rows whose
+//! input has that bit set draw wordline and cell read current. The
+//! integer readout pipeline packs inputs into bit planes anyway, so the
+//! exact count is one `popcount` per cycle — the same kernels
+//! ([`rdo_tensor::popcount`], [`rdo_tensor::mask_plane_range`]) that
+//! [`rdo_rram::BitSerialEvaluator::evaluate_qint`] runs, which is what
+//! makes the accounting *measured* rather than modeled.
+
+use rdo_tensor::{mask_plane_range, popcount, BitPlanes};
+
+/// Exact wordline-drive statistics of one input vector run bit-serially
+/// through a crossbar with partial wordline activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordlineActivity {
+    /// Array cycles (`input_bits · ⌈rows / m⌉`).
+    pub cycles: usize,
+    /// Wordlines driven high, summed over all cycles — one popcount per
+    /// `(bit, group)` cycle of the masked input bit plane.
+    pub driven: u64,
+    /// Most wordlines driven in any single cycle (≤ `m`).
+    pub peak: u32,
+    /// Drive slots available: `Σ_cycles (group length)` — the
+    /// all-rows-active assumption the baseline energy model charges.
+    pub capacity: u64,
+}
+
+impl WordlineActivity {
+    /// Fraction of available drive slots actually used, in `[0, 1]`.
+    /// Zero-capacity (empty input) activity has duty factor 0.
+    pub fn duty_factor(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.driven as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Measures the exact wordline activity of driving `x` bit-serially
+/// with `input_bits` planes and `m`-row activation groups.
+///
+/// Cycle order matches [`rdo_rram::BitSerialEvaluator`]: for every
+/// input bit, every group `[g·m, min((g+1)·m, rows))` is one array
+/// cycle; the popcount of the group-masked bit plane is the number of
+/// wordlines driven that cycle.
+///
+/// # Errors
+///
+/// Returns an error if any input does not fit `input_bits` bits.
+///
+/// # Panics
+///
+/// Panics if `m` is zero while `x` is non-empty.
+pub fn wordline_activity(
+    x: &[u32],
+    input_bits: u32,
+    m: usize,
+) -> rdo_rram::Result<WordlineActivity> {
+    let rows = x.len();
+    if rows == 0 {
+        return Ok(WordlineActivity { cycles: 0, driven: 0, peak: 0, capacity: 0 });
+    }
+    assert!(m > 0, "activation group size must be positive");
+    let planes = BitPlanes::pack(x, input_bits).map_err(rdo_rram::RramError::from)?;
+    let groups = rows.div_ceil(m);
+    let mut masked = vec![0u64; planes.words_per_plane()];
+    let (mut driven, mut peak) = (0u64, 0u32);
+    for bit in 0..input_bits {
+        for g in 0..groups {
+            let (start, end) = (g * m, ((g + 1) * m).min(rows));
+            masked.copy_from_slice(planes.plane(bit));
+            mask_plane_range(&mut masked, start, end);
+            let ones = popcount(&masked);
+            driven += u64::from(ones);
+            peak = peak.max(ones);
+        }
+    }
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("arch.activity.popcounts", u64::from(input_bits) * groups as u64);
+    }
+    Ok(WordlineActivity {
+        cycles: input_bits as usize * groups,
+        driven,
+        peak,
+        capacity: u64::from(input_bits) * rows as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ones_input_saturates_duty_factor() {
+        // every bit of every row set → every drive slot used
+        let x = vec![0xFFu32; 64];
+        let a = wordline_activity(&x, 8, 16).unwrap();
+        assert_eq!(a.cycles, 8 * 4);
+        assert_eq!(a.capacity, 8 * 64);
+        assert_eq!(a.driven, a.capacity);
+        assert_eq!(a.peak, 16);
+        assert!((a.duty_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_input_drives_nothing() {
+        let a = wordline_activity(&[0u32; 40], 8, 16).unwrap();
+        assert_eq!(a.driven, 0);
+        assert_eq!(a.peak, 0);
+        assert_eq!(a.duty_factor(), 0.0);
+        // cycles still elapse: the bit-serial schedule is data-independent
+        assert_eq!(a.cycles, 8 * 3);
+    }
+
+    #[test]
+    fn driven_matches_scalar_bit_count() {
+        let x: Vec<u32> = (0..100).map(|r| ((r * 89 + 3) % 256) as u32).collect();
+        let a = wordline_activity(&x, 8, 16).unwrap();
+        let expect: u64 = x.iter().map(|&v| u64::from(v.count_ones())).sum();
+        assert_eq!(a.driven, expect, "Σ popcounts over cycles = Σ set bits of x");
+        assert!(a.peak <= 16);
+        assert_eq!(a.cycles, 8 * 100usize.div_ceil(16));
+    }
+
+    #[test]
+    fn empty_input_is_inert() {
+        let a = wordline_activity(&[], 8, 16).unwrap();
+        assert_eq!(a.cycles, 0);
+        assert_eq!(a.duty_factor(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_value_is_rejected() {
+        assert!(wordline_activity(&[256], 8, 16).is_err());
+    }
+}

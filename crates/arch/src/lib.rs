@@ -12,6 +12,9 @@
 //! * [`read_power_of_histogram`] — the Table I state-dependent device
 //!   reading-power model.
 //! * [`CrossbarBudget`] — the Table III normalized crossbar numbers.
+//! * [`wordline_activity`] — exact popcount-counted wordline drive
+//!   statistics of the bit-serial schedule, feeding data-dependent
+//!   array read energy ([`PipelineModel::plan_layer_observed`]).
 //!
 //! # Examples
 //!
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activity;
 mod cost;
 mod crossbars;
 mod isaac;
@@ -33,6 +37,7 @@ mod offset_unit;
 mod pipeline;
 mod power;
 
+pub use activity::{wordline_activity, WordlineActivity};
 pub use cost::{tile_overhead, TileOverhead};
 pub use crossbars::{CrossbarArchitecture, CrossbarBudget};
 pub use isaac::IsaacTile;

@@ -132,6 +132,30 @@ impl PipelineModel {
         })
     }
 
+    /// Plans one layer with measured wordline activity: the array read
+    /// energy is scaled by the input's duty factor (the exact fraction
+    /// of drive slots used, counted by popcounts of the packed drive
+    /// vectors) instead of charging all `m` wordlines every cycle.
+    ///
+    /// The schedule is data-independent, so cycles, latency and the
+    /// offset-datapath energy (which runs every cycle regardless of how
+    /// many wordlines fired) are unchanged from [`Self::plan_layer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiling errors for degenerate matrices.
+    pub fn plan_layer_observed(
+        &self,
+        fan_in: usize,
+        fan_out: usize,
+        codec: &WeightCodec,
+        activity: &crate::WordlineActivity,
+    ) -> rdo_rram::Result<LayerPlan> {
+        let mut plan = self.plan_layer(fan_in, fan_out, codec)?;
+        plan.array_energy_nj *= activity.duty_factor();
+        Ok(plan)
+    }
+
     /// Plans a network given its core-layer matrix shapes, in order.
     ///
     /// # Errors
@@ -215,6 +239,30 @@ mod tests {
         assert_eq!(plan.initiation_interval_ns, max);
         assert!(plan.total_latency_ns >= max);
         assert!(plan.total_energy_nj > 0.0);
+    }
+
+    #[test]
+    fn observed_plan_scales_array_energy_only() {
+        let model = PipelineModel::paper(16);
+        let codec = mlc_codec();
+        let baseline = model.plan_layer(128, 32, &codec).unwrap();
+
+        // half the drive slots used → half the array read energy
+        let x: Vec<u32> = (0..128).map(|r| if r % 2 == 0 { 0xFF } else { 0 }).collect();
+        let act = crate::wordline_activity(&x, 8, 16).unwrap();
+        assert!((act.duty_factor() - 0.5).abs() < 1e-12);
+        let observed = model.plan_layer_observed(128, 32, &codec, &act).unwrap();
+        assert!((observed.array_energy_nj - baseline.array_energy_nj * 0.5).abs() < 1e-9);
+
+        // schedule-bound terms are untouched
+        assert_eq!(observed.cycles_per_input, baseline.cycles_per_input);
+        assert_eq!(observed.latency_ns, baseline.latency_ns);
+        assert_eq!(observed.offset_energy_nj, baseline.offset_energy_nj);
+
+        // saturated input reproduces the baseline charge exactly
+        let full = crate::wordline_activity(&[0xFFu32; 128], 8, 16).unwrap();
+        let saturated = model.plan_layer_observed(128, 32, &codec, &full).unwrap();
+        assert_eq!(saturated, baseline);
     }
 
     #[test]

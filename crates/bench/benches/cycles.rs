@@ -43,6 +43,7 @@ fn bench_cycles(c: &mut Criterion) {
                         pwt: PwtConfig { epochs: 1, ..Default::default() },
                         batch_size: 64,
                         threads: t,
+                        qint: false,
                     },
                 )
                 .expect("evaluate_cycles")

@@ -1,0 +1,89 @@
+//! Quantized integer hot path: the i8 GEMM/GEMV kernels against their
+//! retained float oracles, and the packed bit-plane popcount readout
+//! against the float bit-serial evaluator at the paper shape
+//! (128×128 mapped layer, 8-bit inputs, SLC and MLC2 codecs).
+//!
+//! For the committed machine-readable numbers see `results/BENCH_qint.json`,
+//! regenerated with `cargo run --release -p rdo-bench --bin perf_report`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdo_rram::{
+    Adc, BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec, VariationModel,
+    WeightCodec,
+};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::{gemm_i8_i32, gemv_i8_i32, matmul_into_scalar, matvec, Tensor};
+
+fn bench_qint_gemm(c: &mut Criterion) {
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a_i8: Vec<i8> = (0..m * k).map(|i| ((i * 37) % 255) as u8 as i8).collect();
+    let b_i8: Vec<i8> = (0..k * n).map(|i| ((i * 53) % 255) as u8 as i8).collect();
+    let a_f32: Vec<f32> = a_i8.iter().map(|&v| f32::from(v)).collect();
+    let b_f32: Vec<f32> = b_i8.iter().map(|&v| f32::from(v)).collect();
+
+    let mut group = c.benchmark_group("qint_gemm");
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    let mut c_f32 = vec![0.0f32; m * n];
+    group.bench_function(BenchmarkId::new("f32_scalar", "128x128x128"), |bench| {
+        bench.iter(|| {
+            c_f32.fill(0.0);
+            matmul_into_scalar(&a_f32, &b_f32, &mut c_f32, m, k, n);
+        });
+    });
+    let mut c_i32 = vec![0i32; m * n];
+    group.bench_function(BenchmarkId::new("i8", "128x128x128"), |bench| {
+        bench.iter(|| {
+            c_i32.fill(0);
+            gemm_i8_i32(&a_i8, &b_i8, &mut c_i32, m, k, n, 1);
+        });
+    });
+
+    // the readout orientation: one activation vector at a time
+    group.throughput(Throughput::Elements((2 * m * k) as u64));
+    let a_t = Tensor::from_vec(a_f32.clone(), &[m, k]).expect("consistent shape");
+    let x_t = Tensor::from_vec(b_f32[..k].to_vec(), &[k]).expect("consistent shape");
+    group.bench_function(BenchmarkId::new("f32_matvec", "128x128"), |bench| {
+        bench.iter(|| matvec(&a_t, &x_t).expect("consistent shapes"));
+    });
+    let x_i8 = &b_i8[..k];
+    let mut y_i32 = vec![0i32; m];
+    group.bench_function(BenchmarkId::new("i8_gemv", "128x128"), |bench| {
+        bench.iter(|| {
+            y_i32.fill(0);
+            gemv_i8_i32(&a_i8, x_i8, &mut y_i32, m, k, 1);
+        });
+    });
+    group.finish();
+}
+
+fn bench_qint_bitserial(c: &mut Criterion) {
+    let (rows, wcols) = (128usize, 128usize);
+    let x: Vec<u32> = (0..rows).map(|r| ((r * 89 + 3) % 256) as u32).collect();
+    let mut group = c.benchmark_group("qint_bitserial");
+    group.sample_size(20);
+    for cell in [CellKind::Slc, CellKind::Mlc2] {
+        let codec = WeightCodec::paper(CellTechnology::paper(cell));
+        let spec = CrossbarSpec::new(rows, wcols * codec.cells_per_weight());
+        let ctw = Tensor::from_fn(&[rows, wcols], |i| ((i * 53) % 256) as f32);
+        let model = VariationModel::per_weight(0.5);
+        let mut rng = seeded_rng(7);
+        let xb = Crossbar::program(spec, codec, &ctw, &model, &mut rng).expect("programmable");
+        let cell_top = (codec.cell().kind().levels() - 1) as f64 + codec.cell().floor();
+        for (adc_label, adc) in
+            [("ideal", Adc::ideal()), ("adc8", Adc::new(8, rows as f64 * cell_top))]
+        {
+            let eval = BitSerialEvaluator::new(adc, 8, rows);
+            let label = format!("{cell:?}_{adc_label}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new("float", &label), &x, |bench, x| {
+                bench.iter(|| eval.evaluate(&xb, x).expect("consistent shapes"));
+            });
+            group.bench_with_input(BenchmarkId::new("int", &label), &x, |bench, x| {
+                bench.iter(|| eval.evaluate_qint(&xb, x).expect("consistent shapes"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qint_gemm, bench_qint_bitserial);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes six JSON records under `results/` (mirrored to the repo root)
+//! Writes seven JSON records under `results/` (mirrored to the repo root)
 //! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
@@ -19,6 +19,11 @@
 //! - `BENCH_devicezoo.json` — each device-model zoo member's bulk
 //!   programming path versus its per-entry reference oracle on a
 //!   128×128 weight block.
+//! - `BENCH_qint.json` — the quantized integer hot path: the i8→i32
+//!   GEMM versus the retained f32 scalar oracle at the paper's 128-wide
+//!   8-bit shape, and the bit-plane popcount readout
+//!   (`BitSerialEvaluator::evaluate_qint`) versus the float bit-serial
+//!   pipeline on 128×128 SLC/MLC2 crossbars at ideal and 8-bit ADCs.
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -41,13 +46,14 @@ use rdo_core::{
 use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
 use rdo_obs::best_of_ns as best_of;
 use rdo_rram::{
-    program_matrix, program_matrix_model, program_matrix_model_scalar, program_matrix_scalar,
-    CellKind, CellTechnology, DeviceLut, DeviceModelSpec, VariationKind, VariationModel,
-    WeightCodec,
+    program_matrix, program_matrix_model, program_matrix_model_scalar, program_matrix_scalar, Adc,
+    BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec, DeviceLut,
+    DeviceModelSpec, VariationKind, VariationModel, WeightCodec,
 };
 use rdo_tensor::rng::{randn, seeded_rng};
 use rdo_tensor::{
-    available_threads, matmul_into_scalar, matmul_into_serial, matmul_into_threads, Tensor,
+    available_threads, gemm_i8_i32, gemv_i8_i32, matmul_into_scalar, matmul_into_serial,
+    matmul_into_threads, matvec, Tensor,
 };
 
 /// One GEMM shape measured by the report. The LeNet rows are the exact
@@ -80,6 +86,9 @@ fn main() -> Result<()> {
 
     let devicezoo = devicezoo_report(reps, quick)?;
     write_bench_record("BENCH_devicezoo", &devicezoo)?;
+
+    let qint = qint_report(reps, quick)?;
+    write_bench_record("BENCH_qint", &qint)?;
     rdo_obs::flush();
     Ok(())
 }
@@ -179,6 +188,7 @@ fn cycles_report(quick: bool) -> Result<String> {
                     pwt: PwtConfig { epochs: 1, ..Default::default() },
                     batch_size: 64,
                     threads,
+                    qint: false,
                 },
             )
             .expect("evaluate_cycles");
@@ -329,6 +339,129 @@ fn devicezoo_report(reps: usize, quick: bool) -> Result<String> {
          \"quick\": {quick},\n  \"shape\": \"128x128\",\n  \"cell\": \"mlc2\",\n  \
          \"sigma\": {sigma},\n  \"models\": [\n{}\n  ]\n}}\n",
         out_rows.join(",\n")
+    ))
+}
+
+fn qint_report(reps: usize, quick: bool) -> Result<String> {
+    let threads = available_threads();
+
+    // --- integer GEMM versus the retained f32 scalar oracle ---
+    //
+    // The paper's quantized shape: 128-wide layers with 8-bit weights
+    // and activations. Both kernels consume the *same* values so the
+    // comparison is a pure datapath swap, not a workload change.
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a_i8: Vec<i8> = (0..m * k).map(|i| ((i * 37) % 255) as u8 as i8).collect();
+    let b_i8: Vec<i8> = (0..k * n).map(|i| ((i * 53) % 255) as u8 as i8).collect();
+    let a_f32: Vec<f32> = a_i8.iter().map(|&v| f32::from(v)).collect();
+    let b_f32: Vec<f32> = b_i8.iter().map(|&v| f32::from(v)).collect();
+    let mut c_f32 = vec![0.0f32; m * n];
+    let mut c_i32 = vec![0i32; m * n];
+    let float_ns = best_of(reps, || {
+        c_f32.fill(0.0);
+        matmul_into_scalar(&a_f32, &b_f32, &mut c_f32, m, k, n);
+    });
+    let int_ns = best_of(reps, || {
+        c_i32.fill(0);
+        gemm_i8_i32(&a_i8, &b_i8, &mut c_i32, m, k, n, 1);
+    });
+    let int_threaded_ns = best_of(reps, || {
+        c_i32.fill(0);
+        gemm_i8_i32(&a_i8, &b_i8, &mut c_i32, m, k, n, threads);
+    });
+    let gemm_speedup = float_ns as f64 / int_ns as f64;
+    eprintln!(
+        "[qint] gemm {m}x{k}x{n}: f32 scalar {:.3} ms, i8 {:.3} ms ({gemm_speedup:.2}x), \
+         i8 threaded({threads}) {:.3} ms",
+        float_ns as f64 / 1e6,
+        int_ns as f64 / 1e6,
+        int_threaded_ns as f64 / 1e6,
+    );
+    let gemm_row = format!(
+        "  \"gemm\": {{\n    \"shape\": \"{m}x{k}x{n}\", \"bits\": 8,\n    \
+         \"float_scalar_ns\": {float_ns}, \"int_ns\": {int_ns}, \
+         \"int_threaded_ns\": {int_threaded_ns},\n    \
+         \"speedup_vs_float\": {gemm_speedup:.3}\n  }}"
+    );
+
+    // --- integer GEMV: the readout orientation (one input vector) ---
+    //
+    // Bit-serial readout consumes one activation vector at a time, so the
+    // matrix-vector product is the shape the quantized datapath actually
+    // runs. i8 operands quarter the bytes per multiply-add, which is
+    // decisive in this memory-bound regime.
+    let x_i8 = &b_i8[..k];
+    let a_t = Tensor::from_vec(a_f32.clone(), &[m, k]).map_err(BenchError::from)?;
+    let x_t = Tensor::from_vec(b_f32[..k].to_vec(), &[k]).map_err(BenchError::from)?;
+    let mut y_i32 = vec![0i32; m];
+    let gv_float_ns = best_of(reps, || {
+        black_box(matvec(&a_t, &x_t).expect("consistent shapes"));
+    });
+    let gv_int_ns = best_of(reps, || {
+        y_i32.fill(0);
+        gemv_i8_i32(&a_i8, x_i8, &mut y_i32, m, k, 1);
+    });
+    let gemv_speedup = gv_float_ns as f64 / gv_int_ns as f64;
+    eprintln!(
+        "[qint] gemv {m}x{k}: f32 matvec {:.3} ms, i8 {:.3} ms ({gemv_speedup:.2}x)",
+        gv_float_ns as f64 / 1e6,
+        gv_int_ns as f64 / 1e6,
+    );
+    let gemv_row = format!(
+        "  \"gemv\": {{\n    \"shape\": \"{m}x{k}\", \"bits\": 8,\n    \
+         \"float_matvec_ns\": {gv_float_ns}, \"int_ns\": {gv_int_ns},\n    \
+         \"speedup_vs_float\": {gemv_speedup:.3}\n  }}"
+    );
+
+    // --- bit-plane popcount readout versus the float bit-serial loop ---
+    //
+    // One 128×128 mapped layer per cell technology, 8-bit inputs, at the
+    // two ADC regimes the evaluator supports: ideal (the popcount dot
+    // collapses the group loop entirely) and a finite 8-bit converter
+    // (per-group integer codes with digital floor calibration).
+    let (rows, wcols) = (128usize, 128usize);
+    let sigma = 0.5;
+    let x: Vec<u32> = (0..rows).map(|r| ((r * 89 + 3) % 256) as u32).collect();
+    let mut bs_rows = Vec::new();
+    for cell in [CellKind::Slc, CellKind::Mlc2] {
+        let codec = WeightCodec::paper(CellTechnology::paper(cell));
+        let spec = CrossbarSpec::new(rows, wcols * codec.cells_per_weight());
+        let ctw = Tensor::from_fn(&[rows, wcols], |i| ((i * 53) % 256) as f32);
+        let model = VariationModel::per_weight(sigma);
+        let mut rng = seeded_rng(7);
+        let xb =
+            Crossbar::program(spec, codec, &ctw, &model, &mut rng).map_err(BenchError::from)?;
+        // full-scale sized to the largest nominal bitline current so the
+        // 8-bit converter exercises its whole code range
+        let cell_top = (codec.cell().kind().levels() - 1) as f64 + codec.cell().floor();
+        let adcs = [("ideal", Adc::ideal()), ("adc8", Adc::new(8, rows as f64 * cell_top))];
+        for (adc_label, adc) in adcs {
+            let eval = BitSerialEvaluator::new(adc, 8, rows);
+            let float_ns = best_of(reps, || {
+                black_box(eval.evaluate(&xb, &x).expect("consistent shapes"));
+            });
+            let int_ns = best_of(reps, || {
+                black_box(eval.evaluate_qint(&xb, &x).expect("consistent shapes"));
+            });
+            let speedup = float_ns as f64 / int_ns as f64;
+            let label = format!("{cell:?}_{adc_label}").to_lowercase();
+            eprintln!(
+                "[qint] bitserial {label}: float {:.3} ms, int {:.3} ms ({speedup:.2}x)",
+                float_ns as f64 / 1e6,
+                int_ns as f64 / 1e6,
+            );
+            bs_rows.push(format!(
+                "    {{\n      \"config\": \"{label}\", \"rows\": {rows}, \"cols\": {wcols}, \
+                 \"input_bits\": 8,\n      \"float_ns\": {float_ns}, \"int_ns\": {int_ns},\n      \
+                 \"speedup_vs_float\": {speedup:.3}\n    }}"
+            ));
+        }
+    }
+    Ok(format!(
+        "{{\n  \"bench\": \"qint\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \
+         \"quick\": {quick},\n  \"threads\": {threads},\n{gemm_row},\n{gemv_row},\n  \
+         \"bitserial\": [\n{}\n  ]\n}}\n",
+        bs_rows.join(",\n")
     ))
 }
 

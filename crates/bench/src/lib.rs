@@ -18,7 +18,7 @@
 //! All experiment knobs flow through one [`BenchConfig`], read once from
 //! the environment (`RDO_SCALE`, `RDO_CYCLES`, `RDO_SEED`,
 //! `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`, `RDO_CELL`,
-//! `RDO_DEVICE_MODEL`) and threaded explicitly from there; programmatic
+//! `RDO_DEVICE_MODEL`, `RDO_QINT`) and threaded explicitly from there; programmatic
 //! callers assemble one with [`BenchConfig::builder()`]. Which
 //! device-model zoo member programs the crossbars is part of the grid:
 //! every [`GridPoint`] optionally pins a
@@ -225,6 +225,11 @@ pub struct BenchConfig {
     /// `driftrelax`, `diffpair:paper`; default the paper's lognormal
     /// model). Grid points that don't pin their own model inherit this.
     pub device_model: DeviceModelSpec,
+    /// Cross-check the integer bit-plane datapath against the float
+    /// reference every programming cycle (`RDO_QINT`, default off; see
+    /// [`CycleEvalConfig::qint`]). Read-only: results are identical
+    /// either way.
+    pub qint: bool,
     /// Observability override: `Some(on)` forces [`rdo_obs`] on/off when
     /// the config is [built](BenchConfigBuilder::build); `None` (the
     /// default, and what [`BenchConfig::from_env()`] produces) defers to
@@ -243,6 +248,7 @@ impl Default for BenchConfig {
             sigma: 0.5,
             cell: CellKind::Slc,
             device_model: DeviceModelSpec::PaperLognormal,
+            qint: false,
             obs: None,
         }
     }
@@ -251,7 +257,7 @@ impl Default for BenchConfig {
 impl BenchConfig {
     /// Reads every knob from the environment (`RDO_SCALE`, `RDO_CYCLES`,
     /// `RDO_SEED`, `RDO_PWT_EPOCHS`, `RDO_THREADS`, `RDO_SIGMA`,
-    /// `RDO_CELL`, `RDO_DEVICE_MODEL`), falling back to the defaults
+    /// `RDO_CELL`, `RDO_DEVICE_MODEL`, `RDO_QINT`), falling back to the defaults
     /// above for unset or unparsable values. The observability switch is
     /// *not* read here — [`rdo_obs`] resolves `RDO_OBS` itself on first
     /// use.
@@ -274,6 +280,7 @@ impl BenchConfig {
                 _ => CellKind::Slc,
             },
             device_model: parsed::<DeviceModelSpec>("RDO_DEVICE_MODEL").unwrap_or_default(),
+            qint: matches!(std::env::var("RDO_QINT").as_deref(), Ok("1") | Ok("true") | Ok("on")),
             obs: None,
         }
     }
@@ -291,6 +298,7 @@ impl BenchConfig {
             pwt: PwtConfig { epochs: self.pwt_epochs, lr_decay: 0.75, ..Default::default() },
             batch_size: 64,
             threads: self.threads,
+            qint: self.qint,
         }
     }
 }
@@ -362,6 +370,13 @@ impl BenchConfigBuilder {
     /// (grid points without their own model inherit it).
     pub fn device_model(mut self, device_model: DeviceModelSpec) -> Self {
         self.cfg.device_model = device_model;
+        self
+    }
+
+    /// Enables the per-cycle integer-datapath cross-check (the
+    /// programmatic twin of `RDO_QINT`).
+    pub fn qint(mut self, on: bool) -> Self {
+        self.cfg.qint = on;
         self
     }
 
@@ -934,6 +949,7 @@ mod tests {
         assert_eq!(cfg.sigma, 0.5);
         assert_eq!(cfg.cell, CellKind::Slc);
         assert_eq!(cfg.device_model, DeviceModelSpec::PaperLognormal);
+        assert!(!cfg.qint);
         assert_eq!(cfg.obs, None);
     }
 
@@ -948,6 +964,7 @@ mod tests {
             .sigma(0.8)
             .cell(CellKind::Mlc2)
             .device_model(DeviceModelSpec::drift_relax_default())
+            .qint(true)
             .build();
         assert_eq!(cfg.scale, Scale::Paper);
         assert_eq!(cfg.device_model, DeviceModelSpec::drift_relax_default());
@@ -957,11 +974,13 @@ mod tests {
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.sigma, 0.8);
         assert_eq!(cfg.cell, CellKind::Mlc2);
+        assert!(cfg.qint);
         let eval = cfg.eval_cfg();
         assert_eq!(eval.cycles, 3);
         assert_eq!(eval.seed, 7);
         assert_eq!(eval.pwt.epochs, 2);
         assert_eq!(eval.threads, 4);
+        assert!(eval.qint, "the qint knob must reach the cycle loop");
     }
 
     #[test]

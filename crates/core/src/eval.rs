@@ -41,6 +41,12 @@ pub struct CycleEvalConfig {
     /// the serial path, `N` caps the workers at `N`. Results are identical
     /// for every setting.
     pub threads: usize,
+    /// Cross-check the integer digital datapath every cycle
+    /// ([`MappedNetwork::verify_qint`]): the bit-plane/popcount readout
+    /// must agree exactly with the float reference on every layer. Off by
+    /// default; the check consumes no randomness and never mutates state,
+    /// so results are identical either way (the `RDO_QINT` bench knob).
+    pub qint: bool,
 }
 
 impl Default for CycleEvalConfig {
@@ -51,6 +57,7 @@ impl Default for CycleEvalConfig {
             pwt: PwtConfig::default(),
             batch_size: 64,
             threads: 0,
+            qint: false,
         }
     }
 }
@@ -212,6 +219,12 @@ fn run_cycle(
         pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
         tune_with_scratch(mapped, xs, ys, &pwt_cfg, scratch)?;
     }
+    if cfg.qint {
+        // exact cross-check of the integer datapath against the float
+        // reference on this cycle's offsets; reads only, so accuracy
+        // numbers are unchanged whether the knob is on or off
+        mapped.verify_qint(8)?;
+    }
     let mut net = mapped.effective_network()?;
     let _eval = rdo_obs::span("core.eval");
     Ok(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?)
@@ -275,6 +288,20 @@ mod tests {
         .unwrap();
         assert_eq!(e.per_cycle.len(), 2);
         assert!(e.mean > 0.5, "combined method below chance: {}", e.mean);
+    }
+
+    #[test]
+    fn qint_knob_does_not_change_results() {
+        let (net, x, labels) = trained_problem();
+        let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+        let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+        let base = CycleEvalConfig { cycles: 2, ..Default::default() };
+        let with_qint = CycleEvalConfig { qint: true, ..base };
+        let mut a = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        let mut b = a.clone();
+        let ea = evaluate_cycles(&mut a, None, &x, &labels, &base).unwrap();
+        let eb = evaluate_cycles(&mut b, None, &x, &labels, &with_qint).unwrap();
+        assert_eq!(ea, eb, "the qint cross-check must be read-only");
     }
 
     #[test]

@@ -404,6 +404,52 @@ impl OffsetState {
             *b = b.round().clamp(lo, hi);
         }
     }
+
+    /// The offsets as the signed integers a hardware register would hold,
+    /// group-major. This is the entry point of the integer readout path:
+    /// it insists the state has already been snapped to the register grid
+    /// (see [`OffsetState::quantize`] — PWT always quantizes before
+    /// deployment) rather than silently rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if any offset is non-integral
+    /// or outside `cfg`'s register range.
+    pub fn integer_offsets(&self, cfg: &OffsetConfig) -> Result<Vec<i32>> {
+        let (lo, hi) = (cfg.offset_min(), cfg.offset_max());
+        self.offsets
+            .iter()
+            .enumerate()
+            .map(|(g, &b)| {
+                if b.fract() != 0.0 || b < lo as f32 || b > hi as f32 {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "offset {b} of group {g} is not on the [{lo}, {hi}] register grid"
+                    )));
+                }
+                Ok(b as i32)
+            })
+            .collect()
+    }
+}
+
+/// Applies one group's digital-offset correction to an integer group sum,
+/// exactly as the offset unit does it: with `z = Σᵢ xᵢ·CRWᵢ` the raw
+/// crossbar readout of the group and `Σxᵢ = sum_x` its input popcount,
+///
+/// - normal group: `z + b·Σxᵢ` (the paper's Eq. 3 correction), and
+/// - complemented group: `maxw·Σxᵢ − (z + b·Σxᵢ)` — the ISAAC-style
+///   `(2ⁿ−1)·Σxᵢ − z'` complement arm, since the array stores
+///   `maxw − (CRW + b)`.
+///
+/// All arithmetic is exact `i64`; this is the integer twin of
+/// [`OffsetState::apply`] folded through the dot product.
+pub fn correct_group_sum(z: i64, sum_x: i64, b: i32, complemented: bool, max_weight: u32) -> i64 {
+    let corrected = z + i64::from(b) * sum_x;
+    if complemented {
+        i64::from(max_weight) * sum_x - corrected
+    } else {
+        corrected
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +541,34 @@ mod tests {
         st.offsets_mut()[0] = 3.4;
         st.quantize(&cfg(16));
         assert_eq!(st.offset(0), 3.0);
+    }
+
+    #[test]
+    fn integer_offsets_require_a_quantized_state() {
+        let layout = GroupLayout::new(4, 2, &cfg(16)).unwrap();
+        let mut st = OffsetState::from_parts(layout, vec![3.0, -7.5], vec![false, true]).unwrap();
+        assert!(st.integer_offsets(&cfg(16)).is_err()); // −7.5 not integral
+        st.quantize(&cfg(16));
+        assert_eq!(st.integer_offsets(&cfg(16)).unwrap(), vec![3, -8]);
+        st.offsets_mut()[0] = 400.0; // integral but off the register grid
+        assert!(st.integer_offsets(&cfg(16)).is_err());
+    }
+
+    #[test]
+    fn correct_group_sum_matches_float_apply_folded_through_the_dot() {
+        // z = Σ x·CRW, then the integer correction must equal Σ x·NRW
+        // with NRW from the float `apply` — for both arms
+        let layout = GroupLayout::new(4, 1, &cfg(16)).unwrap();
+        let crw = Tensor::from_vec(vec![10.0, 20.0, 250.0, 0.0], &[4, 1]).unwrap();
+        let x: [i64; 4] = [3, 0, 7, 1];
+        let z: i64 = (0..4).map(|r| x[r] * crw.data()[r] as i64).sum();
+        let sum_x: i64 = x.iter().sum();
+        for (b, comp) in [(5i32, false), (-12, false), (5, true), (-12, true)] {
+            let st = OffsetState::from_parts(layout.clone(), vec![b as f32], vec![comp]).unwrap();
+            let nrw = st.apply(&crw, 255.0).unwrap();
+            let expect: i64 = (0..4).map(|r| x[r] * nrw.data()[r] as i64).sum();
+            assert_eq!(correct_group_sum(z, sum_x, b, comp, 255), expect, "b={b} comp={comp}");
+        }
     }
 
     #[test]
@@ -629,7 +703,7 @@ mod tests {
         let mut db = vec![0.0f32; st.layout().group_count()];
         assert!(st.reduce_gradient_network_into(&[0.0; 3], 0.1, 1, &mut cm, &mut db).is_err());
         assert!(st
-            .reduce_gradient_network_into(&vec![0.0; 16], 0.1, 1, &mut cm[..1], &mut db)
+            .reduce_gradient_network_into(&[0.0; 16], 0.1, 1, &mut cm[..1], &mut db)
             .is_err());
     }
 }

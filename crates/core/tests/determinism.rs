@@ -30,6 +30,7 @@ fn run_with_threads(method: Method, threads: usize) -> (CycleEvaluation, f64) {
         pwt: PwtConfig { epochs: 2, ..Default::default() },
         batch_size: 64,
         threads,
+        qint: false,
     };
     let eval = evaluate_cycles(&mut mapped, tune, &x, &labels, &eval_cfg).unwrap();
     // the post-run state of `mapped` (the last cycle's programming) must

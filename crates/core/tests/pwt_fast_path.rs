@@ -115,6 +115,7 @@ fn protocol_accuracies_pinned_to_reference_tuner() {
             pwt: PwtConfig { epochs: 2, ..Default::default() },
             batch_size: 64,
             threads: 1,
+            qint: false,
         };
 
         let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
@@ -151,6 +152,7 @@ fn protocol_is_thread_count_invariant_with_fast_path() {
             pwt: PwtConfig { epochs: 2, ..Default::default() },
             batch_size: 64,
             threads,
+            qint: false,
         };
         evaluate_cycles(&mut mapped, Some((&x, &labels)), &x, &labels, &eval_cfg).unwrap().per_cycle
     };

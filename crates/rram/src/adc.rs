@@ -7,6 +7,7 @@
 //! cell-level [`Crossbar`], which lets tests cross-check the fast
 //! effective-weight path against the cycle-accurate one.
 
+use rdo_tensor::{column_counts, dot_planes_all, mask_plane_range, popcount, BitPlanes};
 use serde::{Deserialize, Serialize};
 
 use crate::crossbar::Crossbar;
@@ -47,6 +48,11 @@ impl Adc {
         self.bits
     }
 
+    /// Full-scale input current.
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
     /// Converts a current to its quantized digital reading.
     pub fn convert(&self, current: f64) -> f64 {
         match self.bits {
@@ -57,6 +63,18 @@ impl Adc {
                 (clamped / self.full_scale * levels).round() / levels * self.full_scale
             }
         }
+    }
+
+    /// Converts a current to its raw integer code on the `2^bits − 1`
+    /// grid, or `None` for an ideal converter (which has no grid). The
+    /// integer bit-serial pipeline works in these code units and defers
+    /// the `code · full_scale / levels` rescale to the very end.
+    pub fn convert_code(&self, current: f64) -> Option<u64> {
+        self.bits.map(|bits| {
+            let levels = ((1u64 << bits) - 1) as f64;
+            let clamped = current.clamp(0.0, self.full_scale);
+            (clamped / self.full_scale * levels).round() as u64
+        })
     }
 }
 
@@ -128,6 +146,11 @@ impl BitSerialEvaluator {
         let cpw = codec.cells_per_weight();
         let wcols = crossbar.used_weight_cols();
         let cell_floor = codec.cell().floor();
+        // resolve the converter's level count and scale once per call —
+        // the `Option<bits>` match and the `2^bits − 1` derivation used to
+        // run once per converted sample in the hottest loop of the repo
+        let quant: Option<(f64, f64)> =
+            self.adc.bits.map(|bits| (((1u64 << bits) - 1) as f64, self.adc.full_scale));
         let mut y = vec![0.0f64; wcols];
         // one drive and one current buffer for the whole pipeline — the
         // inner loop runs input_bits × ⌈rows/active_rows⌉ times and must
@@ -150,7 +173,16 @@ impl BitSerialEvaluator {
                 for (wc, yv) in y.iter_mut().enumerate() {
                     let mut acc = 0.0f64;
                     for j in 0..cpw {
-                        let reading = self.adc.convert(currents[wc * cpw + j]);
+                        let raw = currents[wc * cpw + j];
+                        // same operations in the same order as
+                        // `Adc::convert`, so readings stay bit-identical
+                        let reading = match quant {
+                            None => raw,
+                            Some((levels, full_scale)) => {
+                                let clamped = raw.clamp(0.0, full_scale);
+                                (clamped / full_scale * levels).round() / levels * full_scale
+                            }
+                        };
                         acc += codec.place_value(j) as f64 * (reading - ones * cell_floor);
                     }
                     *yv += weight_of_bit * acc;
@@ -159,6 +191,152 @@ impl BitSerialEvaluator {
             }
         }
         Ok(y)
+    }
+
+    /// Integer twin of [`BitSerialEvaluator::evaluate`]: the same
+    /// bit-serial pipeline evaluated over the crossbar's *programmed*
+    /// cell levels with packed bit-planes and popcounts.
+    ///
+    /// Each cycle's wordline drive is one plane of the packed input, the
+    /// per-group `Σxᵢ` is a `count_ones()` over that plane, every bitline
+    /// partial is an AND+popcount, and the HRS-floor calibration plus the
+    /// shift-and-add over cell slices and input bits run in exact `i64`
+    /// arithmetic. Floating point appears only at the ADC transfer
+    /// function:
+    ///
+    /// - **Ideal ADC** — no transfer at all: the result is the exact
+    ///   integer dot product `Σ_r x[r] · W[r][c]` of the stored weights
+    ///   (the nominal floor contribution `Σxᵢ · floor` is calibrated away
+    ///   exactly, so it is never materialized). Grouping cannot change an
+    ///   exact integer sum, so the group loop collapses into one full-rows
+    ///   popcount pass per column.
+    /// - **Finite ADC** — per cycle each bitline count is converted
+    ///   through [`Adc::convert_code`] and the digital calibration
+    ///   subtracts the *code* of the nominal floor current, mirroring a
+    ///   real design's digital subtraction; the accumulated code is
+    ///   rescaled by `full_scale / levels` once at the end.
+    ///
+    /// Because it reads programmed levels, not realized conductances,
+    /// this path is deterministic and matches the float pipeline exactly
+    /// on noise-free arrays (`σ = 0`); with write noise it returns the
+    /// nominal (intended) result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] if `x` does not cover the used
+    /// rows, or [`RramError::WeightOutOfRange`] if an input exceeds the
+    /// configured bit width.
+    pub fn evaluate_qint(&self, crossbar: &Crossbar, x: &[u32]) -> Result<Vec<f64>> {
+        let rows = crossbar.used_rows();
+        if x.len() != rows {
+            return Err(RramError::ShapeMismatch(format!(
+                "{} inputs for {} used rows",
+                x.len(),
+                rows
+            )));
+        }
+        let max_input = (1u32 << self.input_bits) - 1;
+        if let Some(&bad) = x.iter().find(|&&v| v > max_input) {
+            return Err(RramError::WeightOutOfRange { value: bad, levels: max_input + 1 });
+        }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("rram.adc.bitplane.evals", 1);
+            rdo_obs::counter_add("rram.adc.bitplane.bit_cycles", self.cycles(rows) as u64);
+        }
+        let codec = crossbar.codec();
+        let cpw = codec.cells_per_weight();
+        let wcols = crossbar.used_weight_cols();
+        let cell_floor = codec.cell().floor();
+
+        // pack the input bit-planes; the crossbar's levels were packed
+        // into column planes once at programming time
+        let xplanes = BitPlanes::pack(x, self.input_bits)?;
+        let wplanes = crossbar.column_planes();
+
+        let places: Vec<i64> = (0..cpw).map(|j| codec.place_value(j) as i64).collect();
+        let cell_cols = wcols * cpw;
+        let mut counts = vec![0u64; cell_cols];
+
+        match self.adc.bits {
+            None => {
+                // exact integer path: one fused popcount pass over every
+                // (input bit, bitline) pair; the floor term cancels
+                // against its own calibration, so neither is computed
+                dot_planes_all(&xplanes, wplanes, &mut counts);
+                let y: Vec<i64> = (0..wcols)
+                    .map(|wc| {
+                        places
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &place)| place * counts[wc * cpw + j] as i64)
+                            .sum()
+                    })
+                    .collect();
+                Ok(y.into_iter().map(|v| v as f64).collect())
+            }
+            Some(bits) => {
+                let levels = ((1u64 << bits) - 1) as f64;
+                let full_scale = self.adc.full_scale;
+                // accumulate in ADC code units; rescale once at the end
+                let mut y = vec![0i64; wcols];
+                let mut xmask = vec![0u64; xplanes.words_per_plane()];
+                let mut lut: Vec<i64> = Vec::new();
+                for bit in 0..self.input_bits {
+                    let weight_of_bit = 1i64 << bit;
+                    let mut start = 0usize;
+                    while start < rows {
+                        let end = (start + self.active_rows).min(rows);
+                        // mask the drive plane down to this activation
+                        // group once, instead of re-masking per bitline
+                        xmask.copy_from_slice(xplanes.plane(bit));
+                        mask_plane_range(&mut xmask, start, end);
+                        let ones = popcount(&xmask);
+                        // digital floor calibration in code units: the
+                        // code a bitline carrying only nominal leakage
+                        // would read
+                        let cal_current = f64::from(ones) * cell_floor;
+                        let cal_code = self
+                            .adc
+                            .convert_code(cal_current)
+                            .expect("finite ADC always yields a code")
+                            as i64;
+                        column_counts(&xmask, wplanes, &mut counts);
+                        // bitline counts are small integers, so when the
+                        // array is wide the whole count → code transfer is
+                        // cheaper built as a table up to the largest count
+                        // this cycle actually produced
+                        let max_count = counts.iter().copied().max().unwrap_or(0);
+                        let code_of = |count: u64| {
+                            self.adc
+                                .convert_code(count as f64 + cal_current)
+                                .expect("finite ADC always yields a code")
+                                as i64
+                        };
+                        let table = if (max_count as usize) + 1 < cell_cols {
+                            lut.clear();
+                            lut.extend((0..=max_count).map(code_of));
+                            Some(&lut)
+                        } else {
+                            None
+                        };
+                        for (wc, yv) in y.iter_mut().enumerate() {
+                            let mut acc = 0i64;
+                            for (j, &place) in places.iter().enumerate() {
+                                let count = counts[wc * cpw + j];
+                                let code = match table {
+                                    Some(t) => t[count as usize],
+                                    None => code_of(count),
+                                };
+                                acc += place * (code - cal_code);
+                            }
+                            *yv += weight_of_bit * acc;
+                        }
+                        start = end;
+                    }
+                }
+                Ok(y.into_iter().map(|v| v as f64 * full_scale / levels).collect())
+            }
+        }
     }
 }
 
@@ -256,6 +434,88 @@ mod tests {
         assert_eq!(adc.convert(0.6), 1.0);
         assert_eq!(adc.convert(9.0), 3.0);
         assert_eq!(Adc::ideal().convert(1.234), 1.234);
+    }
+
+    #[test]
+    fn convert_code_matches_convert_grid() {
+        let adc = Adc::new(2, 3.0);
+        assert_eq!(adc.convert_code(0.4), Some(0));
+        assert_eq!(adc.convert_code(0.6), Some(1));
+        assert_eq!(adc.convert_code(9.0), Some(3)); // clamps at full scale
+        assert_eq!(Adc::ideal().convert_code(1.234), None);
+        // code · full_scale / levels reproduces convert exactly
+        let adc = Adc::new(8, 48.0);
+        let levels = 255.0;
+        for i in 0..200 {
+            let current = i as f64 * 0.31;
+            let code = adc.convert_code(current).unwrap();
+            assert_eq!(code as f64 / levels * 48.0, adc.convert(current));
+        }
+    }
+
+    #[test]
+    fn qint_ideal_matches_float_pipeline_on_noise_free_arrays() {
+        for (kind, rows, wcols) in [(CellKind::Slc, 16, 4), (CellKind::Mlc2, 32, 8)] {
+            let xb = program(kind, 0.0, rows, wcols, 0);
+            let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+            let x: Vec<u32> = (0..rows).map(|i| (i * 37 % 256) as u32).collect();
+            let yq = eval.evaluate_qint(&xb, &x).unwrap();
+            let yf = eval.evaluate(&xb, &x).unwrap();
+            for (a, b) in yq.iter().zip(&yf) {
+                // the float pipeline rounds when adding/removing the
+                // non-dyadic HRS floor; the integer one never sees it
+                assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn qint_ideal_is_the_exact_integer_dot_product() {
+        let (rows, wcols) = (32, 8);
+        let xb = program(CellKind::Mlc2, 0.7, rows, wcols, 5); // noisy: qint reads levels
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 16);
+        let x: Vec<u32> = (0..rows).map(|i| (i * 11 % 256) as u32).collect();
+        let y = eval.evaluate_qint(&xb, &x).unwrap();
+        for (wc, &got) in y.iter().enumerate() {
+            // the fixture programs weight (i·89 + 3) mod 256 at flat index i
+            let expect: i64 =
+                (0..rows).map(|r| x[r] as i64 * (((r * wcols + wc) * 89 + 3) % 256) as i64).sum();
+            assert_eq!(got, expect as f64, "column {wc}");
+        }
+    }
+
+    #[test]
+    fn qint_ideal_is_invariant_to_activation_grouping() {
+        let xb = program(CellKind::Slc, 0.0, 64, 4, 3);
+        let x: Vec<u32> = (0..64).map(|i| (i * 7 % 256) as u32).collect();
+        let full = BitSerialEvaluator::new(Adc::ideal(), 8, 64).evaluate_qint(&xb, &x).unwrap();
+        let grouped = BitSerialEvaluator::new(Adc::ideal(), 8, 16).evaluate_qint(&xb, &x).unwrap();
+        assert_eq!(full, grouped); // integer sums: exactly equal, any grouping
+    }
+
+    #[test]
+    fn qint_finite_adc_tracks_float_pipeline() {
+        let rows = 16;
+        let xb = program(CellKind::Slc, 0.0, rows, 4, 2);
+        let x: Vec<u32> = (0..rows).map(|i| (255 - i * 9) as u32).collect();
+        let fs = rows as f64 * (1.0 + xb.codec().cell().floor()) * 3.0;
+        let eval = BitSerialEvaluator::new(Adc::new(8, fs), 8, 16);
+        let yq = eval.evaluate_qint(&xb, &x).unwrap();
+        let yf = eval.evaluate(&xb, &x).unwrap();
+        for (a, b) in yq.iter().zip(&yf) {
+            // the pipelines differ only in the floor calibration: the
+            // integer one subtracts the *code* of the nominal floor
+            // current (≤ half an LSB away from the float subtraction)
+            assert!((a - b).abs() < 0.03 * b.abs().max(100.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qint_input_validation() {
+        let xb = program(CellKind::Slc, 0.0, 4, 2, 4);
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, 4);
+        assert!(eval.evaluate_qint(&xb, &[1, 2, 3]).is_err()); // wrong length
+        assert!(eval.evaluate_qint(&xb, &[1, 2, 3, 256]).is_err()); // too wide
     }
 
     #[test]

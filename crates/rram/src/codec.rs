@@ -98,19 +98,39 @@ impl WeightCodec {
     ///
     /// Returns [`RramError::WeightOutOfRange`] if `value` does not fit.
     pub fn encode(&self, value: u32) -> Result<Vec<u32>> {
+        let mut slices = vec![0u32; self.cells_per_weight()];
+        self.encode_into(value, &mut slices)?;
+        Ok(slices)
+    }
+
+    /// Allocation-free twin of [`WeightCodec::encode`]: splits a weight
+    /// into per-cell levels, least-significant slice first, writing into a
+    /// caller-provided buffer. The bulk programming paths call this once
+    /// per weight, so it must not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::WeightOutOfRange`] if `value` does not fit, or
+    /// [`RramError::InvalidGeometry`] if `out` is not exactly
+    /// [`WeightCodec::cells_per_weight`] long.
+    pub fn encode_into(&self, value: u32, out: &mut [u32]) -> Result<()> {
         if value > self.max_weight() {
             return Err(RramError::WeightOutOfRange { value, levels: self.weight_levels() });
         }
+        if out.len() != self.cells_per_weight() {
+            return Err(RramError::InvalidGeometry(format!(
+                "expected {} slices, got a buffer of {}",
+                self.cells_per_weight(),
+                out.len()
+            )));
+        }
         let cell_levels = self.cell.kind().levels();
         let mut v = value;
-        let slices = (0..self.cells_per_weight())
-            .map(|_| {
-                let s = v % cell_levels;
-                v /= cell_levels;
-                s
-            })
-            .collect();
-        Ok(slices)
+        for s in out.iter_mut() {
+            *s = v % cell_levels;
+            v /= cell_levels;
+        }
+        Ok(())
     }
 
     /// Reassembles a weight from per-cell levels.
@@ -168,8 +188,13 @@ impl WeightCodec {
     ///
     /// Returns [`RramError::WeightOutOfRange`] if `v` does not fit.
     pub fn read_power(&self, v: u32) -> Result<f64> {
-        let slices = self.encode(v)?;
-        Ok(slices.iter().map(|&s| self.cell.read_power(s)).sum())
+        // weight_bits ≤ 16 bounds cells_per_weight at 16: a stack buffer
+        // keeps this allocation-free (it runs once per CTW entry in
+        // `MappedNetwork::read_power`)
+        let mut slices = [0u32; 16];
+        let n = self.cells_per_weight();
+        self.encode_into(v, &mut slices[..n])?;
+        Ok(slices[..n].iter().map(|&s| self.cell.read_power(s)).sum())
     }
 }
 
@@ -208,6 +233,19 @@ mod tests {
     fn slc_encoding_is_binary() {
         let slices = slc().encode(0b1010_0110).unwrap();
         assert_eq!(slices, vec![0, 1, 1, 0, 0, 1, 0, 1]); // LSB first
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for codec in [slc(), mlc()] {
+            let mut buf = vec![0u32; codec.cells_per_weight()];
+            for v in 0..=codec.max_weight() {
+                codec.encode_into(v, &mut buf).unwrap();
+                assert_eq!(buf, codec.encode(v).unwrap());
+            }
+            assert!(codec.encode_into(256, &mut buf).is_err());
+            assert!(codec.encode_into(0, &mut buf[..1]).is_err()); // short buffer
+        }
     }
 
     #[test]

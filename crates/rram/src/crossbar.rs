@@ -14,7 +14,7 @@ use std::cell::RefCell;
 
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Normal};
-use rdo_tensor::{microkernel, Scratch, Tensor};
+use rdo_tensor::{microkernel, ColumnPlanes, Scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::WeightCodec;
@@ -101,8 +101,9 @@ fn per_cell_tables(codec: &WeightCodec) -> Result<(Vec<f64>, Vec<f64>, usize)> {
     let levels = codec.weight_levels() as usize;
     let mut contrib = Vec::with_capacity(levels * cpw);
     let mut sums = Vec::with_capacity(levels);
+    let mut slices = vec![0u32; cpw];
     for v in 0..levels {
-        let slices = codec.encode(v as u32)?;
+        codec.encode_into(v as u32, &mut slices)?;
         let mut sum = 0.0f64;
         for (j, &s) in slices.iter().enumerate() {
             let c = codec.place_value(j) as f64 * (s as f64 + cell_floor);
@@ -370,6 +371,27 @@ pub struct Crossbar {
     used_weight_cols: usize,
     /// Number of rows actually in use.
     used_rows: usize,
+    /// The used sub-array's levels packed as per-column cell-bit planes,
+    /// built once at programming time for the integer bit-serial readout.
+    planes: ColumnPlanes,
+}
+
+/// Packs the used `(used_rows × used cell columns)` sub-array of a full
+/// `levels` buffer into the per-column plane layout the bit-plane
+/// popcount readout consumes.
+fn pack_used_planes(
+    levels: &[u32],
+    spec: CrossbarSpec,
+    codec: &WeightCodec,
+    used_rows: usize,
+    used_weight_cols: usize,
+) -> Result<ColumnPlanes> {
+    let cell_cols = used_weight_cols * codec.cells_per_weight();
+    let mut lv = Vec::with_capacity(used_rows * cell_cols);
+    for r in 0..used_rows {
+        lv.extend_from_slice(&levels[r * spec.cols..r * spec.cols + cell_cols]);
+    }
+    Ok(ColumnPlanes::pack(&lv, used_rows, cell_cols, codec.cell().kind().bits())?)
 }
 
 impl Crossbar {
@@ -417,6 +439,9 @@ impl Crossbar {
         let cell_floor = codec.cell().floor();
         let mut levels = vec![0u32; spec.rows * spec.cols];
         let mut conductance = vec![cell_floor; spec.rows * spec.cols];
+        // one slice buffer for the whole array (encode_into is
+        // allocation-free, one call per weight)
+        let mut slices = vec![0u32; cpw];
         for r in 0..used_rows {
             for wc in 0..used_weight_cols {
                 let q = ctw_block.at(&[r, wc])?.round();
@@ -426,7 +451,7 @@ impl Crossbar {
                         levels: codec.weight_levels(),
                     });
                 }
-                let slices = codec.encode(q as u32)?;
+                codec.encode_into(q as u32, &mut slices)?;
                 // one shared factor for PerWeight, fresh per cell otherwise
                 let shared = sample_lognormal(model, rng);
                 for (j, &s) in slices.iter().enumerate() {
@@ -440,7 +465,8 @@ impl Crossbar {
                 }
             }
         }
-        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows })
+        let planes = pack_used_planes(&levels, spec, &codec, used_rows, used_weight_cols)?;
+        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows, planes })
     }
 
     /// [`Crossbar::program`] under any [`DeviceModel`]: each weight's
@@ -483,6 +509,9 @@ impl Crossbar {
         let mut levels = vec![0u32; spec.rows * spec.cols];
         let mut conductance = vec![cell_floor; spec.rows * spec.cols];
         let rng: &mut dyn RngCore = rng;
+        // one slice buffer for the whole array (encode_into is
+        // allocation-free, one call per weight)
+        let mut slices = vec![0u32; cpw];
         for r in 0..used_rows {
             for wc in 0..used_weight_cols {
                 let q = ctw_block.at(&[r, wc])?.round();
@@ -492,7 +521,7 @@ impl Crossbar {
                         levels: codec.weight_levels(),
                     });
                 }
-                let slices = codec.encode(q as u32)?;
+                codec.encode_into(q as u32, &mut slices)?;
                 let cells = model.write_cells(&slices, &codec, &mut *rng)?;
                 let base = r * spec.cols + wc * cpw;
                 for (j, (&s, g)) in slices.iter().zip(cells).enumerate() {
@@ -501,7 +530,8 @@ impl Crossbar {
                 }
             }
         }
-        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows })
+        let planes = pack_used_planes(&levels, spec, &codec, used_rows, used_weight_cols)?;
+        Ok(Crossbar { spec, codec, levels, conductance, used_weight_cols, used_rows, planes })
     }
 
     /// The array dimensions.
@@ -527,6 +557,22 @@ impl Crossbar {
     /// Programmed level of the cell at `(row, cell_col)`.
     pub fn level(&self, row: usize, cell_col: usize) -> u32 {
         self.levels[row * self.spec.cols + cell_col]
+    }
+
+    /// All programmed cell levels, row-major over the full `rows × cols`
+    /// physical array (unused cells are 0). The integer bit-serial pipeline
+    /// packs these into column bit-planes.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// The used sub-array's programmed levels packed as per-column
+    /// cell-bit planes (`used_rows` rows × used cell columns), built once
+    /// at programming time so the integer bit-serial readout
+    /// ([`crate::BitSerialEvaluator::evaluate_qint`]) pays no per-call
+    /// packing cost.
+    pub fn column_planes(&self) -> &ColumnPlanes {
+        &self.planes
     }
 
     /// Realized conductance of the cell at `(row, cell_col)` in step units.

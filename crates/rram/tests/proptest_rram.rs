@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rdo_rram::{
     program_matrix, program_matrix_scalar, program_matrix_with_ddv, program_matrix_with_ddv_scalar,
-    sample_ddv_factors, CellKind, CellTechnology, DeviceLut, VariationKind, VariationModel,
-    WeightCodec,
+    sample_ddv_factors, Adc, BitSerialEvaluator, CellKind, CellTechnology, Crossbar, CrossbarSpec,
+    DeviceLut, VariationKind, VariationModel, WeightCodec,
 };
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::Tensor;
@@ -179,5 +179,39 @@ proptest! {
     ) {
         let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec).unwrap();
         prop_assert_eq!(lut.inverse_mean(target), lut.inverse_mean_linear(target));
+    }
+
+    /// The integer bit-serial readout agrees with the float evaluator
+    /// on ideal-ADC zero-σ fixtures: both reduce to the weighted dot
+    /// product, for either cell technology, any sub-array occupancy and
+    /// any activation granularity. (The float pipeline rounds through
+    /// the non-dyadic HRS floor, so agreement is to float tolerance,
+    /// not to the bit.)
+    #[test]
+    fn qint_readout_matches_float_on_ideal_adc(
+        codec in codec_strategy(),
+        rows in 1usize..40,
+        wcols in 1usize..12,
+        m in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let spec = CrossbarSpec::new(rows.max(8), (wcols * codec.cells_per_weight()).max(8));
+        let ctw = Tensor::from_fn(&[rows, wcols], |i| {
+            ((i as u64).wrapping_mul(seed + 31) % 256) as f32
+        });
+        // σ = 0: programmed levels are nominal, so both pipelines see
+        // the same stored integers
+        let model = VariationModel::new(0.0, VariationKind::PerWeight);
+        let xb = Crossbar::program(spec, codec.clone(), &ctw, &model, &mut seeded_rng(seed))
+            .unwrap();
+        let x: Vec<u32> = (0..rows)
+            .map(|r| ((r as u64).wrapping_mul(seed + 89) % 256) as u32)
+            .collect();
+        let eval = BitSerialEvaluator::new(Adc::ideal(), 8, m);
+        let yf = eval.evaluate(&xb, &x).unwrap();
+        let yi = eval.evaluate_qint(&xb, &x).unwrap();
+        for (a, b) in yf.iter().zip(&yi) {
+            prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{} vs {}", a, b);
+        }
     }
 }

@@ -36,6 +36,7 @@ pub mod conv;
 pub mod matmul;
 pub mod microkernel;
 pub mod parallel;
+pub mod qint;
 pub mod rng;
 pub mod scratch;
 
@@ -46,6 +47,11 @@ pub use matmul::{
     matmul_nt_into, matmul_tn_into, matvec, outer, vecmat,
 };
 pub use parallel::{available_threads, parallel_map_indexed, resolve_threads};
+pub use qint::{
+    and_popcount, and_popcount_range, column_counts, dot_planes, dot_planes_all, dot_planes_range,
+    gemm_i8_i32, gemm_i8_i32_scalar, gemv_i8_i32, mask_plane_range, popcount, popcount_range,
+    BitPlanes, ColumnPlanes,
+};
 pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,758 @@
+//! Integer kernel family for the quantized datapath.
+//!
+//! The paper's accelerator is integer end to end: 8-bit weights are
+//! bit-sliced onto cells, inputs are fed bit-serially, and the digital
+//! offset is an exact integer correction. This module supplies the
+//! matching kernels so the simulator's quantized hot paths can run in
+//! native integer arithmetic instead of f32/f64:
+//!
+//! * [`gemm_i8_i32`] / [`gemv_i8_i32`] — dense i8×i8→i32 products with
+//!   the workspace threading contract. Integer addition is associative,
+//!   so serial and threaded runs are **exactly** equal (not just
+//!   bitwise-under-one-order): threads only choose who computes a row.
+//! * [`BitPlanes`] / [`ColumnPlanes`] — `u64`-lane bit-plane packing:
+//!   one plane per value bit, rows packed 64 per word. A bit-serial
+//!   wordline drive is then a plane slice, `Σxᵢ` over an activation group
+//!   is [`popcount_range`], and a bitline accumulation is an AND +
+//!   popcount per stored-value bit ([`and_popcount_range`],
+//!   [`dot_planes_range`]) — the digital twin of what the crossbar
+//!   periphery actually computes.
+//!
+//! All kernels are safe Rust; the `u64` popcount lanes are the integer
+//! analogue of the f32 SIMD lanes in [`crate::microkernel`].
+
+use crate::error::{Result, TensorError};
+
+/// Bits per packed lane word.
+const WORD_BITS: usize = 64;
+
+/// Validates a plane bit width.
+fn check_bits(bits: u32) -> Result<()> {
+    if bits == 0 || bits > 32 {
+        return Err(TensorError::InvalidArgument(format!(
+            "bit-plane width must be 1..=32, got {bits}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates that `v` fits in `bits` bits.
+fn check_value(v: u32, bits: u32) -> Result<()> {
+    if bits < 32 && v >= (1u32 << bits) {
+        return Err(TensorError::InvalidArgument(format!("value {v} does not fit {bits} bits")));
+    }
+    Ok(())
+}
+
+/// A vector of `len` unsigned integers packed as one `u64`-lane plane per
+/// bit: plane `b` holds bit `b` of every element, element `i` at bit
+/// `i % 64` of word `i / 64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlanes {
+    bits: u32,
+    len: usize,
+    words: usize,
+    /// `bits` planes of `words` words each, plane-major.
+    planes: Vec<u64>,
+}
+
+impl BitPlanes {
+    /// Packs `values` into `bits` planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `bits` is outside
+    /// `1..=32` or any value does not fit `bits` bits.
+    pub fn pack(values: &[u32], bits: u32) -> Result<Self> {
+        check_bits(bits)?;
+        let len = values.len();
+        let words = len.div_ceil(WORD_BITS);
+        let mut planes = vec![0u64; bits as usize * words];
+        for (i, &v) in values.iter().enumerate() {
+            check_value(v, bits)?;
+            let (w, sh) = (i / WORD_BITS, i % WORD_BITS);
+            for b in 0..bits {
+                planes[b as usize * words + w] |= u64::from((v >> b) & 1) << sh;
+            }
+        }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("tensor.qint.pack.words", planes.len() as u64);
+        }
+        Ok(BitPlanes { bits, len, words, planes })
+    }
+
+    /// Reassembles the packed values (the round-trip inverse of
+    /// [`BitPlanes::pack`]).
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len)
+            .map(|i| {
+                let (w, sh) = (i / WORD_BITS, i % WORD_BITS);
+                (0..self.bits).fold(0u32, |v, b| {
+                    v | ((((self.planes[b as usize * self.words + w] >> sh) & 1) as u32) << b)
+                })
+            })
+            .collect()
+    }
+
+    /// The plane of one bit, `words_per_plane()` words long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bits()`.
+    pub fn plane(&self, bit: u32) -> &[u64] {
+        assert!(bit < self.bits, "bit {bit} out of range for {} planes", self.bits);
+        &self.planes[bit as usize * self.words..(bit as usize + 1) * self.words]
+    }
+
+    /// Number of packed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the packing holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Planes stored (the packed bit width).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `u64` words per plane, `⌈len / 64⌉`.
+    pub fn words_per_plane(&self) -> usize {
+        self.words
+    }
+}
+
+/// A row-major `(rows, cols)` matrix of unsigned integers packed
+/// column-wise: for every column `c` and value bit `b`, one plane holds
+/// bit `b` of that column's `rows` entries, row `r` at bit `r % 64` of
+/// word `r / 64` — the orientation a bitline popcount consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnPlanes {
+    rows: usize,
+    cols: usize,
+    bits: u32,
+    words: usize,
+    /// Plane `(c, b)` at index `c * bits + b`, plane-major.
+    planes: Vec<u64>,
+}
+
+impl ColumnPlanes {
+    /// Packs a row-major `(rows, cols)` matrix into per-column planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `bits` is outside
+    /// `1..=32`, the slice length is not `rows · cols`, or any value does
+    /// not fit `bits` bits.
+    pub fn pack(values: &[u32], rows: usize, cols: usize, bits: u32) -> Result<Self> {
+        check_bits(bits)?;
+        if values.len() != rows * cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} values cannot fill a {rows}×{cols} matrix",
+                values.len()
+            )));
+        }
+        let words = rows.div_ceil(WORD_BITS);
+        let mut planes = vec![0u64; cols * bits as usize * words];
+        for r in 0..rows {
+            let (w, sh) = (r / WORD_BITS, r % WORD_BITS);
+            for c in 0..cols {
+                let v = values[r * cols + c];
+                check_value(v, bits)?;
+                let base = (c * bits as usize) * words;
+                for b in 0..bits {
+                    planes[base + b as usize * words + w] |= u64::from((v >> b) & 1) << sh;
+                }
+            }
+        }
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("tensor.qint.pack.words", planes.len() as u64);
+        }
+        Ok(ColumnPlanes { rows, cols, bits, words, planes })
+    }
+
+    /// The plane of column `col`, value bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols()` or `bit >= bits()`.
+    pub fn plane(&self, col: usize, bit: u32) -> &[u64] {
+        assert!(col < self.cols && bit < self.bits, "plane ({col}, {bit}) out of range");
+        let base = (col * self.bits as usize + bit as usize) * self.words;
+        &self.planes[base..base + self.words]
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Planes per column (the packed bit width).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `u64` words per plane, `⌈rows / 64⌉`.
+    pub fn words_per_plane(&self) -> usize {
+        self.words
+    }
+}
+
+/// Mask selecting the bits of word `w` that fall inside element range
+/// `[start, end)`. Only called for words overlapping the range, so the
+/// in-word range is never empty and the shifts never reach 64.
+#[inline]
+fn word_mask(w: usize, start: usize, end: usize) -> u64 {
+    let lo = start.saturating_sub(w * WORD_BITS);
+    let hi = (end - w * WORD_BITS).min(WORD_BITS);
+    debug_assert!(lo < hi && hi <= WORD_BITS);
+    let top = if hi == WORD_BITS { u64::MAX } else { (1u64 << hi) - 1 };
+    top & (u64::MAX << lo)
+}
+
+/// Population count of plane elements `[start, end)` — the `Σxᵢ` of a
+/// bit-serial activation group, straight from `count_ones()`.
+///
+/// # Panics
+///
+/// Panics if `end` exceeds the plane's capacity or `start > end`.
+pub fn popcount_range(plane: &[u64], start: usize, end: usize) -> u32 {
+    assert!(start <= end && end <= plane.len() * WORD_BITS, "range {start}..{end} out of plane");
+    if start == end {
+        return 0;
+    }
+    let (w0, w1) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+    let mut ones = 0u32;
+    for (w, &word) in plane.iter().enumerate().take(w1 + 1).skip(w0) {
+        ones += (word & word_mask(w, start, end)).count_ones();
+    }
+    ones
+}
+
+/// Population count of `a & b` over elements `[start, end)` — one
+/// bitline's contribution for one stored-value bit: how many active
+/// wordlines see a 1 in that plane.
+///
+/// # Panics
+///
+/// Panics if the planes differ in length, `end` exceeds their capacity
+/// or `start > end`.
+pub fn and_popcount_range(a: &[u64], b: &[u64], start: usize, end: usize) -> u32 {
+    assert_eq!(a.len(), b.len(), "plane lengths differ");
+    assert!(start <= end && end <= a.len() * WORD_BITS, "range {start}..{end} out of plane");
+    if start == end {
+        return 0;
+    }
+    let (w0, w1) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+    let mut ones = 0u32;
+    for w in w0..=w1 {
+        ones += (a[w] & b[w] & word_mask(w, start, end)).count_ones();
+    }
+    ones
+}
+
+/// Population count of a whole plane — the unmasked fast path of
+/// [`popcount_range`] for reads that drive every packed row at once.
+/// Equal to `popcount_range(plane, 0, rows)` for planes produced by
+/// [`BitPlanes::pack`]/[`ColumnPlanes::pack`], whose padding bits are
+/// zero.
+pub fn popcount(plane: &[u64]) -> u32 {
+    plane.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Population count of `a & b` over two whole planes — the unmasked fast
+/// path of [`and_popcount_range`], under the same zero-padding contract
+/// as [`popcount`].
+///
+/// # Panics
+///
+/// Panics if the planes differ in length.
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "plane lengths differ");
+    a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones()).sum()
+}
+
+/// [`dot_planes_range`] over all packed rows, through the unmasked
+/// whole-plane popcounts — the hot form of the bit-serial readout, where
+/// one activation group spans the entire wordline.
+///
+/// # Panics
+///
+/// Panics if the packings disagree on element count or `col` is out of
+/// range.
+pub fn dot_planes(x: &BitPlanes, w: &ColumnPlanes, col: usize) -> u64 {
+    assert_eq!(x.len(), w.rows(), "input length vs matrix rows");
+    let mut acc = 0u64;
+    for xb in 0..x.bits() {
+        let xplane = x.plane(xb);
+        for wb in 0..w.bits() {
+            acc += u64::from(and_popcount(xplane, w.plane(col, wb))) << (xb + wb);
+        }
+    }
+    acc
+}
+
+/// Zeroes the bits of `plane` outside element range `[start, end)` in
+/// place, turning a full wordline drive into one activation group's
+/// drive. After masking, whole-plane popcounts over the plane equal the
+/// `*_range` forms over `[start, end)` — the masks are paid once per
+/// group instead of once per word per column.
+///
+/// # Panics
+///
+/// Panics if `end` exceeds the plane's capacity or `start > end`.
+pub fn mask_plane_range(plane: &mut [u64], start: usize, end: usize) {
+    assert!(start <= end && end <= plane.len() * WORD_BITS, "range {start}..{end} out of plane");
+    for (w, word) in plane.iter_mut().enumerate() {
+        let (lo, hi) = (w * WORD_BITS, (w + 1) * WORD_BITS);
+        if end <= lo || start >= hi {
+            *word = 0;
+        } else {
+            *word &= word_mask(w, start.max(lo), end.min(hi));
+        }
+    }
+}
+
+/// For every column `c` of `w`, the bitline count
+/// `Σ_r x[r] · w[r][c]` restricted to one activation plane:
+/// `out[c] = Σ_wb 2^wb · popcount(xplane ∩ w.plane(c, wb))`.
+///
+/// This is the batch form of the bit-serial inner loop — one call per
+/// input bit covers every bitline of the array, with the plane lookups
+/// and bounds checks hoisted out of the per-column work. To read only an
+/// activation group `[start, end)`, pass an `xplane` whose bits outside
+/// the group are zeroed; the same zero-padding contract as [`popcount`]
+/// then makes whole-plane popcounts exact.
+///
+/// # Panics
+///
+/// Panics if `xplane` is not exactly one plane long or `out` does not
+/// have one slot per column.
+pub fn column_counts(xplane: &[u64], w: &ColumnPlanes, out: &mut [u64]) {
+    assert_eq!(xplane.len(), w.words_per_plane(), "input plane length vs matrix words");
+    assert_eq!(out.len(), w.cols(), "one output slot per column");
+    let words = w.words_per_plane();
+    let per_col = w.bits as usize * words;
+    if per_col == 0 {
+        out.fill(0);
+        return;
+    }
+    for (col_planes, ov) in w.planes.chunks_exact(per_col).zip(out.iter_mut()) {
+        let mut count = 0u64;
+        for (wb, plane) in col_planes.chunks_exact(words).enumerate() {
+            let mut ones = 0u32;
+            for (&x, &wv) in xplane.iter().zip(plane) {
+                ones += (x & wv).count_ones();
+            }
+            count += u64::from(ones) << wb;
+        }
+        *ov = count;
+    }
+}
+
+/// Batch form of [`dot_planes`]: for every column `c` of `w`,
+/// `out[c] = Σ_xb Σ_wb 2^(xb+wb) · popcount(x.plane(xb) ∩ w.plane(c, wb))`
+/// — a whole ideal-ADC bit-serial readout in one pass, with the plane
+/// lookups and bounds checks hoisted out of the per-column loop.
+///
+/// # Panics
+///
+/// Panics if the packings disagree on element count or `out` does not
+/// have one slot per column.
+pub fn dot_planes_all(x: &BitPlanes, w: &ColumnPlanes, out: &mut [u64]) {
+    assert_eq!(x.len(), w.rows(), "input length vs matrix rows");
+    assert_eq!(out.len(), w.cols(), "one output slot per column");
+    let words = w.words;
+    let per_col = w.bits as usize * words;
+    if per_col == 0 {
+        out.fill(0);
+        return;
+    }
+    let xplanes: Vec<&[u64]> = (0..x.bits()).map(|b| x.plane(b)).collect();
+    for (col_planes, ov) in w.planes.chunks_exact(per_col).zip(out.iter_mut()) {
+        let mut acc = 0u64;
+        for (wb, plane) in col_planes.chunks_exact(words).enumerate() {
+            for (xb, xplane) in xplanes.iter().enumerate() {
+                let mut ones = 0u32;
+                for (&xw, &ww) in xplane.iter().zip(plane) {
+                    ones += (xw & ww).count_ones();
+                }
+                acc += u64::from(ones) << (xb + wb);
+            }
+        }
+        *ov = acc;
+    }
+}
+
+/// Exact integer dot product `Σ_{r ∈ [start, end)} x[r] · w[r][col]`
+/// evaluated entirely from packed planes:
+/// `Σ_xb Σ_wb 2^(xb+wb) · popcount(xplane ∩ wplane)`.
+///
+/// This is the full shift-and-add a bit-serial readout performs over one
+/// activation group of one column, with every partial coming from a
+/// popcount.
+///
+/// # Panics
+///
+/// Panics if the packings disagree on element count, `col` is out of
+/// range, or the row range exceeds it.
+pub fn dot_planes_range(
+    x: &BitPlanes,
+    w: &ColumnPlanes,
+    col: usize,
+    start: usize,
+    end: usize,
+) -> u64 {
+    assert_eq!(x.len(), w.rows(), "input length vs matrix rows");
+    let mut acc = 0u64;
+    for xb in 0..x.bits() {
+        let xplane = x.plane(xb);
+        for wb in 0..w.bits() {
+            let ones = and_popcount_range(xplane, w.plane(col, wb), start, end);
+            acc += u64::from(ones) << (xb + wb);
+        }
+    }
+    acc
+}
+
+/// `c += a · b` for row-major `a (m×k)`, `b (k×n)` i8 operands and an
+/// i32 accumulator `c (m×n)`.
+///
+/// The right-hand side is transposed once up front so every output
+/// element reduces two contiguous `k`-length i8 slices; LLVM compiles the
+/// widening reduction to `vpmaddwd` chains (16 multiply-adds per
+/// instruction), which is where the integer path's edge over the f32
+/// broadcast-AXPY kernels comes from.
+///
+/// Output rows are partitioned contiguously across `threads` workers
+/// (`0` defers to the `RDO_THREADS` environment knob). Unlike the float
+/// kernels this needs no operation-order argument: i32 addition is
+/// associative, so every schedule yields the same matrix, which
+/// [`gemm_i8_i32_scalar`] pins in tests.
+///
+/// Accumulators are 32-bit: with i8 operands any `k ≤ 2¹⁷` is exact.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape arguments.
+pub fn gemm_i8_i32(
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.qint.gemm.calls", 1);
+        rdo_obs::counter_add("tensor.qint.gemm.ops", 2 * (m * k * n) as u64);
+    }
+    // transpose the rhs once; read-only, shared by every worker
+    let mut bt = vec![0i8; k * n];
+    for p in 0..k {
+        for (j, &bv) in b[p * n..(p + 1) * n].iter().enumerate() {
+            bt[j * k + p] = bv;
+        }
+    }
+    let bt = &bt;
+    let threads = crate::parallel::resolve_threads(threads).clamp(1, m);
+    let run = |c_rows: &mut [i32], r0: usize| {
+        for (i, crow) in c_rows.chunks_mut(n).enumerate() {
+            let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let bcol = &bt[j * k..(j + 1) * k];
+                let mut acc = 0i32;
+                for (&av, &bv) in arow.iter().zip(bcol) {
+                    acc += i32::from(av) * i32::from(bv);
+                }
+                *cv += acc;
+            }
+        }
+    };
+    if threads <= 1 {
+        run(c, 0);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            s.spawn(move || run(c_chunk, t * rows_per));
+        }
+    });
+}
+
+/// The naive triple loop retained as the i8 GEMM oracle: per output
+/// element, a strictly sequential `k` dot product. [`gemm_i8_i32`] must
+/// equal it exactly for every thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape arguments.
+pub fn gemm_i8_i32_scalar(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += i32::from(a[i * k + p]) * i32::from(b[p * n + j]);
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `y += A · x` for row-major i8 `a (m×k)`, i8 `x (k)`, i32 `y (m)` —
+/// the matrix–vector orientation of the integer readout. Rows are
+/// partitioned contiguously across workers; results are exact for every
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape arguments.
+pub fn gemv_i8_i32(a: &[i8], x: &[i8], y: &mut [i32], m: usize, k: usize, threads: usize) {
+    assert_eq!(a.len(), m * k, "matrix length");
+    assert_eq!(x.len(), k, "input length");
+    assert_eq!(y.len(), m, "output length");
+    if m == 0 || k == 0 {
+        return;
+    }
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.qint.gemv.calls", 1);
+        rdo_obs::counter_add("tensor.qint.gemv.ops", 2 * (m * k) as u64);
+    }
+    let threads = crate::parallel::resolve_threads(threads).clamp(1, m);
+    let run = |y_rows: &mut [i32], r0: usize| {
+        for (i, yv) in y_rows.iter_mut().enumerate() {
+            let row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &xv) in row.iter().zip(x) {
+                acc += i32::from(av) * i32::from(xv);
+            }
+            *yv += acc;
+        }
+    };
+    if threads <= 1 {
+        run(y, 0);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, y_chunk) in y.chunks_mut(rows_per).enumerate() {
+            s.spawn(move || run(y_chunk, t * rows_per));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(len: usize, bits: u32, seed: u64) -> Vec<u32> {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed).wrapping_add(i as u64 >> 3)) as u32 & mask)
+            .collect()
+    }
+
+    fn fill_i8(len: usize, seed: i64) -> Vec<i8> {
+        (0..len).map(|i| (((i as i64).wrapping_mul(seed) % 255) - 127) as i8).collect()
+    }
+
+    #[test]
+    fn bitplanes_roundtrip_across_word_boundaries() {
+        for len in [0usize, 1, 7, 63, 64, 65, 128, 200] {
+            for bits in [1u32, 2, 8, 16] {
+                let v = values(len, bits, 0x9E37_79B9);
+                let p = BitPlanes::pack(&v, bits).unwrap();
+                assert_eq!(p.unpack(), v, "len={len}, bits={bits}");
+                assert_eq!(p.len(), len);
+                assert_eq!(p.words_per_plane(), len.div_ceil(64));
+            }
+        }
+    }
+
+    #[test]
+    fn column_planes_match_scalar_bits() {
+        let (rows, cols, bits) = (70usize, 5usize, 2u32);
+        let v = values(rows * cols, bits, 0xDEAD_BEEF);
+        let p = ColumnPlanes::pack(&v, rows, cols, bits).unwrap();
+        for c in 0..cols {
+            for b in 0..bits {
+                let plane = p.plane(c, b);
+                for r in 0..rows {
+                    let bit = (plane[r / 64] >> (r % 64)) & 1;
+                    assert_eq!(bit as u32, (v[r * cols + c] >> b) & 1, "r={r}, c={c}, b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_rejected() {
+        assert!(BitPlanes::pack(&[4], 2).is_err());
+        assert!(BitPlanes::pack(&[1], 0).is_err());
+        assert!(BitPlanes::pack(&[1], 33).is_err());
+        assert!(ColumnPlanes::pack(&[1, 2, 3], 2, 2, 8).is_err()); // wrong len
+        assert!(ColumnPlanes::pack(&[256, 0], 2, 1, 8).is_err());
+    }
+
+    #[test]
+    fn popcount_range_matches_scalar_count() {
+        let v = values(150, 1, 0xABCD_EF01);
+        let p = BitPlanes::pack(&v, 1).unwrap();
+        for (start, end) in [(0usize, 150usize), (0, 0), (3, 17), (60, 70), (64, 128), (149, 150)] {
+            let want = v[start..end].iter().sum::<u32>();
+            assert_eq!(popcount_range(p.plane(0), start, end), want, "{start}..{end}");
+        }
+    }
+
+    #[test]
+    fn and_popcount_matches_scalar() {
+        let a = values(130, 1, 3);
+        let b = values(130, 1, 7);
+        let pa = BitPlanes::pack(&a, 1).unwrap();
+        let pb = BitPlanes::pack(&b, 1).unwrap();
+        for (start, end) in [(0usize, 130usize), (5, 69), (64, 130), (100, 101)] {
+            let want: u32 = (start..end).map(|i| a[i] & b[i]).sum();
+            assert_eq!(and_popcount_range(pa.plane(0), pb.plane(0), start, end), want);
+        }
+    }
+
+    #[test]
+    fn dot_planes_is_exact_integer_dot() {
+        let (rows, cols) = (128usize, 3usize);
+        let x = values(rows, 8, 0x1234_5677);
+        let w = values(rows * cols, 8, 0x0F1E_2D3B);
+        let xp = BitPlanes::pack(&x, 8).unwrap();
+        let wp = ColumnPlanes::pack(&w, rows, cols, 8).unwrap();
+        for c in 0..cols {
+            for (start, end) in [(0usize, rows), (0, 16), (16, 32), (100, 128)] {
+                let want: u64 =
+                    (start..end).map(|r| u64::from(x[r]) * u64::from(w[r * cols + c])).sum();
+                assert_eq!(dot_planes_range(&xp, &wp, c, start, end), want, "col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_plane_fast_paths_match_range_forms() {
+        let rows = 150usize;
+        let a = values(rows, 1, 11);
+        let b = values(rows, 1, 23);
+        let pa = BitPlanes::pack(&a, 1).unwrap();
+        let pb = BitPlanes::pack(&b, 1).unwrap();
+        assert_eq!(popcount(pa.plane(0)), popcount_range(pa.plane(0), 0, rows));
+        assert_eq!(
+            and_popcount(pa.plane(0), pb.plane(0)),
+            and_popcount_range(pa.plane(0), pb.plane(0), 0, rows)
+        );
+        let x = values(rows, 8, 0x1234_5677);
+        let w = values(rows * 3, 8, 0x0F1E_2D3B);
+        let xp = BitPlanes::pack(&x, 8).unwrap();
+        let wp = ColumnPlanes::pack(&w, rows, 3, 8).unwrap();
+        for c in 0..3 {
+            assert_eq!(dot_planes(&xp, &wp, c), dot_planes_range(&xp, &wp, c, 0, rows));
+        }
+        let mut batch = vec![0u64; 3];
+        dot_planes_all(&xp, &wp, &mut batch);
+        for (c, &got) in batch.iter().enumerate() {
+            assert_eq!(got, dot_planes(&xp, &wp, c), "batch col {c}");
+        }
+    }
+
+    #[test]
+    fn masked_plane_reproduces_every_range_popcount() {
+        let rows = 150usize;
+        let v = values(rows, 1, 0xABCD_EF01);
+        let p = BitPlanes::pack(&v, 1).unwrap();
+        for (start, end) in [(0usize, rows), (0, 0), (3, 17), (60, 70), (64, 128), (149, 150)] {
+            let mut masked = p.plane(0).to_vec();
+            mask_plane_range(&mut masked, start, end);
+            assert_eq!(popcount(&masked), popcount_range(p.plane(0), start, end), "{start}..{end}");
+        }
+    }
+
+    #[test]
+    fn column_counts_match_per_column_popcounts() {
+        let (rows, cols, bits) = (130usize, 5usize, 2u32);
+        let x = values(rows, 1, 3);
+        let w = values(rows * cols, bits, 0x5151_7377);
+        let xp = BitPlanes::pack(&x, 1).unwrap();
+        let wp = ColumnPlanes::pack(&w, rows, cols, bits).unwrap();
+        for (start, end) in [(0usize, rows), (5, 69), (64, 130), (100, 101), (0, 0)] {
+            let mut masked = xp.plane(0).to_vec();
+            mask_plane_range(&mut masked, start, end);
+            let mut got = vec![0u64; cols];
+            column_counts(&masked, &wp, &mut got);
+            for (c, &count) in got.iter().enumerate() {
+                let want: u64 =
+                    (start..end).map(|r| u64::from(x[r]) * u64::from(w[r * cols + c])).sum();
+                assert_eq!(count, want, "col {c}, {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_scalar_oracle_exactly() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (4, 16, 8), (17, 70, 33)] {
+            let a = fill_i8(m * k, 7919);
+            let b = fill_i8(k * n, 104729);
+            let mut want = vec![1i32; m * n];
+            gemm_i8_i32_scalar(&a, &b, &mut want, m, k, n);
+            for threads in [1usize, 2, 3, 8] {
+                let mut got = vec![1i32; m * n];
+                gemm_i8_i32(&a, &b, &mut got, m, k, n, threads);
+                assert_eq!(got, want, "({m},{k},{n}) threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_matches_gemm_column() {
+        let (m, k) = (9usize, 21usize);
+        let a = fill_i8(m * k, 31);
+        let x = fill_i8(k, 57);
+        let mut want = vec![0i32; m];
+        gemm_i8_i32_scalar(&a, &x, &mut want, m, k, 1);
+        for threads in [1usize, 2, 4] {
+            let mut got = vec![0i32; m];
+            gemv_i8_i32(&a, &x, &mut got, m, k, threads);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_no_ops() {
+        let mut c = vec![7i32; 6];
+        gemm_i8_i32(&[], &[], &mut c, 2, 0, 3, 4); // k == 0
+        assert_eq!(c, vec![7; 6]);
+        gemm_i8_i32(&[], &[], &mut [], 0, 3, 0, 4);
+        let mut y = vec![3i32; 2];
+        gemv_i8_i32(&[], &[], &mut y, 2, 0, 2); // k == 0
+        assert_eq!(y, vec![3; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out length")]
+    fn mismatched_output_panics() {
+        let mut c = vec![0i32; 5];
+        gemm_i8_i32(&[0; 6], &[0; 6], &mut c, 2, 3, 2, 1);
+    }
+}

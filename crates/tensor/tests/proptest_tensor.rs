@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use rdo_tensor::microkernel::{KC, MR, NR};
 use rdo_tensor::{
-    col2im, im2col, matmul, matmul_into_serial, matmul_into_threads, Conv2dGeometry, Tensor,
+    col2im, gemm_i8_i32, gemm_i8_i32_scalar, im2col, matmul, matmul_into_serial,
+    matmul_into_threads, BitPlanes, Conv2dGeometry, Tensor,
 };
 
 /// Dimensions that straddle the microkernel tile and panel boundaries:
@@ -196,5 +197,60 @@ proptest! {
         matmul_into_serial(&a, &b, &mut serial, m, k, n);
         matmul_into_threads(&a, &b, &mut threaded, m, k, n, threads);
         prop_assert_eq!(serial, threaded);
+    }
+
+    /// Bit-plane packing round-trips every value at every width,
+    /// including lengths that straddle the 64-bit word boundary.
+    #[test]
+    fn bit_planes_pack_unpack_roundtrip(
+        bits in 1u32..=32,
+        len in 0usize..200,
+        seed in 0u64..1000,
+    ) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let values: Vec<u32> = (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed.wrapping_mul(0x9e37_79b9).wrapping_add(41)) >> 7) as u32 & mask)
+            .collect();
+        let planes = BitPlanes::pack(&values, bits).unwrap();
+        prop_assert_eq!(planes.len(), len);
+        prop_assert_eq!(planes.unpack(), values);
+        // padding bits beyond `len` are zero in every plane — the
+        // contract the whole-plane popcount kernels rely on
+        for b in 0..bits {
+            let plane = planes.plane(b);
+            for (w, &word) in plane.iter().enumerate() {
+                for s in 0..64 {
+                    if w * 64 + s >= len {
+                        prop_assert_eq!((word >> s) & 1, 0, "padding bit set");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The vectorizable i8 GEMM agrees bit-for-bit with its scalar
+    /// oracle at every documented thread count, including 0 (auto) and
+    /// counts beyond the row count.
+    #[test]
+    fn gemm_i8_matches_scalar_oracle_at_any_threads(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        tidx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let threads = [0usize, 1, 2, 3, 8][tidx];
+        let a: Vec<i8> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(seed + 13) % 256) as u8 as i8)
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 17) % 256) as u8 as i8)
+            .collect();
+        // non-zero initial accumulators: both kernels must accumulate
+        let mut fast: Vec<i32> = (0..m * n).map(|i| i as i32 - 7).collect();
+        let mut oracle = fast.clone();
+        gemm_i8_i32(&a, &b, &mut fast, m, k, n, threads);
+        gemm_i8_i32_scalar(&a, &b, &mut oracle, m, k, n);
+        prop_assert_eq!(fast, oracle);
     }
 }

@@ -54,7 +54,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs pwt devicezoo; do
+for name in gemm cycles vawo program obs pwt devicezoo qint; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -104,6 +104,43 @@ for row in models:
 for required in ("paper", "level_lognormal", "drift_relax", "diff_pair"):
     if required not in names:
         sys.exit(f"ci: BENCH_devicezoo.json lacks the {required!r} model")
+PYEOF
+
+echo "==> BENCH_qint.json carries the integer-vs-float-oracle schema"
+python3 - results/BENCH_qint.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+gemm = rec.get("gemm")
+if not isinstance(gemm, dict):
+    sys.exit("ci: BENCH_qint.json lacks a gemm record")
+for key in ("shape", "bits", "float_scalar_ns", "int_ns", "int_threaded_ns",
+            "speedup_vs_float"):
+    if key not in gemm:
+        sys.exit(f"ci: BENCH_qint.json gemm lacks key {key!r}")
+gemv = rec.get("gemv")
+if not isinstance(gemv, dict):
+    sys.exit("ci: BENCH_qint.json lacks a gemv record")
+for key in ("shape", "bits", "float_matvec_ns", "int_ns", "speedup_vs_float"):
+    if key not in gemv:
+        sys.exit(f"ci: BENCH_qint.json gemv lacks key {key!r}")
+rows = rec.get("bitserial")
+if not isinstance(rows, list) or len(rows) < 4:
+    sys.exit("ci: BENCH_qint.json must report at least 4 bit-serial configs")
+configs = set()
+for row in rows:
+    for key in ("config", "rows", "cols", "input_bits", "float_ns", "int_ns",
+                "speedup_vs_float"):
+        if key not in row:
+            sys.exit(f"ci: BENCH_qint.json bitserial row lacks key {key!r}")
+    for key in ("float_ns", "int_ns"):
+        if not (isinstance(row[key], int) and row[key] > 0):
+            sys.exit(f"ci: BENCH_qint.json {key} must be a positive integer")
+    if row["speedup_vs_float"] <= 0:
+        sys.exit("ci: BENCH_qint.json speedup_vs_float must be positive")
+    configs.add(row["config"])
+for required in ("slc_ideal", "slc_adc8", "mlc2_ideal", "mlc2_adc8"):
+    if required not in configs:
+        sys.exit(f"ci: BENCH_qint.json lacks the {required!r} config")
 PYEOF
 
 echo "ci: all gates passed"

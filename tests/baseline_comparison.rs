@@ -46,6 +46,7 @@ fn this_work_beats_baselines_with_fewer_crossbars() {
         pwt: PwtConfig { epochs: 4, ..Default::default() },
         batch_size: 64,
         threads: 1,
+        qint: false,
     };
     let ours_acc =
         evaluate_cycles(&mut ours, Some((&x, &labels)), &x, &labels, &eval).unwrap().mean;

@@ -36,6 +36,7 @@ fn scaled_lenet_recovers_under_variation() {
         pwt: PwtConfig { epochs: 3, ..Default::default() },
         batch_size: 64,
         threads: 1,
+        qint: false,
     };
 
     let mut plain = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();

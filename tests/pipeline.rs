@@ -60,6 +60,7 @@ fn accuracy_of(
         pwt: PwtConfig { epochs: 6, ..Default::default() },
         batch_size: 64,
         threads: 1,
+        qint: false,
     };
     evaluate_cycles(&mut mapped, Some(train), test.0, test.1, &eval).unwrap().mean
 }

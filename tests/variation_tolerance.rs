@@ -52,6 +52,7 @@ fn run(
         pwt: PwtConfig { epochs: 3, ..Default::default() },
         batch_size: 64,
         threads: 1,
+        qint: false,
     };
     evaluate_cycles(&mut mapped, Some((x, labels)), x, labels, &eval).unwrap().mean
 }
