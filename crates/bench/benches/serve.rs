@@ -1,0 +1,64 @@
+//! Serving-layer micro-benchmarks: one whole-batch forward through the
+//! paper-shape snapshot at several batch sizes (the coalescing payoff the
+//! engine banks on), and end-to-end submit→wait round trips through a
+//! live [`rdo_serve::ServeEngine`] with and without dynamic batching.
+//!
+//! For the committed throughput/latency numbers see
+//! `results/BENCH_serve.json`, regenerated with
+//! `cargo run --release -p rdo-bench --bin serve_bench`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdo_bench::prelude::*;
+
+fn bench_snapshot_forward(c: &mut Criterion) {
+    let snapshot = paper_shape_snapshot(0).expect("paper-shape snapshot");
+    let traffic = SyntheticTraffic::new(1, snapshot.sample_len());
+    let mut group = c.benchmark_group("serve_forward");
+    for batch in [1usize, 8, 64] {
+        let payloads: Vec<Vec<f32>> = (0..batch as u64).map(|i| traffic.payload(i)).collect();
+        let views: Vec<&[f32]> = payloads.iter().map(Vec::as_slice).collect();
+        let mut eval = snapshot.evaluator();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("batch", batch), &views, |bench, views| {
+            bench.iter(|| eval.infer_batch(views).expect("consistent shapes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_round_trip(c: &mut Criterion) {
+    let snapshot = paper_shape_snapshot(0).expect("paper-shape snapshot");
+    let traffic = SyntheticTraffic::new(2, snapshot.sample_len());
+    let mut group = c.benchmark_group("serve_round_trip");
+    group.sample_size(20);
+    let configs = [
+        ("batch1", ServeConfig { max_batch: 1, linger: Duration::ZERO, ..Default::default() }),
+        ("dynamic", ServeConfig::default()),
+    ];
+    for (label, config) in configs {
+        let engine = ServeEngine::start(Arc::clone(&snapshot), config);
+        let client = engine.client();
+        let window = 64u64;
+        let payloads: Vec<Vec<f32>> = (0..window).map(|i| traffic.payload(i)).collect();
+        group.throughput(Throughput::Elements(window));
+        group.bench_function(BenchmarkId::new("submit_wait", label), |bench| {
+            bench.iter(|| {
+                let pending: Vec<_> = payloads
+                    .iter()
+                    .map(|p| client.submit(p.clone()).expect("queue open"))
+                    .collect();
+                for p in pending {
+                    p.wait().expect("served");
+                }
+            });
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_forward, bench_engine_round_trip);
+criterion_main!(benches);

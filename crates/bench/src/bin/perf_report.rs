@@ -1,6 +1,6 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes seven JSON records under `results/` (mirrored to the repo root)
+//! Writes eight JSON records under `results/` (mirrored to the repo root)
 //! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
@@ -24,6 +24,10 @@
 //!   8-bit shape, and the bit-plane popcount readout
 //!   (`BitSerialEvaluator::evaluate_qint`) versus the float bit-serial
 //!   pipeline on 128×128 SLC/MLC2 crossbars at ideal and 8-bit ADCs.
+//! - `BENCH_serve.json` — the concurrent inference service: dynamic
+//!   batching versus batch-1 saturation throughput on the paper-shape
+//!   snapshot, plus open-loop latency quantiles (see the dedicated
+//!   `serve_bench` binary, which writes the same record with more knobs).
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -37,6 +41,7 @@
 use std::fmt::Write as _;
 use std::hint::black_box;
 
+use rdo_bench::serve_harness::{serve_report, ServeBenchConfig};
 use rdo_bench::{write_bench_record, BenchError, Result};
 use rdo_core::{
     evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, tune_reference,
@@ -89,6 +94,9 @@ fn main() -> Result<()> {
 
     let qint = qint_report(reps, quick)?;
     write_bench_record("BENCH_qint", &qint)?;
+
+    let serve = serve_report(&ServeBenchConfig::from_env(quick))?;
+    write_bench_record("BENCH_serve", &serve)?;
     rdo_obs::flush();
     Ok(())
 }

@@ -1,0 +1,39 @@
+//! QPS load harness for the concurrent inference service.
+//!
+//! Builds the paper-shape serving snapshot (128-wide PWT-mapped MLP,
+//! programmed at a fixed seed), then measures:
+//!
+//! - saturation throughput at `max_batch = 1` versus dynamic batching —
+//!   the record's `speedup_dynamic_vs_batch1` is the coalescing payoff;
+//! - open-loop latency against a seeded Poisson arrival schedule at the
+//!   target QPS, with **exact** p50/p99/p99.9 (the quantile recorder is
+//!   sized to the request count, so nothing is sampled away).
+//!
+//! Every run re-pins correctness: a prefix of the batched outputs is
+//! compared bitwise against the serial per-request reference and the
+//! harness fails on any mismatch.
+//!
+//! Writes `results/BENCH_serve.json` (mirrored to the repo root). Knobs:
+//! `RDO_SERVE_REQUESTS`, `RDO_SERVE_QPS`, `RDO_SERVE_MAX_BATCH`,
+//! `RDO_SERVE_LINGER_US`, `RDO_SERVE_WORKERS`, `RDO_SEED`. Run with
+//! `--quick` for the CI smoke mode; regenerate the committed record with:
+//!
+//! ```text
+//! cargo run --release -p rdo-bench --bin serve_bench
+//! ```
+
+use rdo_bench::serve_harness::{serve_report, ServeBenchConfig};
+use rdo_bench::{write_bench_record, Result};
+
+fn main() -> Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = ServeBenchConfig::from_env(quick);
+    eprintln!(
+        "[serve] requests={} qps={:.0} max_batch={} linger={}us workers={} seed={} quick={}",
+        cfg.requests, cfg.qps, cfg.max_batch, cfg.linger_us, cfg.workers, cfg.seed, cfg.quick,
+    );
+    let report = serve_report(&cfg)?;
+    write_bench_record("BENCH_serve", &report)?;
+    rdo_obs::flush();
+    Ok(())
+}

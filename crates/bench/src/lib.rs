@@ -14,6 +14,7 @@
 //! | `all` | everything above, sequentially |
 //! | `perf_report` | `BENCH_*.json` kernel/engine timings |
 //! | `obs_report` | folds an `RDO_OBS` JSONL log into `BENCH_obs.json` |
+//! | `serve_bench` | `BENCH_serve.json` serving throughput/latency (QPS load harness) |
 //!
 //! All experiment knobs flow through one [`BenchConfig`], read once from
 //! the environment (`RDO_SCALE`, `RDO_CYCLES`, `RDO_SEED`,
@@ -32,10 +33,12 @@
 //! are identical to a serial run for every thread count. Trained
 //! checkpoints are cached under `target/rdo-cache/`, and within a
 //! process trained models and analytic device LUTs are additionally
-//! shared through keyed in-memory caches ([`prepare_lenet`] & friends
-//! return `Arc<TrainedModel>`, [`shared_lut_model`] hands out
-//! `Arc<DeviceLut>` keyed by the model fingerprint), so grid points with
-//! identical keys never rebuild an artifact. Cache traffic, per-point
+//! shared through bounded keyed in-memory caches
+//! ([`rdo_serve::ArtifactCache`]: [`prepare_lenet`] & friends return
+//! `Arc<TrainedModel>`, [`shared_lut_model`] hands out `Arc<DeviceLut>`
+//! keyed by the model fingerprint), so grid points with identical keys
+//! never rebuild an artifact; [`clear_artifact_caches`] is the explicit
+//! lifecycle hook. Cache traffic, per-point
 //! spans and device/kernel counters are reported through [`rdo_obs`]
 //! when `RDO_OBS` is set; the default is off and observation never
 //! changes stdout or sampled randomness.
@@ -55,11 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+pub mod serve_harness;
+
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::{Arc, LazyLock, Mutex};
+use std::sync::{Arc, LazyLock};
 use std::time::{Duration, Instant};
 
 use rdo_baselines::BaselineError;
@@ -74,6 +78,7 @@ use rdo_nn::{
     evaluate, fit, Layer, LeNetConfig, NnError, ResNetConfig, Sequential, TrainConfig, VggConfig,
 };
 use rdo_rram::{CellKind, CellTechnology, DeviceLut, DeviceModelSpec, RramError, WeightCodec};
+use rdo_serve::{ArtifactCache, CacheStats, ServeError};
 use rdo_tensor::parallel::{parallel_map_indexed, resolve_threads};
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::{Tensor, TensorError};
@@ -97,6 +102,8 @@ pub enum BenchError {
     Core(CoreError),
     /// A DVA/PM baseline failed.
     Baseline(BaselineError),
+    /// The serving layer (engine, load harness) failed.
+    Serve(ServeError),
     /// Reading or writing checkpoints/results failed.
     Io(std::io::Error),
     /// (De)serializing checkpoints/results failed.
@@ -112,6 +119,7 @@ impl fmt::Display for BenchError {
             BenchError::Rram(e) => write!(f, "rram error: {e}"),
             BenchError::Core(e) => write!(f, "core error: {e}"),
             BenchError::Baseline(e) => write!(f, "baseline error: {e}"),
+            BenchError::Serve(e) => write!(f, "serving error: {e}"),
             BenchError::Io(e) => write!(f, "i/o error: {e}"),
             BenchError::Json(e) => write!(f, "serialization error: {e}"),
         }
@@ -127,6 +135,7 @@ impl std::error::Error for BenchError {
             BenchError::Rram(e) => Some(e),
             BenchError::Core(e) => Some(e),
             BenchError::Baseline(e) => Some(e),
+            BenchError::Serve(e) => Some(e),
             BenchError::Io(e) => Some(e),
             BenchError::Json(e) => Some(e),
         }
@@ -166,6 +175,12 @@ impl From<CoreError> for BenchError {
 impl From<BaselineError> for BenchError {
     fn from(e: BaselineError) -> Self {
         BenchError::Baseline(e)
+    }
+}
+
+impl From<ServeError> for BenchError {
+    fn from(e: ServeError) -> Self {
+        BenchError::Serve(e)
     }
 }
 
@@ -427,8 +442,23 @@ fn cache_dir() -> PathBuf {
 /// names the on-disk checkpoint. Grid sweeps and the `all` driver call
 /// `prepare_*` once per binary; within a process every further call for
 /// the same (scale, seed) configuration is a map lookup.
-static MODEL_CACHE: LazyLock<Mutex<HashMap<String, Arc<TrainedModel>>>> =
-    LazyLock::new(|| Mutex::new(HashMap::new()));
+///
+/// Bounded (FIFO) at a capacity far above what any sweep touches, so a
+/// long-running process scanning many seeds cannot grow without bound;
+/// [`clear_artifact_caches`] drops everything explicitly. Cache traffic
+/// and the entry-count high-water mark report through [`rdo_obs`] under
+/// `bench.model_cache.*`.
+static MODEL_CACHE: LazyLock<ArtifactCache<String, TrainedModel>> = LazyLock::new(|| {
+    ArtifactCache::new(
+        32,
+        CacheStats {
+            hit: "bench.model_cache.hit",
+            miss: "bench.model_cache.miss",
+            evict: "bench.model_cache.evict",
+            size_hwm: "bench.model_cache.size_hwm",
+        },
+    )
+});
 
 /// Per-process cache of analytic device LUTs. The paper codec is a pure
 /// function of the cell kind and the analytic LUT a pure function of
@@ -436,10 +466,28 @@ static MODEL_CACHE: LazyLock<Mutex<HashMap<String, Arc<TrainedModel>>>> =
 /// table exactly — the fingerprint covers the model's identity *and* its
 /// parameters, σ included. Grid points sharing a (cell, model, σ) triple
 /// — every m-sweep in Fig. 5 — reuse one table instead of rebuilding it
-/// per point.
-type LutCache = Mutex<HashMap<(CellKind, u64), Arc<DeviceLut>>>;
+/// per point. Bounded (FIFO) at 64 tables; traffic reports under
+/// `bench.lut.*`.
+static LUT_CACHE: LazyLock<ArtifactCache<(CellKind, u64), DeviceLut>> = LazyLock::new(|| {
+    ArtifactCache::new(
+        64,
+        CacheStats {
+            hit: "bench.lut.hit",
+            miss: "bench.lut.miss",
+            evict: "bench.lut.evict",
+            size_hwm: "bench.lut.size_hwm",
+        },
+    )
+});
 
-static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new()));
+/// Drops every entry of the in-process artifact caches (trained models
+/// and device LUTs). Outstanding `Arc`s stay valid; the next lookup per
+/// key rebuilds. The explicit lifecycle hook for long-running hosts that
+/// prefer deterministic reclamation over FIFO eviction.
+pub fn clear_artifact_caches() {
+    MODEL_CACHE.clear();
+    LUT_CACHE.clear();
+}
 
 /// Returns the analytic [`DeviceLut`] for the given device-model spec at
 /// `(cell, sigma)`, building it at most once per process per
@@ -447,7 +495,7 @@ static LUT_CACHE: LazyLock<LutCache> = LazyLock::new(|| Mutex::new(HashMap::new(
 ///
 /// Concurrent first calls for the same key may both build the table; the
 /// race is benign because the analytic construction is deterministic and
-/// `or_insert` keeps exactly one copy.
+/// the cache keeps exactly one copy.
 ///
 /// # Errors
 ///
@@ -459,15 +507,10 @@ pub fn shared_lut_model(
 ) -> Result<Arc<DeviceLut>> {
     let model = spec.build(sigma);
     let key = (cell, model.fingerprint());
-    if let Some(lut) = LUT_CACHE.lock().expect("lut cache poisoned").get(&key) {
-        rdo_obs::counter_add("bench.lut.hit", 1);
-        return Ok(Arc::clone(lut));
-    }
-    rdo_obs::counter_add("bench.lut.miss", 1);
-    let codec = WeightCodec::paper(CellTechnology::paper(cell));
-    let lut = Arc::new(DeviceLut::analytic_model(&*model, &codec)?);
-    let mut cache = LUT_CACHE.lock().expect("lut cache poisoned");
-    Ok(Arc::clone(cache.entry(key).or_insert(lut)))
+    LUT_CACHE.get_or_build(key, || {
+        let codec = WeightCodec::paper(CellTechnology::paper(cell));
+        DeviceLut::analytic_model(&*model, &codec).map_err(BenchError::from)
+    })
 }
 
 /// [`shared_lut_model`] for the default paper lognormal model.
@@ -482,18 +525,14 @@ pub fn shared_lut(cell: CellKind, sigma: f64) -> Result<Arc<DeviceLut>> {
 /// Looks up `cache_key` in the in-process model cache, running `build`
 /// (training or checkpoint load) only on a miss. Same benign-race
 /// contract as [`shared_lut`]: `build` is deterministic for a fixed key.
-fn cached_model<F>(cache_key: &str, build: F) -> Result<Arc<TrainedModel>>
+/// Public so hosts with their own training recipes (and the cache
+/// concurrency tests) share the same bounded cache the `prepare_*`
+/// helpers use.
+pub fn cached_model<F>(cache_key: &str, build: F) -> Result<Arc<TrainedModel>>
 where
     F: FnOnce() -> Result<TrainedModel>,
 {
-    if let Some(model) = MODEL_CACHE.lock().expect("model cache poisoned").get(cache_key) {
-        rdo_obs::counter_add("bench.model_cache.hit", 1);
-        return Ok(Arc::clone(model));
-    }
-    rdo_obs::counter_add("bench.model_cache.miss", 1);
-    let model = Arc::new(build()?);
-    let mut cache = MODEL_CACHE.lock().expect("model cache poisoned");
-    Ok(Arc::clone(cache.entry(cache_key.to_string()).or_insert(model)))
+    MODEL_CACHE.get_or_build(cache_key.to_string(), build)
 }
 
 /// Saves every state tensor of a network as JSON.
@@ -923,15 +962,18 @@ pub fn pct(a: f32) -> String {
 /// every harness type and entry point plus the method/cell enums the
 /// grid axes are made of.
 pub mod prelude {
+    pub use crate::serve_harness::{paper_shape_snapshot, serve_report, ServeBenchConfig};
+    pub use crate::{
+        cached_model, clear_artifact_caches, map_point, pct, prepare_lenet, prepare_resnet,
+        prepare_vgg, run_grid, run_items, run_point, shared_lut, shared_lut_model,
+        write_bench_record, write_results, BenchConfig, BenchConfigBuilder, BenchError, GridPoint,
+        GridSpec, Result, Scale, TrainedModel,
+    };
     #[allow(deprecated)]
     pub use crate::{map_only, run_method};
-    pub use crate::{
-        map_point, pct, prepare_lenet, prepare_resnet, prepare_vgg, run_grid, run_items, run_point,
-        shared_lut, shared_lut_model, write_bench_record, write_results, BenchConfig,
-        BenchConfigBuilder, BenchError, GridPoint, GridSpec, Result, Scale, TrainedModel,
-    };
     pub use rdo_core::Method;
     pub use rdo_rram::{CellKind, DeviceModelSpec, DiffBase};
+    pub use rdo_serve::{ModelSnapshot, ServeConfig, ServeEngine, SyntheticTraffic};
 }
 
 #[cfg(test)]

@@ -1,0 +1,302 @@
+//! The serving benchmark harness: builds the paper-shape snapshot,
+//! drives the [`rdo_serve`] load generator, and formats the
+//! `BENCH_serve.json` record.
+//!
+//! Shared by the `serve_bench` binary (the standalone QPS harness) and
+//! `perf_report` (which folds the same measurement into its record
+//! sweep). Three measurements make up the record:
+//!
+//! 1. **saturation, `max_batch = 1`** — the no-batching baseline;
+//! 2. **saturation, dynamic batching** — same snapshot, same traffic;
+//!    the throughput ratio is what coalescing buys at the paper shape;
+//! 3. **open loop** at a target QPS — per-request latency against a
+//!    seeded Poisson schedule, with exact p50/p99/p99.9 from a
+//!    request-count-sized [`rdo_obs::QuantileRecorder`].
+//!
+//! Every run also pins correctness: the dynamically batched outputs are
+//! compared bitwise against the serial per-request reference, and the
+//! report fails loudly on any mismatch.
+
+use std::sync::{Arc, LazyLock};
+use std::time::Duration;
+
+use rdo_core::{MappedNetwork, Method, OffsetConfig};
+use rdo_nn::{Linear, Relu, Sequential};
+use rdo_rram::CellKind;
+use rdo_serve::{
+    bitwise_equal, run_open_loop, run_saturation, serial_reference, ArtifactCache, CacheStats,
+    ModelSnapshot, ServeConfig, SyntheticTraffic,
+};
+use rdo_tensor::rng::seeded_rng;
+
+use crate::{shared_lut, BenchError, Result};
+
+/// Knobs of one serving benchmark run, read from `RDO_SERVE_*` by the
+/// binaries (falling back to `--quick`-dependent defaults) or filled
+/// directly by programmatic callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeBenchConfig {
+    /// Requests per saturation measurement (`RDO_SERVE_REQUESTS`).
+    pub requests: usize,
+    /// Open-loop target arrival rate (`RDO_SERVE_QPS`).
+    pub qps: f64,
+    /// Largest coalesced batch of the dynamic engine
+    /// (`RDO_SERVE_MAX_BATCH`).
+    pub max_batch: usize,
+    /// Batcher linger deadline in microseconds (`RDO_SERVE_LINGER_US`).
+    pub linger_us: u64,
+    /// Worker threads (`RDO_SERVE_WORKERS`).
+    pub workers: usize,
+    /// Base seed for snapshot programming and traffic (`RDO_SEED`).
+    pub seed: u64,
+    /// Smoke mode: fewer requests, CI-friendly wall clock.
+    pub quick: bool,
+}
+
+impl ServeBenchConfig {
+    /// Defaults for one mode: the full run sizes the measurement for a
+    /// stable throughput estimate, quick mode keeps CI under a second.
+    pub fn defaults(quick: bool) -> Self {
+        ServeBenchConfig {
+            requests: if quick { 2_000 } else { 40_000 },
+            qps: if quick { 10_000.0 } else { 20_000.0 },
+            max_batch: 64,
+            linger_us: 200,
+            workers: 1,
+            seed: 0,
+            quick,
+        }
+    }
+
+    /// [`defaults`](Self::defaults) overridden by the `RDO_SERVE_*`
+    /// environment knobs (and `RDO_SEED` for the seed).
+    pub fn from_env(quick: bool) -> Self {
+        fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok().and_then(|s| s.parse().ok())
+        }
+        let d = Self::defaults(quick);
+        ServeBenchConfig {
+            requests: parsed::<usize>("RDO_SERVE_REQUESTS")
+                .filter(|&n| n > 0)
+                .unwrap_or(d.requests),
+            qps: parsed::<f64>("RDO_SERVE_QPS")
+                .filter(|q| q.is_finite() && *q > 0.0)
+                .unwrap_or(d.qps),
+            max_batch: parsed::<usize>("RDO_SERVE_MAX_BATCH")
+                .filter(|&b| b > 0)
+                .unwrap_or(d.max_batch),
+            linger_us: parsed::<u64>("RDO_SERVE_LINGER_US").unwrap_or(d.linger_us),
+            workers: parsed::<usize>("RDO_SERVE_WORKERS").filter(|&w| w > 0).unwrap_or(d.workers),
+            seed: parsed::<u64>("RDO_SEED").unwrap_or(d.seed),
+            quick,
+        }
+    }
+
+    /// The dynamic-batching engine configuration these knobs describe.
+    pub fn serve_cfg(&self) -> ServeConfig {
+        ServeConfig {
+            max_batch: self.max_batch,
+            linger: Duration::from_micros(self.linger_us),
+            workers: self.workers,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Per-process cache of programmed serving snapshots, keyed by the
+/// (shape, method, cell, σ, m, seed) recipe string — the third shared
+/// artifact kind next to trained models and device LUTs. Reprogramming
+/// at a new seed is a new key; snapshots are immutable.
+static SNAPSHOT_CACHE: LazyLock<ArtifactCache<String, ModelSnapshot>> = LazyLock::new(|| {
+    ArtifactCache::new(
+        8,
+        CacheStats {
+            hit: "bench.snapshot.hit",
+            miss: "bench.snapshot.miss",
+            evict: "bench.snapshot.evict",
+            size_hwm: "bench.snapshot.size_hwm",
+        },
+    )
+});
+
+/// Builds (once per process per seed) the paper-shape serving snapshot:
+/// a 128-wide MLP stack — the 128×128 crossbar shape every `BENCH_*`
+/// kernel record uses — mapped with PWT offsets at SLC σ=0.5, m=16,
+/// programmed for one CRW cycle at `seed`, served through its effective
+/// network. The analytic LUT comes from [`shared_lut`], so building a
+/// snapshot exercises the same artifact caches the grid sweeps use.
+///
+/// # Errors
+///
+/// Propagates mapping/programming errors.
+pub fn paper_shape_snapshot(seed: u64) -> Result<Arc<ModelSnapshot>> {
+    let key = format!("mlp128_pwt_slc_s0.5_m16_{seed}");
+    SNAPSHOT_CACHE.get_or_build(key, || {
+        let mut rng = seeded_rng(seed.wrapping_add(41));
+        let mut net = Sequential::new();
+        net.push(Linear::new(128, 128, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(128, 128, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(128, 10, &mut rng));
+        let sigma = 0.5;
+        let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16)?;
+        let lut = shared_lut(CellKind::Slc, sigma)?;
+        let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None)?;
+        mapped.program(&mut seeded_rng(seed.wrapping_add(42)))?;
+        let snapshot = ModelSnapshot::from_mapped("mlp128/pwt/slc_s0.5_m16", &mapped, &[128])?;
+        Ok::<_, BenchError>(snapshot)
+    })
+}
+
+/// Runs the three serving measurements and formats the
+/// `BENCH_serve.json` document.
+///
+/// # Errors
+///
+/// Fails on any engine error and — deliberately — when the batched
+/// outputs are not bitwise identical to the serial reference.
+pub fn serve_report(cfg: &ServeBenchConfig) -> Result<String> {
+    let snapshot = paper_shape_snapshot(cfg.seed)?;
+    let traffic = SyntheticTraffic::new(cfg.seed.wrapping_add(1), snapshot.sample_len());
+    let dynamic_cfg = cfg.serve_cfg();
+    let batch1_cfg = ServeConfig { max_batch: 1, linger: Duration::ZERO, ..dynamic_cfg };
+
+    // correctness first: the serial reference is O(requests) single
+    // forwards, so pin a prefix large enough to cover many batches
+    let pinned = cfg.requests.min(512);
+    let reference = serial_reference(&snapshot, &traffic, pinned)?;
+
+    let dynamic = run_saturation(&snapshot, dynamic_cfg, &traffic, cfg.requests)?;
+    if !bitwise_equal(&dynamic.outputs[..pinned], &reference) {
+        return Err(BenchError::Serve(rdo_serve::ServeError::Worker(
+            "batched outputs diverge bitwise from the serial reference".to_string(),
+        )));
+    }
+    let batch1 = run_saturation(&snapshot, batch1_cfg, &traffic, cfg.requests)?;
+    if !bitwise_equal(&batch1.outputs[..pinned], &reference) {
+        return Err(BenchError::Serve(rdo_serve::ServeError::Worker(
+            "unbatched outputs diverge bitwise from the serial reference".to_string(),
+        )));
+    }
+    let speedup = if batch1.rps > 0.0 { dynamic.rps / batch1.rps } else { 0.0 };
+    eprintln!(
+        "[serve] saturation {} requests: batch1 {:.0} rps, dynamic {:.0} rps ({speedup:.2}x), \
+         mean batch {:.1}, max batch {}",
+        cfg.requests,
+        batch1.rps,
+        dynamic.rps,
+        dynamic.stats.mean_batch(),
+        dynamic.stats.max_batch,
+    );
+
+    let open = run_open_loop(
+        &snapshot,
+        dynamic_cfg,
+        &traffic,
+        cfg.requests,
+        cfg.qps,
+        cfg.seed.wrapping_add(2),
+    )?;
+    let qs = open.latency.quantiles(&[0.5, 0.99, 0.999]);
+    let (p50, p99, p999) = (qs[0], qs[1], qs[2]);
+    let max_ns = open.latency.max().unwrap_or(0);
+    let mean_ns = open.latency.mean().unwrap_or(0.0);
+    eprintln!(
+        "[serve] open loop @ {:.0} qps: p50 {:.1} µs, p99 {:.1} µs, p99.9 {:.1} µs \
+         (exact over {} samples), achieved {:.0} rps",
+        open.target_qps,
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        p999 as f64 / 1e3,
+        open.latency.count(),
+        open.achieved_rps,
+    );
+
+    Ok(format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \
+         \"model\": \"{model}\",\n  \"stack\": \"128x128x2+10\",\n  \
+         \"requests\": {requests}, \"workers\": {workers}, \"max_batch\": {max_batch}, \
+         \"linger_us\": {linger_us}, \"seed\": {seed},\n  \
+         \"throughput\": {{\n    \
+         \"batch1_rps\": {b1_rps:.1}, \"batch1_wall_ns\": {b1_wall},\n    \
+         \"dynamic_rps\": {dy_rps:.1}, \"dynamic_wall_ns\": {dy_wall},\n    \
+         \"speedup_dynamic_vs_batch1\": {speedup:.3},\n    \
+         \"dynamic_mean_batch\": {mean_batch:.2}, \"dynamic_max_batch\": {max_batch_seen}\n  }},\n  \
+         \"open_loop\": {{\n    \
+         \"target_qps\": {qps:.1}, \"achieved_rps\": {achieved:.1},\n    \
+         \"exact_quantiles\": {exact}, \"samples\": {samples},\n    \
+         \"p50_ns\": {p50}, \"p99_ns\": {p99}, \"p999_ns\": {p999},\n    \
+         \"max_ns\": {max_ns}, \"mean_ns\": {mean_ns:.1}\n  }},\n  \
+         \"bitwise_vs_serial\": true, \"pinned_requests\": {pinned}\n}}\n",
+        quick = cfg.quick,
+        model = snapshot.name(),
+        requests = cfg.requests,
+        workers = cfg.workers,
+        max_batch = cfg.max_batch,
+        linger_us = cfg.linger_us,
+        seed = cfg.seed,
+        b1_rps = batch1.rps,
+        b1_wall = batch1.wall_ns,
+        dy_rps = dynamic.rps,
+        dy_wall = dynamic.wall_ns,
+        mean_batch = dynamic.stats.mean_batch(),
+        max_batch_seen = dynamic.stats.max_batch,
+        qps = open.target_qps,
+        achieved = open.achieved_rps,
+        exact = open.latency.is_exact(),
+        samples = open.latency.count(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_quick() {
+        let q = ServeBenchConfig::defaults(true);
+        let f = ServeBenchConfig::defaults(false);
+        assert!(q.requests < f.requests);
+        assert!(q.quick && !f.quick);
+        assert_eq!(q.max_batch, 64);
+        let serve = f.serve_cfg();
+        assert_eq!(serve.max_batch, 64);
+        assert_eq!(serve.linger, Duration::from_micros(200));
+    }
+
+    #[test]
+    fn paper_shape_snapshot_is_cached_and_deterministic() {
+        let a = paper_shape_snapshot(1234).unwrap();
+        let b = paper_shape_snapshot(1234).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same seed must share one snapshot");
+        assert_eq!(a.sample_len(), 128);
+        assert_eq!(a.outputs(), 10);
+        let other = paper_shape_snapshot(1235).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other));
+    }
+
+    #[test]
+    fn serve_report_smoke_produces_valid_json_fields() {
+        let cfg = ServeBenchConfig {
+            requests: 256,
+            qps: 20_000.0,
+            max_batch: 16,
+            linger_us: 100,
+            workers: 1,
+            seed: 7,
+            quick: true,
+        };
+        let json = serve_report(&cfg).unwrap();
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"speedup_dynamic_vs_batch1\"",
+            "\"p50_ns\"",
+            "\"p999_ns\"",
+            "\"exact_quantiles\": true",
+            "\"bitwise_vs_serial\": true",
+        ] {
+            assert!(json.contains(key), "report must contain {key}: {json}");
+        }
+    }
+}

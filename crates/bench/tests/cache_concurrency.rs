@@ -1,0 +1,159 @@
+//! Concurrency contract of the shared artifact caches: many threads
+//! racing on the same key must converge on **one** `Arc` (pointer
+//! equality, not just value equality), never deadlock, and produce
+//! artifacts identical to direct construction — independent of
+//! `RDO_THREADS` or scheduling.
+//!
+//! These tests hammer the real process-wide caches (`shared_lut_model`,
+//! `cached_model`), so they use keys no other test touches: σ values are
+//! deliberately irrational-looking constants and model keys carry a
+//! test-unique prefix.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use rdo_bench::prelude::*;
+use rdo_nn::{Linear, Sequential};
+use rdo_rram::{DeviceLut, VariationModel, WeightCodec};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+const HAMMER_THREADS: usize = 8;
+
+/// All threads racing on one LUT key land on the same `Arc`, and the
+/// shared table is bitwise identical to a directly constructed one.
+#[test]
+fn parallel_shared_lut_converges_on_one_arc() {
+    let sigma = 0.618_033_988; // unique to this test
+    let barrier = Arc::new(Barrier::new(HAMMER_THREADS));
+    let luts: Vec<Arc<DeviceLut>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..HAMMER_THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait(); // maximize contention on first build
+                    shared_lut(CellKind::Slc, sigma).expect("lut builds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    let first = &luts[0];
+    for lut in &luts[1..] {
+        assert!(Arc::ptr_eq(first, lut), "every racer must share one cached Arc");
+    }
+
+    // the shared artifact equals direct construction (the cache only
+    // deduplicates, it never changes the value)
+    let codec = WeightCodec::paper(rdo_rram::CellTechnology::paper(CellKind::Slc));
+    let direct = DeviceLut::analytic(&VariationModel::per_weight(sigma), &codec).expect("lut");
+    assert_eq!(&**first, &direct, "cached LUT must equal direct construction");
+}
+
+/// Racing distinct LUT keys across cells and σ still deduplicates per
+/// key and never deadlocks (each thread takes several keys in sequence).
+#[test]
+fn parallel_shared_lut_distinct_keys_deduplicate_per_key() {
+    let sigmas = [0.271_828_182, 0.314_159_265, 0.141_421_356];
+    let cells = [CellKind::Slc, CellKind::Mlc2];
+    let per_key: Vec<Vec<Arc<DeviceLut>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..HAMMER_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    // rotate the visiting order per thread so first-build
+                    // races happen on every key, not just the first
+                    let mut got = Vec::new();
+                    for i in 0..sigmas.len() * cells.len() {
+                        let j = (i + t) % (sigmas.len() * cells.len());
+                        let (cell, sigma) = (cells[j % cells.len()], sigmas[j / cells.len()]);
+                        got.push((j, shared_lut(cell, sigma).expect("lut builds")));
+                    }
+                    got.sort_by_key(|(j, _)| *j);
+                    got.into_iter().map(|(_, l)| l).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    for key in 0..sigmas.len() * cells.len() {
+        let first = &per_key[0][key];
+        for thread_luts in &per_key[1..] {
+            assert!(Arc::ptr_eq(first, &thread_luts[key]), "key {key} must share one Arc");
+        }
+    }
+}
+
+/// Many threads racing `cached_model` on one key: exactly one Arc is
+/// shared afterwards, and the benign build race never runs the builder
+/// more times than there are racers (no livelock, no rebuild storm).
+#[test]
+fn parallel_cached_model_shares_one_arc() {
+    let builds = Arc::new(AtomicUsize::new(0));
+    let tiny = |builds: &Arc<AtomicUsize>| {
+        builds.fetch_add(1, Ordering::SeqCst);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 2, &mut seeded_rng(5)));
+        let images = Tensor::from_fn(&[2, 1, 2, 2], |i| 0.1 * i as f32);
+        let train = rdo_datasets::Dataset::new(images.clone(), vec![0, 1], 2)?;
+        let test = rdo_datasets::Dataset::new(images, vec![0, 1], 2)?;
+        Ok(TrainedModel {
+            name: "cache_concurrency_tiny".to_string(),
+            net,
+            train,
+            test,
+            ideal_accuracy: 0.5,
+            grads: Vec::new(),
+            train_time: Duration::ZERO,
+        })
+    };
+    let barrier = Arc::new(Barrier::new(HAMMER_THREADS));
+    let models: Vec<Arc<TrainedModel>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..HAMMER_THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let builds = Arc::clone(&builds);
+                scope.spawn(move || {
+                    barrier.wait();
+                    cached_model("test_cache_concurrency_one_key", || tiny(&builds))
+                        .expect("model builds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    let first = &models[0];
+    for model in &models[1..] {
+        assert!(Arc::ptr_eq(first, model), "every racer must share one cached model");
+    }
+    let ran = builds.load(Ordering::SeqCst);
+    assert!(
+        (1..=HAMMER_THREADS).contains(&ran),
+        "builder ran {ran} times for {HAMMER_THREADS} racers"
+    );
+}
+
+/// The serving snapshot cache rides on the same `ArtifactCache`; racing
+/// `paper_shape_snapshot` must also converge on one programmed snapshot
+/// (this is what makes engine restarts and perf_report reuse cheap).
+#[test]
+fn parallel_snapshot_builds_share_one_arc() {
+    let seed = 990_007;
+    let barrier = Arc::new(Barrier::new(4));
+    let snaps: Vec<Arc<ModelSnapshot>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    paper_shape_snapshot(seed).expect("snapshot builds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    for snap in &snaps[1..] {
+        assert!(Arc::ptr_eq(&snaps[0], snap), "same seed must share one snapshot");
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod quantile;
 mod registry;
 pub mod report;
 mod sink;
@@ -52,6 +53,7 @@ mod span;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
+pub use quantile::QuantileRecorder;
 pub use registry::{HistSummary, Snapshot, SpanStat};
 pub use report::{fold, parse_line, Event, Report};
 pub use span::{span, span_with, SpanGuard};

@@ -1,0 +1,238 @@
+//! Bounded, instrumented `Arc` artifact caches.
+//!
+//! [`ArtifactCache`] generalizes the keyed in-memory caches the bench
+//! harness grew organically (`shared_lut_model`, `cached_model`): a
+//! `Mutex<HashMap<K, Arc<V>>>` with three additions those lacked —
+//!
+//! 1. a **capacity bound** with FIFO (insertion-order) eviction, so a
+//!    long-running service sweeping many keys cannot grow without bound;
+//! 2. **observability**: hit/miss/eviction counters and a size
+//!    high-water-mark gauge, under caller-chosen static names;
+//! 3. an explicit [`clear`](ArtifactCache::clear) hook for callers that
+//!    prefer manual lifecycle control over eviction.
+//!
+//! The lookup keeps the established benign-race contract: the builder
+//! runs *outside* the lock (it may train a model or sweep a LUT), so two
+//! threads missing the same key concurrently may both build, but
+//! insertion keeps exactly one copy and every caller gets a clone of that
+//! one `Arc`. Builders must therefore be deterministic for a fixed key —
+//! which every artifact in this workspace is.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// Static obs counter names for one cache (see [`ArtifactCache::new`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheStats {
+    /// Counter bumped on every lookup that found the key.
+    pub hit: &'static str,
+    /// Counter bumped on every lookup that had to build.
+    pub miss: &'static str,
+    /// Counter bumped once per evicted entry.
+    pub evict: &'static str,
+    /// High-water-mark gauge of the entry count.
+    pub size_hwm: &'static str,
+}
+
+struct CacheInner<K, V> {
+    map: HashMap<K, Arc<V>>,
+    /// Keys in insertion order — the FIFO eviction queue.
+    order: VecDeque<K>,
+}
+
+/// A bounded keyed cache of shared artifacts (module docs have the full
+/// contract).
+pub struct ArtifactCache<K, V> {
+    stats: CacheStats,
+    /// Maximum number of entries; `0` means unbounded.
+    capacity: usize,
+    inner: Mutex<CacheInner<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V> ArtifactCache<K, V> {
+    /// A cache holding at most `capacity` entries (`0` = unbounded),
+    /// reporting through the given counter names.
+    pub fn new(capacity: usize, stats: CacheStats) -> Self {
+        ArtifactCache {
+            stats,
+            capacity,
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+        }
+    }
+
+    /// Looks up `key`, running `build` only on a miss. Every caller for
+    /// the same key gets a clone of the same `Arc` (until the entry is
+    /// evicted or [`clear`](Self::clear)ed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; nothing is inserted on failure.
+    pub fn get_or_build<E>(
+        &self,
+        key: K,
+        build: impl FnOnce() -> std::result::Result<V, E>,
+    ) -> std::result::Result<Arc<V>, E> {
+        {
+            let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = inner.map.get(&key) {
+                rdo_obs::counter_add(self.stats.hit, 1);
+                return Ok(Arc::clone(v));
+            }
+        }
+        rdo_obs::counter_add(self.stats.miss, 1);
+        let built = Arc::new(build()?);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let value = if let Some(existing) = inner.map.get(&key) {
+            // a concurrent builder won the race; keep its copy
+            Arc::clone(existing)
+        } else {
+            inner.map.insert(key.clone(), Arc::clone(&built));
+            inner.order.push_back(key);
+            while self.capacity > 0 && inner.map.len() > self.capacity {
+                let Some(oldest) = inner.order.pop_front() else { break };
+                if inner.map.remove(&oldest).is_some() {
+                    rdo_obs::counter_add(self.stats.evict, 1);
+                }
+            }
+            built
+        };
+        rdo_obs::counter_max(self.stats.size_hwm, inner.map.len() as u64);
+        Ok(value)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry (outstanding `Arc`s keep their artifacts alive).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const STATS: CacheStats = CacheStats {
+        hit: "test.cache.hit",
+        miss: "test.cache.miss",
+        evict: "test.cache.evict",
+        size_hwm: "test.cache.size_hwm",
+    };
+
+    fn ok(v: u32) -> impl FnOnce() -> std::result::Result<u32, Infallible> {
+        move || Ok(v)
+    }
+
+    #[test]
+    fn same_key_shares_one_arc_and_builds_once() {
+        let cache: ArtifactCache<&str, u32> = ArtifactCache::new(0, STATS);
+        let builds = AtomicUsize::new(0);
+        let build = || -> std::result::Result<u32, Infallible> {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok(7)
+        };
+        let a = cache.get_or_build("k", build).unwrap();
+        let b = cache.get_or_build("k", ok(99)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits must return the cached Arc");
+        assert_eq!(*b, 7, "the second builder must never run");
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache: ArtifactCache<u32, u32> = ArtifactCache::new(2, STATS);
+        cache.get_or_build(1, ok(10)).unwrap();
+        cache.get_or_build(2, ok(20)).unwrap();
+        cache.get_or_build(3, ok(30)).unwrap();
+        assert_eq!(cache.len(), 2, "capacity bound must hold");
+        // key 1 was inserted first → evicted; 2 and 3 remain cached
+        let rebuilt = AtomicUsize::new(0);
+        let probe = |cache: &ArtifactCache<u32, u32>, k: u32| {
+            cache
+                .get_or_build(k, || -> std::result::Result<u32, Infallible> {
+                    rebuilt.fetch_add(1, Ordering::SeqCst);
+                    Ok(0)
+                })
+                .unwrap()
+        };
+        assert_eq!(*probe(&cache, 2), 20);
+        assert_eq!(*probe(&cache, 3), 30);
+        assert_eq!(rebuilt.load(Ordering::SeqCst), 0, "2 and 3 must still be cached");
+        assert_eq!(*probe(&cache, 1), 0, "1 must have been evicted");
+        assert_eq!(rebuilt.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn builder_errors_propagate_and_insert_nothing() {
+        let cache: ArtifactCache<&str, u32> = ArtifactCache::new(0, STATS);
+        let r = cache.get_or_build("bad", || Err::<u32, _>("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        // the key is still buildable afterwards
+        assert_eq!(*cache.get_or_build("bad", ok(5)).unwrap(), 5);
+    }
+
+    #[test]
+    fn clear_empties_but_outstanding_arcs_survive() {
+        let cache: ArtifactCache<&str, u32> = ArtifactCache::new(0, STATS);
+        let kept = cache.get_or_build("k", ok(1)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(*kept, 1, "clear must not invalidate outstanding handles");
+        let rebuilt = cache.get_or_build("k", ok(2)).unwrap();
+        assert!(!Arc::ptr_eq(&kept, &rebuilt));
+    }
+
+    #[test]
+    fn cache_counters_account_traffic() {
+        rdo_obs::set_enabled(true);
+        let cache: ArtifactCache<u32, u32> = ArtifactCache::new(1, STATS);
+        let snap0 = rdo_obs::snapshot();
+        let at =
+            |snap: &rdo_obs::Snapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        cache.get_or_build(1, ok(1)).unwrap(); // miss
+        cache.get_or_build(1, ok(1)).unwrap(); // hit
+        cache.get_or_build(2, ok(2)).unwrap(); // miss + evicts 1
+        let snap = rdo_obs::snapshot();
+        assert!(at(&snap, STATS.miss) >= at(&snap0, STATS.miss) + 2);
+        assert!(at(&snap, STATS.hit) > at(&snap0, STATS.hit));
+        assert!(at(&snap, STATS.evict) > at(&snap0, STATS.evict));
+        assert!(snap.maxima.get(STATS.size_hwm).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn concurrent_misses_converge_on_one_arc() {
+        let cache: Arc<ArtifactCache<u32, u32>> = Arc::new(ArtifactCache::new(0, STATS));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_build(42, ok(7)).unwrap())
+            })
+            .collect();
+        let arcs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let canonical = cache.get_or_build(42, ok(0)).unwrap();
+        for a in &arcs {
+            assert!(Arc::ptr_eq(a, &canonical), "all threads must end with the kept copy");
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Std-only synchronization primitives for the serving engine: a bounded
+//! MPMC queue with a batch-draining receive, and a oneshot response
+//! channel.
+//!
+//! The workspace deliberately carries no external concurrency crates;
+//! everything here is `Mutex` + `Condvar`. The queue is the engine's
+//! request spine: any number of client threads [`send`](Sender::send)
+//! into it, any number of workers drain it in coalesced batches via
+//! [`recv_many`](Receiver::recv_many) — the primitive the dynamic
+//! batcher is built on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<ChannelState<T>>,
+    /// Signalled when an item arrives or the channel closes.
+    not_empty: Condvar,
+    /// Signalled when capacity frees up.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// Creates a bounded MPMC channel of at most `capacity` queued items
+/// (clamped to at least 1). Both ends are cloneable.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ChannelState { queue: VecDeque::new(), closed: false }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// Producing end of a [`channel`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Consuming end of a [`channel`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `item`, blocking while the queue is at capacity. Returns
+    /// the queue depth right after the push (for high-water-mark
+    /// accounting), or the item back if the channel is closed.
+    pub fn send(&self, item: T) -> Result<usize, T> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(item);
+                let depth = state.queue.len();
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(depth);
+            }
+            state = self.shared.not_full.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the channel: further sends fail, receivers drain what is
+    /// queued and then observe the end of the stream.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.closed = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Current queue depth (racy by nature; for gauges only).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|p| p.into_inner()).queue.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues one item, blocking until one arrives. `None` once the
+    /// channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.not_empty.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Drains a coalesced batch: blocks for the first item, then keeps
+    /// collecting until `max` items are in hand or `linger` has elapsed
+    /// since the first one — the dynamic-batching primitive. Returns an
+    /// empty vector only when the channel is closed and drained.
+    pub fn recv_many(&self, max: usize, linger: Duration) -> Vec<T> {
+        let max = max.max(1);
+        let mut batch = Vec::with_capacity(max.min(64));
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        // phase 1: block for the first item (or closure)
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.closed {
+                return batch;
+            }
+            state = self.shared.not_empty.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+        // phase 2: coalesce until the batch is full or the linger deadline
+        // passes; items already queued are taken without waiting
+        let deadline = Instant::now() + linger;
+        loop {
+            while batch.len() < max {
+                match state.queue.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+            if timeout.timed_out() && state.queue.is_empty() {
+                break;
+            }
+        }
+        drop(state);
+        self.shared.not_full.notify_all();
+        batch
+    }
+}
+
+// ---------------------------------------------------------------------------
+// oneshot
+// ---------------------------------------------------------------------------
+
+enum OneshotState<T> {
+    Empty,
+    Value(T),
+    /// The sender was dropped without sending.
+    Disconnected,
+}
+
+struct OneshotShared<T> {
+    state: Mutex<OneshotState<T>>,
+    ready: Condvar,
+}
+
+/// Creates a single-value channel: the worker [`send`](OneshotSender::send)s
+/// one response, the requesting client [`recv`](OneshotReceiver::recv)s it.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let shared =
+        Arc::new(OneshotShared { state: Mutex::new(OneshotState::Empty), ready: Condvar::new() });
+    (OneshotSender { shared: Arc::clone(&shared), sent: false }, OneshotReceiver { shared })
+}
+
+/// Producing end of a [`oneshot`] channel; consumed by the one send.
+pub struct OneshotSender<T> {
+    shared: Arc<OneshotShared<T>>,
+    sent: bool,
+}
+
+/// Consuming end of a [`oneshot`] channel.
+pub struct OneshotReceiver<T> {
+    shared: Arc<OneshotShared<T>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value and wakes the receiver.
+    pub fn send(mut self, value: T) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = OneshotState::Value(value);
+        self.sent = true;
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*state, OneshotState::Empty) {
+            *state = OneshotState::Disconnected;
+        }
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl<T> OneshotReceiver<T> {
+    /// Blocks for the value; `None` if the sender was dropped without
+    /// sending (e.g. a worker died mid-batch).
+    pub fn recv(self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match std::mem::replace(&mut *state, OneshotState::Empty) {
+                OneshotState::Value(v) => return Some(v),
+                OneshotState::Disconnected => return None,
+                OneshotState::Empty => {
+                    state = self.shared.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn channel_roundtrips_in_order() {
+        let (tx, rx) = channel(8);
+        assert_eq!(tx.send(1), Ok(1));
+        assert_eq!(tx.send(2), Ok(2));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (tx, rx) = channel(8);
+        tx.send(7).unwrap();
+        tx.close();
+        assert!(tx.send(8).is_err(), "send after close must fail");
+        assert_eq!(rx.recv(), Some(7), "queued items survive closure");
+        assert_eq!(rx.recv(), None);
+        assert!(rx.recv_many(4, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = channel(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        // the blocked sender completes once we drain one slot
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(t.join().unwrap(), Ok(1));
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn recv_many_takes_what_is_queued_without_lingering() {
+        let (tx, rx) = channel(16);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        // max smaller than the queue: exactly max, no waiting
+        let batch = rx.recv_many(3, Duration::from_secs(10));
+        assert_eq!(batch, vec![0, 1, 2]);
+        // max larger than the queue: the linger deadline bounds the wait
+        let batch = rx.recv_many(10, Duration::from_millis(1));
+        assert_eq!(batch, vec![3, 4]);
+    }
+
+    #[test]
+    fn recv_many_coalesces_late_arrivals_within_linger() {
+        let (tx, rx) = channel(16);
+        tx.send(0).unwrap();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        let batch = rx.recv_many(3, Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(batch, vec![0, 1, 2], "late arrivals within the linger window coalesce");
+    }
+
+    #[test]
+    fn mpmc_distributes_all_items_exactly_once() {
+        let (tx, rx) = channel(32);
+        let n = 200;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..n / 4 {
+                        tx.send(p * (n / 4) + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let batch = rx.recv_many(8, Duration::from_millis(1));
+                        if batch.is_empty() {
+                            return got;
+                        }
+                        got.extend(batch);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        tx.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oneshot_delivers_and_reports_disconnect() {
+        let (tx, rx) = oneshot();
+        tx.send(42);
+        assert_eq!(rx.recv(), Some(42));
+
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), None, "dropped sender must not hang the receiver");
+    }
+
+    #[test]
+    fn oneshot_crosses_threads() {
+        let (tx, rx) = oneshot();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(2));
+            tx.send("done");
+        });
+        assert_eq!(rx.recv(), Some("done"));
+        t.join().unwrap();
+    }
+}

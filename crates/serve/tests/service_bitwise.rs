@@ -1,0 +1,97 @@
+//! End-to-end pin of the serving tentpole's correctness claim: batched
+//! service outputs are **bitwise identical** to serial per-request
+//! evaluation of the same programmed `MappedNetwork`, for every batching
+//! configuration — the repo's fast≡reference pattern applied to the
+//! request path.
+//!
+//! The snapshot under test is a real paper datapath: the 2-class fixture
+//! MLP mapped with PWT offsets at SLC σ=0.5, programmed for one CRW
+//! cycle at a fixed seed, served through its effective network.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rdo_core::testutil::trained_problem_2class;
+use rdo_core::{MappedNetwork, Method, OffsetConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_serve::{
+    bitwise_equal, run_saturation, serial_reference, ModelSnapshot, ServeConfig, ServeEngine,
+    SyntheticTraffic,
+};
+use rdo_tensor::rng::seeded_rng;
+
+/// One programmed paper-datapath snapshot at a fixed seed.
+fn programmed_snapshot() -> Arc<ModelSnapshot> {
+    let (net, _x, _labels) = trained_problem_2class();
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).expect("paper config");
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).expect("map");
+    mapped.program(&mut seeded_rng(77)).expect("program");
+    Arc::new(ModelSnapshot::from_mapped("fixture-2class/pwt", &mapped, &[5]).expect("snapshot"))
+}
+
+#[test]
+fn batched_service_is_bitwise_identical_to_serial_reference() {
+    let snap = programmed_snapshot();
+    let traffic = SyntheticTraffic::new(123, snap.sample_len());
+    let n = 96;
+
+    // the pin's anchor: the serial per-request path, no engine involved
+    let reference = serial_reference(&snap, &traffic, n).expect("serial reference");
+
+    // every coalescing regime must reproduce it bit for bit
+    let configs = [
+        ("unbatched", ServeConfig { max_batch: 1, linger: Duration::ZERO, ..Default::default() }),
+        ("small batches", ServeConfig { max_batch: 4, ..Default::default() }),
+        ("full batches", ServeConfig { max_batch: 64, ..Default::default() }),
+        (
+            "multi-worker",
+            ServeConfig { max_batch: 16, workers: 3, queue_capacity: 32, ..Default::default() },
+        ),
+        (
+            "zero linger",
+            ServeConfig { max_batch: 64, linger: Duration::ZERO, ..Default::default() },
+        ),
+    ];
+    for (label, config) in configs {
+        let report = run_saturation(&snap, config, &traffic, n).expect(label);
+        assert_eq!(report.requests, n, "{label}: every request must be served");
+        assert!(
+            bitwise_equal(&report.outputs, &reference),
+            "{label}: served logits must equal the serial reference bitwise"
+        );
+    }
+}
+
+#[test]
+fn reprogramming_at_the_same_seed_reproduces_the_service() {
+    // determinism end to end: rebuild the snapshot from scratch (fresh
+    // training, mapping, programming at the same seeds) and the service
+    // must produce the same bits.
+    let traffic_seed = 9;
+    let serve = |requests: usize| {
+        let snap = programmed_snapshot();
+        let traffic = SyntheticTraffic::new(traffic_seed, snap.sample_len());
+        run_saturation(&snap, ServeConfig::default(), &traffic, requests)
+            .expect("saturation")
+            .outputs
+    };
+    assert!(bitwise_equal(&serve(32), &serve(32)));
+}
+
+#[test]
+fn interactive_submissions_match_the_reference_too() {
+    // not just the harness: hand-submitted requests through a live client
+    let snap = programmed_snapshot();
+    let traffic = SyntheticTraffic::new(55, snap.sample_len());
+    let engine = ServeEngine::start(Arc::clone(&snap), ServeConfig::default());
+    let client = engine.client();
+    let pending: Vec<_> =
+        (0..20).map(|i| client.submit(traffic.payload(i)).expect("queue open")).collect();
+    let served: Vec<Vec<f32>> =
+        pending.into_iter().map(|p| p.wait().expect("served").output).collect();
+    engine.shutdown();
+    let reference = serial_reference(&snap, &traffic, 20).expect("serial reference");
+    assert!(bitwise_equal(&served, &reference));
+}

@@ -22,8 +22,14 @@ cargo bench --no-run
 echo "==> pwt criterion bench compiles (fast-vs-reference harness)"
 cargo bench -p rdo-bench --bench pwt --no-run
 
+echo "==> serve criterion bench compiles (snapshot forward + engine round trip)"
+cargo bench -p rdo-bench --bench serve --no-run
+
 echo "==> perf_report --quick (smoke: rewrites every results/BENCH_*.json)"
 cargo run --release -p rdo-bench --bin perf_report -- --quick
+
+echo "==> serve_bench --quick (smoke: dynamic batching + open-loop latency)"
+cargo run --release -p rdo-bench --bin serve_bench -- --quick
 
 echo "==> obs smoke: fig5a with RDO_OBS, then obs_report"
 OBS_LOG="target/rdo-obs/ci.jsonl"
@@ -54,7 +60,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs pwt devicezoo qint; do
+for name in gemm cycles vawo program obs pwt devicezoo qint serve; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -141,6 +147,35 @@ for row in rows:
 for required in ("slc_ideal", "slc_adc8", "mlc2_ideal", "mlc2_adc8"):
     if required not in configs:
         sys.exit(f"ci: BENCH_qint.json lacks the {required!r} config")
+PYEOF
+
+echo "==> BENCH_serve.json carries the batching-vs-serial serving schema"
+python3 - results/BENCH_serve.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for key in ("bench", "model", "requests", "workers", "max_batch", "linger_us",
+            "throughput", "open_loop", "bitwise_vs_serial", "pinned_requests"):
+    if key not in rec:
+        sys.exit(f"ci: BENCH_serve.json lacks required key {key!r}")
+if rec["bitwise_vs_serial"] is not True:
+    sys.exit("ci: BENCH_serve.json must pin batched == serial bitwise")
+tp = rec["throughput"]
+for key in ("batch1_rps", "dynamic_rps", "speedup_dynamic_vs_batch1",
+            "dynamic_mean_batch", "dynamic_max_batch"):
+    if key not in tp:
+        sys.exit(f"ci: BENCH_serve.json throughput lacks key {key!r}")
+if not tp["speedup_dynamic_vs_batch1"] > 0:
+    sys.exit("ci: BENCH_serve.json speedup_dynamic_vs_batch1 must be positive")
+ol = rec["open_loop"]
+for key in ("target_qps", "achieved_rps", "exact_quantiles", "samples",
+            "p50_ns", "p99_ns", "p999_ns", "max_ns", "mean_ns"):
+    if key not in ol:
+        sys.exit(f"ci: BENCH_serve.json open_loop lacks key {key!r}")
+for key in ("p50_ns", "p99_ns", "p999_ns", "max_ns"):
+    if not (isinstance(ol[key], int) and ol[key] > 0):
+        sys.exit(f"ci: BENCH_serve.json {key} must be a positive integer")
+if not ol["p50_ns"] <= ol["p99_ns"] <= ol["p999_ns"] <= ol["max_ns"]:
+    sys.exit("ci: BENCH_serve.json latency quantiles must be monotone")
 PYEOF
 
 echo "ci: all gates passed"
