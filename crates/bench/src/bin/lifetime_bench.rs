@@ -1,0 +1,45 @@
+//! Accuracy-over-device-lifetime harness for the live maintenance loop.
+//!
+//! Programs a PWT-mapped LeNet onto drift-relax devices and runs the
+//! [`rdo_serve::LifetimeEngine`] once per maintenance policy — `none`,
+//! `pwt-retune`, `selective-reprogram` — from bitwise-identical clones of
+//! the same programmed network, while a client keeps traffic flowing
+//! against the live service. Each arm's accuracy curve over the aging
+//! schedule, its repair accounting and its traffic counters land in
+//! `results/BENCH_lifetime.json` (mirrored to the repo root).
+//!
+//! Knobs: `RDO_LIFE_*` (schedule), `RDO_SERVE_*` (engine), `RDO_SEED`;
+//! `--help-env` prints the full registry table. Run with `--quick` for
+//! the CI smoke mode; regenerate the committed record with:
+//!
+//! ```text
+//! cargo run --release -p rdo-bench --bin lifetime_bench
+//! ```
+
+use rdo_bench::lifetime_harness::{lifetime_report, LifetimeBenchConfig};
+use rdo_bench::{env, write_bench_record, Result};
+
+fn main() -> Result<()> {
+    if std::env::args().any(|a| a == "--help-env") {
+        print!("{}", env::help_table());
+        return Ok(());
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = LifetimeBenchConfig::from_env(quick);
+    eprintln!(
+        "[lifetime] steps={} step_ratio={} threshold={} repair_frac={} nu={} \
+         requests={} seed={} quick={}",
+        cfg.life.steps,
+        cfg.life.step_ratio,
+        cfg.life.degradation_threshold,
+        cfg.life.repair_fraction,
+        cfg.nu,
+        cfg.requests,
+        cfg.seed,
+        cfg.quick,
+    );
+    let report = lifetime_report(&cfg)?;
+    write_bench_record("BENCH_lifetime", &report)?;
+    rdo_obs::flush();
+    Ok(())
+}

@@ -71,6 +71,10 @@ const SHAPES: &[(&str, usize, usize, usize)] = &[
 ];
 
 fn main() -> Result<()> {
+    if std::env::args().any(|a| a == "--help-env") {
+        print!("{}", rdo_bench::env::help_table());
+        return Ok(());
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 3 } else { 12 };
 

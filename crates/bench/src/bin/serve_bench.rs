@@ -23,14 +23,24 @@
 //! ```
 
 use rdo_bench::serve_harness::{serve_report, ServeBenchConfig};
-use rdo_bench::{write_bench_record, Result};
+use rdo_bench::{env, write_bench_record, Result};
 
 fn main() -> Result<()> {
+    if std::env::args().any(|a| a == "--help-env") {
+        print!("{}", env::help_table());
+        return Ok(());
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = ServeBenchConfig::from_env(quick);
     eprintln!(
         "[serve] requests={} qps={:.0} max_batch={} linger={}us workers={} seed={} quick={}",
-        cfg.requests, cfg.qps, cfg.max_batch, cfg.linger_us, cfg.workers, cfg.seed, cfg.quick,
+        cfg.requests,
+        cfg.qps,
+        cfg.serve.max_batch,
+        cfg.serve.linger.as_micros(),
+        cfg.serve.workers,
+        cfg.seed,
+        cfg.quick,
     );
     let report = serve_report(&cfg)?;
     write_bench_record("BENCH_serve", &report)?;

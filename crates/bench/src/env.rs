@@ -1,0 +1,270 @@
+//! The single registry of every `RDO_*` environment knob.
+//!
+//! Each config type that reads the environment — [`BenchConfig`]
+//! (`RDO_SCALE` & friends), [`rdo_serve::ServeConfig`] (`RDO_SERVE_*`),
+//! the load-harness knobs, and [`rdo_serve::LifetimeConfig`]
+//! (`RDO_LIFE_*`) — registers its knobs here, so there is exactly one
+//! place that knows the full set: the `--help-env` flag on `serve_bench`,
+//! `lifetime_bench` and `perf_report` prints [`help_table`], and the
+//! README's knob section defers to it instead of hand-maintaining a copy.
+//!
+//! The table is deliberately a static literal: a knob that is not listed
+//! here does not exist, and the duplicate-name test below keeps the three
+//! `from_env` families from colliding.
+//!
+//! [`BenchConfig`]: crate::BenchConfig
+
+/// One documented environment knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Knob {
+    /// Environment variable name (`RDO_*`).
+    pub name: &'static str,
+    /// Human-readable value type (`usize`, `f64`, `flag`, …).
+    pub ty: &'static str,
+    /// Default when unset or unparsable.
+    pub default: &'static str,
+    /// The config that reads it.
+    pub owner: &'static str,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+/// Every `RDO_*` knob, grouped by owning config in reading order.
+pub fn knobs() -> &'static [Knob] {
+    const KNOBS: &[Knob] = &[
+        // BenchConfig::from_env
+        Knob {
+            name: "RDO_SCALE",
+            ty: "fast|paper",
+            default: "fast",
+            owner: "BenchConfig",
+            doc: "dataset/network size preset",
+        },
+        Knob {
+            name: "RDO_CYCLES",
+            ty: "usize",
+            default: "5",
+            owner: "BenchConfig",
+            doc: "programming cycles averaged per experiment (§IV)",
+        },
+        Knob {
+            name: "RDO_SEED",
+            ty: "u64",
+            default: "0",
+            owner: "BenchConfig",
+            doc: "base RNG seed (training, programming, traffic)",
+        },
+        Knob {
+            name: "RDO_PWT_EPOCHS",
+            ty: "usize",
+            default: "5",
+            owner: "BenchConfig",
+            doc: "PWT tuning epochs",
+        },
+        Knob {
+            name: "RDO_THREADS",
+            ty: "usize",
+            default: "0 (auto)",
+            owner: "BenchConfig",
+            doc: "worker threads for grids/cycles; results identical at any value",
+        },
+        Knob {
+            name: "RDO_SIGMA",
+            ty: "f64",
+            default: "0.5",
+            owner: "BenchConfig",
+            doc: "default lognormal variation sigma",
+        },
+        Knob {
+            name: "RDO_CELL",
+            ty: "slc|mlc2",
+            default: "slc",
+            owner: "BenchConfig",
+            doc: "default cell kind",
+        },
+        Knob {
+            name: "RDO_DEVICE_MODEL",
+            ty: "spec",
+            default: "paper",
+            owner: "BenchConfig",
+            doc: "device-model zoo member (paper, level:stuck=0.01, driftrelax, diffpair:paper)",
+        },
+        Knob {
+            name: "RDO_QINT",
+            ty: "flag",
+            default: "off",
+            owner: "BenchConfig",
+            doc: "cross-check the integer bit-plane datapath every cycle",
+        },
+        Knob {
+            name: "RDO_OBS",
+            ty: "path|flag",
+            default: "off",
+            owner: "rdo-obs",
+            doc: "observability switch / JSONL sink path",
+        },
+        // load harness (serve_bench / perf_report)
+        Knob {
+            name: "RDO_SERVE_REQUESTS",
+            ty: "usize",
+            default: "40000 (2000 quick)",
+            owner: "load harness",
+            doc: "requests per saturation measurement",
+        },
+        Knob {
+            name: "RDO_SERVE_QPS",
+            ty: "f64",
+            default: "20000 (10000 quick)",
+            owner: "load harness",
+            doc: "open-loop target arrival rate",
+        },
+        // ServeConfig::from_env
+        Knob {
+            name: "RDO_SERVE_MAX_BATCH",
+            ty: "usize",
+            default: "64",
+            owner: "ServeConfig",
+            doc: "largest coalesced batch (1 disables batching)",
+        },
+        Knob {
+            name: "RDO_SERVE_LINGER_US",
+            ty: "u64",
+            default: "200",
+            owner: "ServeConfig",
+            doc: "straggler linger after a batch's first request, µs",
+        },
+        Knob {
+            name: "RDO_SERVE_WORKERS",
+            ty: "usize",
+            default: "1",
+            owner: "ServeConfig",
+            doc: "worker threads draining the request queue",
+        },
+        Knob {
+            name: "RDO_SERVE_QUEUE_CAP",
+            ty: "usize",
+            default: "1024",
+            owner: "ServeConfig",
+            doc: "queued-request bound (submitters block when full)",
+        },
+        // LifetimeConfig::from_env
+        Knob {
+            name: "RDO_LIFE_POLICY",
+            ty: "policy",
+            default: "pwt-retune",
+            owner: "LifetimeConfig",
+            doc: "maintenance policy: none | pwt-retune | selective-reprogram",
+        },
+        Knob {
+            name: "RDO_LIFE_STEPS",
+            ty: "usize",
+            default: "6",
+            owner: "LifetimeConfig",
+            doc: "evolve→probe→repair→publish steps per lifetime",
+        },
+        Knob {
+            name: "RDO_LIFE_STEP_RATIO",
+            ty: "f64",
+            default: "10",
+            owner: "LifetimeConfig",
+            doc: "per-step device-time ratio (steps compose multiplicatively)",
+        },
+        Knob {
+            name: "RDO_LIFE_THRESHOLD",
+            ty: "f64",
+            default: "0.02",
+            owner: "LifetimeConfig",
+            doc: "probe-accuracy drop from baseline that triggers the policy",
+        },
+        Knob {
+            name: "RDO_LIFE_REPAIR_FRAC",
+            ty: "f64",
+            default: "0.25",
+            owner: "LifetimeConfig",
+            doc: "fraction of columns re-programmed per selective repair",
+        },
+    ];
+    KNOBS
+}
+
+/// The aligned text table `--help-env` prints.
+pub fn help_table() -> String {
+    let name_w = knobs().iter().map(|k| k.name.len()).max().unwrap_or(0);
+    let ty_w = knobs().iter().map(|k| k.ty.len()).max().unwrap_or(0);
+    let default_w = knobs().iter().map(|k| k.default.len()).max().unwrap_or(0);
+    let owner_w = knobs().iter().map(|k| k.owner.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:<ty_w$}  {:<default_w$}  {:<owner_w$}  {}\n",
+        "knob", "type", "default", "read by", "description"
+    ));
+    for k in knobs() {
+        out.push_str(&format!(
+            "{:<name_w$}  {:<ty_w$}  {:<default_w$}  {:<owner_w$}  {}\n",
+            k.name, k.ty, k.default, k.owner, k.doc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn knob_names_are_unique_and_rdo_prefixed() {
+        let mut seen = BTreeSet::new();
+        for k in knobs() {
+            assert!(k.name.starts_with("RDO_"), "{} must carry the RDO_ prefix", k.name);
+            assert!(seen.insert(k.name), "duplicate knob registration: {}", k.name);
+            assert!(!k.doc.is_empty() && !k.default.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_from_env_family_is_registered() {
+        let names: BTreeSet<&str> = knobs().iter().map(|k| k.name).collect();
+        // one sentinel per from_env implementation; adding a knob to a
+        // config without registering it here must fail this test's twin
+        // review, and removing one must fail here
+        for required in [
+            "RDO_SCALE",
+            "RDO_CYCLES",
+            "RDO_SEED",
+            "RDO_PWT_EPOCHS",
+            "RDO_THREADS",
+            "RDO_SIGMA",
+            "RDO_CELL",
+            "RDO_DEVICE_MODEL",
+            "RDO_QINT",
+            "RDO_SERVE_REQUESTS",
+            "RDO_SERVE_QPS",
+            "RDO_SERVE_MAX_BATCH",
+            "RDO_SERVE_LINGER_US",
+            "RDO_SERVE_WORKERS",
+            "RDO_SERVE_QUEUE_CAP",
+            "RDO_LIFE_POLICY",
+            "RDO_LIFE_STEPS",
+            "RDO_LIFE_STEP_RATIO",
+            "RDO_LIFE_THRESHOLD",
+            "RDO_LIFE_REPAIR_FRAC",
+        ] {
+            assert!(names.contains(required), "knob {required} missing from the registry");
+        }
+    }
+
+    #[test]
+    fn help_table_lists_every_knob_once() {
+        let table = help_table();
+        for k in knobs() {
+            assert_eq!(
+                table.matches(k.name).count(),
+                1,
+                "{} must appear exactly once in the table",
+                k.name
+            );
+        }
+        assert!(table.lines().count() == knobs().len() + 1, "one row per knob plus the header");
+    }
+}

@@ -58,6 +58,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
+pub mod lifetime_harness;
 pub mod serve_harness;
 
 use std::fmt;
@@ -962,6 +964,8 @@ pub fn pct(a: f32) -> String {
 /// every harness type and entry point plus the method/cell enums the
 /// grid axes are made of.
 pub mod prelude {
+    pub use crate::env::{help_table, knobs, Knob};
+    pub use crate::lifetime_harness::{lifetime_report, LifetimeBenchConfig};
     pub use crate::serve_harness::{paper_shape_snapshot, serve_report, ServeBenchConfig};
     pub use crate::{
         cached_model, clear_artifact_caches, map_point, pct, prepare_lenet, prepare_resnet,
@@ -973,7 +977,10 @@ pub mod prelude {
     pub use crate::{map_only, run_method};
     pub use rdo_core::Method;
     pub use rdo_rram::{CellKind, DeviceModelSpec, DiffBase};
-    pub use rdo_serve::{ModelSnapshot, ServeConfig, ServeEngine, SyntheticTraffic};
+    pub use rdo_serve::{
+        LifetimeConfig, LifetimeEngine, MaintenancePolicy, ModelSnapshot, ServeConfig, ServeEngine,
+        SyntheticTraffic,
+    };
 }
 
 #[cfg(test)]

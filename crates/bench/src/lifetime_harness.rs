@@ -1,0 +1,312 @@
+//! The lifetime benchmark harness: accuracy-over-device-lifetime curves
+//! per maintenance policy, measured under live traffic.
+//!
+//! One scenario, three arms. A PWT-mapped ResNet-18 is programmed onto
+//! drift-relax devices ([`DeviceModelSpec::DriftRelax`]) and handed to a
+//! [`LifetimeEngine`] once per [`MaintenancePolicy`] — every arm starts
+//! from a bitwise-identical clone of the same programmed network. The
+//! engine ages the devices decade by decade while a client submits
+//! deterministic traffic against the live service; the background
+//! maintenance thread probes, repairs (or, in the `none` control arm,
+//! only watches) and publishes each step as a new snapshot generation.
+//!
+//! The formatted `BENCH_lifetime.json` record carries the shared
+//! monotone `time_axis`, one accuracy curve per policy, the per-arm
+//! repair/traffic accounting, and the headline `recovered_fraction`: of
+//! the accuracy the unmaintained arm loses by end of life, the share the
+//! pwt-retune arm wins back. Zero failed requests is part of the schema —
+//! snapshot swaps must never drop traffic.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use rdo_core::{tune, MappedNetwork, Method, OffsetConfig, PwtConfig};
+use rdo_rram::{CellKind, DeviceModelSpec};
+use rdo_serve::{LifetimeConfig, LifetimeEngine, MaintenancePolicy, SyntheticTraffic};
+use rdo_tensor::rng::seeded_rng;
+
+use crate::{prepare_resnet, shared_lut_model, BenchConfig, BenchError, Result};
+
+/// Knobs of one lifetime benchmark run. The schedule is a first-class
+/// [`LifetimeConfig`] (its `policy` field is overridden per arm); ν and
+/// the traffic volume are the scenario, like σ in the serving bench.
+#[derive(Debug, Clone)]
+pub struct LifetimeBenchConfig {
+    /// Per-arm lifetime schedule (`RDO_LIFE_*` via
+    /// [`LifetimeConfig::from_env()`]; the policy field is swept).
+    pub life: LifetimeConfig,
+    /// Drift-relax ν — strong enough that the unmaintained arm visibly
+    /// degrades within the configured steps.
+    pub nu: f64,
+    /// Requests submitted against the live service per policy arm.
+    pub requests: usize,
+    /// Base seed (`RDO_SEED`): training, programming, traffic.
+    pub seed: u64,
+    /// Smoke mode: fewer steps/epochs/requests, CI-friendly wall clock.
+    pub quick: bool,
+}
+
+impl LifetimeBenchConfig {
+    /// Defaults for one mode.
+    pub fn defaults(quick: bool) -> Self {
+        let life = LifetimeConfig::builder()
+            .steps(if quick { 3 } else { 5 })
+            .step_ratio(10.0)
+            .degradation_threshold(0.02)
+            .repair_fraction(0.25)
+            .pwt(PwtConfig {
+                epochs: if quick { 2 } else { 4 },
+                lr_decay: 0.75,
+                ..Default::default()
+            })
+            .step_interval(Duration::from_millis(2))
+            .build();
+        LifetimeBenchConfig {
+            life,
+            nu: 0.02,
+            requests: if quick { 300 } else { 2_000 },
+            seed: 0,
+            quick,
+        }
+    }
+
+    /// [`defaults`](Self::defaults) overridden by the environment. The
+    /// schedule knobs parse once, in [`LifetimeConfig::from_env()`]
+    /// (`RDO_LIFE_*`, `RDO_SERVE_*`); knobs the environment leaves at the
+    /// library default get the quick-aware bench schedule instead.
+    pub fn from_env(quick: bool) -> Self {
+        fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok().and_then(|s| s.parse().ok())
+        }
+        let d = Self::defaults(quick);
+        let lib = LifetimeConfig::default();
+        let mut life = LifetimeConfig::from_env();
+        if life.steps == lib.steps {
+            life.steps = d.life.steps;
+        }
+        life.pwt = d.life.pwt;
+        life.step_interval = d.life.step_interval;
+        let seed = parsed::<u64>("RDO_SEED").unwrap_or(d.seed);
+        life.seed = seed;
+        LifetimeBenchConfig { life, nu: d.nu, requests: d.requests, seed, quick }
+    }
+}
+
+/// One policy arm's measurements.
+struct PolicyArm {
+    policy: MaintenancePolicy,
+    time_axis: Vec<f64>,
+    accuracy_pre: Vec<f32>,
+    accuracy: Vec<f32>,
+    baseline_accuracy: f32,
+    retunes: u64,
+    swaps: u64,
+    reprogrammed_columns: usize,
+    requests: u64,
+    failed_requests: u64,
+    generations_seen: usize,
+}
+
+fn fmt_f32s(xs: &[f32]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| format!("{x:.4}")).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn fmt_f64s(xs: &[f64]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn run_policy(
+    policy: MaintenancePolicy,
+    mapped: &MappedNetwork,
+    probe_images: &rdo_tensor::Tensor,
+    probe_labels: &[usize],
+    sample_dims: &[usize],
+    cfg: &LifetimeBenchConfig,
+) -> Result<PolicyArm> {
+    let mut life = cfg.life.clone();
+    life.policy = policy;
+    let engine = LifetimeEngine::start(
+        mapped.clone(),
+        probe_images.clone(),
+        probe_labels.to_vec(),
+        "resnet18/pwt/driftrelax",
+        sample_dims,
+        life,
+    )?;
+    let client = engine.client();
+    let traffic = SyntheticTraffic::new(cfg.seed.wrapping_add(3), client.sample_len());
+    let mut failed = 0u64;
+    let mut generations = BTreeSet::new();
+    for i in 0..cfg.requests {
+        match client.submit(traffic.payload(i as u64)).and_then(|p| p.wait()) {
+            Ok(resp) => {
+                generations.insert(resp.generation);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let (report, stats) = engine.finish()?;
+    eprintln!(
+        "[lifetime] {policy}: baseline {:.4} -> final {:.4} over {} steps \
+         ({} retunes, {} columns reprogrammed, {} requests, {failed} failed)",
+        report.baseline_accuracy,
+        report.final_accuracy(),
+        report.steps.len(),
+        report.retunes,
+        report.steps.iter().map(|s| s.reprogrammed_columns).sum::<usize>(),
+        stats.requests,
+    );
+    Ok(PolicyArm {
+        policy,
+        time_axis: report.steps.iter().map(|s| s.time_ratio).collect(),
+        accuracy_pre: report.steps.iter().map(|s| s.accuracy_pre).collect(),
+        accuracy: report.steps.iter().map(|s| s.accuracy).collect(),
+        baseline_accuracy: report.baseline_accuracy,
+        retunes: report.retunes,
+        swaps: report.swaps,
+        reprogrammed_columns: report.steps.iter().map(|s| s.reprogrammed_columns).sum(),
+        requests: stats.requests,
+        failed_requests: failed,
+        generations_seen: generations.len(),
+    })
+}
+
+/// Runs all three policy arms and formats the `BENCH_lifetime.json`
+/// document.
+///
+/// # Errors
+///
+/// Propagates mapping/engine errors, and fails loudly when the arms
+/// disagree on the time axis or baseline — that would mean the scenario
+/// is not the controlled comparison the record claims.
+pub fn lifetime_report(cfg: &LifetimeBenchConfig) -> Result<String> {
+    let model = prepare_resnet(&BenchConfig::builder().seed(cfg.seed).build())?;
+    let sigma = 0.5;
+    let spec = DeviceModelSpec::DriftRelax { relax: 0.05, nu: cfg.nu };
+    let off = OffsetConfig::with_device(CellKind::Slc, sigma, 16, spec)?;
+    let lut = shared_lut_model(CellKind::Slc, sigma, spec)?;
+    let mut mapped = MappedNetwork::map(&model.net, Method::Pwt, &off, &lut, None)?;
+    mapped.program(&mut seeded_rng(cfg.seed.wrapping_add(11)))?;
+    tune(&mut mapped, model.train.images(), model.train.labels(), &cfg.life.pwt)?;
+    let sample_dims: Vec<usize> = model.test.images().dims()[1..].to_vec();
+
+    let mut arms = Vec::new();
+    for policy in MaintenancePolicy::all() {
+        arms.push(run_policy(
+            policy,
+            &mapped,
+            model.train.images(),
+            model.train.labels(),
+            &sample_dims,
+            cfg,
+        )?);
+    }
+
+    // every arm ages an identical clone on the same schedule: the time
+    // axis and the pre-maintenance baseline must agree bitwise
+    for arm in &arms[1..] {
+        if arm.time_axis != arms[0].time_axis {
+            return Err(BenchError::Serve(rdo_serve::ServeError::Worker(format!(
+                "policy arms disagree on the time axis: {:?} vs {:?}",
+                arm.time_axis, arms[0].time_axis
+            ))));
+        }
+        if arm.baseline_accuracy.to_bits() != arms[0].baseline_accuracy.to_bits() {
+            return Err(BenchError::Serve(rdo_serve::ServeError::Worker(format!(
+                "policy arms disagree on the baseline accuracy: {} vs {}",
+                arm.baseline_accuracy, arms[0].baseline_accuracy
+            ))));
+        }
+    }
+
+    let baseline = arms[0].baseline_accuracy;
+    let none = arms.iter().find(|a| a.policy == MaintenancePolicy::None).expect("swept");
+    let retune = arms.iter().find(|a| a.policy == MaintenancePolicy::PwtRetune).expect("swept");
+    let none_final = *none.accuracy.last().unwrap_or(&baseline);
+    let retune_final = *retune.accuracy.last().unwrap_or(&baseline);
+    let lost = f64::from(baseline - none_final);
+    let recovered_fraction = if lost > 0.0 {
+        (f64::from(retune_final - none_final) / lost).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    eprintln!(
+        "[lifetime] no maintenance loses {:.4} accuracy; pwt-retune recovers \
+         {recovered_fraction:.2} of it",
+        lost,
+    );
+
+    let policy_docs: Vec<String> = arms
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{\n      \"policy\": \"{}\",\n      \
+                 \"accuracy\": {},\n      \"accuracy_pre\": {},\n      \
+                 \"retunes\": {}, \"swaps\": {}, \"reprogrammed_columns\": {},\n      \
+                 \"final_accuracy\": {:.4},\n      \
+                 \"requests\": {}, \"failed_requests\": {}, \"generations_seen\": {}\n    }}",
+                a.policy,
+                fmt_f32s(&a.accuracy),
+                fmt_f32s(&a.accuracy_pre),
+                a.retunes,
+                a.swaps,
+                a.reprogrammed_columns,
+                a.accuracy.last().unwrap_or(&a.baseline_accuracy),
+                a.requests,
+                a.failed_requests,
+                a.generations_seen,
+            )
+        })
+        .collect();
+
+    Ok(format!(
+        "{{\n  \"bench\": \"lifetime\",\n  \"quick\": {quick},\n  \
+         \"model\": \"{model_name}\",\n  \
+         \"device_model\": \"driftrelax(relax=0.05, nu={nu})\",\n  \
+         \"steps\": {steps}, \"step_ratio\": {step_ratio:.1}, \
+         \"threshold\": {threshold}, \"repair_fraction\": {repair_fraction}, \
+         \"seed\": {seed},\n  \
+         \"baseline_accuracy\": {baseline:.4},\n  \
+         \"time_axis\": {time_axis},\n  \
+         \"policies\": [\n{policies}\n  ],\n  \
+         \"accuracy_lost_no_maintenance\": {lost:.4},\n  \
+         \"recovered_fraction_pwt_retune\": {recovered_fraction:.4}\n}}\n",
+        quick = cfg.quick,
+        model_name = model.name,
+        nu = cfg.nu,
+        steps = cfg.life.steps,
+        step_ratio = cfg.life.step_ratio,
+        threshold = cfg.life.degradation_threshold,
+        repair_fraction = cfg.life.repair_fraction,
+        seed = cfg.seed,
+        baseline = baseline,
+        time_axis = fmt_f64s(&arms[0].time_axis),
+        policies = policy_docs.join(",\n"),
+        lost = lost,
+        recovered_fraction = recovered_fraction,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_quick() {
+        let q = LifetimeBenchConfig::defaults(true);
+        let f = LifetimeBenchConfig::defaults(false);
+        assert!(q.life.steps < f.life.steps);
+        assert!(q.requests < f.requests);
+        assert_eq!(q.life.step_ratio, 10.0);
+        assert!(q.nu > 0.0);
+    }
+
+    #[test]
+    fn array_formatting_is_json() {
+        assert_eq!(fmt_f32s(&[0.5, 0.25]), "[0.5000, 0.2500]");
+        assert_eq!(fmt_f64s(&[10.0, 100.0]), "[10.0, 100.0]");
+        assert_eq!(fmt_f32s(&[]), "[]");
+    }
+}

@@ -31,22 +31,21 @@ use rdo_tensor::rng::seeded_rng;
 
 use crate::{shared_lut, BenchError, Result};
 
-/// Knobs of one serving benchmark run, read from `RDO_SERVE_*` by the
-/// binaries (falling back to `--quick`-dependent defaults) or filled
-/// directly by programmatic callers.
+/// Knobs of one serving benchmark run: the *load* description
+/// (`RDO_SERVE_REQUESTS`, `RDO_SERVE_QPS`, `RDO_SEED`) plus the engine
+/// configuration, which is a first-class [`ServeConfig`] — the binaries
+/// fill it via [`ServeConfig::from_env()`] instead of re-parsing the
+/// `RDO_SERVE_*` engine knobs here. The full knob table lives in
+/// [`crate::env`] (`--help-env`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeBenchConfig {
     /// Requests per saturation measurement (`RDO_SERVE_REQUESTS`).
     pub requests: usize,
     /// Open-loop target arrival rate (`RDO_SERVE_QPS`).
     pub qps: f64,
-    /// Largest coalesced batch of the dynamic engine
-    /// (`RDO_SERVE_MAX_BATCH`).
-    pub max_batch: usize,
-    /// Batcher linger deadline in microseconds (`RDO_SERVE_LINGER_US`).
-    pub linger_us: u64,
-    /// Worker threads (`RDO_SERVE_WORKERS`).
-    pub workers: usize,
+    /// Dynamic-batching engine configuration (`RDO_SERVE_{MAX_BATCH,
+    /// LINGER_US,WORKERS,QUEUE_CAP}` via [`ServeConfig::from_env()`]).
+    pub serve: ServeConfig,
     /// Base seed for snapshot programming and traffic (`RDO_SEED`).
     pub seed: u64,
     /// Smoke mode: fewer requests, CI-friendly wall clock.
@@ -60,16 +59,15 @@ impl ServeBenchConfig {
         ServeBenchConfig {
             requests: if quick { 2_000 } else { 40_000 },
             qps: if quick { 10_000.0 } else { 20_000.0 },
-            max_batch: 64,
-            linger_us: 200,
-            workers: 1,
+            serve: ServeConfig::default(),
             seed: 0,
             quick,
         }
     }
 
-    /// [`defaults`](Self::defaults) overridden by the `RDO_SERVE_*`
-    /// environment knobs (and `RDO_SEED` for the seed).
+    /// [`defaults`](Self::defaults) overridden by the environment: the
+    /// load knobs (`RDO_SERVE_REQUESTS`, `RDO_SERVE_QPS`, `RDO_SEED`)
+    /// parse here, the engine knobs through [`ServeConfig::from_env()`].
     pub fn from_env(quick: bool) -> Self {
         fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
             std::env::var(key).ok().and_then(|s| s.parse().ok())
@@ -82,24 +80,17 @@ impl ServeBenchConfig {
             qps: parsed::<f64>("RDO_SERVE_QPS")
                 .filter(|q| q.is_finite() && *q > 0.0)
                 .unwrap_or(d.qps),
-            max_batch: parsed::<usize>("RDO_SERVE_MAX_BATCH")
-                .filter(|&b| b > 0)
-                .unwrap_or(d.max_batch),
-            linger_us: parsed::<u64>("RDO_SERVE_LINGER_US").unwrap_or(d.linger_us),
-            workers: parsed::<usize>("RDO_SERVE_WORKERS").filter(|&w| w > 0).unwrap_or(d.workers),
+            serve: ServeConfig::from_env(),
             seed: parsed::<u64>("RDO_SEED").unwrap_or(d.seed),
             quick,
         }
     }
 
     /// The dynamic-batching engine configuration these knobs describe.
+    #[deprecated(note = "the engine configuration is the first-class `serve` field now; \
+                read it directly (it is filled by ServeConfig::from_env())")]
     pub fn serve_cfg(&self) -> ServeConfig {
-        ServeConfig {
-            max_batch: self.max_batch,
-            linger: Duration::from_micros(self.linger_us),
-            workers: self.workers,
-            queue_capacity: 1024,
-        }
+        self.serve
     }
 }
 
@@ -159,7 +150,7 @@ pub fn paper_shape_snapshot(seed: u64) -> Result<Arc<ModelSnapshot>> {
 pub fn serve_report(cfg: &ServeBenchConfig) -> Result<String> {
     let snapshot = paper_shape_snapshot(cfg.seed)?;
     let traffic = SyntheticTraffic::new(cfg.seed.wrapping_add(1), snapshot.sample_len());
-    let dynamic_cfg = cfg.serve_cfg();
+    let dynamic_cfg = cfg.serve;
     let batch1_cfg = ServeConfig { max_batch: 1, linger: Duration::ZERO, ..dynamic_cfg };
 
     // correctness first: the serial reference is O(requests) single
@@ -232,9 +223,9 @@ pub fn serve_report(cfg: &ServeBenchConfig) -> Result<String> {
         quick = cfg.quick,
         model = snapshot.name(),
         requests = cfg.requests,
-        workers = cfg.workers,
-        max_batch = cfg.max_batch,
-        linger_us = cfg.linger_us,
+        workers = cfg.serve.workers,
+        max_batch = cfg.serve.max_batch,
+        linger_us = cfg.serve.linger.as_micros(),
         seed = cfg.seed,
         b1_rps = batch1.rps,
         b1_wall = batch1.wall_ns,
@@ -259,10 +250,13 @@ mod tests {
         let f = ServeBenchConfig::defaults(false);
         assert!(q.requests < f.requests);
         assert!(q.quick && !f.quick);
-        assert_eq!(q.max_batch, 64);
-        let serve = f.serve_cfg();
-        assert_eq!(serve.max_batch, 64);
-        assert_eq!(serve.linger, Duration::from_micros(200));
+        assert_eq!(q.serve.max_batch, 64);
+        assert_eq!(f.serve.max_batch, 64);
+        assert_eq!(f.serve.linger, Duration::from_micros(200));
+        // the deprecated accessor stays an alias for the embedded config
+        #[allow(deprecated)]
+        let via_accessor = f.serve_cfg();
+        assert_eq!(via_accessor, f.serve);
     }
 
     #[test]
@@ -281,9 +275,11 @@ mod tests {
         let cfg = ServeBenchConfig {
             requests: 256,
             qps: 20_000.0,
-            max_batch: 16,
-            linger_us: 100,
-            workers: 1,
+            serve: ServeConfig::builder()
+                .max_batch(16)
+                .linger(Duration::from_micros(100))
+                .workers(1)
+                .build(),
             seed: 7,
             quick: true,
         };

@@ -60,7 +60,9 @@ pub use gradient::{
 };
 pub use mapping::{MappedLayer, MappedNetwork};
 pub use offsets::{correct_group_sum, GroupLayout, OffsetState};
-pub use pwt::{tune, tune_reference, tune_with_scratch, PwtConfig, PwtOptimizer, PwtReport};
+pub use pwt::{
+    tune, tune_incremental, tune_reference, tune_with_scratch, PwtConfig, PwtOptimizer, PwtReport,
+};
 pub use scratch::PwtScratch;
 pub use vawo::{
     complement_weight, optimize_matrix, optimize_matrix_reference, optimize_matrix_with_threads,

@@ -428,6 +428,79 @@ impl MappedNetwork {
         Ok(())
     }
 
+    /// Re-programs a subset of one layer's crossbar *columns* with fresh
+    /// devices, keeping every other cell and all offsets untouched.
+    ///
+    /// Columns are output neurons in the crossbar orientation, so this is
+    /// the selective-repair primitive of a serving maintenance loop: after
+    /// drift, [`rdo_rram::column_deviation`] ranks the worst-drifted
+    /// columns and only those are re-written — far fewer programming
+    /// pulses than a full [`MappedNetwork::reprogram_devices`]. The
+    /// gathered sub-matrix is programmed through the same model dispatch
+    /// as a full cycle (zoo trait or legacy per-weight path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown layer, an
+    /// out-of-range column, an unprogrammed network, or a DDV/CCV-split
+    /// configuration (whose per-cell factors are tied to full-array
+    /// programming).
+    pub fn reprogram_columns(
+        &mut self,
+        layer_index: usize,
+        columns: &[usize],
+        rng: &mut impl Rng,
+    ) -> Result<()> {
+        if self.ddv.is_some() {
+            return Err(CoreError::InvalidConfig(
+                "column re-programming is not supported with DDV/CCV splitting".to_string(),
+            ));
+        }
+        let zoo = self.zoo_model();
+        let n_layers = self.layers.len();
+        let layer = self.layers.get_mut(layer_index).ok_or_else(|| {
+            CoreError::InvalidConfig(format!("layer {layer_index} of {n_layers} does not exist"))
+        })?;
+        let (rows, cols) = (layer.ctw.dims()[0], layer.ctw.dims()[1]);
+        if let Some(&bad) = columns.iter().find(|&&c| c >= cols) {
+            return Err(CoreError::InvalidConfig(format!(
+                "column {bad} out of range for a {cols}-column crossbar"
+            )));
+        }
+        let crw = layer
+            .crw
+            .as_mut()
+            .ok_or_else(|| CoreError::InvalidConfig("layer has not been programmed".to_string()))?;
+        if columns.is_empty() {
+            return Ok(());
+        }
+        // gather the targeted CTW columns into a dense [rows, k] panel …
+        let k = columns.len();
+        let ctw = layer.ctw.data();
+        let mut panel = vec![0.0f32; rows * k];
+        for r in 0..rows {
+            for (j, &c) in columns.iter().enumerate() {
+                panel[r * k + j] = ctw[r * cols + c];
+            }
+        }
+        let panel = Tensor::from_vec(panel, &[rows, k])?;
+        // … program it like a full cycle …
+        let fresh = match &zoo {
+            Some(model) => program_matrix_model(&panel, &self.cfg.codec, &**model, rng)?,
+            None => program_matrix(&panel, &self.cfg.codec, &self.cfg.variation, rng)?,
+        };
+        // … and scatter the fresh devices back into the live CRW
+        let fresh = fresh.data();
+        let dst = crw.data_mut();
+        for r in 0..rows {
+            for (j, &c) in columns.iter().enumerate() {
+                dst[r * cols + c] = fresh[r * k + j];
+            }
+        }
+        rdo_obs::counter_add("core.reprogram.columns", k as u64);
+        Ok(())
+    }
+
     /// Evolves the programmed devices through the configured device
     /// model's time hook ([`rdo_rram::DeviceModel::evolve`]):
     /// deterministic retention behaviour such as the drift-relax model's
@@ -852,6 +925,41 @@ mod tests {
         let b0 = paper.layers()[0].crw.clone().unwrap();
         paper.evolve_devices(100.0).unwrap();
         assert_eq!(paper.layers()[0].crw.as_ref().unwrap(), &b0);
+    }
+
+    #[test]
+    fn reprogram_columns_touches_only_the_selected_columns() {
+        let (cfg, lut) = setup(0.5);
+        let net = mlp(9);
+        let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        assert!(mapped.reprogram_columns(0, &[0], &mut seeded_rng(1)).is_err());
+        mapped.program(&mut seeded_rng(1)).unwrap();
+        let before = mapped.layers()[0].crw.clone().unwrap();
+        let cols = before.dims()[1];
+        let picked = [0usize, cols - 1];
+        mapped.reprogram_columns(0, &picked, &mut seeded_rng(42)).unwrap();
+        let after = mapped.layers()[0].crw.clone().unwrap();
+        let rows = before.dims()[0];
+        let mut changed = 0usize;
+        for r in 0..rows {
+            for c in 0..cols {
+                let (a, b) = (before.data()[r * cols + c], after.data()[r * cols + c]);
+                if picked.contains(&c) {
+                    changed += usize::from(a.to_bits() != b.to_bits());
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits(), "untouched column {c} must not move");
+                }
+            }
+        }
+        assert!(changed > 0, "re-programmed columns must hold fresh draws");
+        // determinism: the same rng seed re-writes the same devices
+        let mut twin = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+        twin.program(&mut seeded_rng(1)).unwrap();
+        twin.reprogram_columns(0, &picked, &mut seeded_rng(42)).unwrap();
+        assert_eq!(twin.layers()[0].crw.as_ref().unwrap(), &after);
+        // out-of-range and unknown-layer validation
+        assert!(mapped.reprogram_columns(0, &[cols], &mut seeded_rng(2)).is_err());
+        assert!(mapped.reprogram_columns(99, &[0], &mut seeded_rng(2)).is_err());
     }
 
     #[test]

@@ -141,13 +141,16 @@ fn apply_update(
 }
 
 /// Validates the run and performs the shared zeroth step: least-squares
-/// mean-matching from the measured CRWs, building the evaluation network
-/// and re-estimating batch-norm statistics against the perturbed weights.
+/// mean-matching from the measured CRWs (skipped on a `warm` start, which
+/// keeps the offsets a previous tune left behind), building the evaluation
+/// network and re-estimating batch-norm statistics against the perturbed
+/// weights.
 fn validate_and_prepare(
     mapped: &mut MappedNetwork,
     images: &Tensor,
     labels: &[usize],
     cfg: &PwtConfig,
+    warm: bool,
 ) -> Result<(usize, Sequential)> {
     if cfg.epochs == 0 || cfg.batch_size == 0 {
         return Err(CoreError::InvalidConfig(
@@ -161,7 +164,9 @@ fn validate_and_prepare(
             labels: labels.len(),
         }));
     }
-    mapped.init_offsets_mean_matching()?;
+    if !warm {
+        mapped.init_offsets_mean_matching()?;
+    }
     let mut net = mapped.effective_network()?;
     // batch norm is digital: re-estimate its running statistics against
     // the perturbed weights before training the offsets
@@ -246,8 +251,46 @@ pub fn tune_with_scratch(
     cfg: &PwtConfig,
     scratch: &mut PwtScratch,
 ) -> Result<PwtReport> {
+    tune_impl(mapped, images, labels, cfg, scratch, false)
+}
+
+/// Warm-start re-tuning for an *evolved* crossbar: trains the offsets
+/// starting from their current values instead of re-running the
+/// mean-matching initialization.
+///
+/// This is the maintenance entry point of a serving lifetime loop: after
+/// [`MappedNetwork::evolve_devices`] has decayed the CRWs, the tuned
+/// offsets are stale but usually close, so a short incremental re-tune
+/// (often a single epoch) recovers most of the lost accuracy at a
+/// fraction of a cold [`tune`]'s cost. The best-loss safeguard still
+/// applies — if training cannot improve on the inherited offsets, they
+/// are kept as-is.
+///
+/// # Errors
+///
+/// Same conditions as [`tune`].
+pub fn tune_incremental(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+    scratch: &mut PwtScratch,
+) -> Result<PwtReport> {
+    tune_impl(mapped, images, labels, cfg, scratch, true)
+}
+
+/// Shared fast-path tuning loop; `warm` selects whether the offsets are
+/// re-initialized by mean matching (cold) or inherited (incremental).
+fn tune_impl(
+    mapped: &mut MappedNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &PwtConfig,
+    scratch: &mut PwtScratch,
+    warm: bool,
+) -> Result<PwtReport> {
     let _span = rdo_obs::span("core.pwt");
-    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg)?;
+    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg, warm)?;
     scratch.bind(mapped)?;
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut rng = seeded_rng(cfg.seed);
@@ -387,7 +430,7 @@ pub fn tune_reference(
     cfg: &PwtConfig,
 ) -> Result<PwtReport> {
     let _span = rdo_obs::span("core.pwt");
-    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg)?;
+    let (n, mut net) = validate_and_prepare(mapped, images, labels, cfg, false)?;
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut rng = seeded_rng(cfg.seed);
     let mut report = PwtReport::default();

@@ -1,0 +1,112 @@
+//! Fixed-seed drift-trajectory regression for the drift-relax model.
+//!
+//! `MappedNetwork::evolve_devices` is the deterministic retention hook
+//! the lifetime engine advances simulated time with, so its trajectory
+//! is pinned here at t-ratios {1, 10, 100}:
+//!
+//! - ratio 1 is a **bitwise no-op** (`decay_factor(1) = 1`);
+//! - ratios 10 and 100 must match the documented decay law exactly:
+//!   the factor `1 − ν·log10(t)` acts on the *total* conductance, so
+//!   every CRW entry becomes `((v + floor) · factor − floor) as f32`
+//!   with `floor = codec.total_floor()`.
+//!
+//! A drift-free model (the analytic write-error baseline) must leave the
+//! arrays untouched at any ratio.
+
+use rdo_core::{MappedNetwork, Method, OffsetConfig};
+use rdo_nn::{Linear, Relu, Sequential};
+use rdo_rram::{CellKind, DeviceLut, DeviceModelSpec, VariationModel};
+use rdo_tensor::rng::seeded_rng;
+use rdo_tensor::Tensor;
+
+const NU: f64 = 0.2;
+
+fn programmed_drift_relax() -> MappedNetwork {
+    let mut rng = seeded_rng(3);
+    let mut net = Sequential::new();
+    net.push(Linear::new(12, 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, 5, &mut rng));
+    let spec = DeviceModelSpec::DriftRelax { relax: 0.05, nu: NU };
+    let cfg = OffsetConfig::with_device(CellKind::Slc, 0.4, 16, spec).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(0.4), &cfg.codec).unwrap();
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+    mapped.program(&mut seeded_rng(17)).unwrap();
+    mapped
+}
+
+fn crws(mapped: &MappedNetwork) -> Vec<Tensor> {
+    mapped.layers().iter().map(|l| l.crw.clone().expect("programmed")).collect()
+}
+
+/// The documented decay law, applied to an as-programmed reference.
+fn expected_after(reference: &Tensor, floor: f64, time_ratio: f64) -> Vec<f32> {
+    let factor = (1.0 - NU * time_ratio.log10()).clamp(0.0, 1.0);
+    reference.data().iter().map(|&v| ((v as f64 + floor) * factor - floor) as f32).collect()
+}
+
+#[test]
+fn ratio_one_is_a_bitwise_noop() {
+    let mut mapped = programmed_drift_relax();
+    let before = crws(&mapped);
+    mapped.evolve_devices(1.0).unwrap();
+    let after = crws(&mapped);
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.data(), a.data(), "t/t0 = 1 must not rewrite any device");
+    }
+}
+
+#[test]
+fn decade_steps_follow_the_decay_law_exactly() {
+    for ratio in [10.0f64, 100.0] {
+        let mut mapped = programmed_drift_relax();
+        let floor = mapped.config().codec.total_floor();
+        let reference = crws(&mapped);
+        mapped.evolve_devices(ratio).unwrap();
+        for (li, (pre, layer)) in reference.iter().zip(mapped.layers()).enumerate() {
+            let expect = expected_after(pre, floor, ratio);
+            let got = layer.crw.as_ref().unwrap().data();
+            assert_eq!(
+                got,
+                &expect[..],
+                "layer {li}: evolve({ratio}) diverged from (v + floor)·factor − floor"
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_is_fixed_at_this_seed() {
+    // Pin the seed-3/seed-17 trajectory of the first CRW entry so an
+    // upstream change to programming (RNG draw order, codec, LUT) is
+    // surfaced here as a drift-trajectory change, not just a silent
+    // rebaseline. Values are exact f32 bit patterns.
+    let mut mapped = programmed_drift_relax();
+    let fresh = mapped.layers()[0].crw.as_ref().unwrap().data()[0];
+    assert_eq!(fresh.to_bits(), 0x42b5_9721, "as-programmed: {fresh}");
+    mapped.evolve_devices(10.0).unwrap();
+    let decade = mapped.layers()[0].crw.as_ref().unwrap().data()[0];
+    assert_eq!(decade.to_bits(), 0x4290_c27d, "after one decade: {decade}");
+    // evolve composes on the already-decayed state: a second decade step
+    // decays further (strict monotone loss of total conductance)
+    mapped.evolve_devices(10.0).unwrap();
+    let two_steps = mapped.layers()[0].crw.as_ref().unwrap().data()[0];
+    assert_eq!(two_steps.to_bits(), 0x4266_9726, "after two decades: {two_steps}");
+}
+
+#[test]
+fn drift_free_models_do_not_move() {
+    let mut rng = seeded_rng(4);
+    let mut net = Sequential::new();
+    net.push(Linear::new(8, 6, &mut rng));
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+    let mut mapped = MappedNetwork::map(&net, Method::Plain, &cfg, &lut, None).unwrap();
+    mapped.program(&mut seeded_rng(9)).unwrap();
+    let before = crws(&mapped);
+    mapped.evolve_devices(1_000_000.0).unwrap();
+    let after = crws(&mapped);
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.data(), a.data(), "the write-error baseline has no retention term");
+    }
+}

@@ -141,6 +141,17 @@ pub fn counter_max(name: &'static str, value: u64) {
     }
 }
 
+/// Sets the named last-value gauge to `value`, replacing any previous
+/// reading. Unlike [`counter_add()`] (monotone) and [`counter_max()`]
+/// (high-water), a gauge can move in both directions — e.g. probe-set
+/// accuracy sampled over a model's lifetime. No-op while disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: u64) {
+    if enabled() {
+        registry::gauge_set(name, value);
+    }
+}
+
 /// Records `value` into the named log2-bucketed histogram. No-op while
 /// disabled.
 #[inline]
@@ -241,6 +252,16 @@ mod tests {
             let snap = snapshot();
             assert_eq!(snap.counters["t.count"], 5);
             assert_eq!(snap.maxima["t.hwm"], 10);
+        });
+    }
+
+    #[test]
+    fn gauge_keeps_last_value_in_either_direction() {
+        with_obs(|| {
+            gauge_set("t.gauge", 9000);
+            gauge_set("t.gauge", 8500); // gauges may fall, unlike counters
+            let snap = snapshot();
+            assert_eq!(snap.gauges["t.gauge"], 8500);
         });
     }
 

@@ -55,6 +55,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// High-water marks by name.
     pub maxima: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, HistSummary>,
     /// Span statistics by hierarchical path (`a>b>c`).
@@ -65,6 +67,7 @@ pub struct Snapshot {
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
     maxima: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
     spans: BTreeMap<String, SpanStat>,
 }
@@ -86,6 +89,11 @@ pub(crate) fn counter_max(name: &'static str, value: u64) {
     let mut r = registry();
     let e = r.maxima.entry(name).or_insert(0);
     *e = (*e).max(value);
+}
+
+pub(crate) fn gauge_set(name: &'static str, value: u64) {
+    let mut r = registry();
+    r.gauges.insert(name, value);
 }
 
 pub(crate) fn observe(name: &'static str, value: u64) {
@@ -123,6 +131,7 @@ pub(crate) fn snapshot() -> Snapshot {
     Snapshot {
         counters: r.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         maxima: r.maxima.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        gauges: r.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         hists: r
             .hists
             .iter()
@@ -147,6 +156,7 @@ pub(crate) fn reset() {
     let mut r = registry();
     r.counters.clear();
     r.maxima.clear();
+    r.gauges.clear();
     r.hists.clear();
     r.spans.clear();
 }

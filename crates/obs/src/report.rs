@@ -38,6 +38,13 @@ pub enum Event {
         /// Final value.
         value: u64,
     },
+    /// A last-value gauge summary.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Final reading.
+        value: u64,
+    },
     /// Aggregated span statistics emitted at flush.
     SpanStat {
         /// `>`-joined hierarchical path.
@@ -77,6 +84,7 @@ pub fn parse_line(line: &str) -> Option<Event> {
         "span" => Some(Event::Span { path: get_str("path")?, ns: get_num("ns")? }),
         "counter" => Some(Event::Counter { name: get_str("name")?, value: get_num("value")? }),
         "max" => Some(Event::Max { name: get_str("name")?, value: get_num("value")? }),
+        "gauge" => Some(Event::Gauge { name: get_str("name")?, value: get_num("value")? }),
         "span_stat" => Some(Event::SpanStat {
             path: get_str("path")?,
             stat: SpanStat {
@@ -213,6 +221,8 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     /// Final high-water marks.
     pub maxima: BTreeMap<String, u64>,
+    /// Final gauge readings.
+    pub gauges: BTreeMap<String, u64>,
     /// Well-formed events seen.
     pub events: u64,
     /// Lines that failed to parse.
@@ -259,6 +269,9 @@ pub fn fold<'a, I: IntoIterator<Item = &'a str>>(lines: I) -> Report {
             Event::Max { name, value } => {
                 report.maxima.insert(name, value);
             }
+            Event::Gauge { name, value } => {
+                report.gauges.insert(name, value);
+            }
             Event::RunStart | Event::Other => {}
         }
     }
@@ -290,13 +303,16 @@ impl Report {
                 ms(s.max_ns),
             ));
         }
-        if !self.counters.is_empty() || !self.maxima.is_empty() {
+        if !self.counters.is_empty() || !self.maxima.is_empty() || !self.gauges.is_empty() {
             out.push_str(&format!("\n{:<56} {:>20}\n", "counter", "value"));
             for (name, value) in &self.counters {
                 out.push_str(&format!("{name:<56} {value:>20}\n"));
             }
             for (name, value) in &self.maxima {
                 out.push_str(&format!("{:<56} {:>20}\n", format!("{name} (max)"), value));
+            }
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{:<56} {:>20}\n", format!("{name} (gauge)"), value));
             }
         }
         out
@@ -337,6 +353,7 @@ impl Report {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .chain(self.maxima.iter().map(|(k, v)| (format!("{k}.max"), *v)))
+            .chain(self.gauges.iter().map(|(k, v)| (format!("{k}.gauge"), *v)))
             .collect();
         for (i, (name, value)) in entries.iter().enumerate() {
             let mut row = String::from("    ");

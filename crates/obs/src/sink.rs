@@ -2,7 +2,7 @@
 //!
 //! One line per event, written through a [`BufWriter`] behind a mutex.
 //! Event kinds (field `ev`): `run_start`, `span`, `counter`, `max`,
-//! `hist`, `span_stat`, `flush`. Sink failures are reported once on
+//! `gauge`, `hist`, `span_stat`, `flush`. Sink failures are reported once on
 //! stderr and then swallowed — observability must never fail a run.
 
 use std::fs::File;
@@ -102,6 +102,14 @@ pub(crate) fn emit_summary(snap: &Snapshot) {
     }
     for (name, value) in &snap.maxima {
         let mut line = String::from("{\"ev\":\"max\",\"name\":");
+        push_str_escaped(&mut line, name);
+        line.push_str(",\"value\":");
+        line.push_str(&value.to_string());
+        line.push('}');
+        write_line(&line);
+    }
+    for (name, value) in &snap.gauges {
+        let mut line = String::from("{\"ev\":\"gauge\",\"name\":");
         push_str_escaped(&mut line, name);
         line.push_str(",\"value\":");
         line.push_str(&value.to_string());

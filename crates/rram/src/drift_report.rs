@@ -1,0 +1,124 @@
+//! Drift introspection: where, and how far, a programmed crossbar has
+//! wandered from its as-programmed state.
+//!
+//! [`column_deviation`] compares a baseline CRW (captured right after
+//! programming) against the current one and folds the per-cell deviation
+//! into per-*column* statistics. Columns are the natural repair unit:
+//! one crossbar column is one output neuron's weight vector, so a
+//! selective re-programming policy re-writes whole columns and a
+//! re-tuning policy watches which outputs drifted hardest.
+
+use rdo_tensor::Tensor;
+
+use crate::{Result, RramError};
+
+/// Per-column deviation of a drifted crossbar from its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDriftReport {
+    /// Mean `|current − baseline|` per column (crossbar orientation:
+    /// column `j` holds output neuron `j`'s weights).
+    pub per_column: Vec<f64>,
+    /// Mean absolute deviation over the whole array.
+    pub mean_abs: f64,
+    /// Largest per-column mean absolute deviation.
+    pub max_abs: f64,
+}
+
+impl ColumnDriftReport {
+    /// Indices of the `k` worst-drifted columns, most-drifted first
+    /// (ties broken by ascending index, so the selection is
+    /// deterministic).
+    pub fn worst_columns(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.per_column.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.per_column[b]
+                .partial_cmp(&self.per_column[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order
+    }
+}
+
+/// Folds `|current − baseline|` into per-column means.
+///
+/// Both tensors must be the same 2-D `[fan_in, fan_out]` CRW (e.g. a
+/// clone of [`MappedLayer::crw`](../rdo_core) taken at program time vs
+/// the evolved one).
+///
+/// # Errors
+///
+/// Rejects non-2-D or shape-mismatched inputs.
+pub fn column_deviation(baseline: &Tensor, current: &Tensor) -> Result<ColumnDriftReport> {
+    if baseline.dims().len() != 2 {
+        return Err(RramError::ShapeMismatch(format!(
+            "column_deviation: expected a 2-D CRW, got {:?}",
+            baseline.dims()
+        )));
+    }
+    if baseline.dims() != current.dims() {
+        return Err(RramError::ShapeMismatch(format!(
+            "column_deviation: baseline {:?} vs current {:?} shape mismatch",
+            baseline.dims(),
+            current.dims()
+        )));
+    }
+    let (rows, cols) = (baseline.dims()[0], baseline.dims()[1]);
+    if rows == 0 || cols == 0 {
+        return Err(RramError::ShapeMismatch("column_deviation: empty crossbar".to_string()));
+    }
+    let (b, c) = (baseline.data(), current.data());
+    let mut per_column = vec![0.0f64; cols];
+    for r in 0..rows {
+        let row_b = &b[r * cols..(r + 1) * cols];
+        let row_c = &c[r * cols..(r + 1) * cols];
+        for (j, (pb, pc)) in row_b.iter().zip(row_c).enumerate() {
+            per_column[j] += (f64::from(*pc) - f64::from(*pb)).abs();
+        }
+    }
+    for v in &mut per_column {
+        *v /= rows as f64;
+    }
+    let mean_abs = per_column.iter().sum::<f64>() / cols as f64;
+    let max_abs = per_column.iter().fold(0.0f64, |m, &v| m.max(v));
+    Ok(ColumnDriftReport { per_column, mean_abs, max_abs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(data, &[rows, cols]).unwrap()
+    }
+
+    #[test]
+    fn per_column_means_and_extremes() {
+        let base = tensor(2, 3, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let cur = tensor(2, 3, vec![1.0, 2.5, 2.0, 1.0, 1.5, 1.0]);
+        let r = column_deviation(&base, &cur).unwrap();
+        assert_eq!(r.per_column, vec![0.0, 0.5, 1.5]);
+        assert!((r.mean_abs - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_abs, 1.5);
+        assert_eq!(r.worst_columns(2), vec![2, 1]);
+        assert_eq!(r.worst_columns(10), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_index() {
+        let base = tensor(1, 3, vec![0.0, 0.0, 0.0]);
+        let cur = tensor(1, 3, vec![1.0, 1.0, 1.0]);
+        let r = column_deviation(&base, &cur).unwrap();
+        assert_eq!(r.worst_columns(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let base = tensor(2, 2, vec![0.0; 4]);
+        let cur = tensor(2, 3, vec![0.0; 6]);
+        assert!(column_deviation(&base, &cur).is_err());
+        let flat = Tensor::from_vec(vec![0.0; 4], &[4]).unwrap();
+        assert!(column_deviation(&flat, &flat).is_err());
+    }
+}

@@ -39,6 +39,7 @@ mod crossbar;
 mod device;
 mod device_model;
 mod drift;
+mod drift_report;
 mod error;
 mod lut;
 mod tile_map;
@@ -56,6 +57,7 @@ pub use device_model::{
     DifferentialPairModel, DriftRelaxModel, LevelLognormalModel, PaperLognormalModel,
 };
 pub use drift::DriftModel;
+pub use drift_report::{column_deviation, ColumnDriftReport};
 pub use error::{Result, RramError};
 pub use lut::DeviceLut;
 pub use tile_map::TileMapping;

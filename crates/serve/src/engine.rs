@@ -20,14 +20,15 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::snapshot::ModelSnapshot;
+use crate::snapshot::{ModelSnapshot, SnapshotCell};
 use crate::sync::{channel, oneshot, OneshotReceiver, OneshotSender, Sender};
 use crate::{Result, ServeError};
 
 /// Engine tuning knobs.
 ///
-/// The `serve_bench` harness reads these from the `RDO_SERVE_*`
-/// environment variables; programmatic callers fill the struct directly.
+/// Build one with [`ServeConfig::builder()`] (programmatic) or
+/// [`ServeConfig::from_env()`] (the `RDO_SERVE_*` environment knobs);
+/// the struct's fields stay public for struct-literal call sites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Largest coalesced batch (1 disables batching).
@@ -53,6 +54,77 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// A builder starting from [`Default`] — the engine-side mirror of
+    /// `BenchConfig::builder()`.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+
+    /// Defaults overridden by the `RDO_SERVE_{MAX_BATCH,LINGER_US,WORKERS,
+    /// QUEUE_CAP}` environment variables (unset or unparsable values keep
+    /// the default). `RDO_SERVE_REQUESTS`/`RDO_SERVE_QPS` describe the
+    /// *load*, not the engine, and stay with the bench harness.
+    pub fn from_env() -> Self {
+        fn parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+            std::env::var(key).ok()?.trim().parse().ok()
+        }
+        let mut b = Self::builder();
+        if let Some(v) = parsed("RDO_SERVE_MAX_BATCH") {
+            b = b.max_batch(v);
+        }
+        if let Some(v) = parsed("RDO_SERVE_LINGER_US") {
+            b = b.linger(Duration::from_micros(v));
+        }
+        if let Some(v) = parsed("RDO_SERVE_WORKERS") {
+            b = b.workers(v);
+        }
+        if let Some(v) = parsed("RDO_SERVE_QUEUE_CAP") {
+            b = b.queue_capacity(v);
+        }
+        b.build()
+    }
+}
+
+/// Chainable builder for [`ServeConfig`]. Obtain via
+/// [`ServeConfig::builder()`].
+#[must_use]
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Largest coalesced batch (1 disables batching).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Straggler linger after the first request of a batch.
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.config.linger = linger;
+        self
+    }
+
+    /// Worker threads draining the queue.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bound on queued (not yet batched) requests.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
 struct Request {
     input: Vec<f32>,
     reply: OneshotSender<Result<Response>>,
@@ -69,6 +141,10 @@ pub struct Response {
     pub done_at: Instant,
     /// Size of the coalesced batch this request was served in.
     pub batch_size: usize,
+    /// [`generation`](ModelSnapshot::generation) of the snapshot that
+    /// produced these logits — under hot swaps, every response is
+    /// attributable to exactly one published model version.
+    pub generation: u64,
 }
 
 /// A submitted request's future response.
@@ -91,6 +167,12 @@ pub struct InferClient {
 }
 
 impl InferClient {
+    /// Flattened input length every submitted request must have (fixed at
+    /// client creation; successor snapshots keep it).
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
     /// Enqueues one request (blocking while the queue is at capacity).
     ///
     /// `input` must hold exactly the snapshot's
@@ -138,30 +220,52 @@ impl ServeStats {
     }
 }
 
-/// A running inference service over one [`ModelSnapshot`].
+/// A running inference service over one hot-swappable snapshot slot.
 pub struct ServeEngine {
     tx: Sender<Request>,
     workers: Vec<JoinHandle<ServeStats>>,
-    snapshot: Arc<ModelSnapshot>,
+    cell: Arc<SnapshotCell>,
     config: ServeConfig,
 }
 
 impl ServeEngine {
-    /// Starts the worker pool over `snapshot`.
+    /// Starts the worker pool over a fixed `snapshot` (a fresh private
+    /// [`SnapshotCell`] that nothing else swaps).
     pub fn start(snapshot: Arc<ModelSnapshot>, config: ServeConfig) -> Self {
+        Self::start_with_cell(Arc::new(SnapshotCell::new(snapshot)), config)
+    }
+
+    /// Starts the worker pool over a shared [`SnapshotCell`].
+    ///
+    /// Workers re-read the cell between batches: after a
+    /// [`swap`](SnapshotCell::swap), each worker picks up the new snapshot
+    /// before its next forward (in-flight batches finish on the snapshot
+    /// they started with — no request ever blocks on a swap) and tags
+    /// every [`Response`] with the generation that served it. Successor
+    /// snapshots must keep the same [`sample_len`](ModelSnapshot::sample_len):
+    /// clients validate request length against the snapshot current at
+    /// client creation.
+    pub fn start_with_cell(cell: Arc<SnapshotCell>, config: ServeConfig) -> Self {
         let (tx, rx) = channel::<Request>(config.queue_capacity);
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let rx = rx.clone();
-                let snapshot = Arc::clone(&snapshot);
+                let cell = Arc::clone(&cell);
                 let (max_batch, linger) = (config.max_batch, config.linger);
                 thread::spawn(move || {
-                    let mut eval = snapshot.evaluator();
+                    let mut current = cell.get();
+                    let mut eval = current.evaluator();
                     let mut stats = ServeStats::default();
                     loop {
                         let batch = rx.recv_many(max_batch, linger);
                         if batch.is_empty() {
                             return stats; // closed and drained
+                        }
+                        let latest = cell.get();
+                        if !Arc::ptr_eq(&latest, &current) {
+                            current = latest;
+                            eval = current.evaluator();
+                            rdo_obs::counter_add("serve.snapshot.reload", 1);
                         }
                         let _batch_span = rdo_obs::span("serve.batch");
                         rdo_obs::observe("serve.batch_size", batch.len() as u64);
@@ -177,8 +281,14 @@ impl ServeEngine {
                         match outputs {
                             Ok(outputs) => {
                                 let batch_size = batch.len();
+                                let generation = current.generation();
                                 for (req, output) in batch.into_iter().zip(outputs) {
-                                    req.reply.send(Ok(Response { output, done_at, batch_size }));
+                                    req.reply.send(Ok(Response {
+                                        output,
+                                        done_at,
+                                        batch_size,
+                                        generation,
+                                    }));
                                 }
                             }
                             Err(e) => {
@@ -192,17 +302,25 @@ impl ServeEngine {
                 })
             })
             .collect();
-        ServeEngine { tx, workers, snapshot, config }
+        ServeEngine { tx, workers, cell, config }
     }
 
     /// A submission handle (any number may exist, on any thread).
     pub fn client(&self) -> InferClient {
-        InferClient { tx: self.tx.clone(), sample_len: self.snapshot.sample_len() }
+        InferClient { tx: self.tx.clone(), sample_len: self.cell.get().sample_len() }
     }
 
-    /// The snapshot this engine serves.
-    pub fn snapshot(&self) -> &Arc<ModelSnapshot> {
-        &self.snapshot
+    /// The snapshot the engine currently serves (post-swap, the newest
+    /// published one; a worker mid-batch may still be finishing on its
+    /// predecessor).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.cell.get()
+    }
+
+    /// The hot-swap slot the workers watch; [`SnapshotCell::swap`] through
+    /// this handle publishes a new snapshot under live traffic.
+    pub fn cell(&self) -> &Arc<SnapshotCell> {
+        &self.cell
     }
 
     /// The configuration the engine was started with.
@@ -242,6 +360,63 @@ mod tests {
 
     fn sample(i: usize) -> Vec<f32> {
         (0..8).map(|j| ((i * 13 + j * 5) % 17) as f32 * 0.1 - 0.8).collect()
+    }
+
+    #[test]
+    fn builder_overrides_only_named_knobs() {
+        let cfg = ServeConfig::builder()
+            .max_batch(8)
+            .linger(Duration::from_micros(50))
+            .workers(2)
+            .queue_capacity(256)
+            .build();
+        assert_eq!(
+            cfg,
+            ServeConfig {
+                max_batch: 8,
+                linger: Duration::from_micros(50),
+                workers: 2,
+                queue_capacity: 256,
+            }
+        );
+        let partial = ServeConfig::builder().workers(3).build();
+        assert_eq!(partial, ServeConfig { workers: 3, ..Default::default() });
+    }
+
+    #[test]
+    fn responses_carry_the_serving_generation() {
+        let snap = snapshot();
+        let engine = ServeEngine::start(Arc::clone(&snap), ServeConfig::default());
+        let client = engine.client();
+        let resp = client.submit(sample(0)).unwrap().wait().unwrap();
+        assert_eq!(resp.generation, 0, "a fixed snapshot serves at its own generation");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn workers_pick_up_a_swapped_snapshot() {
+        let snap = snapshot();
+        let cell = Arc::new(crate::SnapshotCell::new(Arc::clone(&snap)));
+        let engine = ServeEngine::start_with_cell(Arc::clone(&cell), ServeConfig::default());
+        let client = engine.client();
+        let before = client.submit(sample(1)).unwrap().wait().unwrap();
+        assert_eq!(before.generation, 0);
+
+        let mut rng = seeded_rng(77);
+        let mut net = Sequential::new();
+        net.push(Linear::new(8, 16, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(16, 3, &mut rng));
+        let next = ModelSnapshot::from_network("unit-mlp-v1", net, &[8]).unwrap();
+        cell.swap(Arc::new(next.with_generation(1)));
+
+        let after = client.submit(sample(1)).unwrap().wait().unwrap();
+        assert_eq!(after.generation, 1, "post-swap batches serve the new generation");
+        assert!(
+            before.output.iter().zip(&after.output).any(|(a, b)| a.to_bits() != b.to_bits()),
+            "different weights must produce different logits"
+        );
+        engine.shutdown();
     }
 
     #[test]

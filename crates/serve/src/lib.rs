@@ -21,6 +21,10 @@
 //! - [`loadgen`] replays deterministic synthetic traffic ([`traffic`])
 //!   for saturation-throughput and open-loop latency measurements with
 //!   exact quantiles ([`rdo_obs::QuantileRecorder`]).
+//! - [`LifetimeEngine`] ([`lifetime`]) ages the programmed devices under
+//!   live traffic and re-tunes or selectively re-programs them when a
+//!   degradation threshold trips, publishing each repaired model as a
+//!   new snapshot generation.
 //!
 //! Everything is std-only (threads, `Mutex`, `Condvar`) — the workspace
 //! carries no async runtime and no external concurrency crates.
@@ -57,6 +61,7 @@ use std::fmt;
 
 pub mod cache;
 pub mod engine;
+pub mod lifetime;
 pub mod loadgen;
 pub mod snapshot;
 pub mod sync;
@@ -64,6 +69,10 @@ pub mod traffic;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use engine::{InferClient, PendingResponse, Response, ServeConfig, ServeEngine, ServeStats};
+pub use lifetime::{
+    LifetimeConfig, LifetimeConfigBuilder, LifetimeEngine, LifetimeReport, LifetimeStep,
+    MaintenancePolicy,
+};
 pub use loadgen::{
     bitwise_equal, run_open_loop, run_saturation, serial_reference, OpenLoopReport,
     SaturationReport,
@@ -80,6 +89,8 @@ pub enum ServeError {
     Nn(rdo_nn::NnError),
     /// Mapping/effective-network construction failed.
     Core(rdo_core::CoreError),
+    /// A device/crossbar operation failed.
+    Rram(rdo_rram::RramError),
     /// The request was malformed (wrong payload length, empty shape).
     InvalidRequest(String),
     /// The engine is shut down; the request was not accepted.
@@ -94,6 +105,7 @@ impl fmt::Display for ServeError {
             ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
             ServeError::Nn(e) => write!(f, "network error: {e}"),
             ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Rram(e) => write!(f, "device error: {e}"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::Closed => write!(f, "service is shut down"),
             ServeError::Worker(msg) => write!(f, "worker failed: {msg}"),
@@ -107,6 +119,7 @@ impl std::error::Error for ServeError {
             ServeError::Tensor(e) => Some(e),
             ServeError::Nn(e) => Some(e),
             ServeError::Core(e) => Some(e),
+            ServeError::Rram(e) => Some(e),
             _ => None,
         }
     }
@@ -127,6 +140,12 @@ impl From<rdo_nn::NnError> for ServeError {
 impl From<rdo_core::CoreError> for ServeError {
     fn from(e: rdo_core::CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<rdo_rram::RramError> for ServeError {
+    fn from(e: rdo_rram::RramError) -> Self {
+        ServeError::Rram(e)
     }
 }
 

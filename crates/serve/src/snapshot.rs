@@ -36,6 +36,7 @@ pub struct ModelSnapshot {
     sample_dims: Vec<usize>,
     sample_len: usize,
     outputs: usize,
+    generation: u64,
     net: Sequential,
 }
 
@@ -60,6 +61,7 @@ impl ModelSnapshot {
             sample_dims: sample_dims.to_vec(),
             sample_len,
             outputs,
+            generation: 0,
             net,
         })
     }
@@ -91,6 +93,21 @@ impl ModelSnapshot {
     /// Per-sample output (logit) width.
     pub fn outputs(&self) -> usize {
         self.outputs
+    }
+
+    /// Publication generation. Freshly built snapshots are generation 0;
+    /// a maintenance loop stamps each successor before
+    /// [`SnapshotCell::swap`] so every routed [`Response`](crate::Response)
+    /// is attributable to exactly one published model version.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The same snapshot stamped as publication generation `generation`.
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// A private evaluator over this snapshot (clones the network once).
@@ -251,6 +268,14 @@ mod tests {
         let snap = tiny_snapshot();
         let mut eval = snap.evaluator();
         assert!(eval.infer_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn generation_defaults_to_zero_and_restamps() {
+        let snap = tiny_snapshot();
+        assert_eq!(snap.generation(), 0);
+        let stamped = snap.with_generation(7);
+        assert_eq!(stamped.generation(), 7);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Snapshot hot-swap under saturation: the lifetime engine's publish
+//! path must never corrupt a response.
+//!
+//! The engine is saturated with pending requests, and a new generation
+//! is swapped into the [`SnapshotCell`] mid-stream. The contract pinned
+//! here:
+//!
+//! - every response's logits are **bitwise identical** to the serial
+//!   reference of exactly one of the two published snapshots (never a
+//!   torn mix of weights);
+//! - the response's `generation` tag names exactly that snapshot;
+//! - no request fails or blocks across the swap, at every worker count
+//!   the engine contract supports (the `RDO_SERVE_WORKERS` axis).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rdo_core::testutil::trained_problem_2class;
+use rdo_core::{MappedNetwork, Method, OffsetConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_serve::{
+    serial_reference, ModelSnapshot, ServeConfig, ServeEngine, SnapshotCell, SyntheticTraffic,
+};
+use rdo_tensor::rng::seeded_rng;
+
+/// The paper-datapath fixture, programmed at `seed` and stamped with
+/// `generation` — two seeds give two genuinely different weight sets.
+fn generation_snapshot(seed: u64, generation: u64) -> Arc<ModelSnapshot> {
+    let (net, _x, _labels) = trained_problem_2class();
+    let sigma = 0.5;
+    let cfg = OffsetConfig::paper(CellKind::Slc, sigma, 16).expect("paper config");
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(sigma), &cfg.codec).expect("lut");
+    let mut mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).expect("map");
+    mapped.program(&mut seeded_rng(seed)).expect("program");
+    Arc::new(
+        ModelSnapshot::from_mapped("fixture-2class/pwt", &mapped, &[5])
+            .expect("snapshot")
+            .with_generation(generation),
+    )
+}
+
+#[test]
+fn every_response_is_attributable_to_exactly_one_generation() {
+    let old = generation_snapshot(77, 0);
+    let new = generation_snapshot(1077, 1);
+    let n = 256usize;
+    let traffic = SyntheticTraffic::new(42, old.sample_len());
+    let ref_old = serial_reference(&old, &traffic, n).expect("old reference");
+    let ref_new = serial_reference(&new, &traffic, n).expect("new reference");
+    // precondition for "exactly one": the generations must disagree on
+    // every payload, or attribution would be ambiguous
+    for i in 0..n {
+        assert_ne!(
+            ref_old[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ref_new[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "payload {i}: the two programmings must produce different logits"
+        );
+    }
+
+    for workers in [1usize, 2, 4] {
+        let cell = Arc::new(SnapshotCell::new(Arc::clone(&old)));
+        let config = ServeConfig {
+            max_batch: 8,
+            linger: Duration::from_micros(50),
+            workers,
+            queue_capacity: n,
+        };
+        let engine = ServeEngine::start_with_cell(Arc::clone(&cell), config);
+        let client = engine.client();
+
+        // saturate: submit everything without waiting, swapping the
+        // snapshot mid-stream while batches are in flight
+        let mut pending = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            if i == n as u64 / 2 {
+                cell.swap(Arc::clone(&new));
+            }
+            pending.push(client.submit(traffic.payload(i)).expect("submit never blocks on swap"));
+        }
+
+        let mut by_generation = [0usize; 2];
+        for (i, p) in pending.into_iter().enumerate() {
+            let resp = p.wait().expect("no request may fail across a swap");
+            let bits: Vec<u32> = resp.output.iter().map(|v| v.to_bits()).collect();
+            let matches_old = bits == ref_old[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            let matches_new = bits == ref_new[i].iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert!(
+                matches_old != matches_new,
+                "workers={workers} request {i}: logits must match exactly one snapshot \
+                 (old: {matches_old}, new: {matches_new})"
+            );
+            let expect_generation = if matches_old { 0 } else { 1 };
+            assert_eq!(
+                resp.generation, expect_generation,
+                "workers={workers} request {i}: generation tag must name the snapshot \
+                 that produced the logits"
+            );
+            by_generation[resp.generation as usize] += 1;
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.requests, n as u64, "workers={workers}: every request served");
+        assert_eq!(by_generation[0] + by_generation[1], n);
+        // requests submitted after the swap can only be coalesced into
+        // batches whose snapshot was read after it
+        assert!(
+            by_generation[1] > 0,
+            "workers={workers}: the swap happened before half the stream was submitted, \
+             so generation 1 must have served something"
+        );
+    }
+}
+
+#[test]
+fn serving_state_converges_to_the_new_generation_after_a_swap() {
+    // The deterministic half of the contract: once all pre-swap traffic
+    // has drained, every subsequent batch reads the new snapshot.
+    let old = generation_snapshot(5, 0);
+    let new = generation_snapshot(1005, 1);
+    let traffic = SyntheticTraffic::new(7, old.sample_len());
+    let ref_new = serial_reference(&new, &traffic, 32).expect("new reference");
+
+    let cell = Arc::new(SnapshotCell::new(Arc::clone(&old)));
+    let engine = ServeEngine::start_with_cell(
+        Arc::clone(&cell),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    );
+    let client = engine.client();
+
+    // drain a first wave entirely on generation 0
+    for i in 0..32u64 {
+        let resp = client.submit(traffic.payload(i)).unwrap().wait().unwrap();
+        assert_eq!(resp.generation, 0);
+    }
+    cell.swap(Arc::clone(&new));
+    // every post-drain batch must read the cell after the swap
+    for i in 0..32u64 {
+        let resp = client.submit(traffic.payload(i)).unwrap().wait().unwrap();
+        assert_eq!(resp.generation, 1, "request {i} served after the swap drained");
+        let bits: Vec<u32> = resp.output.iter().map(|v| v.to_bits()).collect();
+        let expect: Vec<u32> = ref_new[i as usize].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect, "request {i}: logits must come from the new weights");
+    }
+    engine.shutdown();
+}

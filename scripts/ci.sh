@@ -31,6 +31,9 @@ cargo run --release -p rdo-bench --bin perf_report -- --quick
 echo "==> serve_bench --quick (smoke: dynamic batching + open-loop latency)"
 cargo run --release -p rdo-bench --bin serve_bench -- --quick
 
+echo "==> lifetime_bench --quick (smoke: drift + maintenance policies under live traffic)"
+cargo run --release -p rdo-bench --bin lifetime_bench -- --quick
+
 echo "==> obs smoke: fig5a with RDO_OBS, then obs_report"
 OBS_LOG="target/rdo-obs/ci.jsonl"
 RDO_OBS="$OBS_LOG" RDO_SCALE=fast RDO_THREADS=1 RDO_CYCLES=1 \
@@ -60,7 +63,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs pwt devicezoo qint serve; do
+for name in gemm cycles vawo program obs pwt devicezoo qint serve lifetime; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -176,6 +179,46 @@ for key in ("p50_ns", "p99_ns", "p999_ns", "max_ns"):
         sys.exit(f"ci: BENCH_serve.json {key} must be a positive integer")
 if not ol["p50_ns"] <= ol["p99_ns"] <= ol["p999_ns"] <= ol["max_ns"]:
     sys.exit("ci: BENCH_serve.json latency quantiles must be monotone")
+PYEOF
+
+echo "==> BENCH_lifetime.json carries the drift-vs-maintenance lifetime schema"
+python3 - results/BENCH_lifetime.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for key in ("bench", "model", "device_model", "steps", "step_ratio",
+            "baseline_accuracy", "time_axis", "policies",
+            "accuracy_lost_no_maintenance", "recovered_fraction_pwt_retune"):
+    if key not in rec:
+        sys.exit(f"ci: BENCH_lifetime.json lacks required key {key!r}")
+axis = rec["time_axis"]
+if not isinstance(axis, list) or len(axis) != rec["steps"]:
+    sys.exit("ci: BENCH_lifetime.json time_axis must have one entry per step")
+if any(b <= a for a, b in zip(axis, axis[1:])):
+    sys.exit("ci: BENCH_lifetime.json time_axis must be strictly monotone")
+arms = {row["policy"]: row for row in rec["policies"]}
+for required in ("none", "pwt-retune", "selective-reprogram"):
+    if required not in arms:
+        sys.exit(f"ci: BENCH_lifetime.json lacks the {required!r} policy arm")
+for name, row in arms.items():
+    for key in ("accuracy", "accuracy_pre", "retunes", "swaps",
+                "reprogrammed_columns", "final_accuracy", "requests",
+                "failed_requests"):
+        if key not in row:
+            sys.exit(f"ci: BENCH_lifetime.json arm {name!r} lacks key {key!r}")
+    for key in ("accuracy", "accuracy_pre"):
+        if not (isinstance(row[key], list) and len(row[key]) == rec["steps"]):
+            sys.exit(f"ci: BENCH_lifetime.json arm {name!r} {key} must have "
+                     "one entry per step")
+    if not (isinstance(row["retunes"], int) and row["retunes"] >= 0):
+        sys.exit(f"ci: BENCH_lifetime.json arm {name!r} retunes must be >= 0")
+    if row["failed_requests"] != 0:
+        sys.exit(f"ci: BENCH_lifetime.json arm {name!r} dropped requests "
+                 "during snapshot swaps")
+if not arms["none"]["final_accuracy"] < rec["baseline_accuracy"]:
+    sys.exit("ci: BENCH_lifetime.json no-maintenance arm must strictly degrade")
+if not rec["recovered_fraction_pwt_retune"] >= 0.5:
+    sys.exit("ci: BENCH_lifetime.json pwt-retune must recover at least half "
+             "the accuracy lost without maintenance")
 PYEOF
 
 echo "ci: all gates passed"
