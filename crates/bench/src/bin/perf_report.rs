@@ -1,6 +1,6 @@
 //! Perf-report pipeline: machine-readable kernel and engine timings.
 //!
-//! Writes eight JSON records under `results/` (mirrored to the repo root)
+//! Writes nine JSON records under `results/` (mirrored to the repo root)
 //! so the repository tracks its performance trajectory PR over PR:
 //!
 //! - `BENCH_gemm.json` — the legacy cache-blocked scalar kernel versus
@@ -28,6 +28,13 @@
 //!   batching versus batch-1 saturation throughput on the paper-shape
 //!   snapshot, plus open-loop latency quantiles (see the dedicated
 //!   `serve_bench` binary, which writes the same record with more knobs).
+//! - `BENCH_sweep.json` — end-to-end Fig. 5-style grids through
+//!   [`run_grid`] at growing point counts, with the persistent worker
+//!   pool toggled against the per-call scoped-thread baseline
+//!   (`rdo_tensor::pool::set_enabled`), plus the packed-dataset cycle
+//!   evaluation (pack the eval panels once, reuse every cycle) against
+//!   the repack-every-cycle and plain per-cycle paths, and a snapshot of
+//!   the process-wide pool counters.
 //!
 //! Timings are best-of-N wall clock (minimum over repetitions), which is
 //! the standard noise-robust point estimate for short kernels. Run with
@@ -40,15 +47,21 @@
 
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Duration;
 
 use rdo_bench::serve_harness::{serve_report, ServeBenchConfig};
-use rdo_bench::{write_bench_record, BenchError, Result};
+use rdo_bench::{
+    run_grid, write_bench_record, BenchConfig, BenchError, GridSpec, Result, TrainedModel,
+};
 use rdo_core::{
     evaluate_cycles, optimize_matrix_reference, optimize_matrix_with_threads, tune_reference,
     tune_with_scratch, CycleEvalConfig, GroupLayout, MappedNetwork, Method, OffsetConfig,
     PwtConfig, PwtScratch,
 };
-use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_datasets::Dataset;
+use rdo_nn::{
+    evaluate, evaluate_packed, fit, Flatten, Linear, PackedDataset, Relu, Sequential, TrainConfig,
+};
 use rdo_obs::best_of_ns as best_of;
 use rdo_rram::{
     program_matrix, program_matrix_model, program_matrix_model_scalar, program_matrix_scalar, Adc,
@@ -101,6 +114,9 @@ fn main() -> Result<()> {
 
     let serve = serve_report(&ServeBenchConfig::from_env(quick))?;
     write_bench_record("BENCH_serve", &serve)?;
+
+    let sweep = sweep_report(quick)?;
+    write_bench_record("BENCH_sweep", &sweep)?;
     rdo_obs::flush();
     Ok(())
 }
@@ -174,17 +190,16 @@ fn cycles_report(quick: bool) -> Result<String> {
 
     let cycles = if quick { 2 } else { 8 };
     let reps = if quick { 1 } else { 5 };
-    // sweep serial, half the machine and the whole machine — the three
-    // points that show whether the engine scales and where it saturates
+    // sweep serial, two workers, half the machine and the whole machine —
+    // the points that show whether the engine scales and where it
+    // saturates. Two workers are always measured even on a single-core
+    // box: oversubscription is bitwise identical by the determinism
+    // contract, and the row pins the multi-worker path everywhere.
     let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut sweep = vec![1usize];
     let half = (max / 2).max(1);
-    if half > 1 {
-        sweep.push(half);
-    }
-    if max > 1 && max != half {
-        sweep.push(max);
-    }
+    let mut sweep = vec![1usize, 2, half, max];
+    sweep.sort_unstable();
+    sweep.dedup();
     let mut rows = Vec::new();
     for threads in sweep {
         let ns = best_of(reps, || {
@@ -534,5 +549,136 @@ fn pwt_report(quick: bool) -> Result<String> {
          \"reference_ns\": {reference_ns}, \"fast_ns\": {fast_ns},\n  \
          \"speedup_vs_reference\": {speedup:.3}\n}}\n",
         pwt_cfg.batch_size, pwt_cfg.epochs,
+    ))
+}
+
+fn sweep_report(quick: bool) -> Result<String> {
+    // End-to-end Fig. 5-style grids through the real `run_grid` engine on
+    // a synthetic trained model (the cycles_report MLP behind a Flatten so
+    // the dataset is honest rank-4 NCHW), at growing point counts. Each
+    // grid is timed twice in one process: on the persistent worker pool
+    // and with the pool disabled (per-call scoped threads), so the delta
+    // is pure spawn/join overhead — results are bitwise identical.
+    let mut rng = seeded_rng(31);
+    let n = 256usize;
+    let x4 = randn(&[n, 1, 4, 4], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..n).map(|i| usize::from(x4.data()[i * 16] + x4.data()[i * 16 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Linear::new(16, 32, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(32, 2, &mut rng));
+    fit(&mut net, &x4, &labels, &TrainConfig { epochs: 10, lr: 0.1, ..Default::default() })?;
+    let ideal = evaluate(&mut net, &x4, &labels, 64)?;
+    let dataset = Dataset::new(x4, labels, 2)?;
+    let model = TrainedModel {
+        name: "SweepMlp".to_string(),
+        net,
+        train: dataset.clone(),
+        test: dataset,
+        ideal_accuracy: ideal,
+        // Plain/Pwt points only, so no VAWO gradients are needed
+        grads: Vec::new(),
+        train_time: Duration::ZERO,
+    };
+
+    let master = GridSpec::product(
+        &[Method::Plain, Method::Pwt],
+        &[CellKind::Slc],
+        &[0.3, 0.5, 0.7, 0.9],
+        &[16],
+    );
+    let sizes: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let cycles = if quick { 2 } else { 4 };
+    let reps = if quick { 1 } else { 3 };
+    // at least two grid workers, even on a single-core box: the point of
+    // the measurement is the pool-vs-spawn handoff cost, and oversubscribed
+    // workers are bitwise identical by the determinism contract
+    let grid_threads = available_threads().max(2);
+    let cfg =
+        BenchConfig::builder().cycles(cycles).pwt_epochs(1).seed(7).threads(grid_threads).build();
+
+    // warm the model/LUT caches so neither timed arm pays construction
+    run_grid(&model, master.points(), &cfg)?;
+
+    let mut grid_rows = Vec::new();
+    for &size in sizes {
+        let points = &master.points()[..size];
+        rdo_tensor::pool::set_enabled(true);
+        let pool_ns = best_of(reps, || {
+            black_box(run_grid(&model, points, &cfg).expect("run_grid (pool)"));
+        });
+        rdo_tensor::pool::set_enabled(false);
+        let scoped_ns = best_of(reps, || {
+            black_box(run_grid(&model, points, &cfg).expect("run_grid (scoped)"));
+        });
+        rdo_tensor::pool::set_enabled(true);
+        let speedup = scoped_ns as f64 / pool_ns as f64;
+        eprintln!(
+            "[sweep] grid {size} points: pool {:.3} ms, scoped {:.3} ms ({speedup:.2}x)",
+            pool_ns as f64 / 1e6,
+            scoped_ns as f64 / 1e6,
+        );
+        grid_rows.push(format!(
+            "    {{ \"points\": {size}, \"pool_ns\": {pool_ns}, \"scoped_ns\": {scoped_ns}, \
+             \"pool_speedup\": {speedup:.4} }}"
+        ));
+    }
+
+    // Cycle-batched evaluation: pack the eval panels once and reuse them
+    // every cycle, versus repacking per cycle, versus the plain per-cycle
+    // path (which re-packs A panels inside every GEMM call).
+    let x2 = randn(&[n, 16], 0.0, 1.0, &mut rng);
+    let labels2: Vec<usize> =
+        (0..n).map(|i| usize::from(x2.data()[i * 16] + x2.data()[i * 16 + 2] > 0.0)).collect();
+    let mut mlp = Sequential::new();
+    mlp.push(Linear::new(16, 32, &mut rng));
+    mlp.push(Relu::new());
+    mlp.push(Linear::new(32, 2, &mut rng));
+    fit(&mut mlp, &x2, &labels2, &TrainConfig { epochs: 5, lr: 0.1, ..Default::default() })?;
+    let eval_cycles = if quick { 4 } else { 16 };
+    let packed = PackedDataset::pack(&x2, 64).expect("rank-2 dataset packs");
+    let packed_ns = best_of(reps, || {
+        for _ in 0..eval_cycles {
+            black_box(evaluate_packed(&mut mlp, &packed, &labels2).expect("evaluate_packed"));
+        }
+    });
+    let repacked_ns = best_of(reps, || {
+        for _ in 0..eval_cycles {
+            let p = PackedDataset::pack(&x2, 64).expect("rank-2 dataset packs");
+            black_box(evaluate_packed(&mut mlp, &p, &labels2).expect("evaluate_packed"));
+        }
+    });
+    let plain_ns = best_of(reps, || {
+        for _ in 0..eval_cycles {
+            black_box(evaluate(&mut mlp, &x2, &labels2, 64).expect("evaluate"));
+        }
+    });
+    let pack_vs_plain = plain_ns as f64 / packed_ns as f64;
+    let pack_vs_repacked = repacked_ns as f64 / packed_ns as f64;
+    eprintln!(
+        "[sweep] eval x{eval_cycles} cycles: packed {:.3} ms, repacked {:.3} ms, plain {:.3} ms \
+         ({pack_vs_plain:.2}x vs plain)",
+        packed_ns as f64 / 1e6,
+        repacked_ns as f64 / 1e6,
+        plain_ns as f64 / 1e6,
+    );
+
+    let ps = rdo_tensor::pool::stats();
+    Ok(format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"unit\": \"ns_best_of_{reps}\",\n  \"quick\": {quick},\n  \
+         \"cycles\": {cycles},\n  \"grid\": [\n{}\n  ],\n  \
+         \"eval\": {{ \"cycles\": {eval_cycles}, \"packed_ns\": {packed_ns}, \
+         \"repacked_ns\": {repacked_ns}, \"plain_ns\": {plain_ns}, \
+         \"pack_speedup_vs_plain\": {pack_vs_plain:.4}, \
+         \"pack_speedup_vs_repacked\": {pack_vs_repacked:.4} }},\n  \
+         \"pool\": {{ \"pooled_jobs\": {}, \"scoped_jobs\": {}, \"nested_serial\": {}, \
+         \"threads_spawned\": {} }}\n}}\n",
+        grid_rows.join(",\n"),
+        ps.pooled_jobs,
+        ps.scoped_jobs,
+        ps.nested_serial,
+        ps.threads_spawned,
     ))
 }

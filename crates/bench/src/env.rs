@@ -69,6 +69,14 @@ pub fn knobs() -> &'static [Knob] {
             doc: "worker threads for grids/cycles; results identical at any value",
         },
         Knob {
+            name: "RDO_POOL",
+            ty: "bool",
+            default: "1 (on)",
+            owner: "rdo_tensor::pool",
+            doc: "0/off/false = per-call scoped threads instead of the persistent \
+                  worker pool; results bitwise identical either way",
+        },
+        Knob {
             name: "RDO_SIGMA",
             ty: "f64",
             default: "0.5",
@@ -234,6 +242,7 @@ mod tests {
             "RDO_SEED",
             "RDO_PWT_EPOCHS",
             "RDO_THREADS",
+            "RDO_POOL",
             "RDO_SIGMA",
             "RDO_CELL",
             "RDO_DEVICE_MODEL",

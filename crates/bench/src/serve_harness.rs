@@ -85,13 +85,6 @@ impl ServeBenchConfig {
             quick,
         }
     }
-
-    /// The dynamic-batching engine configuration these knobs describe.
-    #[deprecated(note = "the engine configuration is the first-class `serve` field now; \
-                read it directly (it is filled by ServeConfig::from_env())")]
-    pub fn serve_cfg(&self) -> ServeConfig {
-        self.serve
-    }
 }
 
 /// Per-process cache of programmed serving snapshots, keyed by the
@@ -253,10 +246,6 @@ mod tests {
         assert_eq!(q.serve.max_batch, 64);
         assert_eq!(f.serve.max_batch, 64);
         assert_eq!(f.serve.linger, Duration::from_micros(200));
-        // the deprecated accessor stays an alias for the embedded config
-        #[allow(deprecated)]
-        let via_accessor = f.serve_cfg();
-        assert_eq!(via_accessor, f.serve);
     }
 
     #[test]

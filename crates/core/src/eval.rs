@@ -6,16 +6,23 @@
 //!
 //! Cycles are mutually independent by construction — cycle `c` programs
 //! from a fresh `seed + c` RNG and PWT reseeds with `seed + 1000 + c` — so
-//! [`evaluate_cycles`] runs them on scoped worker threads when
-//! [`CycleEvalConfig::threads`] (or the `RDO_THREADS` environment knob)
-//! allows. Each worker clones the mapped network and executes exactly the
-//! serial per-cycle code, so `per_cycle` is bitwise identical for any
-//! thread count.
+//! [`evaluate_cycles`] runs them on the persistent worker pool (via
+//! [`parallel_map_indexed`]) when [`CycleEvalConfig::threads`] (or the
+//! `RDO_THREADS` environment knob) allows. Each worker clones the mapped
+//! network once and executes exactly the serial per-cycle code, so
+//! `per_cycle` is bitwise identical for any thread count.
+//!
+//! Two arenas make the cycle loop allocation-light: the evaluation
+//! dataset is packed into GEMM micro-panels **once** per call (it is
+//! invariant across cycles; only the programmed weights change) and each
+//! worker refreshes one persistent effective-network clone in place via
+//! [`MappedNetwork::refresh_effective_arena`] instead of rebuilding it in
+//! `effective_network()` every cycle. Both reuses are bitwise-neutral.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use rdo_nn::evaluate;
-use rdo_tensor::parallel::resolve_threads;
+use rdo_nn::{evaluate, evaluate_packed, PackedDataset, Sequential};
+use rdo_tensor::parallel::{parallel_map_indexed, resolve_threads};
 use rdo_tensor::rng::seeded_rng;
 use rdo_tensor::Tensor;
 
@@ -113,11 +120,16 @@ pub fn evaluate_cycles(
         )));
     }
     let threads = resolve_threads(cfg.threads).min(cfg.cycles).max(1);
+    // pack the evaluation dataset once per call: it is identical for
+    // every cycle (only the programmed weights change), so the GEMM input
+    // panels never need re-packing; shared read-only across workers
+    let packed = PackedDataset::pack(test_images, cfg.batch_size.max(1));
     if threads <= 1 {
         let mut per_cycle = Vec::with_capacity(cfg.cycles);
-        // one scratch arena for the whole run: PWT rebinds it per cycle,
-        // recycling the buffers instead of re-warming a fresh pool
-        let mut scratch = PwtScratch::new();
+        // one arena set for the whole run: PWT rebinds the scratch per
+        // cycle and the effective network is refreshed in place,
+        // recycling the buffers instead of re-warming fresh pools
+        let mut arenas = CycleArenas::new();
         for c in 0..cfg.cycles {
             per_cycle.push(run_cycle(
                 mapped,
@@ -125,61 +137,64 @@ pub fn evaluate_cycles(
                 tune_data,
                 test_images,
                 test_labels,
+                packed.as_ref(),
                 cfg,
-                &mut scratch,
+                &mut arenas,
             )?);
         }
         return Ok(CycleEvaluation::from_cycles(per_cycle));
     }
 
-    // Parallel path: each worker pulls cycle indices from an atomic cursor,
-    // clones the mapped network and runs the identical per-cycle code. The
-    // clone that executed the final cycle is written back so the caller
-    // observes the same end state as after the serial loop.
+    // Parallel path: each worker pulls cycle indices from an atomic
+    // cursor, clones the mapped network once and runs the identical
+    // per-cycle code on it (`run_cycle` re-programs and re-tunes from
+    // cycle-seeded RNGs, so prior cycles leave no trace — the same
+    // property the serial loop relies on when it reuses `mapped`). The
+    // worker state that executed the final cycle is written back so the
+    // caller observes the same end state as after the serial loop.
     let shared: &MappedNetwork = mapped;
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     type CycleBatch = (Vec<(usize, f32)>, Option<MappedNetwork>);
-    let worker_results: Vec<Result<CycleBatch>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| -> Result<CycleBatch> {
-                    let mut accs = Vec::new();
-                    let mut last = None;
-                    // per-worker scratch arena, reused across its cycles
-                    let mut scratch = PwtScratch::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= cfg.cycles || failed.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let mut local = shared.clone();
-                        let acc = match run_cycle(
-                            &mut local,
-                            c,
-                            tune_data,
-                            test_images,
-                            test_labels,
-                            cfg,
-                            &mut scratch,
-                        ) {
-                            Ok(a) => a,
-                            Err(e) => {
-                                failed.store(true, Ordering::Relaxed);
-                                return Err(e);
-                            }
-                        };
-                        accs.push((c, acc));
-                        if c == cfg.cycles - 1 {
-                            last = Some(local);
-                        }
+    let worker_results: Vec<Result<CycleBatch>> =
+        parallel_map_indexed(threads, threads, |_t| -> Result<CycleBatch> {
+            let mut accs = Vec::new();
+            let mut ran_final = false;
+            // per-worker arenas and mapped-network clone, reused across
+            // all cycles this worker claims
+            let mut arenas = CycleArenas::new();
+            let mut local: Option<MappedNetwork> = None;
+            loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= cfg.cycles || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let local = local.get_or_insert_with(|| shared.clone());
+                let acc = match run_cycle(
+                    local,
+                    c,
+                    tune_data,
+                    test_images,
+                    test_labels,
+                    packed.as_ref(),
+                    cfg,
+                    &mut arenas,
+                ) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        failed.store(true, Ordering::Relaxed);
+                        return Err(e);
                     }
-                    Ok((accs, last))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cycle worker panicked")).collect()
-    });
+                };
+                accs.push((c, acc));
+                if c == cfg.cycles - 1 {
+                    ran_final = true;
+                }
+            }
+            // the final cycle has the highest index, so no further cycle
+            // ran on this worker's state after it
+            Ok((accs, if ran_final { local } else { None }))
+        });
 
     let mut per_cycle = vec![0.0f32; cfg.cycles];
     let mut final_state = None;
@@ -198,17 +213,33 @@ pub fn evaluate_cycles(
     Ok(CycleEvaluation::from_cycles(per_cycle))
 }
 
+/// Per-worker reusable state of the cycle loop: the PWT scratch arena and
+/// the persistent effective-network clone ([`run_cycle`] builds it on the
+/// first cycle and refreshes it in place afterwards).
+struct CycleArenas {
+    scratch: PwtScratch,
+    net: Option<Sequential>,
+}
+
+impl CycleArenas {
+    fn new() -> Self {
+        CycleArenas { scratch: PwtScratch::new(), net: None }
+    }
+}
+
 /// One §IV cycle: program with the cycle seed, run PWT when the method
 /// uses it, and measure test accuracy — shared verbatim by the serial and
 /// parallel paths of [`evaluate_cycles`].
+#[allow(clippy::too_many_arguments)]
 fn run_cycle(
     mapped: &mut MappedNetwork,
     c: usize,
     tune_data: Option<(&Tensor, &[usize])>,
     test_images: &Tensor,
     test_labels: &[usize],
+    packed: Option<&PackedDataset>,
     cfg: &CycleEvalConfig,
-    scratch: &mut PwtScratch,
+    arenas: &mut CycleArenas,
 ) -> Result<f32> {
     let _span = rdo_obs::span("core.cycle");
     let mut rng = seeded_rng(cfg.seed.wrapping_add(c as u64));
@@ -217,7 +248,7 @@ fn run_cycle(
         let (xs, ys) = tune_data.expect("validated by evaluate_cycles");
         let mut pwt_cfg = cfg.pwt;
         pwt_cfg.seed = cfg.seed.wrapping_add(1000 + c as u64);
-        tune_with_scratch(mapped, xs, ys, &pwt_cfg, scratch)?;
+        tune_with_scratch(mapped, xs, ys, &pwt_cfg, &mut arenas.scratch)?;
     }
     if cfg.qint {
         // exact cross-check of the integer datapath against the float
@@ -225,9 +256,23 @@ fn run_cycle(
         // numbers are unchanged whether the knob is on or off
         mapped.verify_qint(8)?;
     }
-    let mut net = mapped.effective_network()?;
+    let net = match arenas.net.as_mut() {
+        Some(net) => {
+            // in-place refresh of the persistent clone — bitwise equal
+            // to a fresh effective_network() without the allocations
+            mapped.refresh_effective_arena(net)?;
+            if rdo_obs::enabled() {
+                rdo_obs::counter_add("core.eval.pack_reuse", 1);
+            }
+            net
+        }
+        None => arenas.net.insert(mapped.effective_network()?),
+    };
     let _eval = rdo_obs::span("core.eval");
-    Ok(evaluate(&mut net, test_images, test_labels, cfg.batch_size)?)
+    Ok(match packed {
+        Some(p) => evaluate_packed(net, p, test_labels)?,
+        None => evaluate(net, test_images, test_labels, cfg.batch_size)?,
+    })
 }
 
 #[cfg(test)]

@@ -568,6 +568,53 @@ impl MappedNetwork {
         Ok(net)
     }
 
+    /// Rebuilds an existing evaluation network **in place** to equal what
+    /// [`MappedNetwork::effective_network`] would construct: the
+    /// tuned-or-base network's persistent state is copied into `net`'s
+    /// existing tensor storage, then the effective core weights are
+    /// injected. No tensor is reallocated, so a caller that evaluates the
+    /// same mapped network across many programming cycles (the §IV cycle
+    /// loop) keeps one arena per worker instead of cloning the whole
+    /// `Sequential` every cycle. Bitwise identical to a fresh
+    /// [`MappedNetwork::effective_network`] call.
+    ///
+    /// `net` must be structurally identical to this mapping's network —
+    /// in practice, the result of an earlier `effective_network()` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `net`'s state tensors do
+    /// not match the mapped network's, plus the
+    /// [`MappedNetwork::effective_network`] conditions.
+    pub fn refresh_effective_arena(&mut self, net: &mut Sequential) -> Result<()> {
+        {
+            let src = match &mut self.tuned {
+                Some(t) => t,
+                None => &mut self.base,
+            };
+            let src_state = src.state();
+            let dst_state = net.state();
+            if dst_state.len() != src_state.len() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "evaluation arena holds {} state tensors, the mapped network {}",
+                    dst_state.len(),
+                    src_state.len()
+                )));
+            }
+            for (dst, src) in dst_state.into_iter().zip(src_state) {
+                if dst.dims() != src.dims() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "evaluation arena state shape {:?} does not match mapping {:?}",
+                        dst.dims(),
+                        src.dims()
+                    )));
+                }
+                dst.data_mut().copy_from_slice(src.data());
+            }
+        }
+        self.refresh_effective_reference(net)
+    }
+
     /// Refreshes the effective weights inside an existing evaluation
     /// network (used by PWT between offset updates, avoiding a full
     /// network clone per batch).

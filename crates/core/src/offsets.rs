@@ -12,6 +12,10 @@ use serde::{Deserialize, Serialize};
 use crate::config::OffsetConfig;
 use crate::error::{CoreError, Result};
 
+/// One column-chunk shard of a pooled refresh: the immutable CRW slice,
+/// the output slice it owns, and the updated-weight count it reports.
+type RefreshShard<'a> = std::sync::Mutex<(&'a [f32], &'a mut [f32], usize)>;
+
 /// Row ranges shared by every column of one mapped matrix.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GroupLayout {
@@ -303,19 +307,23 @@ impl OffsetState {
             return Ok(worker(0, crw_t, out));
         }
         let per = cols.div_ceil(threads);
-        let counts: Vec<usize> = std::thread::scope(|s| {
-            let handles: Vec<_> = crw_t
-                .chunks(per * rows)
-                .zip(out.chunks_mut(per * rows))
-                .enumerate()
-                .map(|(i, (crw_chunk, out_chunk))| {
-                    let w = &worker;
-                    s.spawn(move || w(i * per, crw_chunk, out_chunk))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("refresh worker panicked")).collect()
+        // one shard per column chunk: each owns its (input, output, count)
+        // triple behind an uncontended mutex and runs on the persistent pool
+        let shards: Vec<RefreshShard<'_>> = crw_t
+            .chunks(per * rows)
+            .zip(out.chunks_mut(per * rows))
+            .map(|(crw_chunk, out_chunk)| std::sync::Mutex::new((crw_chunk, out_chunk, 0usize)))
+            .collect();
+        rdo_tensor::pool::run(shards.len(), |i| {
+            let mut shard = shards[i].lock().expect("refresh shard poisoned");
+            let (crw_chunk, out_chunk, count) = &mut *shard;
+            *count = worker(i * per, crw_chunk, out_chunk);
         });
-        Ok(counts.into_iter().sum())
+        let mut total = 0usize;
+        for shard in shards {
+            total += shard.into_inner().expect("refresh shard poisoned").2;
+        }
+        Ok(total)
     }
 
     /// Fused twin of [`OffsetState::reduce_gradient`]: reads the
@@ -373,19 +381,15 @@ impl OffsetState {
             worker(0, grad_net, col_major);
         } else {
             let per = cols.div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = grad_net
-                    .chunks(per * rows)
-                    .zip(col_major.chunks_mut(per * nr))
-                    .enumerate()
-                    .map(|(i, (grad_chunk, cm_chunk))| {
-                        let w = &worker;
-                        s.spawn(move || w(i * per, grad_chunk, cm_chunk))
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().expect("reduction worker panicked");
-                }
+            let shards: Vec<std::sync::Mutex<(&[f32], &mut [f32])>> = grad_net
+                .chunks(per * rows)
+                .zip(col_major.chunks_mut(per * nr))
+                .map(|(grad_chunk, cm_chunk)| std::sync::Mutex::new((grad_chunk, cm_chunk)))
+                .collect();
+            rdo_tensor::pool::run(shards.len(), |i| {
+                let mut shard = shards[i].lock().expect("reduction shard poisoned");
+                let (grad_chunk, cm_chunk) = &mut *shard;
+                worker(i * per, grad_chunk, cm_chunk);
             });
         }
         // cheap serial permute back to group-major

@@ -1,0 +1,139 @@
+//! Pool ≡ scoped-threads equivalence on the real engine workloads.
+//!
+//! The persistent worker pool (`rdo_tensor::pool`) must be bitwise
+//! indistinguishable from the per-call scoped-thread baseline at every
+//! thread count: threads decide *who* computes a unit, never *how*. These
+//! tests drive the two heaviest consumers — the VAWO column search and
+//! the §IV multi-cycle evaluation protocol — through both execution
+//! backends and demand bit-exact agreement, at worker counts spanning
+//! serial, two workers and the whole machine.
+//!
+//! The pool-enabled flag is process-global, so every test serializes on
+//! one mutex and restores the flag before returning.
+
+use std::sync::Mutex;
+
+use rdo_core::{
+    evaluate_cycles, optimize_matrix_with_threads, CycleEvalConfig, GroupLayout, MappedNetwork,
+    Method, OffsetConfig, PwtConfig, VawoOutput,
+};
+use rdo_nn::{fit, Linear, Relu, Sequential, TrainConfig};
+use rdo_rram::{CellKind, DeviceLut, VariationModel};
+use rdo_tensor::rng::{randn, seeded_rng};
+use rdo_tensor::{pool, Tensor};
+
+/// Serializes tests that flip the process-global pool flag.
+static POOL_FLAG: Mutex<()> = Mutex::new(());
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut counts = vec![1, 2];
+    if max > 2 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn assert_vawo_eq(a: &VawoOutput, b: &VawoOutput, what: &str) {
+    assert_eq!(a.ctw.dims(), b.ctw.dims(), "{what}: ctw shape diverged");
+    for (i, (x, y)) in a.ctw.data().iter().zip(b.ctw.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: ctw[{i}] diverged");
+    }
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{what}: objective diverged");
+}
+
+#[test]
+fn vawo_pool_matches_scoped_bitwise_at_every_thread_count() {
+    let _guard = POOL_FLAG.lock().unwrap();
+    let (rows, cols) = (64usize, 48usize);
+    let ntw = Tensor::from_fn(&[rows, cols], |i| ((i * 37) % 256) as f32);
+    let g2 = Tensor::from_fn(&[rows, cols], |i| 1e-4 * (1.0 + (i % 7) as f32));
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+    let layout = GroupLayout::new(rows, cols, &cfg).unwrap();
+
+    pool::set_enabled(true);
+    let serial = optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, true, 1).unwrap();
+    for threads in thread_counts() {
+        pool::set_enabled(true);
+        let pooled =
+            optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, true, threads).unwrap();
+        pool::set_enabled(false);
+        let scoped =
+            optimize_matrix_with_threads(&ntw, &g2, &layout, &lut, &cfg, true, threads).unwrap();
+        pool::set_enabled(true);
+        assert_vawo_eq(&pooled, &scoped, &format!("vawo pool vs scoped, threads={threads}"));
+        assert_vawo_eq(&pooled, &serial, &format!("vawo threads={threads} vs serial"));
+    }
+}
+
+fn cycle_workload() -> (MappedNetwork, Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(77);
+    let x = randn(&[128, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> =
+        (0..128).map(|i| usize::from(x.data()[i * 16] + x.data()[i * 16 + 2] > 0.0)).collect();
+    let mut net = Sequential::new();
+    net.push(Linear::new(16, 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(24, 2, &mut rng));
+    fit(&mut net, &x, &labels, &TrainConfig { epochs: 4, lr: 0.1, ..Default::default() }).unwrap();
+    let cfg = OffsetConfig::paper(CellKind::Slc, 0.5, 16).unwrap();
+    let lut = DeviceLut::analytic(&VariationModel::per_weight(0.5), &cfg.codec).unwrap();
+    let mapped = MappedNetwork::map(&net, Method::Pwt, &cfg, &lut, None).unwrap();
+    (mapped, x, labels)
+}
+
+fn run_cycles(mapped: &MappedNetwork, x: &Tensor, labels: &[usize], threads: usize) -> Vec<u32> {
+    let mut m = mapped.clone();
+    let eval = evaluate_cycles(
+        &mut m,
+        Some((x, labels)),
+        x,
+        labels,
+        &CycleEvalConfig {
+            cycles: 4,
+            seed: 11,
+            pwt: PwtConfig { epochs: 1, ..Default::default() },
+            batch_size: 32,
+            threads,
+            qint: false,
+        },
+    )
+    .unwrap();
+    eval.per_cycle.iter().map(|a| a.to_bits()).collect()
+}
+
+#[test]
+fn cycle_eval_pool_matches_scoped_bitwise_at_every_thread_count() {
+    let _guard = POOL_FLAG.lock().unwrap();
+    let (mapped, x, labels) = cycle_workload();
+    pool::set_enabled(true);
+    let serial = run_cycles(&mapped, &x, &labels, 1);
+    for threads in thread_counts() {
+        pool::set_enabled(true);
+        let pooled = run_cycles(&mapped, &x, &labels, threads);
+        pool::set_enabled(false);
+        let scoped = run_cycles(&mapped, &x, &labels, threads);
+        pool::set_enabled(true);
+        assert_eq!(pooled, scoped, "cycle eval pool vs scoped diverged at threads={threads}");
+        assert_eq!(pooled, serial, "cycle eval threads={threads} diverged from serial");
+    }
+}
+
+#[test]
+fn cycle_eval_is_invariant_to_the_pool_flag_mid_protocol() {
+    // Flipping the backend between whole runs must not leak state across
+    // runs: a pool run sandwiched between two scoped runs agrees with both.
+    let _guard = POOL_FLAG.lock().unwrap();
+    let (mapped, x, labels) = cycle_workload();
+    let threads = thread_counts().pop().unwrap();
+    pool::set_enabled(false);
+    let scoped_a = run_cycles(&mapped, &x, &labels, threads);
+    pool::set_enabled(true);
+    let pooled = run_cycles(&mapped, &x, &labels, threads);
+    pool::set_enabled(false);
+    let scoped_b = run_cycles(&mapped, &x, &labels, threads);
+    pool::set_enabled(true);
+    assert_eq!(scoped_a, pooled);
+    assert_eq!(pooled, scoped_b);
+}

@@ -68,7 +68,7 @@ pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use resnet::ResNetConfig;
 pub use sequential::{Residual, Sequential};
 pub use train::{
-    batch_gather, batch_gather_buf, batch_slice, batch_slice_buf, evaluate, fit, TrainConfig,
-    TrainReport,
+    batch_gather, batch_gather_buf, batch_slice, batch_slice_buf, evaluate, evaluate_packed, fit,
+    PackedDataset, TrainConfig, TrainReport,
 };
 pub use vgg::{VggConfig, VggItem};

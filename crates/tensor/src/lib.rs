@@ -6,10 +6,13 @@
 //! The crate deliberately implements only what the rest of the workspace
 //! needs — shapes, elementwise math, a register-tiled [`matmul()`] built on
 //! the [`microkernel`] module, im2col convolution lowering and seeded
-//! random construction — with no `unsafe` and no external math
-//! dependencies, so the full stack (NN training, crossbar simulation,
+//! random construction — with no external math dependencies and no
+//! `unsafe` outside the small audited core of the persistent worker
+//! [`pool`], so the full stack (NN training, crossbar simulation,
 //! VAWO/PWT optimization) is auditable end to end. Hot paths reuse
-//! buffers through a [`Scratch`] pool instead of allocating per call.
+//! buffers through a [`Scratch`] pool instead of allocating per call,
+//! and every parallel region runs on the spawn-once [`pool`] rather than
+//! spawning threads per call.
 //!
 //! # Examples
 //!
@@ -25,7 +28,10 @@
 //! # Ok::<(), rdo_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool's type-erased
+// task pointer (`pool::TaskPtr`) is the one audited exception, opted in
+// item by item with `#[allow(unsafe_code)]` and a safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -36,6 +42,7 @@ pub mod conv;
 pub mod matmul;
 pub mod microkernel;
 pub mod parallel;
+pub mod pool;
 pub mod qint;
 pub mod rng;
 pub mod scratch;
@@ -46,7 +53,10 @@ pub use matmul::{
     auto_threads, matmul, matmul_into, matmul_into_scalar, matmul_into_serial, matmul_into_threads,
     matmul_nt_into, matmul_tn_into, matvec, outer, vecmat,
 };
-pub use parallel::{available_threads, parallel_map_indexed, resolve_threads};
+pub use microkernel::PackedA;
+pub use parallel::{
+    available_threads, parallel_map_indexed, parallel_map_indexed_scoped, resolve_threads,
+};
 pub use qint::{
     and_popcount, and_popcount_range, column_counts, dot_planes, dot_planes_all, dot_planes_range,
     gemm_i8_i32, gemm_i8_i32_scalar, gemv_i8_i32, mask_plane_range, popcount, popcount_range,

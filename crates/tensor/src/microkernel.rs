@@ -45,6 +45,9 @@
 // only obscure the BLAS-shaped API.
 #![allow(clippy::too_many_arguments)]
 
+use std::sync::Mutex;
+
+use crate::pool;
 use crate::scratch::Scratch;
 
 /// Whether the compile target has 256-bit (or wider) vector units; the
@@ -426,17 +429,19 @@ fn gemm_tiled(
         gemm_rows(a, a_layout, bsrc, c, 0, m, k, n, &mut apack);
         scratch.recycle(apack);
     } else {
-        let mut apacks: Vec<Vec<f32>> =
-            (0..threads).map(|_| scratch.take(tiles_per * MR * kc_max)).collect();
-        std::thread::scope(|s| {
-            for ((t, c_chunk), apack) in
-                c.chunks_mut(rows_per * n).enumerate().zip(apacks.iter_mut())
-            {
-                let r0 = t * rows_per;
-                s.spawn(move || gemm_rows(a, a_layout, bsrc, c_chunk, r0, m, k, n, apack));
-            }
+        // one shard per contiguous whole-tile row chunk; each shard owns
+        // its (chunk, packing buffer) pair behind an uncontended mutex
+        let shards: Vec<Mutex<(&mut [f32], Vec<f32>)>> = c
+            .chunks_mut(rows_per * n)
+            .map(|chunk| Mutex::new((chunk, scratch.take(tiles_per * MR * kc_max))))
+            .collect();
+        pool::run(shards.len(), |t| {
+            let mut shard = shards[t].lock().expect("gemm shard poisoned");
+            let (c_chunk, apack) = &mut *shard;
+            gemm_rows(a, a_layout, bsrc, c_chunk, t * rows_per, m, k, n, apack);
         });
-        for apack in apacks {
+        for shard in shards {
+            let (_, apack) = shard.into_inner().expect("gemm shard poisoned");
             scratch.recycle(apack);
         }
     }
@@ -444,6 +449,193 @@ fn gemm_tiled(
         let pack = std::mem::take(&mut bpack);
         scratch.recycle(pack);
     }
+}
+
+/// A left operand packed once into `MR`-row micro-panels for reuse
+/// across many products — e.g. the evaluation dataset of a fig. 5 sweep,
+/// whose input panels are invariant across programming cycles while only
+/// the programmed weights change.
+///
+/// The layout replicates exactly what [`pack_a_block`] produces when a
+/// fresh pack covers rows `0..m`: for each `KC` block `k0`, tile `t`
+/// (anchored at absolute row `t·MR`) lives at
+/// `tiles_all · MR · k0 + t · (MR · kc)`, element `(p, i)` at
+/// `p · MR + i`, zero-padded past row `m`. Because the threaded tiled
+/// path partitions rows into whole-`MR`-tile chunks anchored at row 0, a
+/// worker's tiles are a contiguous subrange of this pack holding exactly
+/// the bytes its per-call [`pack_a_block`] would have written — which is
+/// why [`gemm_nt_prepacked`] is bitwise identical to [`gemm_nt`] at
+/// every thread count.
+///
+/// The raw row-major operand is retained alongside the panels so the
+/// degenerate shapes (`m == 1`, `k == 1`, `n == 1`) can take the exact
+/// same vector-kernel dispatch as [`gemm_nt`].
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    /// Micro-panel data, `tiles_all · MR · k` elements.
+    data: Vec<f32>,
+    /// The original row-major operand (`m · k` elements).
+    raw: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Packs row-major `a (m×k)` once for repeated [`gemm_nt_prepacked`]
+    /// products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
+        assert_eq!(a.len(), m * k, "lhs length");
+        let tiles_all = m.div_ceil(MR);
+        let mut data = vec![0.0f32; tiles_all * MR * k];
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            let off = tiles_all * MR * k0;
+            pack_a_block(
+                a,
+                Layout::RowMajor,
+                m,
+                k,
+                0..m,
+                k0,
+                kc,
+                &mut data[off..off + tiles_all * MR * kc],
+            );
+            k0 += kc;
+        }
+        Self { data, raw: a.to_vec(), m, k }
+    }
+
+    /// Number of rows of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns (the shared/contraction dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The original row-major operand the pack was built from.
+    pub fn raw(&self) -> &[f32] {
+        &self.raw
+    }
+}
+
+/// [`gemm_rows`] reading `A` micro-panels from a [`PackedA`] instead of
+/// packing per call. `r0` must be a whole number of `MR` tiles (the
+/// threaded partition guarantees this; the serial call passes 0).
+fn gemm_rows_prepacked(
+    pa: &PackedA,
+    bsrc: BSource<'_>,
+    c_rows: &mut [f32],
+    r0: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert!(r0.is_multiple_of(MR), "chunks are whole-tile aligned");
+    let rows = c_rows.len() / n;
+    let n_panels = panels(n);
+    let n_pad = n_panels * NR;
+    let tiles = rows.div_ceil(MR);
+    let tiles_all = pa.m.div_ceil(MR);
+    let t_base = r0 / MR;
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let block_off = tiles_all * MR * k0;
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let width = NR.min(n - j0);
+            for t in 0..tiles {
+                let i0 = t * MR;
+                let height = MR.min(rows - i0);
+                let panel_off = block_off + (t_base + t) * MR * kc;
+                let apanel = &pa.data[panel_off..panel_off + MR * kc];
+                let acc = match bsrc {
+                    BSource::Packed(bpack) => {
+                        let bblock = &bpack[k0 * n_pad..k0 * n_pad + kc * n_pad];
+                        micro_tile(apanel, &bblock[jp * kc * NR..(jp + 1) * kc * NR], kc)
+                    }
+                    BSource::Direct(b) => micro_tile_direct(apanel, b, n, k0, j0, kc),
+                };
+                for (i, acc_row) in acc.iter().enumerate().take(height) {
+                    let crow = &mut c_rows[(i0 + i) * n + j0..(i0 + i) * n + j0 + width];
+                    for (cv, av) in crow.iter_mut().zip(acc_row) {
+                        *cv += av;
+                    }
+                }
+            }
+        }
+        k0 += kc;
+    }
+}
+
+/// `c += Aᵖ · bᵗᵀ` where `Aᵖ` is a [`PackedA`] — the reuse variant of
+/// [`gemm_nt`]: the `A` micro-panels are read straight from the pack, so
+/// repeated products against changing weights skip the per-call
+/// [`pack_a_block`] copies. Bitwise identical to [`gemm_nt`] on the raw
+/// operand at every thread count (same dispatch, same tile partition,
+/// same accumulation order).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape arguments.
+pub fn gemm_nt_prepacked(
+    pa: &PackedA,
+    bt: &[f32],
+    c: &mut [f32],
+    n: usize,
+    threads: usize,
+    scratch: &mut Scratch,
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(bt.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m == 1 || k == 1 || n == 1 {
+        // the vector-kernel shapes never touch the micro-panels; take the
+        // exact gemm_nt dispatch on the retained raw operand
+        gemm_nt(&pa.raw, bt, c, m, k, n, threads, scratch);
+        return;
+    }
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.gemm.calls", 1);
+        rdo_obs::counter_add("tensor.gemm.flops", 2 * (m * k * n) as u64);
+        rdo_obs::counter_add("tensor.gemm.prepacked_calls", 1);
+    }
+    // B handling mirrors gemm_tiled: a transposed operand is always
+    // packed (the direct path is row-major-only).
+    let n_pad = panels(n) * NR;
+    let mut bpack = scratch.take(k * n_pad);
+    pack_b(bt, Layout::Transposed, k, n, &mut bpack);
+    let bsrc = BSource::Packed(&bpack);
+
+    let tiles = m.div_ceil(MR);
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("tensor.gemm.tiles", (tiles * panels(n)) as u64);
+    }
+    let threads = threads.clamp(1, m).min(tiles);
+    let tiles_per = tiles.div_ceil(threads);
+    let rows_per = tiles_per * MR;
+
+    if threads <= 1 {
+        gemm_rows_prepacked(pa, bsrc, c, 0, k, n);
+    } else {
+        let shards: Vec<Mutex<&mut [f32]>> = c.chunks_mut(rows_per * n).map(Mutex::new).collect();
+        pool::run(shards.len(), |t| {
+            let mut chunk = shards[t].lock().expect("gemm shard poisoned");
+            gemm_rows_prepacked(pa, bsrc, &mut chunk[..], t * rows_per, k, n);
+        });
+    }
+    let pack = bpack;
+    scratch.recycle(pack);
 }
 
 /// Lane count of the blocked reductions in the vector kernels.
@@ -512,10 +704,10 @@ fn gevm(
         run(c, 0);
         return;
     }
-    std::thread::scope(|s| {
-        for (t, c_chunk) in c.chunks_mut(cols_per).enumerate() {
-            s.spawn(move || run(c_chunk, t * cols_per));
-        }
+    let shards: Vec<Mutex<&mut [f32]>> = c.chunks_mut(cols_per).map(Mutex::new).collect();
+    pool::run(shards.len(), |t| {
+        let mut chunk = shards[t].lock().expect("gevm shard poisoned");
+        run(&mut chunk[..], t * cols_per);
     });
 }
 
@@ -549,10 +741,10 @@ fn gemv(
         run(c, 0);
         return;
     }
-    std::thread::scope(|s| {
-        for (t, c_chunk) in c.chunks_mut(rows_per).enumerate() {
-            s.spawn(move || run(c_chunk, t * rows_per));
-        }
+    let shards: Vec<Mutex<&mut [f32]>> = c.chunks_mut(rows_per).map(Mutex::new).collect();
+    pool::run(shards.len(), |t| {
+        let mut chunk = shards[t].lock().expect("gemv shard poisoned");
+        run(&mut chunk[..], t * rows_per);
     });
 }
 
@@ -587,10 +779,10 @@ fn rank1(
         run(c, 0);
         return;
     }
-    std::thread::scope(|s| {
-        for (t, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            s.spawn(move || run(c_chunk, t * rows_per));
-        }
+    let shards: Vec<Mutex<&mut [f32]>> = c.chunks_mut(rows_per * n).map(Mutex::new).collect();
+    pool::run(shards.len(), |t| {
+        let mut chunk = shards[t].lock().expect("rank1 shard poisoned");
+        run(&mut chunk[..], t * rows_per);
     });
 }
 
@@ -773,6 +965,51 @@ mod tests {
         c.fill(0.0);
         gemm_nn(&a, &b, &mut c, m, k, n, 1, &mut s);
         assert_eq!(s.pooled_capacity(), warm, "steady state must not grow the pool");
+    }
+
+    #[test]
+    fn prepacked_is_bitwise_gemm_nt_every_thread_count() {
+        // tile path plus every degenerate dispatch, across KC/MR/NR
+        // boundaries; the pack is built once and reused for all counts
+        for &(m, k, n) in &[
+            (23, 37, 19),
+            (MR + 1, KC + 3, NR + 1),
+            (64, 128, 32),
+            (1, 40, 33),
+            (29, 40, 1),
+            (21, 1, 18),
+        ] {
+            let a = fill(m * k, 101);
+            let bt = fill(n * k, 103);
+            let pa = PackedA::pack(&a, m, k);
+            assert_eq!((pa.m(), pa.k()), (m, k));
+            assert_eq!(pa.raw(), &a[..]);
+            let mut s = Scratch::new();
+            for threads in [1, 2, 3, 8, 64] {
+                let mut c_ref = vec![0.25f32; m * n];
+                gemm_nt(&a, &bt, &mut c_ref, m, k, n, threads, &mut s);
+                let mut c_pre = vec![0.25f32; m * n];
+                gemm_nt_prepacked(&pa, &bt, &mut c_pre, n, threads, &mut s);
+                assert_eq!(c_pre, c_ref, "({m},{k},{n}) threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_reuse_across_changing_weights() {
+        // the sweep usage pattern: one pack, many different right operands
+        let (m, k, n) = (48, 70, 24);
+        let a = fill(m * k, 7);
+        let pa = PackedA::pack(&a, m, k);
+        let mut s = Scratch::new();
+        for seed in [11, 13, 17] {
+            let bt = fill(n * k, seed);
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_nt(&a, &bt, &mut c_ref, m, k, n, 4, &mut s);
+            let mut c_pre = vec![0.0f32; m * n];
+            gemm_nt_prepacked(&pa, &bt, &mut c_pre, n, 4, &mut s);
+            assert_eq!(c_pre, c_ref, "seed={seed}");
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! serial path. Threads only decide *who* computes a unit, not *how*.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool;
 
 /// The number of worker threads the environment asks for: `RDO_THREADS`
 /// when set to a positive integer, otherwise the machine's available
@@ -37,18 +40,60 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Evaluates `f(0..n)` on up to `threads` scoped worker threads and
-/// returns the results in index order.
+/// Evaluates `f(0..n)` on up to `threads` worker threads (the persistent
+/// [`crate::pool`]) and returns the results in index order.
 ///
 /// Work is distributed dynamically (an atomic cursor), so unevenly sized
 /// items load-balance; the output order is always `f(0), f(1), …`
 /// regardless of scheduling. With `threads <= 1` (or `n <= 1`) this is a
-/// plain serial map — same closure, same order.
+/// plain serial map — same closure, same order. The threaded path is
+/// bitwise identical to the serial one for deterministic `f`: the cursor
+/// only decides *who* computes an item, the merge is by index.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (all workers finish first).
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // One uncontended slot per worker: each shard locks only its own.
+    let outs: Vec<Mutex<Vec<(usize, T)>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    pool::run(threads, |t| {
+        let mut out = outs[t].lock().expect("worker output slot poisoned");
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            out.push((i, f(i)));
+        }
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for slot in outs {
+        for (i, v) in slot.into_inner().expect("worker output slot poisoned") {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|v| v.expect("every index is produced exactly once")).collect()
+}
+
+/// The pre-pool reference implementation of [`parallel_map_indexed`]:
+/// identical atomic-cursor distribution and index-ordered merge, but on
+/// freshly spawned [`std::thread::scope`] threads per call. Retained as
+/// the equivalence oracle for the pool tests and the baseline arm of the
+/// sweep benchmark.
 ///
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope joins all workers first).
-pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+pub fn parallel_map_indexed_scoped<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -117,5 +162,16 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = parallel_map_indexed(3, 16, |i| i as f32 * 0.5);
         assert_eq!(out, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn pool_backed_map_matches_scoped_reference() {
+        for threads in [1, 2, 4, 9] {
+            for n in [0usize, 1, 7, 64, 201] {
+                let pooled = parallel_map_indexed(n, threads, |i| i.wrapping_mul(31) ^ 7);
+                let scoped = parallel_map_indexed_scoped(n, threads, |i| i.wrapping_mul(31) ^ 7);
+                assert_eq!(pooled, scoped, "n={n} threads={threads}");
+            }
+        }
     }
 }

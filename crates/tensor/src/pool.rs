@@ -1,0 +1,526 @@
+//! Process-wide persistent deterministic worker pool.
+//!
+//! Every parallel region in the workspace used to spawn fresh OS threads
+//! through [`std::thread::scope`] on every call — dozens of times per
+//! programming cycle once GEMM, PWT refresh and the cycle loop stack up.
+//! Thread spawn/join costs tens of microseconds each, which the sweep
+//! engine pays millions of times over a fig5-style grid. This module
+//! spawns the workers **once**, parks them on a condvar, and hands each
+//! parallel region to the parked set ([`run`]), eliminating the per-call
+//! spawn/join entirely.
+//!
+//! # Determinism
+//!
+//! The pool never changes results. A parallel region is expressed as
+//! `f(0), f(1), …, f(shards-1)`, where shard `i` performs exactly the
+//! work (and the per-unit operation order) the `i`-th scoped thread used
+//! to perform. The pool only decides *which OS thread* executes a shard,
+//! never *what* a shard computes — the same contract `RDO_THREADS` has
+//! always had (see [`crate::parallel`]). [`run`] is therefore bitwise
+//! interchangeable with [`run_scoped`] (the retained
+//! [`std::thread::scope`] reference implementation) and with a plain
+//! serial loop, which the pool equivalence tests pin.
+//!
+//! # Reentrancy
+//!
+//! A shard that itself reaches a parallel region (e.g. a pooled grid
+//! point evaluating a threaded GEMM) must not submit to the pool it is
+//! running on — the workers are busy with the outer region, and waiting
+//! for them would deadlock. Nested [`run`] calls therefore execute their
+//! shards serially on the calling thread (outer parallelism already owns
+//! the cores; results are identical by the determinism contract above).
+//!
+//! # Knobs
+//!
+//! `RDO_POOL=0` (or `off`) routes every [`run`] call to [`run_scoped`],
+//! restoring the per-call spawn behaviour; [`set_enabled`] toggles the
+//! same switch programmatically (the benchmarks use it to measure pool
+//! vs. scoped-threads in one process). Worker count is demand-driven:
+//! the pool lazily grows to the largest shard count ever requested and
+//! parks idle workers, so an `RDO_THREADS=64` test costs 63 parked
+//! threads, not 63 spawns per call.
+//!
+//! # Safety
+//!
+//! This is the one module in `rdo-tensor` that uses `unsafe` (the crate
+//! is otherwise `#![deny(unsafe_code)]`-clean): parked workers outlive
+//! any single parallel region, so the region's borrowed closure is
+//! handed to them as a type-erased pointer ([`TaskPtr`]). Soundness
+//! rests on a strict completion protocol, documented on [`TaskPtr`] and
+//! [`run`]: the submitting thread does not return until every claimed
+//! shard has finished and no further shard can be claimed, so the
+//! closure (and everything it borrows) strictly outlives every
+//! dereference; `F: Sync` makes the shared cross-thread calls sound.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Type-erased pointer to a caller's `Fn(usize) + Sync` closure, shipped
+/// to the parked workers.
+///
+/// # Safety
+///
+/// A `TaskPtr` is only ever dereferenced between the moment [`run`]
+/// publishes the job and the moment [`run`] observes completion (all
+/// shards claimed **and** finished) under the state mutex — and [`run`]
+/// keeps the closure alive (borrowed on its stack) for that whole
+/// window. Claiming a shard and finishing a shard both happen under the
+/// same mutex, so "observed complete" strictly happens-after the last
+/// dereference. Sending the pointer across threads is sound because it
+/// was created from `&F` with `F: Sync`.
+#[derive(Clone, Copy)]
+struct TaskPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: see the TaskPtr docs — the pointee is `Sync` and outlives
+// every dereference by the completion protocol.
+#[allow(unsafe_code)]
+unsafe impl Send for TaskPtr {}
+
+impl TaskPtr {
+    fn new<F: Fn(usize) + Sync>(f: &F) -> Self {
+        #[allow(unsafe_code)]
+        unsafe fn call_impl<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            // SAFETY: `data` was created from `&F` in `TaskPtr::new` and
+            // the completion protocol keeps the borrow alive.
+            let f = unsafe { &*data.cast::<F>() };
+            f(i);
+        }
+        TaskPtr { data: (f as *const F).cast::<()>(), call: call_impl::<F> }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must hold a shard claim of the job this pointer belongs to
+    /// (see the type docs).
+    #[allow(unsafe_code)]
+    unsafe fn invoke(&self, i: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { (self.call)(self.data, i) }
+    }
+}
+
+/// One published parallel region.
+struct Job {
+    task: TaskPtr,
+    /// Total shard count; shard indices are `0..shards`.
+    shards: usize,
+    /// Next unclaimed shard index (claims happen under the state mutex).
+    next: usize,
+    /// Shards currently executing on some thread.
+    active: usize,
+}
+
+/// Pool state guarded by one mutex.
+struct State {
+    /// Bumped once per published job so parked workers can tell a fresh
+    /// job from the one they already drained.
+    epoch: u64,
+    job: Option<Job>,
+    /// First panic payload captured from a shard; re-raised by [`run`].
+    panic: Option<Box<dyn Any + Send>>,
+    /// Worker threads spawned so far.
+    spawned: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here waiting for a new epoch.
+    work: Condvar,
+    /// The submitter parks here waiting for shard completion.
+    done: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        state: Mutex::new(State { epoch: 0, job: None, panic: None, spawned: 0 }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+    })
+}
+
+/// Serializes submitters: the pool runs one job at a time. Concurrent
+/// top-level parallel regions (e.g. the serving engine's request threads)
+/// do not queue behind it — they fall back to [`run_scoped`], preserving
+/// the old concurrency behaviour.
+fn submit_lock() -> &'static Mutex<()> {
+    static SUBMIT: OnceLock<Mutex<()>> = OnceLock::new();
+    SUBMIT.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    /// True while this thread is executing a pool shard (worker threads
+    /// and the participating submitter alike); nested [`run`] calls see
+    /// it and degrade to the serial loop.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `RDO_POOL` switch: `0`/`off`/`false` disables the persistent pool
+/// (every [`run`] becomes [`run_scoped`]). Initialized from the
+/// environment on first use, overridable via [`set_enabled`].
+fn enabled_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = !matches!(
+            std::env::var("RDO_POOL").as_deref(),
+            Ok("0") | Ok("off") | Ok("false") | Ok("OFF")
+        );
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether [`run`] currently uses the persistent pool (see [`set_enabled`]).
+pub fn enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Switches [`run`] between the persistent pool (`true`, the default
+/// unless `RDO_POOL=0`) and per-call scoped threads (`false`). Results
+/// are bitwise identical either way; the benchmarks flip this to measure
+/// the spawn/join overhead in a single process.
+pub fn set_enabled(on: bool) {
+    enabled_flag().store(on, Ordering::Relaxed);
+}
+
+/// Cumulative pool activity counters (process-wide), for benchmarks and
+/// observability. Monotonically increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Parallel regions executed on the persistent pool.
+    pub pooled_jobs: u64,
+    /// Parallel regions that fell back to per-call scoped threads
+    /// (pool disabled, or a concurrent submitter held the pool).
+    pub scoped_jobs: u64,
+    /// Nested regions degraded to the serial loop.
+    pub nested_serial: u64,
+    /// Worker threads spawned over the process lifetime.
+    pub threads_spawned: u64,
+}
+
+static POOLED_JOBS: AtomicU64 = AtomicU64::new(0);
+static SCOPED_JOBS: AtomicU64 = AtomicU64::new(0);
+static NESTED_SERIAL: AtomicU64 = AtomicU64::new(0);
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the cumulative [`PoolStats`].
+pub fn stats() -> PoolStats {
+    PoolStats {
+        pooled_jobs: POOLED_JOBS.load(Ordering::Relaxed),
+        scoped_jobs: SCOPED_JOBS.load(Ordering::Relaxed),
+        nested_serial: NESTED_SERIAL.load(Ordering::Relaxed),
+        threads_spawned: THREADS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Executes `f(0), f(1), …, f(shards - 1)`, distributing the shard
+/// indices over the persistent worker pool (the submitting thread
+/// participates, so `shards` shards use `shards` threads).
+///
+/// Dispatch, in order:
+/// * `shards <= 1` — `f(0)` inline (no synchronization at all);
+/// * nested inside another pool shard — serial loop on this thread (see
+///   the [module docs](self) on reentrancy);
+/// * pool disabled ([`set_enabled`] / `RDO_POOL=0`) or another thread is
+///   mid-submission — [`run_scoped`];
+/// * otherwise — the persistent pool.
+///
+/// Every path calls the same `f` with the same indices, so results are
+/// identical regardless of which is taken; only wall-clock differs.
+///
+/// # Panics
+///
+/// If any shard panics, the first captured payload is re-raised on the
+/// submitting thread after **all** shards have finished (matching the
+/// join-then-propagate behaviour of [`std::thread::scope`]).
+pub fn run<F: Fn(usize) + Sync>(shards: usize, f: F) {
+    if shards <= 1 {
+        if shards == 1 {
+            f(0);
+        }
+        return;
+    }
+    if IN_POOL.with(std::cell::Cell::get) {
+        NESTED_SERIAL.fetch_add(1, Ordering::Relaxed);
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("sweep.pool.nested_serial", 1);
+        }
+        for i in 0..shards {
+            f(i);
+        }
+        return;
+    }
+    if !enabled() {
+        scoped_fallback(shards, &f);
+        return;
+    }
+    // One job at a time: a second concurrent submitter keeps its old
+    // scoped-thread behaviour instead of queueing.
+    let Ok(_submit) = submit_lock().try_lock() else {
+        scoped_fallback(shards, &f);
+        return;
+    };
+    POOLED_JOBS.fetch_add(1, Ordering::Relaxed);
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("sweep.pool.jobs", 1);
+        rdo_obs::counter_add("sweep.pool.shards", shards as u64);
+    }
+    let sh = shared();
+    let task = TaskPtr::new(&f);
+    {
+        let mut st = sh.state.lock().expect("pool state poisoned");
+        ensure_workers(&mut st, shards - 1);
+        debug_assert!(st.job.is_none(), "submit with a job outstanding");
+        st.epoch += 1;
+        st.job = Some(Job { task, shards, next: 0, active: 0 });
+        drop(st);
+    }
+    sh.work.notify_all();
+
+    // The submitter works too: claim shards like any worker.
+    IN_POOL.with(|c| c.set(true));
+    let st = sh.state.lock().expect("pool state poisoned");
+    let st = drain_shards(sh, st, task);
+    IN_POOL.with(|c| c.set(false));
+
+    // Wait until every claimed shard has finished; afterwards no thread
+    // can touch `task` again (nothing is left to claim), so returning —
+    // and dropping `f` — is sound.
+    let mut st = st;
+    loop {
+        let job = st.job.as_ref().expect("job cleared only by its submitter");
+        if job.next >= job.shards && job.active == 0 {
+            break;
+        }
+        st = sh.done.wait(st).expect("pool state poisoned");
+    }
+    st.job = None;
+    let panic = st.panic.take();
+    drop(st);
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+}
+
+/// [`run_scoped`] plus the fallback bookkeeping shared by the disabled
+/// and pool-busy paths.
+fn scoped_fallback<F: Fn(usize) + Sync>(shards: usize, f: &F) {
+    SCOPED_JOBS.fetch_add(1, Ordering::Relaxed);
+    if rdo_obs::enabled() {
+        rdo_obs::counter_add("sweep.pool.scoped_jobs", 1);
+    }
+    run_scoped_inner(shards, f);
+}
+
+/// The retained reference implementation: `f(0..shards)` on `shards`
+/// freshly spawned scoped threads, exactly as every parallel region in
+/// the workspace did before the pool existed. [`run`] must be bitwise
+/// equivalent to this at every shard count (the pool tests pin it), and
+/// the sweep benchmark measures the spawn/join cost against it.
+///
+/// # Panics
+///
+/// Propagates shard panics after joining all threads (the
+/// [`std::thread::scope`] contract).
+pub fn run_scoped<F: Fn(usize) + Sync>(shards: usize, f: F) {
+    if shards <= 1 {
+        if shards == 1 {
+            f(0);
+        }
+        return;
+    }
+    run_scoped_inner(shards, &f);
+}
+
+fn run_scoped_inner<F: Fn(usize) + Sync>(shards: usize, f: &F) {
+    std::thread::scope(|s| {
+        for i in 0..shards {
+            s.spawn(move || f(i));
+        }
+    });
+}
+
+/// Claims and executes shards of the current job until none are left.
+/// Takes and returns the state guard so callers keep the lock across
+/// the claim bookkeeping; `f` is only invoked with the lock released.
+fn drain_shards<'a>(
+    sh: &'a Shared,
+    mut st: MutexGuard<'a, State>,
+    task: TaskPtr,
+) -> MutexGuard<'a, State> {
+    while let Some(job) = st.job.as_mut() {
+        if job.next >= job.shards {
+            break;
+        }
+        let i = job.next;
+        job.next += 1;
+        job.active += 1;
+        drop(st);
+        // SAFETY: the claim above (taken under the mutex) keeps the
+        // submitter blocked until the matching completion below.
+        #[allow(unsafe_code)]
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { task.invoke(i) }));
+        st = sh.state.lock().expect("pool state poisoned");
+        let job = st.job.as_mut().expect("job outlives its active shards");
+        job.active -= 1;
+        let finished = job.next >= job.shards && job.active == 0;
+        if let Err(p) = result {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        if finished {
+            sh.done.notify_all();
+        }
+    }
+    st
+}
+
+/// Upper bound on pool size: shard counts beyond it are still executed
+/// (workers drain multiple shards), they just share the existing
+/// threads. Generous — 4× the machine, at least 64 so the
+/// `RDO_THREADS=64` determinism tests exercise real pool concurrency.
+fn worker_cap() -> usize {
+    std::thread::available_parallelism()
+        .map_or(16, std::num::NonZeroUsize::get)
+        .saturating_mul(4)
+        .max(64)
+}
+
+/// Grows the worker set to at least `want` parked threads (capped at
+/// [`worker_cap`]). Called with the state lock held; workers are spawned
+/// detached and live for the process.
+fn ensure_workers(st: &mut State, want: usize) {
+    let want = want.min(worker_cap());
+    while st.spawned < want {
+        let idx = st.spawned;
+        st.spawned += 1;
+        THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        if rdo_obs::enabled() {
+            rdo_obs::counter_add("sweep.pool.threads_spawned", 1);
+        }
+        std::thread::Builder::new()
+            .name(format!("rdo-pool-{idx}"))
+            .spawn(worker_loop)
+            .expect("spawning a pool worker failed");
+    }
+}
+
+/// Body of a parked worker: wait for a fresh epoch, drain its shards,
+/// park again. Workers never exit; an idle pool is `spawned` threads
+/// blocked on a condvar.
+fn worker_loop() {
+    // Everything a worker runs is a pool shard; nested regions inside it
+    // must degrade to the serial loop.
+    IN_POOL.with(|c| c.set(true));
+    let sh = shared();
+    let mut seen = 0u64;
+    let mut st = sh.state.lock().expect("pool state poisoned");
+    loop {
+        while st.epoch == seen || st.job.is_none() {
+            st = sh.work.wait(st).expect("pool state poisoned");
+        }
+        seen = st.epoch;
+        let task = st.job.as_ref().expect("checked above").task;
+        st = drain_shards(sh, st, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_shard_exactly_once() {
+        for shards in [0usize, 1, 2, 3, 8, 33] {
+            let hits: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            run(shards, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "shard {i} of {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_reference_runs_every_shard() {
+        let hits: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        run_scoped(7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_run_degrades_to_serial_without_deadlock() {
+        let before = stats().nested_serial;
+        let outer: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        run(4, |i| {
+            // a nested region inside a shard must complete serially
+            let inner: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+            run(3, |j| {
+                inner[j].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(inner.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            outer[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(outer.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(stats().nested_serial > before, "nested calls must take the serial path");
+    }
+
+    #[test]
+    fn shard_panic_propagates_after_completion() {
+        let done: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(6, |i| {
+                if i == 3 {
+                    panic!("shard 3 exploded");
+                }
+                done[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "the shard panic must reach the submitter");
+        // all other shards still ran exactly once (join-then-propagate)
+        for (i, h) in done.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "shard {i}");
+            }
+        }
+        // and the pool is still usable afterwards
+        let hits = AtomicUsize::new(0);
+        run(4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn disabled_pool_falls_back_to_scoped() {
+        let was = enabled();
+        set_enabled(false);
+        let before = stats().scoped_jobs;
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        run(5, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        set_enabled(was);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(stats().scoped_jobs > before);
+    }
+
+    #[test]
+    fn many_more_shards_than_cores() {
+        let n = 257usize;
+        let sum = AtomicUsize::new(0);
+        run(n, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+}

@@ -423,20 +423,40 @@ pub fn dot_planes_range(
     acc
 }
 
+/// Column blocking of the i8 GEMM inner loop: one `A` row is reduced
+/// against this many `Bᵀ` rows at once, so the (already widened) `A` row
+/// streams from L1 once per block instead of once per column.
+const I8_COL_BLOCK: usize = 4;
+
+/// i16 dot product with an i32 accumulator — the `vpmaddwd` shape. Both
+/// operands are pre-widened from i8, so the codegen is a pure
+/// multiply-add-pairs chain with no in-loop sign extension.
+#[inline]
+fn dot_i16(x: &[i16], y: &[i16]) -> i32 {
+    let mut acc = 0i32;
+    for (&xv, &yv) in x.iter().zip(y) {
+        acc += i32::from(xv) * i32::from(yv);
+    }
+    acc
+}
+
 /// `c += a · b` for row-major `a (m×k)`, `b (k×n)` i8 operands and an
 /// i32 accumulator `c (m×n)`.
 ///
-/// The right-hand side is transposed once up front so every output
-/// element reduces two contiguous `k`-length i8 slices; LLVM compiles the
-/// widening reduction to `vpmaddwd` chains (16 multiply-adds per
+/// Both operands are widened to i16 once up front (the rhs transposed at
+/// the same time), so every output element reduces two contiguous
+/// `k`-length i16 slices with no in-loop sign extension; LLVM compiles
+/// that reduction to `vpmaddwd` chains (16 multiply-adds per
 /// instruction), which is where the integer path's edge over the f32
-/// broadcast-AXPY kernels comes from.
+/// broadcast-AXPY kernels comes from. Columns are processed
+/// [`I8_COL_BLOCK`] at a time so each `A` row is streamed once per block.
 ///
 /// Output rows are partitioned contiguously across `threads` workers
-/// (`0` defers to the `RDO_THREADS` environment knob). Unlike the float
-/// kernels this needs no operation-order argument: i32 addition is
-/// associative, so every schedule yields the same matrix, which
-/// [`gemm_i8_i32_scalar`] pins in tests.
+/// (`0` defers to the `RDO_THREADS` environment knob) on the persistent
+/// [`crate::pool`]. Unlike the float kernels this needs no
+/// operation-order argument: i32 addition is associative, so every
+/// schedule yields the same matrix, which [`gemm_i8_i32_scalar`] pins in
+/// tests.
 ///
 /// Accumulators are 32-bit: with i8 operands any `k ≤ 2¹⁷` is exact.
 ///
@@ -462,25 +482,35 @@ pub fn gemm_i8_i32(
         rdo_obs::counter_add("tensor.qint.gemm.calls", 1);
         rdo_obs::counter_add("tensor.qint.gemm.ops", 2 * (m * k * n) as u64);
     }
-    // transpose the rhs once; read-only, shared by every worker
-    let mut bt = vec![0i8; k * n];
+    // widen the lhs and transpose-widen the rhs once; read-only after
+    let a16: Vec<i16> = a.iter().map(|&v| i16::from(v)).collect();
+    let mut bt16 = vec![0i16; k * n];
     for p in 0..k {
         for (j, &bv) in b[p * n..(p + 1) * n].iter().enumerate() {
-            bt[j * k + p] = bv;
+            bt16[j * k + p] = i16::from(bv);
         }
     }
-    let bt = &bt;
+    let (a16, bt16) = (&a16, &bt16);
     let threads = crate::parallel::resolve_threads(threads).clamp(1, m);
     let run = |c_rows: &mut [i32], r0: usize| {
         for (i, crow) in c_rows.chunks_mut(n).enumerate() {
-            let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let bcol = &bt[j * k..(j + 1) * k];
-                let mut acc = 0i32;
-                for (&av, &bv) in arow.iter().zip(bcol) {
-                    acc += i32::from(av) * i32::from(bv);
-                }
-                *cv += acc;
+            let arow = &a16[(r0 + i) * k..(r0 + i + 1) * k];
+            let mut cols = crow.chunks_exact_mut(I8_COL_BLOCK);
+            let mut j = 0;
+            for cblk in &mut cols {
+                let b0 = &bt16[j * k..(j + 1) * k];
+                let b1 = &bt16[(j + 1) * k..(j + 2) * k];
+                let b2 = &bt16[(j + 2) * k..(j + 3) * k];
+                let b3 = &bt16[(j + 3) * k..(j + 4) * k];
+                cblk[0] += dot_i16(arow, b0);
+                cblk[1] += dot_i16(arow, b1);
+                cblk[2] += dot_i16(arow, b2);
+                cblk[3] += dot_i16(arow, b3);
+                j += I8_COL_BLOCK;
+            }
+            for cv in cols.into_remainder() {
+                *cv += dot_i16(arow, &bt16[j * k..(j + 1) * k]);
+                j += 1;
             }
         }
     };
@@ -489,10 +519,11 @@ pub fn gemm_i8_i32(
         return;
     }
     let rows_per = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            s.spawn(move || run(c_chunk, t * rows_per));
-        }
+    let shards: Vec<std::sync::Mutex<&mut [i32]>> =
+        c.chunks_mut(rows_per * n).map(std::sync::Mutex::new).collect();
+    crate::pool::run(shards.len(), |t| {
+        let mut chunk = shards[t].lock().expect("i8 gemm shard poisoned");
+        run(&mut chunk[..], t * rows_per);
     });
 }
 
@@ -553,10 +584,11 @@ pub fn gemv_i8_i32(a: &[i8], x: &[i8], y: &mut [i32], m: usize, k: usize, thread
         return;
     }
     let rows_per = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, y_chunk) in y.chunks_mut(rows_per).enumerate() {
-            s.spawn(move || run(y_chunk, t * rows_per));
-        }
+    let shards: Vec<std::sync::Mutex<&mut [i32]>> =
+        y.chunks_mut(rows_per).map(std::sync::Mutex::new).collect();
+    crate::pool::run(shards.len(), |t| {
+        let mut chunk = shards[t].lock().expect("i8 gemv shard poisoned");
+        run(&mut chunk[..], t * rows_per);
     });
 }
 

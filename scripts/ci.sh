@@ -63,7 +63,7 @@ PYEOF
 cargo run --release -p rdo-bench --bin obs_report -- "$OBS_LOG" > /dev/null
 
 echo "==> BENCH records present and well-formed"
-for name in gemm cycles vawo program obs pwt devicezoo qint serve lifetime; do
+for name in gemm cycles vawo program obs pwt devicezoo qint serve lifetime sweep; do
   f="results/BENCH_${name}.json"
   if [ ! -s "$f" ]; then
     echo "ci: missing or empty $f" >&2
@@ -220,5 +220,60 @@ if not rec["recovered_fraction_pwt_retune"] >= 0.5:
     sys.exit("ci: BENCH_lifetime.json pwt-retune must recover at least half "
              "the accuracy lost without maintenance")
 PYEOF
+
+echo "==> BENCH_sweep.json carries the pool-vs-scoped grid schema"
+python3 - results/BENCH_sweep.json <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for key in ("bench", "cycles", "grid", "eval", "pool"):
+    if key not in rec:
+        sys.exit(f"ci: BENCH_sweep.json lacks required key {key!r}")
+grid = rec["grid"]
+if not isinstance(grid, list) or len(grid) < 2:
+    sys.exit("ci: BENCH_sweep.json must report at least 2 grid sizes")
+sizes = []
+for row in grid:
+    for key in ("points", "pool_ns", "scoped_ns", "pool_speedup"):
+        if key not in row:
+            sys.exit(f"ci: BENCH_sweep.json grid row lacks key {key!r}")
+    for key in ("points", "pool_ns", "scoped_ns"):
+        if not (isinstance(row[key], int) and row[key] > 0):
+            sys.exit(f"ci: BENCH_sweep.json grid {key} must be a positive integer")
+    if row["pool_speedup"] <= 0:
+        sys.exit("ci: BENCH_sweep.json grid pool_speedup must be positive")
+    sizes.append(row["points"])
+if any(b <= a for a, b in zip(sizes, sizes[1:])):
+    sys.exit("ci: BENCH_sweep.json grid sizes must be strictly increasing")
+ev = rec["eval"]
+for key in ("cycles", "packed_ns", "repacked_ns", "plain_ns",
+            "pack_speedup_vs_plain", "pack_speedup_vs_repacked"):
+    if key not in ev:
+        sys.exit(f"ci: BENCH_sweep.json eval lacks key {key!r}")
+for key in ("packed_ns", "repacked_ns", "plain_ns"):
+    if not (isinstance(ev[key], int) and ev[key] > 0):
+        sys.exit(f"ci: BENCH_sweep.json eval {key} must be a positive integer")
+if ev["pack_speedup_vs_plain"] <= 0:
+    sys.exit("ci: BENCH_sweep.json pack_speedup_vs_plain must be positive")
+pool = rec["pool"]
+for key in ("pooled_jobs", "scoped_jobs", "nested_serial", "threads_spawned"):
+    if not (isinstance(pool.get(key), int) and pool[key] >= 0):
+        sys.exit(f"ci: BENCH_sweep.json pool counter {key!r} must be a "
+                 "non-negative integer")
+if pool["pooled_jobs"] <= 0:
+    sys.exit("ci: BENCH_sweep.json must record pooled jobs (pool never engaged)")
+PYEOF
+
+echo "==> root BENCH_*.json mirrors are byte-identical to results/"
+for f in BENCH_*.json; do
+  twin="results/$f"
+  if [ ! -f "$twin" ]; then
+    echo "ci: $f has no results/ twin" >&2
+    exit 1
+  fi
+  if ! cmp -s "$f" "$twin"; then
+    echo "ci: $f differs from $twin (regenerate with perf_report)" >&2
+    exit 1
+  fi
+done
 
 echo "ci: all gates passed"
